@@ -1,0 +1,91 @@
+//! Fig. 5 — per-band-group sensitivity of DNN accuracy to the quantization
+//! step, for the magnitude-based (DeepN-JPEG) and position-based (HVS)
+//! segmentations.
+//!
+//! Methodology (paper §4): vary the step of one band group while every
+//! other band keeps step 1, then measure normalized accuracy (vs the
+//! all-ones table) of a model trained on originals.
+//!
+//! Paper reference: magnitude-based ≥ position-based everywhere; LF
+//! accuracy drops past step 5 (⇒ Qmin = 5); MF tolerates ~20 (Q2), HF
+//! tolerates ~60 (Q1).
+
+use deepn_bench::{banner, bench_set, scale, timed};
+use deepn_core::analysis::analyze_images;
+use deepn_core::experiment::{band_probe_tables, evaluate_model, train_model, ExperimentConfig};
+use deepn_core::{BandKind, CompressionScheme, Segmentation};
+
+fn main() {
+    banner(
+        "Figure 5",
+        "Normalized accuracy vs quantization step per band group, \
+         magnitude-based vs position-based segmentation.",
+    );
+    let set = bench_set();
+    let cfg = ExperimentConfig::alexnet(scale());
+    let mut net = timed("training on originals", || {
+        train_model(&cfg, &set, &CompressionScheme::original()).expect("training runs")
+    });
+
+    let stats = analyze_images(set.sample_per_class(4), 1).expect("analysis runs");
+    let sigmas = stats.luma_sigmas();
+    let magnitude = Segmentation::magnitude_based(&sigmas);
+    let position = Segmentation::position_based();
+
+    // Reference: all steps = 1 (lossless quantization).
+    let reference = evaluate_model(
+        &mut net,
+        &set,
+        &CompressionScheme::Deepn(band_probe_tables(&magnitude, BandKind::Low, 1)),
+    )
+    .expect("reference evaluation");
+    println!("reference accuracy (all steps = 1): {:.1}%\n", reference * 100.0);
+
+    // The paper sweeps steps 1–40/60/80 on ImageNet statistics; our
+    // synthetic dataset's coefficients sit on a different σ scale (the
+    // calibrated T1/T2 are ~2× smaller, and the class-bearing Nyquist
+    // coefficient ~2× larger), so the sweeps extend far enough to cross
+    // each group's accuracy knee. Steps > 255 use 16-bit DQT entries.
+    let sweeps: [(&str, BandKind, &[u16]); 3] = [
+        ("(a) LF", BandKind::Low, &[1, 5, 20, 80, 160, 320]),
+        ("(b) MF", BandKind::Mid, &[1, 20, 60, 120, 240, 400]),
+        ("(c) HF", BandKind::High, &[1, 40, 80, 160, 320, 500]),
+    ];
+    for (title, kind, steps) in sweeps {
+        println!("{title} band: normalized accuracy");
+        println!(
+            "{:>6} {:>18} {:>18}",
+            "step", "magnitude based", "position based"
+        );
+        for &step in steps {
+            let acc_mag = evaluate_model(
+                &mut net,
+                &set,
+                &CompressionScheme::Deepn(band_probe_tables(&magnitude, kind, step)),
+            )
+            .expect("evaluation runs");
+            let acc_pos = evaluate_model(
+                &mut net,
+                &set,
+                &CompressionScheme::Deepn(band_probe_tables(&position, kind, step)),
+            )
+            .expect("evaluation runs");
+            println!(
+                "{step:>6} {:>17.3} {:>17.3}",
+                acc_mag / reference,
+                acc_pos / reference
+            );
+        }
+        println!();
+    }
+    println!(
+        "paper shape: the magnitude-based HF group can be quantized almost \
+         arbitrarily hard with no accuracy loss, while the position-based \
+         HF group collapses — it contains high-σ bands (our Nyquist \
+         checker) that actually carry class information. Conversely the \
+         magnitude-based LF/MF groups are the sensitive ones because the \
+         magnitude criterion concentrates the informative bands there; \
+         their steps must stay small (the paper's Qmin), which is exactly \
+         how the PLM assigns them."
+    );
+}

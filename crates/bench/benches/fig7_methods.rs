@@ -1,0 +1,50 @@
+//! Fig. 7 — compression rate and accuracy of Original, RM-HF (top-3/6/9
+//! removed), SAME-Q (step 4/8/12), and DeepN-JPEG, each trained and tested
+//! symmetrically on its own compressed dataset.
+//!
+//! Paper reference: RM-HF reaches ~1.1–1.3×, SAME-Q ~1.5–2×, both with
+//! growing accuracy loss; DeepN-JPEG reaches ~3.5× at original accuracy.
+
+use deepn_bench::{banner, bench_set, deepn_tables, scale, timed};
+use deepn_core::experiment::{compression_rate, run_symmetric, ExperimentConfig};
+use deepn_core::CompressionScheme;
+
+fn main() {
+    banner(
+        "Figure 7",
+        "Compression rate and top-1 accuracy: Original vs RM-HF vs SAME-Q \
+         vs DeepN-JPEG (AlexNet-class model, symmetric train/test).",
+    );
+    let set = bench_set();
+    let cfg = ExperimentConfig::alexnet(scale());
+    let tables = timed("DeepN-JPEG table design", || deepn_tables(&set));
+
+    let schemes: Vec<CompressionScheme> = vec![
+        CompressionScheme::original(),
+        CompressionScheme::RmHf(3),
+        CompressionScheme::RmHf(6),
+        CompressionScheme::RmHf(9),
+        CompressionScheme::SameQ(4),
+        CompressionScheme::SameQ(8),
+        CompressionScheme::SameQ(12),
+        CompressionScheme::Deepn(tables),
+    ];
+
+    println!("{:<26} {:>8} {:>10}", "scheme", "CR", "top-1");
+    for scheme in &schemes {
+        let cr = compression_rate(scheme, set.images()).expect("compression runs");
+        let outcome = timed(&format!("{scheme} training"), || {
+            run_symmetric(&cfg, &set, scheme).expect("case runs")
+        });
+        println!(
+            "{:<26} {cr:>7.2}x {:>9.1}%",
+            scheme.to_string(),
+            outcome.accuracy * 100.0
+        );
+    }
+    println!(
+        "\npaper shape: RM-HF gains little CR; SAME-Q gains more but drops \
+         accuracy as the step grows; DeepN-JPEG delivers the best CR while \
+         staying at the Original's accuracy level."
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 8 — generality of DeepN-JPEG across DNN architectures: accuracy
+//! of the GoogLeNet/VGG-16/ResNet-34/ResNet-50 stand-ins under Original,
+//! DeepN-JPEG, JPEG QF=80 and JPEG QF=50, plus each scheme's CR.
+//!
+//! Paper reference: DeepN-JPEG holds the Original accuracy for every
+//! model, while QF≤50 JPEG (at a similar CR) loses accuracy on all of them.
+
+use deepn_bench::{banner, bench_set, deepn_tables, scale, timed};
+use deepn_core::experiment::{compression_rate, run_symmetric, ExperimentConfig};
+use deepn_core::CompressionScheme;
+
+fn main() {
+    banner(
+        "Figure 8",
+        "Accuracy across DNN architectures under Original / DeepN-JPEG / \
+         QF=80 / QF=50 (symmetric train/test per cell).",
+    );
+    let set = bench_set();
+    let tables = timed("DeepN-JPEG table design", || deepn_tables(&set));
+    let schemes: Vec<CompressionScheme> = vec![
+        CompressionScheme::original(),
+        CompressionScheme::Deepn(tables),
+        CompressionScheme::Jpeg(80),
+        CompressionScheme::Jpeg(50),
+    ];
+    let models = ["MiniGoogLeNet", "MiniVgg", "MiniResNet34", "MiniResNet50"];
+
+    print!("{:<15}", "model");
+    for s in &schemes {
+        print!(" {:>22}", s.to_string());
+    }
+    println!();
+    print!("{:<15}", "CR");
+    for s in &schemes {
+        let cr = compression_rate(s, set.images()).expect("compression runs");
+        print!(" {:>21.2}x", cr);
+    }
+    println!();
+
+    for model in models {
+        print!("{model:<15}");
+        for scheme in &schemes {
+            let cfg = ExperimentConfig::alexnet(scale()).with_model(model);
+            let outcome = timed(&format!("{model} / {scheme}"), || {
+                run_symmetric(&cfg, &set, scheme).expect("case runs")
+            });
+            print!(" {:>21.1}%", outcome.accuracy * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "\npaper shape: DeepN-JPEG matches the Original column for every \
+         architecture; the QF=50 column (similar CR to DeepN-JPEG) sits \
+         visibly below it."
+    );
+}

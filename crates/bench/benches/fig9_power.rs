@@ -1,0 +1,65 @@
+//! Fig. 9 — normalized power consumption of data offloading: Original vs
+//! RM-HF3 vs SAME-Q4 vs DeepN-JPEG, using the Neurosurgeon-style wireless
+//! energy model.
+//!
+//! Paper reference: DeepN-JPEG consumes ~30% of the Original's power, ~2×
+//! less than RM-HF3 and ~3× less than SAME-Q4.
+
+use deepn_bench::{banner, bench_set, deepn_tables};
+use deepn_core::CompressionScheme;
+use deepn_power::{EnergyModel, RadioProfile};
+
+fn main() {
+    banner(
+        "Figure 9",
+        "Normalized offloading power (transfer energy) per scheme and radio.",
+    );
+    let set = bench_set();
+    let tables = deepn_tables(&set);
+    let schemes: Vec<CompressionScheme> = vec![
+        CompressionScheme::original(),
+        CompressionScheme::RmHf(3),
+        CompressionScheme::SameQ(4),
+        CompressionScheme::Deepn(tables),
+    ];
+
+    let images = set.images();
+    let reference = CompressionScheme::original()
+        .compressed_sizes(images)
+        .expect("compression runs");
+
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "bytes", "3G", "LTE", "Wi-Fi"
+    );
+    for scheme in &schemes {
+        let sizes = scheme.compressed_sizes(images).expect("compression runs");
+        let total: usize = sizes.iter().sum();
+        print!("{:<26} {total:>10}", scheme.to_string());
+        for radio in RadioProfile::all() {
+            let mut model = EnergyModel::new(radio);
+            model.compute_energy_j = 0.0; // Fig. 9 compares transfer power
+            let np = model.normalized_power(&sizes, &reference);
+            print!(" {np:>9.2}x");
+        }
+        println!();
+    }
+    println!(
+        "\npaper shape: DeepN-JPEG ≈ 0.3x of Original, about 2x below RM-HF3 \
+         and 3x below SAME-Q4. (Transfer energy scales with compressed \
+         size, so the normalized column is radio-independent.)"
+    );
+
+    // Absolute transfer energy for one concrete deployment, for context
+    // (compute term excluded here too, to match the table).
+    let deepn_sizes = schemes[3].compressed_sizes(images).expect("compression runs");
+    let mut lte = EnergyModel::new(RadioProfile::lte());
+    lte.compute_energy_j = 0.0;
+    println!(
+        "\nabsolute LTE transfer energy for the {}-image dataset: \
+         Original {:.2} J, DeepN-JPEG {:.2} J",
+        images.len(),
+        lte.dataset_energy(&reference),
+        lte.dataset_energy(&deepn_sizes),
+    );
+}

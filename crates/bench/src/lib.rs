@@ -1,0 +1,72 @@
+//! Shared helpers for the figure-regeneration benches (`benches/fig*.rs`).
+//!
+//! Each bench target is a `harness = false` binary that reruns one figure
+//! of the DeepN-JPEG paper end to end and prints the same rows/series the
+//! paper reports. `cargo bench --workspace` therefore regenerates the whole
+//! evaluation; set `DEEPN_SCALE=fast` for a quick smoke pass.
+
+#![deny(missing_docs)]
+
+use deepn_core::experiment::Scale;
+use deepn_core::{DeepnTableBuilder, PlmParams, QuantTablePair};
+use deepn_dataset::ImageSet;
+use std::time::Instant;
+
+/// Prints the standard figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!("\n=== DeepN-JPEG reproduction: {figure} ===");
+    println!("{caption}");
+    println!(
+        "scale: {:?} (set DEEPN_SCALE=fast for a quick pass)\n",
+        scale()
+    );
+}
+
+/// The experiment scale from the environment.
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Generates the benchmark dataset for the active scale, seeded so every
+/// figure sees the same data.
+pub fn bench_set() -> ImageSet {
+    ImageSet::generate(&scale().dataset_spec(), 0xBEEF)
+}
+
+/// Designs the DeepN-JPEG tables from the training split (sampling every
+/// 4th image, paper defaults, calibrated thresholds).
+pub fn deepn_tables(set: &ImageSet) -> QuantTablePair {
+    DeepnTableBuilder::new(PlmParams::paper())
+        .sample_interval(4)
+        .build(set.train().0)
+        .expect("table design cannot fail on a non-empty training split")
+}
+
+/// Runs `f`, reporting its wall-clock time on stderr (so the stdout tables
+/// stay machine-parsable).
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_set_is_deterministic() {
+        let a = bench_set();
+        let b = bench_set();
+        assert_eq!(a.images()[0], b.images()[0]);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn tables_build_from_bench_set() {
+        let set = bench_set();
+        let t = deepn_tables(&set);
+        assert!(t.luma.values().iter().all(|&v| v >= 1));
+    }
+}

@@ -1,0 +1,189 @@
+//! MSB-first bit I/O with JPEG 0xFF byte stuffing.
+
+use crate::CodecError;
+
+/// Writes bits MSB-first into a byte buffer, inserting a `0x00` stuff byte
+/// after every `0xFF` so entropy-coded data never forges a marker.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `count` bits of `bits`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 16`.
+    pub fn put(&mut self, bits: u16, count: u32) {
+        assert!(count <= 16, "at most 16 bits per call");
+        if count == 0 {
+            return;
+        }
+        self.acc = (self.acc << count) | u32::from(bits & ((1u16 << (count - 1) << 1).wrapping_sub(1)));
+        self.nbits += count;
+        while self.nbits >= 8 {
+            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
+            self.bytes.push(byte);
+            if byte == 0xFF {
+                self.bytes.push(0x00);
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pads the final partial byte with 1-bits (the JPEG convention) and
+    /// returns the stuffed byte stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1u16 << pad) - 1, pad);
+        }
+        self.bytes
+    }
+
+    /// Number of complete bytes emitted so far.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Reads bits MSB-first from a stuffed byte stream, transparently removing
+/// `0xFF 0x00` stuffing and stopping at any real marker (`0xFF xx`).
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over entropy-coded bytes.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn load_byte(&mut self) -> Result<(), CodecError> {
+        if self.pos >= self.bytes.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        if b == 0xFF {
+            match self.bytes.get(self.pos) {
+                Some(0x00) => self.pos += 1, // stuffing
+                _ => {
+                    // A real marker: JPEG decoders treat this as end of scan.
+                    self.pos -= 1;
+                    return Err(CodecError::UnexpectedEof);
+                }
+            }
+        }
+        self.acc = (self.acc << 8) | u32::from(b);
+        self.nbits += 8;
+        Ok(())
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] at end of data or on a marker.
+    pub fn bit(&mut self) -> Result<u8, CodecError> {
+        if self.nbits == 0 {
+            self.load_byte()?;
+        }
+        self.nbits -= 1;
+        Ok(((self.acc >> self.nbits) & 1) as u8)
+    }
+
+    /// Reads `count` bits MSB-first (`count <= 16`).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if the stream runs out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 16`.
+    pub fn bits(&mut self, count: u32) -> Result<u16, CodecError> {
+        assert!(count <= 16, "at most 16 bits per call");
+        let mut v: u16 = 0;
+        for _ in 0..count {
+            v = (v << 1) | u16::from(self.bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Byte offset of the next unread byte (for locating trailing markers).
+    pub fn byte_position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        let mut w = BitWriter::new();
+        let values = [(0b1u16, 1u32), (0b1010, 4), (0x3FF, 10), (0xFFFF, 16), (0, 3)];
+        for &(v, n) in &values {
+            w.put(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.bits(n).expect("enough bits"), v);
+        }
+    }
+
+    #[test]
+    fn ff_bytes_are_stuffed() {
+        let mut w = BitWriter::new();
+        w.put(0xFF, 8);
+        w.put(0xFF, 8);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0xFF, 0x00, 0xFF, 0x00]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(8).expect("bits"), 0xFF);
+        assert_eq!(r.bits(8).expect("bits"), 0xFF);
+    }
+
+    #[test]
+    fn final_byte_pads_with_ones() {
+        let mut w = BitWriter::new();
+        w.put(0b0, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0111_1111]);
+    }
+
+    #[test]
+    fn reader_stops_at_marker() {
+        let bytes = [0xAB, 0xFF, 0xD9]; // data then EOI
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(8).expect("bits"), 0xAB);
+        assert!(matches!(r.bits(8), Err(CodecError::UnexpectedEof)));
+        assert_eq!(r.byte_position(), 1);
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut r = BitReader::new(&[]);
+        assert!(matches!(r.bit(), Err(CodecError::UnexpectedEof)));
+    }
+}

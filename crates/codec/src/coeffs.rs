@@ -1,0 +1,298 @@
+//! Block-level entropy coding: DPCM-coded DC differences and run-length
+//! coded AC coefficients (ITU T.81 §F.1.2), on top of Huffman symbols.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::huffman::{HuffmanDecoder, HuffmanEncoder};
+use crate::CodecError;
+
+/// End-of-block AC symbol.
+pub const EOB: u8 = 0x00;
+/// Zero-run-length (16 zeros) AC symbol.
+pub const ZRL: u8 = 0xF0;
+
+/// Magnitude category of a coefficient value: the number of bits needed to
+/// represent `|v|` (category 0 means `v == 0`).
+pub fn category(v: i32) -> u8 {
+    let mut a = v.unsigned_abs();
+    let mut c = 0u8;
+    while a != 0 {
+        a >>= 1;
+        c += 1;
+    }
+    c
+}
+
+/// The `category`-bit mantissa JPEG appends after a magnitude symbol:
+/// non-negative values are written as-is, negative values as
+/// `v - 1` in two's complement truncated to the category width.
+pub fn mantissa(v: i32, cat: u8) -> u16 {
+    if v >= 0 {
+        v as u16
+    } else {
+        (v - 1) as u16 & ((1u16 << cat) - 1)
+    }
+}
+
+/// Inverse of [`mantissa`]: the T.81 `EXTEND` procedure.
+pub fn extend(bits: u16, cat: u8) -> i32 {
+    if cat == 0 {
+        return 0;
+    }
+    let v = i32::from(bits);
+    if v < (1 << (cat - 1)) {
+        v - (1 << cat) + 1
+    } else {
+        v
+    }
+}
+
+/// Encodes one zig-zag-ordered quantized block. `prev_dc` is the previous
+/// block's DC level for the same component (DPCM state); returns the new DC.
+///
+/// # Panics
+///
+/// Panics if a coefficient's category exceeds what baseline JPEG can code
+/// (DC > 11, AC > 10) — impossible for 8-bit input.
+pub fn encode_block(
+    writer: &mut BitWriter,
+    dc_table: &HuffmanEncoder,
+    ac_table: &HuffmanEncoder,
+    zz: &[i32; 64],
+    prev_dc: i32,
+) -> i32 {
+    // DC: category symbol + mantissa of the difference.
+    let diff = zz[0] - prev_dc;
+    let cat = category(diff);
+    assert!(cat <= 11, "DC difference out of baseline range");
+    dc_table.encode(writer, cat);
+    if cat > 0 {
+        writer.put(mantissa(diff, cat), u32::from(cat));
+    }
+    // AC: (run, size) symbols.
+    let mut run = 0u32;
+    for &v in &zz[1..] {
+        if v == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            ac_table.encode(writer, ZRL);
+            run -= 16;
+        }
+        let cat = category(v);
+        assert!(cat <= 10, "AC coefficient out of baseline range");
+        ac_table.encode(writer, ((run as u8) << 4) | cat);
+        writer.put(mantissa(v, cat), u32::from(cat));
+        run = 0;
+    }
+    if run > 0 {
+        ac_table.encode(writer, EOB);
+    }
+    zz[0]
+}
+
+/// Tallies the Huffman symbols `encode_block` would emit, for building
+/// optimized tables in a first pass.
+pub fn tally_block(
+    dc_freqs: &mut [u64; 256],
+    ac_freqs: &mut [u64; 256],
+    zz: &[i32; 64],
+    prev_dc: i32,
+) -> i32 {
+    let diff = zz[0] - prev_dc;
+    dc_freqs[category(diff) as usize] += 1;
+    let mut run = 0u32;
+    for &v in &zz[1..] {
+        if v == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            ac_freqs[ZRL as usize] += 1;
+            run -= 16;
+        }
+        ac_freqs[(((run as u8) << 4) | category(v)) as usize] += 1;
+        run = 0;
+    }
+    if run > 0 {
+        ac_freqs[EOB as usize] += 1;
+    }
+    zz[0]
+}
+
+/// Decodes one zig-zag-ordered block; mirror of [`encode_block`].
+///
+/// # Errors
+///
+/// Propagates bit-stream and Huffman errors; rejects coefficient indices
+/// past 63 (corrupt run lengths).
+pub fn decode_block(
+    reader: &mut BitReader<'_>,
+    dc_table: &HuffmanDecoder,
+    ac_table: &HuffmanDecoder,
+    prev_dc: i32,
+) -> Result<[i32; 64], CodecError> {
+    let mut zz = [0i32; 64];
+    let cat = dc_table.decode(reader)?;
+    if cat > 11 {
+        return Err(CodecError::BadHuffmanCode);
+    }
+    let diff = if cat > 0 {
+        extend(reader.bits(u32::from(cat))?, cat)
+    } else {
+        0
+    };
+    zz[0] = prev_dc + diff;
+    let mut k = 1usize;
+    while k < 64 {
+        let sym = ac_table.decode(reader)?;
+        if sym == EOB {
+            break;
+        }
+        if sym == ZRL {
+            k += 16;
+            continue;
+        }
+        let run = usize::from(sym >> 4);
+        let cat = sym & 0x0F;
+        k += run;
+        if k >= 64 || cat == 0 || cat > 10 {
+            return Err(CodecError::BadHuffmanCode);
+        }
+        zz[k] = extend(reader.bits(u32::from(cat))?, cat);
+        k += 1;
+    }
+    Ok(zz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huffman::HuffmanSpec;
+
+    #[test]
+    fn category_boundaries() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(2), 2);
+        assert_eq!(category(-3), 2);
+        assert_eq!(category(255), 8);
+        assert_eq!(category(-256), 9);
+        assert_eq!(category(1023), 10);
+        assert_eq!(category(-2047), 11);
+    }
+
+    #[test]
+    fn mantissa_extend_round_trip() {
+        for v in -2047..=2047 {
+            let c = category(v);
+            assert_eq!(extend(mantissa(v, c), c), v, "value {v}");
+        }
+    }
+
+    fn tables() -> (HuffmanEncoder, HuffmanEncoder, HuffmanDecoder, HuffmanDecoder) {
+        let dc = HuffmanSpec::standard_dc_luma();
+        let ac = HuffmanSpec::standard_ac_luma();
+        (
+            HuffmanEncoder::from_spec(&dc).expect("dc"),
+            HuffmanEncoder::from_spec(&ac).expect("ac"),
+            HuffmanDecoder::from_spec(&dc),
+            HuffmanDecoder::from_spec(&ac),
+        )
+    }
+
+    fn round_trip_blocks(blocks: &[[i32; 64]]) {
+        let (dce, ace, dcd, acd) = tables();
+        let mut w = BitWriter::new();
+        let mut prev = 0;
+        for b in blocks {
+            prev = encode_block(&mut w, &dce, &ace, b, prev);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut prev = 0;
+        for b in blocks {
+            let got = decode_block(&mut r, &dcd, &acd, prev).expect("decodable");
+            prev = got[0];
+            assert_eq!(&got, b);
+        }
+    }
+
+    #[test]
+    fn all_zero_block_round_trips() {
+        round_trip_blocks(&[[0i32; 64]]);
+    }
+
+    #[test]
+    fn dc_only_chain_uses_dpcm() {
+        let mut blocks = Vec::new();
+        for dc in [5, 5, -3, 100, 99] {
+            let mut b = [0i32; 64];
+            b[0] = dc;
+            blocks.push(b);
+        }
+        round_trip_blocks(&blocks);
+    }
+
+    #[test]
+    fn long_zero_runs_need_zrl() {
+        let mut b = [0i32; 64];
+        b[0] = 10;
+        b[40] = -7; // 39 zeros before it: needs 2 ZRL + run 7
+        b[63] = 3;
+        round_trip_blocks(&[b]);
+    }
+
+    #[test]
+    fn dense_block_round_trips() {
+        let mut b = [0i32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i as i32 % 19) - 9;
+        }
+        round_trip_blocks(&[b]);
+    }
+
+    #[test]
+    fn trailing_nonzero_at_63_skips_eob() {
+        let mut b = [0i32; 64];
+        b[63] = 1;
+        round_trip_blocks(&[b]);
+    }
+
+    #[test]
+    fn tally_matches_encoded_symbols() {
+        // The tally pass must count exactly the symbols encode emits; a
+        // proxy check: building an optimized table from the tally always
+        // succeeds and can code the same blocks.
+        let mut b = [0i32; 64];
+        b[0] = 42;
+        b[1] = -3;
+        b[20] = 7;
+        let mut dcf = [0u64; 256];
+        let mut acf = [0u64; 256];
+        let mut prev = 0;
+        for _ in 0..3 {
+            prev = tally_block(&mut dcf, &mut acf, &b, prev);
+        }
+        let dc_spec = HuffmanSpec::from_frequencies(&dcf).expect("dc freq");
+        let ac_spec = HuffmanSpec::from_frequencies(&acf).expect("ac freq");
+        let dce = HuffmanEncoder::from_spec(&dc_spec).expect("dc enc");
+        let ace = HuffmanEncoder::from_spec(&ac_spec).expect("ac enc");
+        let mut w = BitWriter::new();
+        let mut prev = 0;
+        for _ in 0..3 {
+            prev = encode_block(&mut w, &dce, &ace, &b, prev);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let dcd = HuffmanDecoder::from_spec(&dc_spec);
+        let acd = HuffmanDecoder::from_spec(&ac_spec);
+        let mut prev = 0;
+        for _ in 0..3 {
+            let got = decode_block(&mut r, &dcd, &acd, prev).expect("decodable");
+            prev = got[0];
+            assert_eq!(got, b);
+        }
+    }
+}

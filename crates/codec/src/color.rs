@@ -1,0 +1,150 @@
+//! JFIF RGB ↔ YCbCr color transforms (ITU-R BT.601 full range).
+
+use crate::RgbImage;
+
+/// One luma/chroma plane of `f32` samples in display order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plane {
+    /// Plane width in samples.
+    pub width: usize,
+    /// Plane height in samples.
+    pub height: usize,
+    /// Row-major samples, nominally in `[0, 255]`.
+    pub samples: Vec<f32>,
+}
+
+impl Plane {
+    /// Creates a zeroed plane.
+    pub fn new(width: usize, height: usize) -> Self {
+        Plane {
+            width,
+            height,
+            samples: vec![0.0; width * height],
+        }
+    }
+
+    /// Sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "sample out of bounds");
+        self.samples[y * self.width + x]
+    }
+}
+
+/// Converts one RGB pixel to YCbCr (all components in `[0, 255]`,
+/// chroma centered at 128).
+pub fn rgb_to_ycbcr(rgb: [u8; 3]) -> [f32; 3] {
+    let (r, g, b) = (f32::from(rgb[0]), f32::from(rgb[1]), f32::from(rgb[2]));
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    [y, cb, cr]
+}
+
+/// Converts one YCbCr triple back to clamped 8-bit RGB.
+pub fn ycbcr_to_rgb(ycc: [f32; 3]) -> [u8; 3] {
+    let (y, cb, cr) = (ycc[0], ycc[1] - 128.0, ycc[2] - 128.0);
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136 * cb - 0.714_136 * cr;
+    let b = y + 1.772 * cb;
+    [clamp_u8(r), clamp_u8(g), clamp_u8(b)]
+}
+
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// Splits an RGB image into full-resolution Y, Cb, Cr planes (4:4:4).
+pub fn image_to_planes(img: &RgbImage) -> [Plane; 3] {
+    let (w, h) = (img.width(), img.height());
+    let mut planes = [Plane::new(w, h), Plane::new(w, h), Plane::new(w, h)];
+    for y in 0..h {
+        for x in 0..w {
+            let ycc = rgb_to_ycbcr(img.get(x, y));
+            for (p, &v) in planes.iter_mut().zip(ycc.iter()) {
+                p.samples[y * w + x] = v;
+            }
+        }
+    }
+    planes
+}
+
+/// Recombines Y, Cb, Cr planes into an RGB image.
+///
+/// # Panics
+///
+/// Panics if the planes disagree in size.
+pub fn planes_to_image(planes: &[Plane; 3]) -> RgbImage {
+    let (w, h) = (planes[0].width, planes[0].height);
+    assert!(
+        planes.iter().all(|p| p.width == w && p.height == h),
+        "plane size mismatch"
+    );
+    let mut img = RgbImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let ycc = [
+                planes[0].samples[y * w + x],
+                planes[1].samples[y * w + x],
+                planes[2].samples[y * w + x],
+            ];
+            img.put(x, y, ycbcr_to_rgb(ycc));
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_map_to_expected_luma() {
+        // White has max luma, black zero, and the BT.601 weights order
+        // green > red > blue in luma contribution.
+        assert!((rgb_to_ycbcr([255, 255, 255])[0] - 255.0).abs() < 0.1);
+        assert!(rgb_to_ycbcr([0, 0, 0])[0].abs() < 0.1);
+        let yr = rgb_to_ycbcr([255, 0, 0])[0];
+        let yg = rgb_to_ycbcr([0, 255, 0])[0];
+        let yb = rgb_to_ycbcr([0, 0, 255])[0];
+        assert!(yg > yr && yr > yb);
+    }
+
+    #[test]
+    fn gray_has_neutral_chroma() {
+        let ycc = rgb_to_ycbcr([100, 100, 100]);
+        assert!((ycc[1] - 128.0).abs() < 0.1);
+        assert!((ycc[2] - 128.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn round_trip_is_near_lossless() {
+        for rgb in [[0, 0, 0], [255, 255, 255], [12, 200, 94], [255, 0, 128]] {
+            let back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+            for c in 0..3 {
+                assert!(
+                    (i16::from(back[c]) - i16::from(rgb[c])).abs() <= 1,
+                    "{rgb:?} -> {back:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plane_round_trip_preserves_image() {
+        let img = RgbImage::gradient(9, 7);
+        let back = planes_to_image(&image_to_planes(&img));
+        for y in 0..7 {
+            for x in 0..9 {
+                let a = img.get(x, y);
+                let b = back.get(x, y);
+                for c in 0..3 {
+                    assert!((i16::from(a[c]) - i16::from(b[c])).abs() <= 2);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+use crate::bitstream::BitWriter;
+use crate::block::{blocks_along, plane_to_blocks};
+use crate::coeffs::{encode_block, tally_block};
+use crate::color::image_to_planes;
+use crate::dct::forward_dct_8x8;
+use crate::huffman::{HuffmanEncoder, HuffmanSpec};
+use crate::marker::{
+    jfif_app0_payload, write_marker, write_segment, APP0, DHT, DQT, EOI, SOF0, SOI, SOS,
+};
+use crate::zigzag::scan;
+use crate::{CodecError, QuantTablePair, RgbImage};
+
+/// Quantized, zig-zag-ordered DCT coefficients for the three components of
+/// one image — the codec's intermediate representation.
+///
+/// Experiments that manipulate the frequency domain directly (the paper's
+/// Fig. 3 high-frequency removal, the RM-HF baseline) edit these blocks and
+/// re-encode with [`Encoder::encode_quantized`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientPlanes {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Per-component block lists (Y, Cb, Cr), raster order, zig-zag layout.
+    pub planes: [Vec<[i32; 64]>; 3],
+}
+
+impl CoefficientPlanes {
+    /// Zeroes the `n` highest zig-zag positions of every block in every
+    /// component (the paper's "remove the top-N high frequency
+    /// components").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 63` (the DC coefficient cannot be "removed").
+    pub fn remove_high_frequencies(&mut self, n: usize) {
+        assert!(n <= 63, "cannot remove more than the 63 AC positions");
+        for plane in &mut self.planes {
+            for block in plane.iter_mut() {
+                for v in block[64 - n..].iter_mut() {
+                    *v = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Baseline-sequential JPEG encoder (4:4:4, 8-bit).
+///
+/// Construction fixes the quantization tables; per-image optimized Huffman
+/// tables are on by default (they dominate the standard tables on the small
+/// synthetic images of this reproduction, just as libjpeg's `-optimize`
+/// does on photographs).
+///
+/// ```
+/// use deepn_codec::{Encoder, QuantTablePair, RgbImage};
+///
+/// # fn main() -> Result<(), deepn_codec::CodecError> {
+/// let bytes = Encoder::with_quality(75).encode(&RgbImage::gradient(16, 16))?;
+/// assert_eq!(&bytes[..2], &[0xFF, 0xD8]); // SOI
+/// assert_eq!(&bytes[bytes.len() - 2..], &[0xFF, 0xD9]); // EOI
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    tables: QuantTablePair,
+    optimize_huffman: bool,
+}
+
+impl Encoder {
+    /// Encoder with the standard tables at the IJG default quality 75.
+    pub fn new() -> Self {
+        Encoder::with_quality(75)
+    }
+
+    /// Encoder with standard tables scaled to `quality` (1–100).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= quality <= 100`.
+    pub fn with_quality(quality: u8) -> Self {
+        Encoder::with_tables(QuantTablePair::standard(quality))
+    }
+
+    /// Encoder with explicit quantization tables (how DeepN-JPEG plugs in).
+    pub fn with_tables(tables: QuantTablePair) -> Self {
+        Encoder {
+            tables,
+            optimize_huffman: true,
+        }
+    }
+
+    /// Enables or disables per-image optimized Huffman tables.
+    #[must_use]
+    pub fn optimize_huffman(mut self, enabled: bool) -> Self {
+        self.optimize_huffman = enabled;
+        self
+    }
+
+    /// The active quantization tables.
+    pub fn tables(&self) -> &QuantTablePair {
+        &self.tables
+    }
+
+    /// Runs the pipeline up to and including quantization, returning the
+    /// coefficient-domain representation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidDimensions`] if a dimension exceeds 65535.
+    pub fn quantize_image(&self, image: &RgbImage) -> Result<CoefficientPlanes, CodecError> {
+        let (w, h) = (image.width(), image.height());
+        if w > 0xFFFF || h > 0xFFFF {
+            return Err(CodecError::InvalidDimensions {
+                width: w,
+                height: h,
+            });
+        }
+        let planes = image_to_planes(image);
+        let mut out: [Vec<[i32; 64]>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (ci, plane) in planes.iter().enumerate() {
+            let table = if ci == 0 {
+                &self.tables.luma
+            } else {
+                &self.tables.chroma
+            };
+            let blocks = plane_to_blocks(plane);
+            out[ci] = blocks
+                .iter()
+                .map(|b| scan(&table.quantize(&forward_dct_8x8(b))))
+                .collect();
+        }
+        Ok(CoefficientPlanes {
+            width: w,
+            height: h,
+            planes: out,
+        })
+    }
+
+    /// Encodes an RGB image to a complete JFIF byte stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidDimensions`] for out-of-range sizes; Huffman
+    /// construction errors are internal bugs and surface as
+    /// [`CodecError::BadHuffmanTable`].
+    pub fn encode(&self, image: &RgbImage) -> Result<Vec<u8>, CodecError> {
+        let planes = self.quantize_image(image)?;
+        self.encode_quantized(&planes)
+    }
+
+    /// Entropy-codes pre-quantized coefficient planes into a JFIF stream.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`encode`](Self::encode).
+    pub fn encode_quantized(&self, coeffs: &CoefficientPlanes) -> Result<Vec<u8>, CodecError> {
+        let (w, h) = (coeffs.width, coeffs.height);
+        if w == 0 || h == 0 || w > 0xFFFF || h > 0xFFFF {
+            return Err(CodecError::InvalidDimensions {
+                width: w,
+                height: h,
+            });
+        }
+        let (bw, bh) = (blocks_along(w), blocks_along(h));
+        for (ci, plane) in coeffs.planes.iter().enumerate() {
+            if plane.len() != bw * bh {
+                return Err(CodecError::BadMarker(format!(
+                    "component {ci} has {} blocks, expected {}",
+                    plane.len(),
+                    bw * bh
+                )));
+            }
+        }
+
+        // Choose Huffman specifications.
+        let (dc_luma, ac_luma, dc_chroma, ac_chroma) = if self.optimize_huffman {
+            self.optimized_specs(coeffs)?
+        } else {
+            (
+                HuffmanSpec::standard_dc_luma(),
+                HuffmanSpec::standard_ac_luma(),
+                HuffmanSpec::standard_dc_chroma(),
+                HuffmanSpec::standard_ac_chroma(),
+            )
+        };
+        let enc_dc_l = HuffmanEncoder::from_spec(&dc_luma)?;
+        let enc_ac_l = HuffmanEncoder::from_spec(&ac_luma)?;
+        let enc_dc_c = HuffmanEncoder::from_spec(&dc_chroma)?;
+        let enc_ac_c = HuffmanEncoder::from_spec(&ac_chroma)?;
+
+        let mut out = Vec::new();
+        write_marker(&mut out, SOI);
+        write_segment(&mut out, APP0, &jfif_app0_payload());
+        // DQT: luma table id 0, chroma table id 1.
+        for (id, table) in [(0u8, &self.tables.luma), (1u8, &self.tables.chroma)] {
+            let wide = table.max_value() > 255;
+            let mut payload = Vec::with_capacity(1 + if wide { 128 } else { 64 });
+            payload.push((u8::from(wide) << 4) | id);
+            let zz = scan(table.values());
+            for &v in &zz {
+                if wide {
+                    payload.extend_from_slice(&v.to_be_bytes());
+                } else {
+                    payload.push(v as u8);
+                }
+            }
+            write_segment(&mut out, DQT, &payload);
+        }
+        // SOF0: 8-bit precision, three 1x1-sampled components.
+        let mut sof = vec![8u8];
+        sof.extend_from_slice(&(h as u16).to_be_bytes());
+        sof.extend_from_slice(&(w as u16).to_be_bytes());
+        sof.push(3);
+        for (comp_id, qt_id) in [(1u8, 0u8), (2, 1), (3, 1)] {
+            sof.push(comp_id);
+            sof.push(0x11); // H=1, V=1
+            sof.push(qt_id);
+        }
+        write_segment(&mut out, SOF0, &sof);
+        // DHT: class 0 = DC, class 1 = AC; destination 0 = luma, 1 = chroma.
+        for (class_dest, spec) in [
+            (0x00u8, &dc_luma),
+            (0x10, &ac_luma),
+            (0x01, &dc_chroma),
+            (0x11, &ac_chroma),
+        ] {
+            let mut payload = Vec::with_capacity(17 + spec.values.len());
+            payload.push(class_dest);
+            payload.extend_from_slice(&spec.bits);
+            payload.extend_from_slice(&spec.values);
+            write_segment(&mut out, DHT, &payload);
+        }
+        // SOS header.
+        let mut sos = vec![3u8];
+        for (comp_id, tables) in [(1u8, 0x00u8), (2, 0x11), (3, 0x11)] {
+            sos.push(comp_id);
+            sos.push(tables);
+        }
+        sos.extend_from_slice(&[0, 63, 0]); // full spectral range, no approx
+        write_segment(&mut out, SOS, &sos);
+
+        // Entropy-coded interleaved scan: per MCU (= one block position in
+        // 4:4:4), Y then Cb then Cr.
+        let mut writer = BitWriter::new();
+        let mut prev_dc = [0i32; 3];
+        for b in 0..bw * bh {
+            for (ci, (plane, prev)) in coeffs.planes.iter().zip(prev_dc.iter_mut()).enumerate() {
+                let (dce, ace) = if ci == 0 {
+                    (&enc_dc_l, &enc_ac_l)
+                } else {
+                    (&enc_dc_c, &enc_ac_c)
+                };
+                *prev = encode_block(&mut writer, dce, ace, &plane[b], *prev);
+            }
+        }
+        out.extend_from_slice(&writer.finish());
+        write_marker(&mut out, EOI);
+        Ok(out)
+    }
+
+    fn optimized_specs(
+        &self,
+        coeffs: &CoefficientPlanes,
+    ) -> Result<(HuffmanSpec, HuffmanSpec, HuffmanSpec, HuffmanSpec), CodecError> {
+        let mut dc_l = [0u64; 256];
+        let mut ac_l = [0u64; 256];
+        let mut dc_c = [0u64; 256];
+        let mut ac_c = [0u64; 256];
+        let nblocks = coeffs.planes[0].len();
+        let mut prev_dc = [0i32; 3];
+        for b in 0..nblocks {
+            for (ci, (plane, prev)) in coeffs.planes.iter().zip(prev_dc.iter_mut()).enumerate() {
+                let (dcf, acf) = if ci == 0 {
+                    (&mut dc_l, &mut ac_l)
+                } else {
+                    (&mut dc_c, &mut ac_c)
+                };
+                *prev = tally_block(dcf, acf, &plane[b], *prev);
+            }
+        }
+        Ok((
+            HuffmanSpec::from_frequencies(&dc_l)?,
+            HuffmanSpec::from_frequencies(&ac_l)?,
+            HuffmanSpec::from_frequencies(&dc_c)?,
+            HuffmanSpec::from_frequencies(&ac_c)?,
+        ))
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_framed_by_soi_eoi() {
+        let bytes = Encoder::with_quality(50)
+            .encode(&RgbImage::gradient(8, 8))
+            .expect("encodable");
+        assert_eq!(&bytes[..2], &[0xFF, 0xD8]);
+        assert_eq!(&bytes[bytes.len() - 2..], &[0xFF, 0xD9]);
+    }
+
+    #[test]
+    fn higher_quality_produces_larger_files() {
+        let img = RgbImage::gradient(48, 48);
+        let hi = Encoder::with_quality(95).encode(&img).expect("hi");
+        let lo = Encoder::with_quality(20).encode(&img).expect("lo");
+        assert!(hi.len() > lo.len(), "{} vs {}", hi.len(), lo.len());
+    }
+
+    #[test]
+    fn optimized_huffman_never_larger_much() {
+        let img = RgbImage::gradient(64, 64);
+        let opt = Encoder::with_quality(70).encode(&img).expect("opt");
+        let std = Encoder::with_quality(70)
+            .optimize_huffman(false)
+            .encode(&img)
+            .expect("std");
+        // Optimized tables shrink the scan but add DHT payload; on this
+        // image the total must not blow up.
+        assert!(opt.len() <= std.len() + 64, "{} vs {}", opt.len(), std.len());
+    }
+
+    #[test]
+    fn remove_high_frequencies_zeroes_tail() {
+        let img = RgbImage::gradient(16, 16);
+        let mut planes = Encoder::with_quality(100)
+            .quantize_image(&img)
+            .expect("quantizable");
+        planes.remove_high_frequencies(6);
+        for p in &planes.planes {
+            for b in p {
+                assert!(b[58..].iter().all(|&v| v == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn removal_shrinks_stream() {
+        let img = RgbImage::gradient(64, 64);
+        let enc = Encoder::with_quality(100);
+        let full = enc.encode(&img).expect("full");
+        let mut planes = enc.quantize_image(&img).expect("planes");
+        planes.remove_high_frequencies(32);
+        let trimmed = enc.encode_quantized(&planes).expect("trimmed");
+        assert!(trimmed.len() <= full.len());
+    }
+
+    #[test]
+    fn rejects_oversized_image() {
+        let planes = CoefficientPlanes {
+            width: 70_000,
+            height: 8,
+            planes: [vec![], vec![], vec![]],
+        };
+        assert!(matches!(
+            Encoder::new().encode_quantized(&planes),
+            Err(CodecError::InvalidDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_sizes_encode() {
+        for (w, h) in [(9, 7), (1, 1), (15, 24)] {
+            let img = RgbImage::gradient(w, h);
+            let bytes = Encoder::with_quality(80).encode(&img).expect("encodable");
+            assert!(bytes.len() > 100);
+        }
+    }
+}

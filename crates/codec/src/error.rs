@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding or decoding a JPEG stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Image dimensions are zero or exceed the 16-bit JFIF limit.
+    InvalidDimensions {
+        /// Offending width.
+        width: usize,
+        /// Offending height.
+        height: usize,
+    },
+    /// The byte stream ended before a complete structure was read.
+    UnexpectedEof,
+    /// A marker segment was malformed or appeared out of order.
+    BadMarker(String),
+    /// A Huffman code in the entropy-coded data did not decode to a symbol.
+    BadHuffmanCode,
+    /// A Huffman table specification was invalid (e.g. >256 symbols).
+    BadHuffmanTable(String),
+    /// A quantization table had an invalid identifier or zero entry.
+    BadQuantTable(String),
+    /// The stream uses a JPEG feature outside baseline-sequential 4:4:4.
+    Unsupported(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            CodecError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            CodecError::BadMarker(m) => write!(f, "malformed marker segment: {m}"),
+            CodecError::BadHuffmanCode => write!(f, "undecodable huffman code"),
+            CodecError::BadHuffmanTable(m) => write!(f, "invalid huffman table: {m}"),
+            CodecError::BadQuantTable(m) => write!(f, "invalid quantization table: {m}"),
+            CodecError::Unsupported(m) => write!(f, "unsupported jpeg feature: {m}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = CodecError::InvalidDimensions {
+            width: 0,
+            height: 4,
+        };
+        assert_eq!(e.to_string(), "invalid image dimensions 0x4");
+        assert!(CodecError::UnexpectedEof.to_string().starts_with("unexpected"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<CodecError>();
+    }
+}

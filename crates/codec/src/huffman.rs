@@ -1,0 +1,475 @@
+//! Canonical Huffman coding: the Annex K standard tables, per-image
+//! optimized table construction (ITU T.81 Annex K.2), a symbol encoder,
+//! and a bit-serial decoder (T.81 §F.2.2.3).
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::CodecError;
+
+/// A Huffman table specification as carried in a DHT segment: `bits[l]`
+/// counts the codes of length `l+1`, and `values` lists the symbols in
+/// canonical order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HuffmanSpec {
+    /// Number of codes of each length 1..=16.
+    pub bits: [u8; 16],
+    /// Symbols in canonical (code) order.
+    pub values: Vec<u8>,
+}
+
+impl HuffmanSpec {
+    /// Validates a specification read from a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadHuffmanTable`] if the counts and value list
+    /// disagree or the code space is over-subscribed.
+    pub fn new(bits: [u8; 16], values: Vec<u8>) -> Result<Self, CodecError> {
+        let total: usize = bits.iter().map(|&b| usize::from(b)).sum();
+        if total != values.len() {
+            return Err(CodecError::BadHuffmanTable(format!(
+                "bits promise {total} symbols, got {}",
+                values.len()
+            )));
+        }
+        if total > 256 {
+            return Err(CodecError::BadHuffmanTable("more than 256 symbols".into()));
+        }
+        // Kraft inequality check: codes of each length must fit.
+        let mut code: u32 = 0;
+        for (l, &count) in bits.iter().enumerate() {
+            code <<= 1;
+            code += u32::from(count);
+            if code > (1 << (l + 1)) {
+                return Err(CodecError::BadHuffmanTable(
+                    "code space over-subscribed".into(),
+                ));
+            }
+        }
+        Ok(HuffmanSpec { bits, values })
+    }
+
+    /// Standard DC luminance table (Annex K.3.1).
+    pub fn standard_dc_luma() -> Self {
+        HuffmanSpec {
+            bits: [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+            values: (0..=11).collect(),
+        }
+    }
+
+    /// Standard DC chrominance table (Annex K.3.2).
+    pub fn standard_dc_chroma() -> Self {
+        HuffmanSpec {
+            bits: [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+            values: (0..=11).collect(),
+        }
+    }
+
+    /// Standard AC luminance table (Annex K.3.3).
+    pub fn standard_ac_luma() -> Self {
+        HuffmanSpec {
+            bits: [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 125],
+            values: vec![
+                0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13,
+                0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42,
+                0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A,
+                0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2A, 0x34, 0x35,
+                0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4A,
+                0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67,
+                0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84,
+                0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+                0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3,
+                0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7,
+                0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1,
+                0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4,
+                0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+            ],
+        }
+    }
+
+    /// Standard AC chrominance table (Annex K.3.4).
+    pub fn standard_ac_chroma() -> Self {
+        HuffmanSpec {
+            bits: [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 119],
+            values: vec![
+                0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51,
+                0x07, 0x61, 0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xA1, 0xB1,
+                0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0, 0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24,
+                0x34, 0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26, 0x27, 0x28, 0x29, 0x2A,
+                0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+                0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66,
+                0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x82,
+                0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96,
+                0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA,
+                0xB2, 0xB3, 0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+                0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9,
+                0xDA, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF2, 0xF3, 0xF4,
+                0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+            ],
+        }
+    }
+
+    /// Builds an optimized specification from observed symbol frequencies
+    /// using the ITU T.81 Annex K.2 procedure (including the reserved
+    /// all-ones codepoint and the 16-bit length limit).
+    ///
+    /// Symbols with zero frequency receive no code. Returns an error only
+    /// if `freqs` is all zero.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadHuffmanTable`] if no symbol has nonzero frequency.
+    pub fn from_frequencies(freqs: &[u64; 256]) -> Result<Self, CodecError> {
+        if freqs.iter().all(|&f| f == 0) {
+            return Err(CodecError::BadHuffmanTable("no symbols observed".into()));
+        }
+        // Working arrays per Annex K.2, with index 256 reserved so no real
+        // symbol gets the all-ones code.
+        let mut freq = [0i64; 257];
+        for (f, &src) in freq.iter_mut().zip(freqs.iter()) {
+            *f = src as i64;
+        }
+        freq[256] = 1;
+        let mut codesize = [0u32; 257];
+        let mut others = [-1i32; 257];
+
+        loop {
+            // v1: least nonzero frequency, ties -> larger index.
+            let mut v1: i32 = -1;
+            let mut min1 = i64::MAX;
+            for (i, &f) in freq.iter().enumerate() {
+                if f > 0 && f <= min1 {
+                    min1 = f;
+                    v1 = i as i32;
+                }
+            }
+            // v2: next least, excluding v1.
+            let mut v2: i32 = -1;
+            let mut min2 = i64::MAX;
+            for (i, &f) in freq.iter().enumerate() {
+                if f > 0 && f <= min2 && i as i32 != v1 {
+                    min2 = f;
+                    v2 = i as i32;
+                }
+            }
+            if v2 < 0 {
+                break; // single tree remains
+            }
+            let (v1u, v2u) = (v1 as usize, v2 as usize);
+            freq[v1u] += freq[v2u];
+            freq[v2u] = 0;
+            codesize[v1u] += 1;
+            let mut i = v1u;
+            while others[i] >= 0 {
+                i = others[i] as usize;
+                codesize[i] += 1;
+            }
+            others[i] = v2;
+            codesize[v2u] += 1;
+            let mut i = v2u;
+            while others[i] >= 0 {
+                i = others[i] as usize;
+                codesize[i] += 1;
+            }
+        }
+
+        // Count codes per size (sizes can exceed 16 before adjustment).
+        let mut bits_long = [0u32; 64];
+        for &cs in codesize.iter() {
+            if cs > 0 {
+                assert!((cs as usize) < 64, "pathological code length");
+                bits_long[cs as usize] += 1;
+            }
+        }
+        // Adjust_BITS: fold lengths > 16 down.
+        let mut i = 62usize;
+        loop {
+            if i < 17 {
+                break;
+            }
+            while bits_long[i] > 0 {
+                // Find the first shorter non-empty length j < i-1.
+                let mut j = i - 2;
+                while bits_long[j] == 0 {
+                    j -= 1;
+                }
+                bits_long[i] -= 2;
+                bits_long[i - 1] += 1;
+                bits_long[j + 1] += 2;
+                bits_long[j] -= 1;
+            }
+            i -= 1;
+        }
+        // Remove the reserved codepoint from the longest length.
+        let mut i = 16;
+        while i > 0 && bits_long[i] == 0 {
+            i -= 1;
+        }
+        if i > 0 {
+            bits_long[i] -= 1;
+        }
+
+        let mut bits = [0u8; 16];
+        for l in 1..=16 {
+            bits[l - 1] = bits_long[l] as u8;
+        }
+        // Sort real symbols by (codesize, symbol) to list them canonically.
+        let mut syms: Vec<(u32, usize)> = (0..256)
+            .filter(|&s| codesize[s] > 0)
+            .map(|s| (codesize[s], s))
+            .collect();
+        syms.sort_unstable();
+        let values: Vec<u8> = syms.into_iter().map(|(_, s)| s as u8).collect();
+        HuffmanSpec::new(bits, values)
+    }
+
+    /// Total number of coded symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Encoder-side lookup: `(code, length)` per symbol.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    code: [u16; 256],
+    size: [u8; 256],
+}
+
+impl HuffmanEncoder {
+    /// Compiles a specification into an encoding table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`HuffmanSpec::new`] semantics
+    /// (the spec is assumed validated; duplicate symbols are rejected).
+    pub fn from_spec(spec: &HuffmanSpec) -> Result<Self, CodecError> {
+        let mut code = [0u16; 256];
+        let mut size = [0u8; 256];
+        let mut next: u16 = 0;
+        let mut k = 0usize;
+        for (l, &count) in spec.bits.iter().enumerate() {
+            for _ in 0..count {
+                let sym = spec.values[k] as usize;
+                if size[sym] != 0 {
+                    return Err(CodecError::BadHuffmanTable(format!(
+                        "duplicate symbol {sym:#x}"
+                    )));
+                }
+                code[sym] = next;
+                size[sym] = (l + 1) as u8;
+                next += 1;
+                k += 1;
+            }
+            next <<= 1;
+        }
+        Ok(HuffmanEncoder { code, size })
+    }
+
+    /// Emits the code for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code in this table.
+    pub fn encode(&self, writer: &mut BitWriter, symbol: u8) {
+        let s = self.size[symbol as usize];
+        assert!(s > 0, "symbol {symbol:#x} has no huffman code");
+        writer.put(self.code[symbol as usize], u32::from(s));
+    }
+
+    /// Code length in bits for `symbol` (0 if uncoded) — used by size
+    /// accounting tests and the rate model.
+    pub fn code_len(&self, symbol: u8) -> u8 {
+        self.size[symbol as usize]
+    }
+}
+
+/// Decoder-side canonical tables (T.81 §F.2.2.3: MINCODE/MAXCODE/VALPTR).
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    mincode: [i32; 17],
+    maxcode: [i32; 17],
+    valptr: [i32; 17],
+    values: Vec<u8>,
+}
+
+impl HuffmanDecoder {
+    /// Compiles a specification into decoding tables.
+    pub fn from_spec(spec: &HuffmanSpec) -> Self {
+        let mut mincode = [0i32; 17];
+        let mut maxcode = [-1i32; 17];
+        let mut valptr = [0i32; 17];
+        let mut code: i32 = 0;
+        let mut k: i32 = 0;
+        for l in 1..=16usize {
+            let count = i32::from(spec.bits[l - 1]);
+            if count > 0 {
+                valptr[l] = k;
+                mincode[l] = code;
+                code += count;
+                k += count;
+                maxcode[l] = code - 1;
+            } else {
+                maxcode[l] = -1;
+            }
+            code <<= 1;
+        }
+        HuffmanDecoder {
+            mincode,
+            maxcode,
+            valptr,
+            values: spec.values.clone(),
+        }
+    }
+
+    /// Decodes one symbol from the bit stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadHuffmanCode`] if 16 bits fail to match any code;
+    /// [`CodecError::UnexpectedEof`] if the stream ends.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u8, CodecError> {
+        let mut code: i32 = 0;
+        for l in 1..=16usize {
+            code = (code << 1) | i32::from(reader.bit()?);
+            if self.maxcode[l] >= 0 && code <= self.maxcode[l] && code >= self.mincode[l] {
+                let idx = (self.valptr[l] + (code - self.mincode[l])) as usize;
+                return self
+                    .values
+                    .get(idx)
+                    .copied()
+                    .ok_or(CodecError::BadHuffmanCode);
+            }
+        }
+        Err(CodecError::BadHuffmanCode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(spec: &HuffmanSpec, symbols: &[u8]) {
+        let enc = HuffmanEncoder::from_spec(spec).expect("valid spec");
+        let dec = HuffmanDecoder::from_spec(spec);
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in symbols {
+            assert_eq!(dec.decode(&mut r).expect("decodable"), s);
+        }
+    }
+
+    #[test]
+    fn standard_tables_validate() {
+        for spec in [
+            HuffmanSpec::standard_dc_luma(),
+            HuffmanSpec::standard_dc_chroma(),
+            HuffmanSpec::standard_ac_luma(),
+            HuffmanSpec::standard_ac_chroma(),
+        ] {
+            HuffmanSpec::new(spec.bits, spec.values.clone()).expect("standard table is valid");
+            HuffmanEncoder::from_spec(&spec).expect("encodable");
+        }
+        assert_eq!(HuffmanSpec::standard_ac_luma().symbol_count(), 162);
+        assert_eq!(HuffmanSpec::standard_ac_chroma().symbol_count(), 162);
+    }
+
+    #[test]
+    fn standard_dc_round_trip() {
+        let spec = HuffmanSpec::standard_dc_luma();
+        round_trip(&spec, &[0, 1, 2, 3, 11, 5, 0, 0, 7]);
+    }
+
+    #[test]
+    fn standard_ac_round_trip() {
+        let spec = HuffmanSpec::standard_ac_luma();
+        round_trip(&spec, &[0x00, 0xF0, 0x01, 0x11, 0xFA, 0x22, 0x00]);
+    }
+
+    #[test]
+    fn spec_rejects_count_mismatch() {
+        let mut bits = [0u8; 16];
+        bits[0] = 2;
+        assert!(HuffmanSpec::new(bits, vec![1]).is_err());
+    }
+
+    #[test]
+    fn spec_rejects_oversubscription() {
+        let mut bits = [0u8; 16];
+        bits[0] = 3; // only 2 codes of length 1 exist
+        assert!(HuffmanSpec::new(bits, vec![0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn optimized_table_orders_by_frequency() {
+        let mut freqs = [0u64; 256];
+        freqs[7] = 1000;
+        freqs[3] = 100;
+        freqs[200] = 10;
+        freqs[45] = 1;
+        let spec = HuffmanSpec::from_frequencies(&freqs).expect("buildable");
+        let enc = HuffmanEncoder::from_spec(&spec).expect("valid");
+        assert!(enc.code_len(7) <= enc.code_len(3));
+        assert!(enc.code_len(3) <= enc.code_len(200));
+        assert!(enc.code_len(200) <= enc.code_len(45));
+        round_trip(&spec, &[7, 3, 200, 45, 7, 7]);
+    }
+
+    #[test]
+    fn optimized_table_beats_standard_on_skewed_data() {
+        // A degenerate stream of one symbol should cost ~1 bit/symbol.
+        let mut freqs = [0u64; 256];
+        freqs[0] = 10_000;
+        freqs[1] = 1;
+        let spec = HuffmanSpec::from_frequencies(&freqs).expect("buildable");
+        let enc = HuffmanEncoder::from_spec(&spec).expect("valid");
+        assert!(enc.code_len(0) <= 2);
+    }
+
+    #[test]
+    fn optimized_table_handles_many_symbols() {
+        let mut freqs = [0u64; 256];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = (i as u64 % 37) + 1; // all 256 symbols used
+        }
+        let spec = HuffmanSpec::from_frequencies(&freqs).expect("buildable");
+        assert_eq!(spec.symbol_count(), 256);
+        let symbols: Vec<u8> = (0..=255).collect();
+        round_trip(&spec, &symbols);
+    }
+
+    #[test]
+    fn from_frequencies_rejects_empty() {
+        assert!(HuffmanSpec::from_frequencies(&[0u64; 256]).is_err());
+    }
+
+    #[test]
+    fn no_code_is_all_ones_at_max_length() {
+        // The reserved-symbol trick must keep the all-ones 16-bit code free.
+        let mut freqs = [0u64; 256];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = 1 + (255 - i as u64); // broad distribution
+        }
+        let spec = HuffmanSpec::from_frequencies(&freqs).expect("buildable");
+        let enc = HuffmanEncoder::from_spec(&spec).expect("valid");
+        for s in 0..=255u8 {
+            let len = enc.code_len(s);
+            if len > 0 {
+                // Reconstruct the code and check it is not all ones of
+                // maximum length 16.
+                // (all-ones of len<16 is fine; JPEG forbids only the
+                // 16-bit all-ones pattern as it would collide with
+                // padding.)
+                if len == 16 {
+                    let mut w = BitWriter::new();
+                    enc.encode(&mut w, s);
+                    let bytes = w.finish();
+                    assert_ne!(&bytes[..2], &[0xFF, 0xFF][..]);
+                }
+            }
+        }
+    }
+}

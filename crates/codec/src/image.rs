@@ -1,0 +1,183 @@
+use crate::CodecError;
+
+/// An 8-bit RGB image with interleaved storage (`R,G,B,R,G,B,...`).
+///
+/// This is the interchange type between the dataset generator, the codec,
+/// and the DNN pipeline.
+///
+/// ```
+/// use deepn_codec::RgbImage;
+///
+/// let mut img = RgbImage::new(4, 2);
+/// img.put(3, 1, [255, 0, 0]);
+/// assert_eq!(img.get(3, 1), [255, 0, 0]);
+/// assert_eq!(img.as_bytes().len(), 4 * 2 * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl RgbImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        RgbImage {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
+    }
+
+    /// Wraps existing interleaved RGB bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidDimensions`] if the buffer length does
+    /// not equal `width * height * 3` or a dimension is zero.
+    pub fn from_bytes(width: usize, height: usize, data: Vec<u8>) -> Result<Self, CodecError> {
+        if width == 0 || height == 0 || data.len() != width * height * 3 {
+            return Err(CodecError::InvalidDimensions { width, height });
+        }
+        Ok(RgbImage {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// A horizontal-gradient test image (dark left, bright right, hue
+    /// varying vertically) — handy in doctests and examples.
+    pub fn gradient(width: usize, height: usize) -> Self {
+        let mut img = RgbImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let r = (x * 255 / width.max(1)) as u8;
+                let g = (y * 255 / height.max(1)) as u8;
+                let b = 128u8;
+                img.put(x, y, [r, g, b]);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The RGB triple at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Sets the RGB triple at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn put(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// The interleaved RGB bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the interleaved RGB bytes.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Converts to a normalized CHW `f32` tensor layout (`[3, h, w]` values
+    /// in `[0, 1]`) as a flat vector — the format the DNN substrate
+    /// consumes.
+    pub fn to_chw_f32(&self) -> Vec<f32> {
+        let (w, h) = (self.width, self.height);
+        let mut out = vec![0.0f32; 3 * w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let p = self.get(x, y);
+                for c in 0..3 {
+                    out[c * w * h + y * w + x] = f32::from(p[c]) / 255.0;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_validates_length() {
+        assert!(RgbImage::from_bytes(2, 2, vec![0; 12]).is_ok());
+        assert!(matches!(
+            RgbImage::from_bytes(2, 2, vec![0; 11]),
+            Err(CodecError::InvalidDimensions { .. })
+        ));
+        assert!(RgbImage::from_bytes(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut img = RgbImage::new(3, 3);
+        img.put(2, 1, [10, 20, 30]);
+        assert_eq!(img.get(2, 1), [10, 20, 30]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn chw_layout_separates_channels() {
+        let mut img = RgbImage::new(2, 1);
+        img.put(0, 0, [255, 0, 0]);
+        img.put(1, 0, [0, 255, 0]);
+        let chw = img.to_chw_f32();
+        // R plane then G plane then B plane.
+        assert_eq!(chw, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_spans_intensity() {
+        let g = RgbImage::gradient(16, 16);
+        assert!(g.get(0, 0)[0] < g.get(15, 0)[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_panics_out_of_bounds() {
+        RgbImage::new(2, 2).get(2, 0);
+    }
+}

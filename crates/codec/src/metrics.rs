@@ -1,0 +1,122 @@
+//! Rate and distortion metrics: mean-squared error, PSNR, and compressed
+//! size accounting.
+
+use crate::RgbImage;
+
+/// Mean squared error between two images of equal size, over all channels.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn mse(a: &RgbImage, b: &RgbImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "image size mismatch"
+    );
+    let n = a.as_bytes().len() as f64;
+    a.as_bytes()
+        .iter()
+        .zip(b.as_bytes().iter())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in dB (infinite for identical images).
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn psnr(a: &RgbImage, b: &RgbImage) -> f64 {
+    let e = mse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / e).log10()
+    }
+}
+
+/// Compression ratio of `compressed_len` relative to `reference_len`
+/// (larger is better). The paper reports CR relative to the QF=100 JPEG
+/// dataset, not the raw pixels — pass that size as the reference.
+///
+/// # Panics
+///
+/// Panics if `compressed_len` is zero.
+pub fn compression_ratio(reference_len: usize, compressed_len: usize) -> f64 {
+    assert!(compressed_len > 0, "compressed length must be positive");
+    reference_len as f64 / compressed_len as f64
+}
+
+/// Size accounting for one compressed image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    /// Raw RGB size in bytes (`w × h × 3`).
+    pub raw_bytes: usize,
+    /// Compressed stream size in bytes.
+    pub compressed_bytes: usize,
+    /// Pixel count.
+    pub pixels: usize,
+}
+
+impl CompressionStats {
+    /// Builds stats for an image and its compressed representation.
+    pub fn new(image: &RgbImage, compressed: &[u8]) -> Self {
+        CompressionStats {
+            raw_bytes: image.as_bytes().len(),
+            compressed_bytes: compressed.len(),
+            pixels: image.pixel_count(),
+        }
+    }
+
+    /// Bits per pixel of the compressed stream.
+    pub fn bits_per_pixel(&self) -> f64 {
+        (self.compressed_bytes * 8) as f64 / self.pixels as f64
+    }
+
+    /// Ratio of raw to compressed size.
+    pub fn ratio_vs_raw(&self) -> f64 {
+        compression_ratio(self.raw_bytes, self.compressed_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_zero_mse_infinite_psnr() {
+        let img = RgbImage::gradient(8, 8);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn uniform_error_gives_known_psnr() {
+        let a = RgbImage::new(4, 4);
+        let mut b = RgbImage::new(4, 4);
+        for v in b.as_bytes_mut() {
+            *v = 10;
+        }
+        assert!((mse(&a, &b) - 100.0).abs() < 1e-9);
+        assert!((psnr(&a, &b) - 28.13).abs() < 0.01);
+    }
+
+    #[test]
+    fn stats_compute_bpp() {
+        let img = RgbImage::new(10, 10);
+        let stats = CompressionStats::new(&img, &[0u8; 25]);
+        assert_eq!(stats.raw_bytes, 300);
+        assert!((stats.bits_per_pixel() - 2.0).abs() < 1e-9);
+        assert!((stats.ratio_vs_raw() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_is_reference_over_compressed() {
+        assert_eq!(compression_ratio(1000, 250), 4.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Binary PPM (P6) image I/O, so images and codec artifacts can be
+//! inspected with standard tools. PPM is the simplest interoperable RGB
+//! container and keeps this crate free of image-format dependencies.
+
+use crate::{CodecError, RgbImage};
+use std::io::{Read, Write};
+
+/// Serializes an image as binary PPM (P6, maxval 255).
+///
+/// Pass `&mut` of any writer (e.g. a `File` or `Vec<u8>`).
+///
+/// # Errors
+///
+/// I/O errors from the writer.
+pub fn write_ppm<W: Write>(image: &RgbImage, mut writer: W) -> std::io::Result<()> {
+    write!(writer, "P6\n{} {}\n255\n", image.width(), image.height())?;
+    writer.write_all(image.as_bytes())
+}
+
+/// Parses a binary PPM (P6) stream.
+///
+/// Supports `#` comments in the header and any whitespace separation, per
+/// the Netpbm specification; only maxval 255 is accepted.
+///
+/// # Errors
+///
+/// [`CodecError::BadMarker`] for malformed headers,
+/// [`CodecError::Unsupported`] for non-P6 or non-8-bit files,
+/// [`CodecError::UnexpectedEof`] for truncated pixel data.
+pub fn read_ppm<R: Read>(mut reader: R) -> Result<RgbImage, CodecError> {
+    let mut data = Vec::new();
+    reader
+        .read_to_end(&mut data)
+        .map_err(|_| CodecError::UnexpectedEof)?;
+    let mut pos = 0usize;
+
+    let magic = take_token(&data, &mut pos)?;
+    if magic != b"P6" {
+        return Err(CodecError::Unsupported(format!(
+            "PPM magic {:?} (only binary P6 is supported)",
+            String::from_utf8_lossy(&magic)
+        )));
+    }
+    let width = parse_number(&take_token(&data, &mut pos)?)?;
+    let height = parse_number(&take_token(&data, &mut pos)?)?;
+    let maxval = parse_number(&take_token(&data, &mut pos)?)?;
+    if maxval != 255 {
+        return Err(CodecError::Unsupported(format!("PPM maxval {maxval}")));
+    }
+    // Exactly one whitespace byte separates the header from pixel data;
+    // take_token already consumed it.
+    let need = width * height * 3;
+    if data.len() < pos + need {
+        return Err(CodecError::UnexpectedEof);
+    }
+    RgbImage::from_bytes(width, height, data[pos..pos + need].to_vec())
+}
+
+/// Reads the next whitespace-delimited token, skipping `#` comments, and
+/// consumes the single whitespace byte that terminates it.
+fn take_token(data: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
+    // Skip whitespace and comments.
+    loop {
+        while *pos < data.len() && data[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+        if *pos < data.len() && data[*pos] == b'#' {
+            while *pos < data.len() && data[*pos] != b'\n' {
+                *pos += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let start = *pos;
+    while *pos < data.len() && !data[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(CodecError::BadMarker("empty PPM header token".into()));
+    }
+    let token = data[start..*pos].to_vec();
+    if *pos < data.len() {
+        *pos += 1; // the single terminating whitespace byte
+    }
+    Ok(token)
+}
+
+fn parse_number(token: &[u8]) -> Result<usize, CodecError> {
+    std::str::from_utf8(token)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            CodecError::BadMarker(format!(
+                "invalid PPM header number {:?}",
+                String::from_utf8_lossy(token)
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_pixels() {
+        let img = RgbImage::gradient(13, 7);
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).expect("write succeeds");
+        let back = read_ppm(&buf[..]).expect("read succeeds");
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn header_is_canonical() {
+        let img = RgbImage::new(2, 3);
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).expect("write succeeds");
+        assert!(buf.starts_with(b"P6\n2 3\n255\n"));
+        assert_eq!(buf.len(), 11 + 18);
+    }
+
+    #[test]
+    fn comments_and_odd_whitespace_parse() {
+        let mut buf: Vec<u8> = b"P6 # a comment\n# another\n 2\t1 \n255\n".to_vec();
+        buf.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        let img = read_ppm(&buf[..]).expect("read succeeds");
+        assert_eq!((img.width(), img.height()), (2, 1));
+        assert_eq!(img.get(1, 0), [4, 5, 6]);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        assert!(matches!(
+            read_ppm(&b"P3\n1 1\n255\n000"[..]),
+            Err(CodecError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_pixels() {
+        let buf: &[u8] = b"P6\n2 2\n255\n\x01\x02";
+        assert!(matches!(read_ppm(buf), Err(CodecError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn rejects_16_bit_maxval() {
+        assert!(matches!(
+            read_ppm(&b"P6\n1 1\n65535\n\0\0\0\0\0\0"[..]),
+            Err(CodecError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! Quantization tables and the quantize/dequantize stage — the component
+//! DeepN-JPEG redesigns.
+
+use crate::block::Block;
+use crate::CodecError;
+
+/// The ITU T.81 Annex K.1 luminance table, in natural (row-major) order.
+pub const STANDARD_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The ITU T.81 Annex K.2 chrominance table, in natural order.
+pub const STANDARD_CHROMA: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// A 64-entry quantization table in natural (row-major) order.
+///
+/// ```
+/// use deepn_codec::QuantTable;
+///
+/// let t = QuantTable::standard_luma().scaled(50);
+/// assert_eq!(t.value(0, 0), 16); // QF=50 is the unscaled base table
+/// let finer = QuantTable::standard_luma().scaled(100);
+/// assert!(finer.value(7, 7) <= t.value(7, 7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuantTable {
+    values: [u16; 64],
+}
+
+impl QuantTable {
+    /// Wraps explicit table values (natural order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadQuantTable`] if any entry is zero.
+    pub fn new(values: [u16; 64]) -> Result<Self, CodecError> {
+        if values.contains(&0) {
+            return Err(CodecError::BadQuantTable("zero quantization step".into()));
+        }
+        Ok(QuantTable { values })
+    }
+
+    /// The Annex K luminance base table.
+    pub fn standard_luma() -> Self {
+        QuantTable {
+            values: STANDARD_LUMA,
+        }
+    }
+
+    /// The Annex K chrominance base table.
+    pub fn standard_chroma() -> Self {
+        QuantTable {
+            values: STANDARD_CHROMA,
+        }
+    }
+
+    /// A uniform table with every step equal to `q` (the paper's "SAME-Q"
+    /// baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn uniform(q: u16) -> Self {
+        assert!(q > 0, "quantization step must be positive");
+        QuantTable { values: [q; 64] }
+    }
+
+    /// Scales the table with the IJG quality-factor convention:
+    /// `QF = 50` leaves the table unchanged, larger QF refines it,
+    /// smaller QF coarsens it. Entries are clamped to `[1, 255]`
+    /// (baseline-compatible).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= quality <= 100`.
+    pub fn scaled(&self, quality: u8) -> Self {
+        assert!((1..=100).contains(&quality), "quality must be in 1..=100");
+        let q = u32::from(quality);
+        let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+        let mut values = [0u16; 64];
+        for (v, &base) in values.iter_mut().zip(self.values.iter()) {
+            let s = (u32::from(base) * scale + 50) / 100;
+            *v = s.clamp(1, 255) as u16;
+        }
+        QuantTable { values }
+    }
+
+    /// Table entry at `(row, col)` of the 8×8 grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` exceeds 7.
+    pub fn value(&self, row: usize, col: usize) -> u16 {
+        assert!(row < 8 && col < 8, "table index out of bounds");
+        self.values[row * 8 + col]
+    }
+
+    /// All 64 entries in natural order.
+    pub fn values(&self) -> &[u16; 64] {
+        &self.values
+    }
+
+    /// Replaces the entry at natural index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64` or `v == 0`.
+    pub fn set(&mut self, i: usize, v: u16) {
+        assert!(i < 64, "table index out of bounds");
+        assert!(v > 0, "quantization step must be positive");
+        self.values[i] = v;
+    }
+
+    /// Largest step in the table (determines the DQT precision flag).
+    pub fn max_value(&self) -> u16 {
+        *self.values.iter().max().expect("table is non-empty")
+    }
+
+    /// Quantizes a DCT coefficient block: `round(c / q)` per entry.
+    pub fn quantize(&self, coeffs: &Block) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for ((o, &c), &q) in out.iter_mut().zip(coeffs.iter()).zip(self.values.iter()) {
+            *o = (c / f32::from(q)).round() as i32;
+        }
+        out
+    }
+
+    /// Reconstructs coefficients from quantized levels: `level * q`.
+    pub fn dequantize(&self, levels: &[i32; 64]) -> Block {
+        let mut out = [0.0f32; 64];
+        for ((o, &l), &q) in out.iter_mut().zip(levels.iter()).zip(self.values.iter()) {
+            *o = (l as f32) * f32::from(q);
+        }
+        out
+    }
+}
+
+/// The luma/chroma table pair carried by an encoder (JPEG allows up to four
+/// tables; baseline color uses two).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuantTablePair {
+    /// Table for the Y component.
+    pub luma: QuantTable,
+    /// Table shared by the Cb and Cr components.
+    pub chroma: QuantTable,
+}
+
+impl QuantTablePair {
+    /// Standard Annex K tables scaled to `quality` (1–100, IJG convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= quality <= 100`.
+    pub fn standard(quality: u8) -> Self {
+        QuantTablePair {
+            luma: QuantTable::standard_luma().scaled(quality),
+            chroma: QuantTable::standard_chroma().scaled(quality),
+        }
+    }
+
+    /// Uniform tables (the "SAME-Q" baseline of the paper's Fig. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn uniform(q: u16) -> Self {
+        QuantTablePair {
+            luma: QuantTable::uniform(q),
+            chroma: QuantTable::uniform(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_tables_favor_low_frequencies() {
+        let t = QuantTable::standard_luma();
+        assert!(t.value(0, 0) < t.value(7, 7));
+        assert!(t.value(0, 1) < t.value(0, 7));
+    }
+
+    #[test]
+    fn new_rejects_zero_step() {
+        let mut v = [1u16; 64];
+        v[10] = 0;
+        assert!(matches!(
+            QuantTable::new(v),
+            Err(CodecError::BadQuantTable(_))
+        ));
+    }
+
+    #[test]
+    fn qf100_is_all_ones_scaled_min() {
+        let t = QuantTable::standard_luma().scaled(100);
+        // IJG at QF=100: (base*0 + 50)/100 = 0 -> clamped to 1.
+        assert!(t.values().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn qf50_is_identity_scale() {
+        let t = QuantTable::standard_luma().scaled(50);
+        assert_eq!(t.values(), &STANDARD_LUMA);
+    }
+
+    #[test]
+    fn lower_quality_coarsens_monotonically() {
+        let base = QuantTable::standard_luma();
+        for qf in [90u8, 70, 50, 30, 10] {
+            let a = base.scaled(qf);
+            let b = base.scaled(qf - 5);
+            for i in 0..64 {
+                assert!(b.values()[i] >= a.values()[i], "qf {qf} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error_by_half_step() {
+        let t = QuantTable::uniform(10);
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as f32) * 3.7 - 100.0;
+        }
+        let levels = t.quantize(&block);
+        let back = t.dequantize(&levels);
+        for (orig, rec) in block.iter().zip(back.iter()) {
+            assert!((orig - rec).abs() <= 5.0 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn uniform_pair_matches_same_q_semantics() {
+        let p = QuantTablePair::uniform(4);
+        assert!(p.luma.values().iter().all(|&v| v == 4));
+        assert!(p.chroma.values().iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "quality must be in 1..=100")]
+    fn scaled_rejects_zero_quality() {
+        QuantTable::standard_luma().scaled(0);
+    }
+}

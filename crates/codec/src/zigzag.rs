@@ -1,0 +1,94 @@
+//! Zig-zag coefficient ordering (ITU T.81 Figure 5).
+//!
+//! `ZIGZAG[k]` is the natural (row-major) index of the coefficient at
+//! zig-zag position `k`, so position 0 is DC and position 63 the highest
+//! diagonal frequency.
+
+/// Natural index for each zig-zag position.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Zig-zag position of each natural index (the inverse permutation).
+pub fn natural_to_zigzag() -> [usize; 64] {
+    let mut inv = [0usize; 64];
+    let mut k = 0;
+    while k < 64 {
+        inv[ZIGZAG[k]] = k;
+        k += 1;
+    }
+    inv
+}
+
+/// Reorders a natural-order block into zig-zag order.
+pub fn scan<T: Copy + Default>(natural: &[T; 64]) -> [T; 64] {
+    let mut out = [T::default(); 64];
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = natural[ZIGZAG[k]];
+    }
+    out
+}
+
+/// Reorders a zig-zag-order block back to natural order.
+pub fn unscan<T: Copy + Default>(zz: &[T; 64]) -> [T; 64] {
+    let mut out = [T::default(); 64];
+    for (k, &v) in zz.iter().enumerate() {
+        out[ZIGZAG[k]] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn first_and_last_positions() {
+        assert_eq!(ZIGZAG[0], 0); // DC
+        assert_eq!(ZIGZAG[1], 1); // first horizontal AC
+        assert_eq!(ZIGZAG[2], 8); // first vertical AC
+        assert_eq!(ZIGZAG[63], 63); // highest frequency
+    }
+
+    #[test]
+    fn diagonal_sum_is_monotone_in_plateaus() {
+        // Along the zig-zag, u+v never decreases by more than 0 between
+        // diagonal transitions — i.e. it visits anti-diagonals in order.
+        let mut prev_diag = 0;
+        for &n in &ZIGZAG {
+            let diag = n / 8 + n % 8;
+            assert!(diag + 1 >= prev_diag, "diagonal regressed");
+            prev_diag = prev_diag.max(diag);
+        }
+        assert_eq!(prev_diag, 14);
+    }
+
+    #[test]
+    fn scan_unscan_round_trip() {
+        let mut natural = [0i32; 64];
+        for (i, v) in natural.iter_mut().enumerate() {
+            *v = i as i32 * 3 - 50;
+        }
+        assert_eq!(unscan(&scan(&natural)), natural);
+    }
+
+    #[test]
+    fn inverse_permutation_matches() {
+        let inv = natural_to_zigzag();
+        for k in 0..64 {
+            assert_eq!(inv[ZIGZAG[k]], k);
+        }
+    }
+}

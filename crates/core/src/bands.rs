@@ -1,0 +1,205 @@
+//! Frequency-band segmentation: magnitude-based (the paper's proposal) and
+//! position-based (the HVS-style control it is compared against in Fig. 5).
+//!
+//! Both segmentations split the 64 bands into Low (6 bands), Mid (22 bands)
+//! and High (36 bands) groups, following the paper's adoption of the
+//! segmentation in its reference \[25\].
+
+use crate::zigzag_rank;
+
+/// Which frequency group a band belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandKind {
+    /// Low-frequency group (largest σ / first zig-zag positions).
+    Low,
+    /// Mid-frequency group.
+    Mid,
+    /// High-frequency group (smallest σ / last zig-zag positions).
+    High,
+}
+
+/// Group sizes used throughout the paper: 6 / 22 / 36.
+pub const LOW_COUNT: usize = 6;
+/// Mid-group size.
+pub const MID_COUNT: usize = 22;
+
+/// An assignment of each of the 64 natural-order bands to a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segmentation {
+    kinds: [BandKind; 64],
+}
+
+impl Segmentation {
+    /// *Magnitude-based* segmentation (the DeepN-JPEG proposal): rank the
+    /// bands by descending σ; the top [`LOW_COUNT`] are Low, the next
+    /// [`MID_COUNT`] Mid, the rest High. Ties break toward the lower
+    /// natural index, making the result deterministic.
+    pub fn magnitude_based(sigmas: &[f64; 64]) -> Self {
+        let order = rank_descending(sigmas);
+        let mut kinds = [BandKind::High; 64];
+        for (rank, &band) in order.iter().enumerate() {
+            kinds[band] = if rank < LOW_COUNT {
+                BandKind::Low
+            } else if rank < LOW_COUNT + MID_COUNT {
+                BandKind::Mid
+            } else {
+                BandKind::High
+            };
+        }
+        Segmentation { kinds }
+    }
+
+    /// *Position-based* segmentation (the coarse-grained control): zig-zag
+    /// positions 0–5 are Low, 6–27 Mid, 28–63 High, regardless of the
+    /// dataset.
+    pub fn position_based() -> Self {
+        let mut kinds = [BandKind::High; 64];
+        for (natural, kind) in kinds.iter_mut().enumerate() {
+            let pos = zigzag_rank(natural);
+            *kind = if pos < LOW_COUNT {
+                BandKind::Low
+            } else if pos < LOW_COUNT + MID_COUNT {
+                BandKind::Mid
+            } else {
+                BandKind::High
+            };
+        }
+        Segmentation { kinds }
+    }
+
+    /// Group of the band at natural index `band`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band >= 64`.
+    pub fn kind(&self, band: usize) -> BandKind {
+        self.kinds[band]
+    }
+
+    /// Natural indices of all bands in `kind`.
+    pub fn bands_of(&self, kind: BandKind) -> Vec<usize> {
+        (0..64).filter(|&b| self.kinds[b] == kind).collect()
+    }
+
+    /// Count per group `(low, mid, high)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for k in &self.kinds {
+            match k {
+                BandKind::Low => c.0 += 1,
+                BandKind::Mid => c.1 += 1,
+                BandKind::High => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Natural band indices sorted by descending value (ties → lower index).
+pub fn rank_descending(values: &[f64; 64]) -> [usize; 64] {
+    let mut order: Vec<usize> = (0..64).collect();
+    order.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("band sigma is never NaN")
+            .then(a.cmp(&b))
+    });
+    let mut out = [0usize; 64];
+    out.copy_from_slice(&order);
+    out
+}
+
+/// The σ values at the Low/Mid and Mid/High rank boundaries, i.e. the
+/// thresholds `T2` (enter Low) and `T1` (enter Mid) of the paper's Eq. 3
+/// when calibrated to a measured σ table. Returns `(t1, t2)`.
+pub fn rank_thresholds(sigmas: &[f64; 64]) -> (f64, f64) {
+    let order = rank_descending(sigmas);
+    let t2 = sigmas[order[LOW_COUNT - 1]]; // smallest σ still in Low
+    let t1 = sigmas[order[LOW_COUNT + MID_COUNT - 1]]; // smallest σ in Mid
+    (t1, t2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_sigmas() -> [f64; 64] {
+        // σ descending with natural index: band 0 largest.
+        let mut s = [0.0; 64];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = 100.0 - i as f64;
+        }
+        s
+    }
+
+    #[test]
+    fn magnitude_groups_have_canonical_sizes() {
+        let seg = Segmentation::magnitude_based(&ramp_sigmas());
+        assert_eq!(seg.counts(), (6, 22, 36));
+    }
+
+    #[test]
+    fn magnitude_picks_largest_sigmas_as_low() {
+        let mut s = [1.0; 64];
+        s[63] = 500.0; // a high-position band with huge σ
+        s[0] = 400.0;
+        let seg = Segmentation::magnitude_based(&s);
+        assert_eq!(seg.kind(63), BandKind::Low);
+        assert_eq!(seg.kind(0), BandKind::Low);
+    }
+
+    #[test]
+    fn position_based_matches_zigzag_prefix() {
+        let seg = Segmentation::position_based();
+        // Zig-zag positions 0..6 are natural indices 0,1,8,16,9,2.
+        for b in [0usize, 1, 8, 16, 9, 2] {
+            assert_eq!(seg.kind(b), BandKind::Low, "band {b}");
+        }
+        assert_eq!(seg.kind(63), BandKind::High);
+        assert_eq!(seg.counts(), (6, 22, 36));
+    }
+
+    #[test]
+    fn segmentations_differ_when_energy_is_not_positional() {
+        // Give a nominally high-frequency band the second-largest σ: the
+        // magnitude segmentation promotes it, the positional one cannot.
+        let mut s = ramp_sigmas();
+        s[62] = 99.5;
+        let mag = Segmentation::magnitude_based(&s);
+        let pos = Segmentation::position_based();
+        assert_eq!(mag.kind(62), BandKind::Low);
+        assert_eq!(pos.kind(62), BandKind::High);
+    }
+
+    #[test]
+    fn rank_thresholds_bracket_the_groups() {
+        let s = ramp_sigmas();
+        let (t1, t2) = rank_thresholds(&s);
+        assert!(t1 < t2);
+        // With the ramp, Low = bands 0..6 (σ 100..95), so T2 = 95;
+        // Mid = 6..28 (σ 94..73), so T1 = 73.
+        assert_eq!(t2, 95.0);
+        assert_eq!(t1, 73.0);
+    }
+
+    #[test]
+    fn bands_of_partitions_all() {
+        let seg = Segmentation::magnitude_based(&ramp_sigmas());
+        let total = seg.bands_of(BandKind::Low).len()
+            + seg.bands_of(BandKind::Mid).len()
+            + seg.bands_of(BandKind::High).len();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let s = [7.0; 64];
+        let a = Segmentation::magnitude_based(&s);
+        let b = Segmentation::magnitude_based(&s);
+        assert_eq!(a, b);
+        // With all-equal σ, the lowest natural indices win Low.
+        assert_eq!(a.kind(0), BandKind::Low);
+        assert_eq!(a.kind(5), BandKind::Low);
+        assert_eq!(a.kind(6), BandKind::Mid);
+    }
+}

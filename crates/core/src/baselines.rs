@@ -1,0 +1,190 @@
+//! The compression schemes compared throughout the paper's evaluation:
+//! quality-scaled JPEG ("Original" is QF = 100), RM-HF, SAME-Q, and
+//! DeepN-JPEG itself, behind one [`CompressionScheme`] interface.
+
+use crate::CoreError;
+use deepn_codec::{Decoder, Encoder, QuantTablePair, RgbImage};
+use std::fmt;
+
+/// A named image-compression configuration used in the experiments.
+//
+// The `Deepn` variant carries two 64-entry tables inline (256 bytes); the
+// enum is constructed a handful of times per experiment, so the size
+// difference is irrelevant and boxing would only cost ergonomics.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressionScheme {
+    /// Standard JPEG at a quality factor; `Jpeg(100)` is the paper's
+    /// "Original" reference dataset (CR = 1).
+    Jpeg(u8),
+    /// JPEG at QF 100 with the top-`n` zig-zag frequency components of
+    /// every block zeroed before entropy coding — the paper's "RM-HF"
+    /// baseline and the Fig. 3 feature-removal probe.
+    RmHf(usize),
+    /// The same quantization step everywhere — the paper's "SAME-Q"
+    /// baseline.
+    SameQ(u16),
+    /// DeepN-JPEG with the given designed tables.
+    Deepn(QuantTablePair),
+}
+
+impl CompressionScheme {
+    /// The paper's "Original" reference: QF = 100 JPEG.
+    pub fn original() -> Self {
+        CompressionScheme::Jpeg(100)
+    }
+
+    /// Compresses one image to a JFIF stream.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors (invalid dimensions and similar) wrapped in
+    /// [`CoreError::Codec`].
+    pub fn compress(&self, image: &RgbImage) -> Result<Vec<u8>, CoreError> {
+        let bytes = match self {
+            CompressionScheme::Jpeg(qf) => Encoder::with_quality(*qf).encode(image)?,
+            CompressionScheme::RmHf(n) => {
+                let enc = Encoder::with_quality(100);
+                let mut planes = enc.quantize_image(image)?;
+                planes.remove_high_frequencies(*n);
+                enc.encode_quantized(&planes)?
+            }
+            CompressionScheme::SameQ(q) => {
+                Encoder::with_tables(QuantTablePair::uniform(*q)).encode(image)?
+            }
+            CompressionScheme::Deepn(tables) => {
+                Encoder::with_tables(tables.clone()).encode(image)?
+            }
+        };
+        Ok(bytes)
+    }
+
+    /// Compresses and immediately decompresses, returning the lossy image
+    /// and the compressed size — the per-image unit of every experiment.
+    ///
+    /// # Errors
+    ///
+    /// As [`compress`](Self::compress), plus decode errors (which indicate
+    /// a codec bug rather than bad input).
+    pub fn round_trip(&self, image: &RgbImage) -> Result<(RgbImage, usize), CoreError> {
+        let bytes = self.compress(image)?;
+        let decoded = Decoder::new().decode(&bytes)?;
+        Ok((decoded, bytes.len()))
+    }
+
+    /// Round-trips a whole image set, returning decoded images and the
+    /// total compressed byte count.
+    ///
+    /// # Errors
+    ///
+    /// As [`round_trip`](Self::round_trip).
+    pub fn round_trip_set(&self, images: &[RgbImage]) -> Result<(Vec<RgbImage>, usize), CoreError> {
+        let mut out = Vec::with_capacity(images.len());
+        let mut total = 0usize;
+        for img in images {
+            let (dec, n) = self.round_trip(img)?;
+            out.push(dec);
+            total += n;
+        }
+        Ok((out, total))
+    }
+
+    /// Total compressed size of a set without decoding (for rate-only
+    /// measurements such as Fig. 9).
+    ///
+    /// # Errors
+    ///
+    /// As [`compress`](Self::compress).
+    pub fn compressed_sizes(&self, images: &[RgbImage]) -> Result<Vec<usize>, CoreError> {
+        images
+            .iter()
+            .map(|img| self.compress(img).map(|b| b.len()))
+            .collect()
+    }
+}
+
+impl fmt::Display for CompressionScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressionScheme::Jpeg(100) => write!(f, "Original (JPEG QF=100)"),
+            CompressionScheme::Jpeg(qf) => write!(f, "JPEG QF={qf}"),
+            CompressionScheme::RmHf(n) => write!(f, "RM-HF{n}"),
+            CompressionScheme::SameQ(q) => write!(f, "SAME-Q{q}"),
+            CompressionScheme::Deepn(_) => write!(f, "DeepN-JPEG"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepn_codec::psnr;
+    use deepn_dataset::{DatasetSpec, ImageSet};
+
+    fn sample_image() -> RgbImage {
+        ImageSet::generate(&DatasetSpec::tiny(), 6).images()[0].clone()
+    }
+
+    #[test]
+    fn original_is_qf_100() {
+        assert_eq!(CompressionScheme::original(), CompressionScheme::Jpeg(100));
+        assert_eq!(
+            CompressionScheme::original().to_string(),
+            "Original (JPEG QF=100)"
+        );
+    }
+
+    #[test]
+    fn lower_qf_compresses_more() {
+        let img = sample_image();
+        let hi = CompressionScheme::Jpeg(100).compress(&img).expect("hi");
+        let lo = CompressionScheme::Jpeg(20).compress(&img).expect("lo");
+        assert!(lo.len() < hi.len());
+    }
+
+    #[test]
+    fn rm_hf_shrinks_and_keeps_low_bands() {
+        let img = sample_image();
+        let (orig, base) = CompressionScheme::original().round_trip(&img).expect("orig");
+        let (rm, smaller) = CompressionScheme::RmHf(9).round_trip(&img).expect("rm");
+        assert!(smaller <= base);
+        // Removing only the top bands must stay visually close overall.
+        assert!(psnr(&orig, &rm) > 15.0);
+    }
+
+    #[test]
+    fn rm_hf_more_removal_is_smaller() {
+        let img = sample_image();
+        let s3 = CompressionScheme::RmHf(3).compress(&img).expect("3").len();
+        let s9 = CompressionScheme::RmHf(9).compress(&img).expect("9").len();
+        assert!(s9 <= s3);
+    }
+
+    #[test]
+    fn same_q_larger_step_is_smaller_file() {
+        let img = sample_image();
+        let s4 = CompressionScheme::SameQ(4).compress(&img).expect("4").len();
+        let s12 = CompressionScheme::SameQ(12).compress(&img).expect("12").len();
+        assert!(s12 < s4);
+    }
+
+    #[test]
+    fn deepn_scheme_round_trips() {
+        let set = ImageSet::generate(&DatasetSpec::tiny(), 6);
+        let tables = crate::DeepnTableBuilder::new(crate::PlmParams::paper())
+            .build(set.images())
+            .expect("tables");
+        let (decoded, total) = CompressionScheme::Deepn(tables)
+            .round_trip_set(set.images())
+            .expect("round trip");
+        assert_eq!(decoded.len(), set.len());
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(CompressionScheme::RmHf(3).to_string(), "RM-HF3");
+        assert_eq!(CompressionScheme::SameQ(4).to_string(), "SAME-Q4");
+        assert_eq!(CompressionScheme::Jpeg(50).to_string(), "JPEG QF=50");
+    }
+}

@@ -1,0 +1,59 @@
+use deepn_codec::CodecError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the DeepN-JPEG table-design and experiment pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The underlying codec failed.
+    Codec(CodecError),
+    /// An analysis step received no input (empty dataset or sampling that
+    /// selected nothing).
+    EmptyInput(String),
+    /// The PLM parameters are inconsistent (e.g. thresholds out of order).
+    BadParams(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Codec(e) => write!(f, "codec error: {e}"),
+            CoreError::EmptyInput(m) => write!(f, "empty input: {m}"),
+            CoreError::BadParams(m) => write!(f, "invalid parameters: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_errors_wrap_with_source() {
+        let e = CoreError::from(CodecError::UnexpectedEof);
+        assert!(e.to_string().contains("unexpected end"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<CoreError>();
+    }
+}

@@ -1,0 +1,387 @@
+//! The compress → train → test pipeline behind every figure of the paper.
+//!
+//! A *case* fixes a compression scheme for the training images and another
+//! for the test images. The paper's motivation section (Fig. 2) defines:
+//!
+//! - **CASE 1**: train on high-quality (QF = 100) images, test on
+//!   compressed images;
+//! - **CASE 2**: train on compressed images, test on high-quality images.
+//!
+//! The evaluation figures (6–8) train and test on the *same* compressed
+//! dataset, which [`run_symmetric`] provides.
+
+use crate::baselines::CompressionScheme;
+use crate::bands::{BandKind, Segmentation};
+use crate::CoreError;
+use deepn_codec::{QuantTable, QuantTablePair, RgbImage};
+use deepn_dataset::ImageSet;
+use deepn_nn::{zoo, Sequential, TrainConfig, Trainer, TrainingHistory};
+use deepn_tensor::Tensor;
+
+/// Experiment size, selected by the `DEEPN_SCALE` environment variable
+/// (`fast` for CI/tests, anything else = full benchmark configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small datasets and few epochs; seconds per case.
+    Fast,
+    /// The full benchmark configuration used to regenerate the figures.
+    Full,
+}
+
+impl Scale {
+    /// Reads `DEEPN_SCALE` (`"fast"` → [`Scale::Fast`], default
+    /// [`Scale::Full`]).
+    pub fn from_env() -> Self {
+        match std::env::var("DEEPN_SCALE").as_deref() {
+            Ok("fast") => Scale::Fast,
+            _ => Scale::Full,
+        }
+    }
+
+    /// The dataset recipe for this scale.
+    pub fn dataset_spec(&self) -> deepn_dataset::DatasetSpec {
+        match self {
+            Scale::Fast => {
+                let mut spec = deepn_dataset::DatasetSpec::tiny();
+                spec.train_per_class = 12;
+                spec.test_per_class = 6;
+                spec
+            }
+            Scale::Full => deepn_dataset::DatasetSpec::imagenet_standin(),
+        }
+    }
+
+    /// Training epochs for this scale.
+    pub fn epochs(&self) -> usize {
+        match self {
+            Scale::Fast => 4,
+            Scale::Full => 8,
+        }
+    }
+}
+
+/// Configuration of one training run inside an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Zoo model name (see [`deepn_nn::zoo::MODEL_NAMES`]).
+    pub model: String,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed for weights and shuffling.
+    pub seed: u64,
+    /// Record per-epoch test accuracy (Fig. 2(b)).
+    pub track_epochs: bool,
+    /// SGD learning rate. Deep plain stacks without normalization (the
+    /// VGG-style model) need a smaller rate than the default 0.05.
+    pub lr: f32,
+}
+
+impl ExperimentConfig {
+    /// MiniAlexNet (the paper's workhorse model) at the given scale.
+    pub fn alexnet(scale: Scale) -> Self {
+        ExperimentConfig {
+            model: "MiniAlexNet".to_owned(),
+            epochs: scale.epochs(),
+            batch_size: 32,
+            seed: 0xDEE9,
+            track_epochs: false,
+            lr: 0.05,
+        }
+    }
+
+    /// Same config with a different zoo model, adjusting the learning rate
+    /// to the model's stable range.
+    #[must_use]
+    pub fn with_model(mut self, model: &str) -> Self {
+        self.model = model.to_owned();
+        if model == "MiniVgg" {
+            // Plain deep stack without normalization: diverges at 0.05.
+            self.lr = 0.015;
+        }
+        self
+    }
+}
+
+/// Outcome of one case: final accuracy, the training history, and the
+/// compressed byte counts that feed the CR and power figures.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Final test-set top-1 accuracy.
+    pub accuracy: f64,
+    /// Per-epoch metrics.
+    pub history: TrainingHistory,
+    /// Total compressed size of the training images under the train scheme.
+    pub train_bytes: usize,
+    /// Total compressed size of the test images under the test scheme.
+    pub test_bytes: usize,
+}
+
+/// Converts decoded images to normalized CHW tensors for the DNN,
+/// centered on zero (`[-0.5, 0.5]`), which keeps the first conv layer's
+/// pre-activations balanced and makes small-data training markedly more
+/// stable.
+pub fn to_tensors(images: &[RgbImage]) -> Vec<Tensor> {
+    images
+        .iter()
+        .map(|img| {
+            let mut chw = img.to_chw_f32();
+            for v in &mut chw {
+                *v -= 0.5;
+            }
+            Tensor::from_vec(chw, &[3, img.height(), img.width()])
+        })
+        .collect()
+}
+
+/// Total compressed size of `images` under `scheme`.
+///
+/// # Errors
+///
+/// Codec errors from compression.
+pub fn dataset_bytes(scheme: &CompressionScheme, images: &[RgbImage]) -> Result<usize, CoreError> {
+    Ok(scheme.compressed_sizes(images)?.iter().sum())
+}
+
+/// Compression rate of `scheme` relative to the paper's reference
+/// ("Original" = QF 100 JPEG), over the same images. CR(Original) = 1.
+///
+/// # Errors
+///
+/// Codec errors from compression.
+pub fn compression_rate(
+    scheme: &CompressionScheme,
+    images: &[RgbImage],
+) -> Result<f64, CoreError> {
+    let reference = dataset_bytes(&CompressionScheme::original(), images)?;
+    let target = dataset_bytes(scheme, images)?;
+    if target == 0 {
+        return Err(CoreError::EmptyInput("no images to compress".into()));
+    }
+    Ok(reference as f64 / target as f64)
+}
+
+/// Builds the zoo model named in `cfg` for the image geometry of `set`.
+fn build_model(cfg: &ExperimentConfig, set: &ImageSet) -> Sequential {
+    let img = &set.images()[0];
+    zoo::by_name(
+        &cfg.model,
+        3,
+        img.height(),
+        img.width(),
+        set.class_count(),
+        cfg.seed,
+    )
+}
+
+/// Trains on `train_scheme`-compressed images, tests on
+/// `test_scheme`-compressed images (the general form covering CASE 1,
+/// CASE 2, and the symmetric evaluation runs).
+///
+/// # Errors
+///
+/// Codec errors while round-tripping either split.
+pub fn run_case(
+    cfg: &ExperimentConfig,
+    set: &ImageSet,
+    train_scheme: &CompressionScheme,
+    test_scheme: &CompressionScheme,
+) -> Result<CaseOutcome, CoreError> {
+    let (train_imgs, train_labels) = set.train();
+    let (test_imgs, test_labels) = set.test();
+    let (train_dec, train_bytes) = train_scheme.round_trip_set(train_imgs)?;
+    let (test_dec, test_bytes) = test_scheme.round_trip_set(test_imgs)?;
+    let train_x = to_tensors(&train_dec);
+    let test_x = to_tensors(&test_dec);
+    let mut net = build_model(cfg, set);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        seed: cfg.seed,
+        track_epochs: cfg.track_epochs,
+        sgd: deepn_nn::Sgd::new(cfg.lr),
+        ..TrainConfig::default()
+    });
+    let history = trainer.fit(&mut net, &train_x, train_labels, &test_x, test_labels);
+    Ok(CaseOutcome {
+        accuracy: history.final_test_accuracy(),
+        history,
+        train_bytes,
+        test_bytes,
+    })
+}
+
+/// Trains **and** tests on the same compression scheme — how the paper's
+/// Figs. 6–8 evaluate each candidate.
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn run_symmetric(
+    cfg: &ExperimentConfig,
+    set: &ImageSet,
+    scheme: &CompressionScheme,
+) -> Result<CaseOutcome, CoreError> {
+    run_case(cfg, set, scheme, scheme)
+}
+
+/// Trains a model once on `scheme`-compressed training data and returns it
+/// together with the tensors/labels needed for later evaluations — the
+/// shape of the Fig. 5 band-sensitivity sweep, which reuses one model
+/// across dozens of test-time quantization settings.
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn train_model(
+    cfg: &ExperimentConfig,
+    set: &ImageSet,
+    scheme: &CompressionScheme,
+) -> Result<Sequential, CoreError> {
+    let (train_imgs, train_labels) = set.train();
+    let (train_dec, _) = scheme.round_trip_set(train_imgs)?;
+    let train_x = to_tensors(&train_dec);
+    let mut net = build_model(cfg, set);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        seed: cfg.seed,
+        track_epochs: false,
+        sgd: deepn_nn::Sgd::new(cfg.lr),
+        ..TrainConfig::default()
+    });
+    // Evaluate on the training data only for the mandatory final entry.
+    let _ = trainer.fit(&mut net, &train_x, train_labels, &train_x, train_labels);
+    Ok(net)
+}
+
+/// Test accuracy of an already-trained model on `scheme`-compressed test
+/// images.
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn evaluate_model(
+    net: &mut Sequential,
+    set: &ImageSet,
+    scheme: &CompressionScheme,
+) -> Result<f64, CoreError> {
+    let (test_imgs, test_labels) = set.test();
+    let (test_dec, _) = scheme.round_trip_set(test_imgs)?;
+    let test_x = to_tensors(&test_dec);
+    let trainer = Trainer::new(TrainConfig::default());
+    Ok(trainer.evaluate(net, &test_x, test_labels))
+}
+
+/// Quantization tables that probe a single band group: every band in
+/// `kind` (under `segmentation`) gets `step`, every other band gets step 1
+/// — the paper's Fig. 5 methodology ("only varying the quantization steps
+/// of interested frequency bands ... all the others are assigned with
+/// minimized quantization steps").
+///
+/// # Panics
+///
+/// Panics if `step == 0`.
+pub fn band_probe_tables(
+    segmentation: &Segmentation,
+    kind: BandKind,
+    step: u16,
+) -> QuantTablePair {
+    assert!(step > 0, "quantization step must be positive");
+    let mut values = [1u16; 64];
+    for band in segmentation.bands_of(kind) {
+        values[band] = step;
+    }
+    let table = QuantTable::new(values).expect("steps are positive");
+    QuantTablePair {
+        luma: table.clone(),
+        chroma: table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepn_dataset::DatasetSpec;
+
+    fn fast_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            model: "MiniAlexNet".to_owned(),
+            epochs: 8,
+            batch_size: 16,
+            seed: 7,
+            track_epochs: false,
+            lr: 0.05,
+        }
+    }
+
+    fn fast_set() -> ImageSet {
+        let mut spec = DatasetSpec::tiny();
+        spec.train_per_class = 16;
+        spec.test_per_class = 6;
+        ImageSet::generate(&spec, 21)
+    }
+
+    #[test]
+    fn original_compression_rate_is_one() {
+        let set = fast_set();
+        let cr = compression_rate(&CompressionScheme::original(), set.images()).expect("cr");
+        assert!((cr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggressive_jpeg_has_higher_cr() {
+        let set = fast_set();
+        let cr20 = compression_rate(&CompressionScheme::Jpeg(20), set.images()).expect("20");
+        let cr80 = compression_rate(&CompressionScheme::Jpeg(80), set.images()).expect("80");
+        assert!(cr20 > cr80, "{cr20} vs {cr80}");
+        assert!(cr80 > 1.0);
+    }
+
+    #[test]
+    fn symmetric_case_learns_something() {
+        let outcome = run_symmetric(&fast_cfg(), &fast_set(), &CompressionScheme::original())
+            .expect("runs");
+        // 4 classes -> chance is 0.25; the model must beat it clearly.
+        assert!(outcome.accuracy > 0.4, "accuracy {}", outcome.accuracy);
+        assert!(outcome.train_bytes > 0 && outcome.test_bytes > 0);
+    }
+
+    #[test]
+    fn train_once_evaluate_many() {
+        let set = fast_set();
+        let cfg = fast_cfg();
+        let mut net = train_model(&cfg, &set, &CompressionScheme::original()).expect("train");
+        let acc_hi = evaluate_model(&mut net, &set, &CompressionScheme::original()).expect("hi");
+        let acc_crushed =
+            evaluate_model(&mut net, &set, &CompressionScheme::SameQ(200)).expect("crushed");
+        // Destroying nearly all frequency content cannot help accuracy.
+        assert!(acc_crushed <= acc_hi + 0.101, "{acc_crushed} vs {acc_hi}");
+    }
+
+    #[test]
+    fn band_probe_tables_touch_only_target_group() {
+        let seg = Segmentation::position_based();
+        let t = band_probe_tables(&seg, BandKind::High, 40);
+        let mut high = 0;
+        let mut unit = 0;
+        for &v in t.luma.values() {
+            if v == 40 {
+                high += 1;
+            } else if v == 1 {
+                unit += 1;
+            }
+        }
+        assert_eq!(high, 36);
+        assert_eq!(unit, 28);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_full() {
+        // (Does not set the variable: other tests may run concurrently.)
+        let s = Scale::Full;
+        assert!(s.epochs() >= Scale::Fast.epochs());
+        assert!(s.dataset_spec().total_images() > Scale::Fast.dataset_spec().total_images());
+    }
+}

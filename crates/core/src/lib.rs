@@ -1,0 +1,74 @@
+//! # deepn-core
+//!
+//! The primary contribution of
+//! [DeepN-JPEG](https://arxiv.org/abs/1803.05788) (Liu et al., DAC 2018):
+//! a DNN-favorable quantization-table design for JPEG-style compression.
+//!
+//! The framework has three stages, mirroring the paper's Fig. 4:
+//!
+//! 1. **Frequency component analysis** ([`analysis`], the paper's
+//!    Algorithm 1): sample the labeled dataset, run the un-quantized 8×8
+//!    block DCT, and characterize each of the 64 frequency bands by the
+//!    standard deviation σ of its coefficients.
+//! 2. **Band segmentation** ([`bands`]): rank bands by σ magnitude into
+//!    Low (top 6), Mid (ranks 7–28) and High (29–64) groups — the
+//!    *magnitude-based* segmentation, contrasted with the HVS-style
+//!    *position-based* one.
+//! 3. **Piece-wise linear mapping** ([`plm`], Eq. 3): map each band's σ to
+//!    a quantization step with per-group slopes, clamped at `Qmin`.
+//!
+//! [`DeepnTableBuilder`] packages the stages into one call producing a
+//! [`QuantTablePair`] that drops into the [`deepn_codec::Encoder`].
+//! [`CompressionScheme`] adds the paper's baselines (quality-scaled JPEG,
+//! RM-HF, SAME-Q) and [`experiment`] provides the compress → train → test
+//! pipeline behind every figure.
+//!
+//! ```
+//! use deepn_core::{DeepnTableBuilder, PlmParams};
+//! use deepn_dataset::{DatasetSpec, ImageSet};
+//!
+//! # fn main() -> Result<(), deepn_core::CoreError> {
+//! let set = ImageSet::generate(&DatasetSpec::tiny(), 1);
+//! let tables = DeepnTableBuilder::new(PlmParams::paper())
+//!     .sample_interval(2)
+//!     .build(set.images())?;
+//! // High-σ (low-frequency) bands get small steps, never below Qmin.
+//! assert!(tables.luma.value(0, 0) >= 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod analysis;
+pub mod bands;
+mod baselines;
+mod error;
+pub mod experiment;
+pub mod plm;
+pub mod rate;
+pub mod sa_search;
+mod table_builder;
+
+pub use analysis::{analyze_images, BandStats};
+pub use bands::{BandKind, Segmentation};
+pub use baselines::CompressionScheme;
+pub use error::CoreError;
+pub use plm::PlmParams;
+pub use table_builder::{DeepnTableBuilder, ThresholdMode};
+
+// Re-export the codec types that appear in this crate's public API.
+pub use deepn_codec::{QuantTable, QuantTablePair};
+
+/// Zig-zag position (0 = DC, 63 = highest diagonal) of a natural-order
+/// band index — the frequency ordering used by the position-based
+/// segmentation and the RM-HF baseline.
+///
+/// # Panics
+///
+/// Panics if `natural >= 64`.
+pub fn zigzag_rank(natural: usize) -> usize {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[usize; 64]> = OnceLock::new();
+    INV.get_or_init(deepn_codec::zigzag::natural_to_zigzag)[natural]
+}

@@ -1,0 +1,242 @@
+//! The piece-wise linear mapping (PLM) from band σ to quantization step —
+//! the paper's Eq. 3 and §4 parameter optimization.
+//!
+//! ```text
+//!          ⎧ a − k1·σ   σ ≤ T1        (High-frequency group)
+//! Q(σ) =   ⎨ b − k2·σ   T1 < σ ≤ T2   (Mid-frequency group)
+//!          ⎩ c − k3·σ   σ > T2        (Low-frequency group)
+//! ```
+//! subject to `Q ≥ Qmin` (and `Q ≤ Qmax` so tables stay baseline-codable).
+//!
+//! The published ImageNet parameters (`a=255, b=80, c=240, T1=20, T2=60,
+//! k1=9.75, k2=1, k3=3, Qmin=5`) are not arbitrary: they satisfy the
+//! anchor conditions the paper derives in Fig. 5 —
+//!
+//! - `Q(0) = Qmax = 255` on the HF branch, and `Q(T1) = Q1 = 60`
+//!   (the largest HF step with no accuracy loss), giving
+//!   `k1 = (Qmax − Q1)/T1 = 9.75`;
+//! - `Q(T1) = Q1` and `Q(T2) = Q2 = 20` on the MF branch, giving
+//!   `k2 = (Q1 − Q2)/(T2 − T1) = 1` and `b = Q1 + k2·T1 = 80`;
+//! - `Q(T2) = Q1` on the LF branch with the tuned slope `k3 = 3`
+//!   (Fig. 6), giving `c = Q1 + k3·T2 = 240`, floored at `Qmin = 5`
+//!   (Fig. 5(a)).
+//!
+//! [`PlmParams::calibrated`] re-derives all six fitting constants from any
+//! `(T1, T2)` pair using those anchors, which is how the builder adapts the
+//! mapping to a dataset whose σ scale differs from ImageNet's.
+
+use crate::CoreError;
+
+/// Parameters of the piece-wise linear mapping (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlmParams {
+    /// HF intercept (`Qmax` at σ = 0).
+    pub a: f64,
+    /// MF intercept.
+    pub b: f64,
+    /// LF intercept.
+    pub c: f64,
+    /// HF slope.
+    pub k1: f64,
+    /// MF slope.
+    pub k2: f64,
+    /// LF slope (the free knob swept in Fig. 6).
+    pub k3: f64,
+    /// HF/MF σ threshold.
+    pub t1: f64,
+    /// MF/LF σ threshold.
+    pub t2: f64,
+    /// Lower clamp on every step (Fig. 5(a): LF accuracy drops past 5).
+    pub q_min: u16,
+    /// Upper clamp (255 keeps tables 8-bit baseline).
+    pub q_max: u16,
+}
+
+impl PlmParams {
+    /// The exact published ImageNet parameters (paper §5).
+    pub fn paper() -> Self {
+        PlmParams {
+            a: 255.0,
+            b: 80.0,
+            c: 240.0,
+            k1: 9.75,
+            k2: 1.0,
+            k3: 3.0,
+            t1: 20.0,
+            t2: 60.0,
+            q_min: 5,
+            q_max: 255,
+        }
+    }
+
+    /// Derives a full parameter set from measured thresholds `(t1, t2)`
+    /// and the paper's anchor steps (`Qmax = 255`, `Q1 = 60`, `Q2 = 20`,
+    /// `Qmin = 5`), with the LF slope `k3` left as the free knob.
+    ///
+    /// With `t1 = 20, t2 = 60, k3 = 3` this reproduces
+    /// [`PlmParams::paper`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadParams`] unless `0 < t1 < t2`.
+    pub fn calibrated(t1: f64, t2: f64, k3: f64) -> Result<Self, CoreError> {
+        if !(t1 > 0.0 && t2 > t1) {
+            return Err(CoreError::BadParams(format!(
+                "thresholds must satisfy 0 < t1 < t2, got t1={t1}, t2={t2}"
+            )));
+        }
+        let (q_max, q1, q2) = (255.0, 60.0, 20.0);
+        let k1 = (q_max - q1) / t1;
+        let k2 = (q1 - q2) / (t2 - t1);
+        Ok(PlmParams {
+            a: q_max,
+            b: q1 + k2 * t1,
+            c: q1 + k3 * t2,
+            k1,
+            k2,
+            k3,
+            t1,
+            t2,
+            q_min: 5,
+            q_max: 255,
+        })
+    }
+
+    /// Returns a copy with a different LF slope `k3`, re-anchoring the LF
+    /// intercept `c = Q(T2) + k3·T2` so the branch still starts from the
+    /// same step at the threshold (the Fig. 6 sweep).
+    #[must_use]
+    pub fn with_k3(mut self, k3: f64) -> Self {
+        let q_at_t2 = self.c - self.k3 * self.t2;
+        self.k3 = k3;
+        self.c = q_at_t2 + k3 * self.t2;
+        self
+    }
+
+    /// The quantization step for a band with standard deviation `sigma`
+    /// (Eq. 3 with both clamps applied).
+    pub fn quant_step(&self, sigma: f64) -> u16 {
+        let q = if sigma <= self.t1 {
+            self.a - self.k1 * sigma
+        } else if sigma <= self.t2 {
+            self.b - self.k2 * sigma
+        } else {
+            self.c - self.k3 * sigma
+        };
+        let q = q.round();
+        let lo = f64::from(self.q_min);
+        let hi = f64::from(self.q_max);
+        q.clamp(lo, hi) as u16
+    }
+
+    /// Maps a whole σ table (natural order) to quantization steps.
+    pub fn map_table(&self, sigmas: &[f64; 64]) -> [u16; 64] {
+        let mut out = [0u16; 64];
+        for (o, &s) in out.iter_mut().zip(sigmas.iter()) {
+            *o = self.quant_step(s);
+        }
+        out
+    }
+}
+
+impl Default for PlmParams {
+    fn default() -> Self {
+        PlmParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_reproduces_paper_constants() {
+        let p = PlmParams::calibrated(20.0, 60.0, 3.0).expect("valid");
+        let paper = PlmParams::paper();
+        assert!((p.a - paper.a).abs() < 1e-9);
+        assert!((p.b - paper.b).abs() < 1e-9);
+        assert!((p.c - paper.c).abs() < 1e-9);
+        assert!((p.k1 - paper.k1).abs() < 1e-9);
+        assert!((p.k2 - paper.k2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_values_match_hand_calculation() {
+        let p = PlmParams::paper();
+        assert_eq!(p.quant_step(0.0), 255); // HF: a
+        assert_eq!(p.quant_step(20.0), 60); // HF at T1: 255 - 195
+        assert_eq!(p.quant_step(40.0), 40); // MF: 80 - 40
+        assert_eq!(p.quant_step(60.0), 20); // MF at T2
+        assert_eq!(p.quant_step(70.0), 30); // LF: 240 - 210
+        assert_eq!(p.quant_step(80.0), 5); // LF clamped at Qmin (240-240=0)
+    }
+
+    #[test]
+    fn qmin_floor_holds_for_huge_sigma() {
+        let p = PlmParams::paper();
+        assert_eq!(p.quant_step(1e6), 5);
+    }
+
+    #[test]
+    fn mapping_is_monotone_within_branches() {
+        let p = PlmParams::paper();
+        // Larger σ (more DNN-important) never gets a larger step within a
+        // branch.
+        // Note the mapping is deliberately discontinuous at T2 (the
+        // published constants give Q(T2⁻) = 20 but Q(T2⁺) ≈ 60), so each
+        // branch is tested on its own open interval.
+        for (lo, hi) in [(0.0, 20.0), (20.5, 60.0), (60.5, 90.0)] {
+            let mut prev = u16::MAX;
+            let mut s = lo;
+            while s <= hi {
+                let q = p.quant_step(s);
+                assert!(q <= prev, "σ {s}");
+                prev = q;
+                s += 0.5;
+            }
+        }
+    }
+
+    #[test]
+    fn with_k3_preserves_threshold_step() {
+        let p = PlmParams::paper();
+        for k3 in [1.0, 2.0, 4.0, 5.0] {
+            let q = p.with_k3(k3);
+            // The LF branch is re-anchored: its value at σ = T2 must not
+            // move when k3 changes.
+            let before = p.c - p.k3 * p.t2;
+            let after = q.c - q.k3 * q.t2;
+            assert!((before - after).abs() < 1e-9, "k3 {k3}");
+            // Smaller k3 ⇒ larger LF steps deep into the LF range ⇒ higher CR.
+            if k3 < p.k3 {
+                assert!(q.quant_step(80.0) >= p.quant_step(80.0));
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_k3_coarsens_lf() {
+        let base = PlmParams::paper();
+        let q_small = base.with_k3(1.0).quant_step(75.0);
+        let q_large = base.with_k3(5.0).quant_step(75.0);
+        assert!(q_small > q_large, "{q_small} vs {q_large}");
+    }
+
+    #[test]
+    fn calibrated_rejects_bad_thresholds() {
+        assert!(PlmParams::calibrated(0.0, 10.0, 3.0).is_err());
+        assert!(PlmParams::calibrated(10.0, 10.0, 3.0).is_err());
+        assert!(PlmParams::calibrated(20.0, 10.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn map_table_applies_elementwise() {
+        let p = PlmParams::paper();
+        let mut sig = [0.0f64; 64];
+        sig[0] = 100.0;
+        sig[63] = 0.0;
+        let t = p.map_table(&sig);
+        assert_eq!(t[0], p.quant_step(100.0));
+        assert_eq!(t[63], 255);
+    }
+}

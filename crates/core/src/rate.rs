@@ -1,0 +1,157 @@
+//! Analytic rate model: predicts the compressed size a quantization table
+//! will achieve from the per-band coefficient statistics alone, without
+//! running the encoder.
+//!
+//! Reininger & Gibson (the paper's reference \[24\]) model un-quantized AC
+//! DCT coefficients as zero-mean Laplacian with per-band standard
+//! deviation σ. Quantizing a Laplacian with step `q` (uniform rounding
+//! quantizer) yields a discrete distribution whose Shannon entropy lower-
+//! bounds the bits an ideal entropy coder spends on that band. Summing
+//! over the 64 bands of the three components gives a size estimate that
+//! tracks the real encoder within tens of percent — enough to steer table
+//! search (see [`crate::sa_search`]) without thousands of encode calls.
+
+use crate::analysis::BandStats;
+use deepn_codec::{QuantTable, QuantTablePair};
+
+/// Shannon entropy (bits/symbol) of a zero-mean Laplacian with standard
+/// deviation `sigma` quantized by a uniform rounding quantizer of step `q`.
+///
+/// Degenerate cases: σ = 0 gives 0 bits (the band is always zero).
+pub fn laplacian_entropy_bits(sigma: f64, q: f64) -> f64 {
+    assert!(q > 0.0, "quantization step must be positive");
+    if sigma <= f64::EPSILON {
+        return 0.0;
+    }
+    // Laplacian rate parameter λ = √2 / σ.
+    let lambda = std::f64::consts::SQRT_2 / sigma;
+    // P(level 0) = 1 − e^{−λq/2}; P(level ±k) = e^{−λq(k−1/2)}(1−e^{−λq})/2·2
+    let e_half = (-lambda * q / 2.0).exp();
+    let e_full = (-lambda * q).exp();
+    let p0 = 1.0 - e_half;
+    let mut h = if p0 > 0.0 { -p0 * p0.log2() } else { 0.0 };
+    // Two-sided tail: level ±k has probability p_k = e^{−λq(k−1/2)}·(1−e^{−λq}).
+    // (combined over both signs; we split the sign bit out explicitly so the
+    // per-level probability is p_k/2 each — equivalent to adding one sign
+    // bit times the tail mass.)
+    let tail_scale = e_half * (1.0 - e_full);
+    let mut pk = tail_scale;
+    let mut k = 0;
+    while pk > 1e-12 && k < 4096 {
+        let each = pk / 2.0;
+        if each > 0.0 {
+            h += -2.0 * each * each.log2();
+        }
+        pk *= e_full;
+        k += 1;
+    }
+    h
+}
+
+/// Predicted bits per 8×8 block for one component table under the measured
+/// band σ values.
+pub fn predicted_bits_per_block(sigmas: &[f64; 64], table: &QuantTable) -> f64 {
+    sigmas
+        .iter()
+        .zip(table.values().iter())
+        .map(|(&s, &q)| laplacian_entropy_bits(s, f64::from(q)))
+        .sum()
+}
+
+/// Predicted total compressed size in bytes for `blocks_per_component`
+/// blocks (Y plus the two pooled-chroma components), excluding the fixed
+/// container overhead.
+pub fn predicted_scan_bytes(
+    stats: &BandStats,
+    tables: &QuantTablePair,
+    blocks_per_component: usize,
+) -> f64 {
+    let y = predicted_bits_per_block(&stats.luma_sigmas(), &tables.luma);
+    let c = predicted_bits_per_block(&stats.chroma_sigmas(), &tables.chroma);
+    (y + 2.0 * c) * blocks_per_component as f64 / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_images;
+    use deepn_codec::Encoder;
+    use deepn_dataset::{DatasetSpec, ImageSet};
+
+    #[test]
+    fn entropy_decreases_with_coarser_steps() {
+        let mut prev = f64::INFINITY;
+        for q in [1.0, 2.0, 4.0, 8.0, 16.0, 64.0] {
+            let h = laplacian_entropy_bits(10.0, q);
+            assert!(h < prev, "q {q}: {h} !< {prev}");
+            assert!(h >= 0.0);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn entropy_increases_with_sigma() {
+        let small = laplacian_entropy_bits(2.0, 4.0);
+        let large = laplacian_entropy_bits(50.0, 4.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn zero_sigma_band_costs_nothing() {
+        assert_eq!(laplacian_entropy_bits(0.0, 8.0), 0.0);
+    }
+
+    #[test]
+    fn huge_step_drives_entropy_to_zero() {
+        assert!(laplacian_entropy_bits(10.0, 1e6) < 1e-6);
+    }
+
+    #[test]
+    fn fine_quantization_approaches_continuous_entropy() {
+        // For q << σ, H ≈ h(X) − log2(q) where h is the differential
+        // entropy of the Laplacian: log2(2eσ/√2).
+        let sigma = 40.0;
+        let q = 0.25;
+        let h = laplacian_entropy_bits(sigma, q);
+        let expected = (2.0 * std::f64::consts::E * sigma / std::f64::consts::SQRT_2).log2()
+            - q.log2();
+        assert!((h - expected).abs() < 0.05, "{h} vs {expected}");
+    }
+
+    #[test]
+    fn prediction_tracks_real_encoder_ordering() {
+        // The model need not match bytes exactly (real Huffman coding and
+        // DC DPCM differ from the ideal), but it must order tables by size
+        // and land within a reasonable factor.
+        let set = ImageSet::generate(&DatasetSpec::tiny(), 77);
+        let stats = analyze_images(set.images().iter(), 1).expect("stats");
+        let blocks = set.len() * (16 / 8) * (16 / 8);
+        let mut results = Vec::new();
+        for q in [2u16, 8, 32] {
+            let tables = QuantTablePair::uniform(q);
+            let predicted = predicted_scan_bytes(&stats, &tables, blocks);
+            let actual: usize = set
+                .images()
+                .iter()
+                .map(|i| {
+                    Encoder::with_tables(tables.clone())
+                        .encode(i)
+                        .expect("encodes")
+                        .len()
+                })
+                .sum();
+            // Subtract the per-image container overhead (~200 bytes each).
+            let actual_scan = actual.saturating_sub(set.len() * 200) as f64;
+            results.push((q, predicted, actual_scan));
+        }
+        // Ordering must agree.
+        assert!(results[0].1 > results[1].1 && results[1].1 > results[2].1);
+        assert!(results[0].2 > results[1].2 && results[1].2 > results[2].2);
+        // And the finest-quantization prediction within a factor of 2.5.
+        let ratio = results[0].1 / results[0].2.max(1.0);
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "prediction off by {ratio}: {results:?}"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Simulated-annealing quantization-table search — the generic
+//! search-based alternative the paper cites as related work (Hopkins et
+//! al., "Simulated annealing for JPEG quantization", its reference \[23\])
+//! and argues against: parameter search over the 64-step table is
+//! expensive, whereas DeepN-JPEG derives the table in closed form from the
+//! band statistics.
+//!
+//! The implementation anneals the luma/chroma steps to minimize the
+//! *predicted* compressed size (the [`crate::rate`] Laplacian model, so a
+//! move costs microseconds instead of an encoder run) subject to a
+//! distortion budget expressed as the predicted per-band mean squared
+//! quantization error. It serves as an ablation baseline: how close does
+//! an hour of annealing get to what DeepN-JPEG computes in one pass?
+
+use crate::analysis::BandStats;
+use crate::rate::predicted_bits_per_block;
+use deepn_codec::QuantTablePair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the annealing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaConfig {
+    /// Number of proposal steps.
+    pub iterations: usize,
+    /// Initial temperature (in objective units).
+    pub t_start: f64,
+    /// Final temperature.
+    pub t_end: f64,
+    /// Lagrange weight on the distortion term.
+    pub distortion_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            iterations: 20_000,
+            t_start: 50.0,
+            t_end: 0.05,
+            distortion_weight: 0.05,
+            seed: 0x5A5A,
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct SaOutcome {
+    /// The best tables found.
+    pub tables: QuantTablePair,
+    /// Objective value of the best tables.
+    pub objective: f64,
+    /// Objective trace (sampled every 1000 iterations, for plotting).
+    pub trace: Vec<f64>,
+}
+
+/// Expected mean squared quantization error of a Laplacian(σ) band under a
+/// uniform rounding quantizer of step `q` — approximated by the
+/// high-resolution formula `q²/12` saturated at the band variance σ²
+/// (a coarse quantizer cannot do worse than zeroing the band).
+pub fn band_mse(sigma: f64, q: f64) -> f64 {
+    (q * q / 12.0).min(sigma * sigma)
+}
+
+fn objective(stats: &BandStats, pair: &QuantTablePair, weight: f64) -> f64 {
+    let luma_sig = stats.luma_sigmas();
+    let chroma_sig = stats.chroma_sigmas();
+    let rate = predicted_bits_per_block(&luma_sig, &pair.luma)
+        + 2.0 * predicted_bits_per_block(&chroma_sig, &pair.chroma);
+    let mut distortion = 0.0;
+    for (sig, table) in [(&luma_sig, &pair.luma), (&chroma_sig, &pair.chroma)] {
+        for (&s, &q) in sig.iter().zip(table.values().iter()) {
+            distortion += band_mse(s, f64::from(q));
+        }
+    }
+    rate + weight * distortion
+}
+
+/// Anneals a quantization-table pair against the measured band statistics.
+///
+/// Starts from uniform step-16 tables; each move multiplies one random
+/// entry of one table by a random factor in `[0.5, 2.0]` (clamped to
+/// `[1, 255]`) and is accepted with the Metropolis criterion under a
+/// geometric temperature schedule.
+///
+/// # Panics
+///
+/// Panics if `config.iterations == 0` or the temperatures are not ordered
+/// `t_start > t_end > 0`.
+pub fn anneal(stats: &BandStats, config: &SaConfig) -> SaOutcome {
+    assert!(config.iterations > 0, "need at least one iteration");
+    assert!(
+        config.t_start > config.t_end && config.t_end > 0.0,
+        "temperatures must satisfy t_start > t_end > 0"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut current = QuantTablePair::uniform(16);
+    let mut cur_obj = objective(stats, &current, config.distortion_weight);
+    let mut best = current.clone();
+    let mut best_obj = cur_obj;
+    let mut trace = Vec::new();
+    let cool = (config.t_end / config.t_start).powf(1.0 / config.iterations as f64);
+    let mut temp = config.t_start;
+    for it in 0..config.iterations {
+        // Propose: scale one entry of one table.
+        let mut cand = current.clone();
+        let table = if rng.gen_bool(0.5) {
+            &mut cand.luma
+        } else {
+            &mut cand.chroma
+        };
+        let idx = rng.gen_range(0..64);
+        let factor: f64 = rng.gen_range(0.5..2.0);
+        let old = f64::from(table.values()[idx]);
+        let proposed = (old * factor).round().clamp(1.0, 255.0) as u16;
+        table.set(idx, proposed.max(1));
+        let cand_obj = objective(stats, &cand, config.distortion_weight);
+        let accept = cand_obj <= cur_obj
+            || rng.gen::<f64>() < ((cur_obj - cand_obj) / temp).exp();
+        if accept {
+            current = cand;
+            cur_obj = cand_obj;
+            if cur_obj < best_obj {
+                best = current.clone();
+                best_obj = cur_obj;
+            }
+        }
+        if it % 1000 == 0 {
+            trace.push(cur_obj);
+        }
+        temp *= cool;
+    }
+    SaOutcome {
+        tables: best,
+        objective: best_obj,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_images;
+    use deepn_dataset::{DatasetSpec, ImageSet};
+
+    fn stats() -> BandStats {
+        let set = ImageSet::generate(&DatasetSpec::tiny(), 5);
+        analyze_images(set.images().iter(), 1).expect("stats")
+    }
+
+    fn fast_config() -> SaConfig {
+        SaConfig {
+            iterations: 3000,
+            ..SaConfig::default()
+        }
+    }
+
+    #[test]
+    fn annealing_improves_the_objective() {
+        let s = stats();
+        let cfg = fast_config();
+        let start = objective(&s, &QuantTablePair::uniform(16), cfg.distortion_weight);
+        let out = anneal(&s, &cfg);
+        assert!(out.objective < start, "{} !< {start}", out.objective);
+        assert!(!out.trace.is_empty());
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let s = stats();
+        let a = anneal(&s, &fast_config());
+        let b = anneal(&s, &fast_config());
+        assert_eq!(a.tables.luma, b.tables.luma);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let s = stats();
+        let a = anneal(&s, &fast_config());
+        let b = anneal(
+            &s,
+            &SaConfig {
+                seed: 0x1234,
+                ..fast_config()
+            },
+        );
+        assert_ne!(a.tables.luma, b.tables.luma);
+    }
+
+    #[test]
+    fn learned_tables_respect_band_energy() {
+        // High-σ bands should end with finer steps than near-dead bands.
+        let s = stats();
+        let out = anneal(
+            &s,
+            &SaConfig {
+                iterations: 12_000,
+                ..SaConfig::default()
+            },
+        );
+        let sig = s.luma_sigmas();
+        let mut hi = Vec::new();
+        let mut lo = Vec::new();
+        let mut order: Vec<usize> = (0..64).collect();
+        order.sort_by(|&a, &b| sig[b].partial_cmp(&sig[a]).expect("no NaN"));
+        for &b in &order[..8] {
+            hi.push(f64::from(out.tables.luma.values()[b]));
+        }
+        for &b in &order[56..] {
+            lo.push(f64::from(out.tables.luma.values()[b]));
+        }
+        let hi_mean: f64 = hi.iter().sum::<f64>() / hi.len() as f64;
+        let lo_mean: f64 = lo.iter().sum::<f64>() / lo.len() as f64;
+        assert!(
+            hi_mean < lo_mean,
+            "annealing should refine energetic bands: {hi_mean} vs {lo_mean}"
+        );
+    }
+
+    #[test]
+    fn band_mse_saturates_at_variance() {
+        assert!((band_mse(10.0, 2.0) - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(band_mse(3.0, 1000.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperatures must satisfy")]
+    fn rejects_bad_temperatures() {
+        anneal(
+            &stats(),
+            &SaConfig {
+                t_start: 0.1,
+                t_end: 1.0,
+                ..SaConfig::default()
+            },
+        );
+    }
+}

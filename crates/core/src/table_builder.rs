@@ -1,0 +1,213 @@
+use crate::analysis::{analyze_images, BandStats};
+use crate::bands::rank_thresholds;
+use crate::plm::PlmParams;
+use crate::CoreError;
+use deepn_codec::{QuantTable, QuantTablePair, RgbImage};
+
+/// How the PLM thresholds `(T1, T2)` are chosen when building a table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdMode {
+    /// Use the thresholds already in the supplied [`PlmParams`] (e.g. the
+    /// paper's absolute ImageNet values `T1 = 20, T2 = 60`).
+    Fixed,
+    /// Re-derive `(T1, T2)` from the measured luma σ table at the
+    /// magnitude-rank boundaries (`T2` = smallest Low-group σ, `T1` =
+    /// smallest Mid-group σ), exactly as the paper picks `δ'₁,₄` and
+    /// `δ'₁,₈` — this adapts the mapping to any dataset's σ scale.
+    Calibrated,
+}
+
+/// End-to-end DeepN-JPEG quantization-table designer: Algorithm 1 frequency
+/// analysis followed by the PLM of Eq. 3, producing a [`QuantTablePair`]
+/// ready for the encoder.
+///
+/// ```
+/// use deepn_core::{DeepnTableBuilder, PlmParams};
+/// use deepn_dataset::{DatasetSpec, ImageSet};
+///
+/// # fn main() -> Result<(), deepn_core::CoreError> {
+/// let set = ImageSet::generate(&DatasetSpec::tiny(), 2);
+/// let tables = DeepnTableBuilder::new(PlmParams::paper()).build(set.images())?;
+/// assert!(tables.luma.values().iter().all(|&q| q >= 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeepnTableBuilder {
+    params: PlmParams,
+    sample_interval: usize,
+    threshold_mode: ThresholdMode,
+}
+
+impl DeepnTableBuilder {
+    /// Creates a builder with the given PLM parameters, sampling interval 1
+    /// and calibrated thresholds (see [`ThresholdMode::Calibrated`]).
+    pub fn new(params: PlmParams) -> Self {
+        DeepnTableBuilder {
+            params,
+            sample_interval: 1,
+            threshold_mode: ThresholdMode::Calibrated,
+        }
+    }
+
+    /// Analyzes only every `interval`-th image (Algorithm 1's sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    #[must_use]
+    pub fn sample_interval(mut self, interval: usize) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Selects how thresholds are chosen (default: calibrated).
+    #[must_use]
+    pub fn threshold_mode(mut self, mode: ThresholdMode) -> Self {
+        self.threshold_mode = mode;
+        self
+    }
+
+    /// The configured PLM parameters.
+    pub fn params(&self) -> &PlmParams {
+        &self.params
+    }
+
+    /// Runs the frequency analysis over `images` and maps the per-band σ
+    /// to quantization tables.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyInput`] if sampling selects no image;
+    /// [`CoreError::BadParams`] if calibration produces degenerate
+    /// thresholds (all-equal σ); codec errors cannot occur here.
+    pub fn build(&self, images: &[RgbImage]) -> Result<QuantTablePair, CoreError> {
+        let stats = analyze_images(images.iter(), self.sample_interval)?;
+        self.build_from_stats(&stats)
+    }
+
+    /// Maps precomputed band statistics to tables (lets callers reuse one
+    /// analysis across several parameter settings, as the Fig. 6 k3 sweep
+    /// does).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](Self::build), minus the analysis step.
+    pub fn build_from_stats(&self, stats: &BandStats) -> Result<QuantTablePair, CoreError> {
+        let luma_sig = stats.luma_sigmas();
+        let chroma_sig = stats.chroma_sigmas();
+        let params = match self.threshold_mode {
+            ThresholdMode::Fixed => self.params,
+            ThresholdMode::Calibrated => {
+                let (t1, t2) = rank_thresholds(&luma_sig);
+                PlmParams::calibrated(t1, t2, self.params.k3).map_err(|_| {
+                    CoreError::BadParams(format!(
+                        "degenerate σ thresholds t1={t1}, t2={t2} (dataset has no \
+                         frequency-band contrast)"
+                    ))
+                })?
+            }
+        };
+        let luma = QuantTable::new(params.map_table(&luma_sig))
+            .expect("PLM steps are clamped to be positive");
+        let chroma = QuantTable::new(params.map_table(&chroma_sig))
+            .expect("PLM steps are clamped to be positive");
+        Ok(QuantTablePair { luma, chroma })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepn_dataset::{DatasetSpec, ImageSet};
+
+    fn small_set() -> ImageSet {
+        ImageSet::generate(&DatasetSpec::tiny(), 4)
+    }
+
+    #[test]
+    fn dc_gets_a_small_step() {
+        let set = small_set();
+        let tables = DeepnTableBuilder::new(PlmParams::paper())
+            .build(set.images())
+            .expect("buildable");
+        // DC has by far the largest σ, so its step is at/near Qmin, and in
+        // particular far below the HF intercept 255.
+        assert!(tables.luma.value(0, 0) <= 20, "{}", tables.luma.value(0, 0));
+        assert!(tables.luma.value(7, 7) >= tables.luma.value(0, 0));
+    }
+
+    #[test]
+    fn low_sigma_bands_get_coarse_steps() {
+        let set = small_set();
+        let stats = analyze_images(set.images().iter(), 1).expect("stats");
+        let tables = DeepnTableBuilder::new(PlmParams::paper())
+            .build_from_stats(&stats)
+            .expect("buildable");
+        let sig = stats.luma_sigmas();
+        // The band with the smallest σ must get one of the largest steps.
+        let (argmin, _) = sig
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("non-empty");
+        let max_step = tables.luma.values().iter().copied().max().expect("some");
+        assert!(tables.luma.values()[argmin] >= max_step.saturating_sub(30));
+    }
+
+    #[test]
+    fn sampling_changes_little() {
+        let set = small_set();
+        let full = DeepnTableBuilder::new(PlmParams::paper())
+            .build(set.images())
+            .expect("full");
+        let sampled = DeepnTableBuilder::new(PlmParams::paper())
+            .sample_interval(3)
+            .build(set.images())
+            .expect("sampled");
+        // Tables built from a third of the data still agree on most steps.
+        let agree = full
+            .luma
+            .values()
+            .iter()
+            .zip(sampled.luma.values())
+            .filter(|(a, b)| (i32::from(**a) - i32::from(**b)).abs() <= 16)
+            .count();
+        assert!(agree > 48, "only {agree}/64 bands close");
+    }
+
+    #[test]
+    fn fixed_mode_uses_paper_thresholds() {
+        let set = small_set();
+        let stats = analyze_images(set.images().iter(), 1).expect("stats");
+        let fixed = DeepnTableBuilder::new(PlmParams::paper())
+            .threshold_mode(ThresholdMode::Fixed)
+            .build_from_stats(&stats)
+            .expect("fixed");
+        let calibrated = DeepnTableBuilder::new(PlmParams::paper())
+            .build_from_stats(&stats)
+            .expect("calibrated");
+        // Different threshold policies generally give different tables.
+        assert_ne!(fixed.luma.values(), calibrated.luma.values());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let r = DeepnTableBuilder::new(PlmParams::paper()).build(&[]);
+        assert!(matches!(r, Err(CoreError::EmptyInput(_))));
+    }
+
+    #[test]
+    fn deterministic() {
+        let set = small_set();
+        let a = DeepnTableBuilder::new(PlmParams::paper())
+            .build(set.images())
+            .expect("a");
+        let b = DeepnTableBuilder::new(PlmParams::paper())
+            .build(set.images())
+            .expect("b");
+        assert_eq!(a.luma, b.luma);
+        assert_eq!(a.chroma, b.chroma);
+    }
+}

@@ -1,0 +1,275 @@
+//! Deterministic image synthesis from class specifications.
+
+use crate::spec::{ClassSpec, DatasetSpec};
+use deepn_codec::RgbImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated labeled dataset: parallel image and label vectors plus the
+/// train/test boundary.
+///
+/// Images `0..train_len` are the training split; the rest are the test
+/// split. Both splits interleave classes so any prefix is roughly balanced.
+#[derive(Debug, Clone)]
+pub struct ImageSet {
+    images: Vec<RgbImage>,
+    labels: Vec<usize>,
+    train_len: usize,
+    class_count: usize,
+}
+
+impl ImageSet {
+    /// Generates the dataset described by `spec`, deterministically from
+    /// `seed`. Each image gets its own RNG derived from
+    /// `(seed, class, index)`, so regenerating with a different per-class
+    /// count leaves earlier images bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no classes or zero-sized images.
+    pub fn generate(spec: &DatasetSpec, seed: u64) -> Self {
+        assert!(!spec.classes.is_empty(), "dataset needs at least one class");
+        assert!(spec.width > 0 && spec.height > 0, "images must be non-empty");
+        let mut images = Vec::with_capacity(spec.total_images());
+        let mut labels = Vec::with_capacity(spec.total_images());
+        // Interleave classes: image j of every class, then j+1, ...
+        for split in 0..2usize {
+            let count = if split == 0 {
+                spec.train_per_class
+            } else {
+                spec.test_per_class
+            };
+            for j in 0..count {
+                for (label, class) in spec.classes.iter().enumerate() {
+                    // Distinct stream per (split, class, index).
+                    let stream = seed
+                        ^ (label as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ ((j as u64 + 1) << 20)
+                        ^ ((split as u64) << 60);
+                    let mut rng = StdRng::seed_from_u64(stream);
+                    images.push(render_class(class, spec.width, spec.height, &mut rng));
+                    labels.push(label);
+                }
+            }
+        }
+        let train_len = spec.train_per_class * spec.classes.len();
+        ImageSet {
+            images,
+            labels,
+            train_len,
+            class_count: spec.classes.len(),
+        }
+    }
+
+    /// All images (train split first).
+    pub fn images(&self) -> &[RgbImage] {
+        &self.images
+    }
+
+    /// Labels parallel to [`images`](Self::images).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Total image count.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of distinct classes.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// The training split: `(images, labels)`.
+    pub fn train(&self) -> (&[RgbImage], &[usize]) {
+        (
+            &self.images[..self.train_len],
+            &self.labels[..self.train_len],
+        )
+    }
+
+    /// The test split: `(images, labels)`.
+    pub fn test(&self) -> (&[RgbImage], &[usize]) {
+        (
+            &self.images[self.train_len..],
+            &self.labels[self.train_len..],
+        )
+    }
+
+    /// Every `interval`-th image of each class from the training split, in
+    /// class order — the paper's Algorithm 1 sampling step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn sample_per_class(&self, interval: usize) -> Vec<&RgbImage> {
+        assert!(interval > 0, "sampling interval must be positive");
+        let mut out = Vec::new();
+        let mut counters = vec![0usize; self.class_count];
+        for (img, &label) in self.images[..self.train_len]
+            .iter()
+            .zip(&self.labels[..self.train_len])
+        {
+            counters[label] += 1;
+            if counters[label].is_multiple_of(interval) {
+                out.push(img);
+            }
+        }
+        out
+    }
+}
+
+/// Renders one image of a class with per-image jitter from `rng`.
+fn render_class(class: &ClassSpec, width: usize, height: usize, rng: &mut StdRng) -> RgbImage {
+    let mut img = RgbImage::new(width, height);
+    // Per-image jitter: grating phase, small angle/frequency wobble,
+    // gradient offset. These make each class a distribution.
+    let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let angle_jit: f32 = rng.gen_range(-0.08..0.08);
+    let freq_jit: f32 = rng.gen_range(0.95..1.05);
+    let grad_off: f32 = rng.gen_range(-0.15..0.15);
+    let (w_f, h_f) = (width as f32, height as f32);
+    let lf_dir = (class.lf_angle.cos(), class.lf_angle.sin());
+    let mf_angle = class.mf_angle + angle_jit;
+    let mf_dir = (mf_angle.cos(), mf_angle.sin());
+    let mf_k = std::f32::consts::TAU * class.mf_freq * freq_jit / w_f;
+    for y in 0..height {
+        for x in 0..width {
+            let (xf, yf) = (x as f32 / w_f - 0.5, y as f32 / h_f - 0.5);
+            // Low band: smooth ramp in the gradient direction.
+            let lf = class.lf_amp * ((xf * lf_dir.0 + yf * lf_dir.1) * 2.0 + grad_off);
+            // Mid band: sinusoidal grating.
+            let r = (x as f32) * mf_dir.0 + (y as f32) * mf_dir.1;
+            let mf = class.mf_amp * (mf_k * r + phase).sin();
+            // High band: pixel checker at Nyquist.
+            let checker = if (x + y) % 2 == 0 { 1.0 } else { -1.0 };
+            let hf = class.hf_amp * class.hf_sign * checker;
+            // Broadband noise (Box–Muller).
+            let noise = if class.noise_amp > 0.0 {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                class.noise_amp
+                    * (-2.0 * u1.ln()).sqrt()
+                    * (std::f32::consts::TAU * u2).cos()
+            } else {
+                0.0
+            };
+            let mut rgb = [0u8; 3];
+            for (out, &base) in rgb.iter_mut().zip(class.base.iter()) {
+                let v = base + lf + mf + hf + noise;
+                *out = v.round().clamp(0.0, 255.0) as u8;
+            }
+            img.put(x, y, rgb);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::hf_twin_pair;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::tiny();
+        let a = ImageSet::generate(&spec, 11);
+        let b = ImageSet::generate(&spec, 11);
+        assert_eq!(a.images(), b.images());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = DatasetSpec::tiny();
+        let a = ImageSet::generate(&spec, 1);
+        let b = ImageSet::generate(&spec, 2);
+        assert_ne!(a.images()[0], b.images()[0]);
+    }
+
+    #[test]
+    fn splits_have_expected_sizes_and_balance() {
+        let spec = DatasetSpec::tiny();
+        let set = ImageSet::generate(&spec, 5);
+        let (tx, ty) = set.train();
+        let (ex, ey) = set.test();
+        assert_eq!(tx.len(), spec.train_per_class * spec.class_count());
+        assert_eq!(ex.len(), spec.test_per_class * spec.class_count());
+        for cls in 0..spec.class_count() {
+            assert_eq!(
+                ty.iter().filter(|&&l| l == cls).count(),
+                spec.train_per_class
+            );
+            assert_eq!(ey.iter().filter(|&&l| l == cls).count(), spec.test_per_class);
+        }
+    }
+
+    #[test]
+    fn twin_classes_match_at_low_frequency() {
+        // Average the twins' images: 2x2 box-filtered means must be close
+        // (their low-frequency content is identical by construction) while
+        // raw pixels differ (opposite checker).
+        let (a, b) = hf_twin_pair();
+        let spec = DatasetSpec {
+            width: 16,
+            height: 16,
+            classes: vec![a, b],
+            train_per_class: 8,
+            test_per_class: 0,
+        };
+        let set = ImageSet::generate(&spec, 3);
+        let (imgs, labels) = set.train();
+        let mut mean = [[0.0f64; 2]; 2]; // [class][unused], keep per class mean
+        let mut count = [0usize; 2];
+        let mut lowpass = [0.0f64; 2];
+        for (img, &l) in imgs.iter().zip(labels) {
+            count[l] += 1;
+            let mut acc = 0.0f64;
+            for y in (0..16).step_by(2) {
+                for x in (0..16).step_by(2) {
+                    // 2x2 average kills the Nyquist checker.
+                    let mut s = 0.0f64;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            s += f64::from(img.get(x + dx, y + dy)[1]);
+                        }
+                    }
+                    acc += s / 4.0;
+                }
+            }
+            lowpass[l] += acc / 64.0;
+            mean[l][0] += f64::from(img.get(0, 0)[1]);
+        }
+        let lp0 = lowpass[0] / count[0] as f64;
+        let lp1 = lowpass[1] / count[1] as f64;
+        assert!((lp0 - lp1).abs() < 4.0, "low-pass means diverge: {lp0} vs {lp1}");
+    }
+
+    #[test]
+    fn sample_per_class_honors_interval() {
+        let spec = DatasetSpec::tiny(); // 6 train per class, 4 classes
+        let set = ImageSet::generate(&spec, 9);
+        assert_eq!(set.sample_per_class(2).len(), 3 * 4);
+        assert_eq!(set.sample_per_class(1).len(), 6 * 4);
+        assert_eq!(set.sample_per_class(7).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_spec_rejected() {
+        let spec = DatasetSpec {
+            width: 8,
+            height: 8,
+            classes: vec![],
+            train_per_class: 1,
+            test_per_class: 1,
+        };
+        ImageSet::generate(&spec, 0);
+    }
+}

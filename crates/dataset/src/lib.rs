@@ -1,0 +1,43 @@
+//! # deepn-dataset
+//!
+//! A seeded, procedural, labeled image dataset standing in for ImageNet in
+//! the [DeepN-JPEG](https://arxiv.org/abs/1803.05788) reproduction.
+//!
+//! DeepN-JPEG's mechanism is statistical: it ranks the 64 DCT frequency
+//! bands by the standard deviation of their coefficients over a sampled
+//! dataset and assigns quantization steps accordingly. For the reproduction
+//! to exercise the same code paths and produce the same *shape* of results,
+//! the stand-in dataset must provide:
+//!
+//! 1. a natural-image-like coefficient spectrum — per-band σ decaying from
+//!    low to high frequency (Reininger & Gibson's Laplacian model, the
+//!    paper's \[24\]);
+//! 2. classes whose discriminative features span **all** bands, including
+//!    pairs that differ *only* in high-frequency content, so HVS-oriented
+//!    compression visibly costs accuracy (the paper's Figs. 2–3);
+//! 3. determinism, so every experiment is reproducible.
+//!
+//! Each [`ClassSpec`] mixes a low-frequency base (color + smooth gradient),
+//! a mid-frequency grating, and a high-frequency checker/noise texture, with
+//! per-image jitter drawn from a per-image RNG. The [`hf_twin_pair`]
+//! constructor yields the "junco vs robin" analogue: two classes identical
+//! at low/mid frequencies that only a high-frequency detail separates.
+//!
+//! ```
+//! use deepn_dataset::{DatasetSpec, ImageSet};
+//!
+//! let set = ImageSet::generate(&DatasetSpec::tiny(), 7);
+//! assert_eq!(set.len(), set.labels().len());
+//! let again = ImageSet::generate(&DatasetSpec::tiny(), 7);
+//! assert_eq!(set.images()[0], again.images()[0]); // fully deterministic
+//! ```
+
+#![deny(missing_docs)]
+
+mod generator;
+mod spec;
+mod stats;
+
+pub use generator::ImageSet;
+pub use spec::{hf_twin_pair, ClassSpec, DatasetSpec};
+pub use stats::{channel_mean_std, PlaneStats};

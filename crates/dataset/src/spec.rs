@@ -1,0 +1,229 @@
+//! Class and dataset specifications.
+
+/// The procedural recipe for one image class.
+///
+/// Pixel intensity (per channel `c`) is a clamped sum of frequency-banded
+/// ingredients:
+///
+/// ```text
+/// base[c]
+///   + lf_amp   · smooth gradient along `lf_angle`          (low band)
+///   + mf_amp   · sin(2π · mf_freq · r(θ=mf_angle) + φ)     (mid band)
+///   + hf_amp   · checker(x, y)                             (Nyquist band)
+///   + noise_amp · N(0, 1)                                  (broadband)
+/// ```
+///
+/// with the grating phase `φ` and small angle/frequency jitters drawn per
+/// image, so each class is a distribution rather than a single picture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Human-readable class name.
+    pub name: String,
+    /// Mean color, per channel, in `[0, 255]`.
+    pub base: [f32; 3],
+    /// Low-frequency gradient amplitude (peak deviation from `base`).
+    pub lf_amp: f32,
+    /// Gradient direction in radians.
+    pub lf_angle: f32,
+    /// Mid-frequency grating amplitude.
+    pub mf_amp: f32,
+    /// Grating frequency in cycles per image width.
+    pub mf_freq: f32,
+    /// Grating direction in radians.
+    pub mf_angle: f32,
+    /// Pixel-checkerboard amplitude (the highest representable band).
+    pub hf_amp: f32,
+    /// Checker polarity: `+1` or `-1`; twins differ only here/in `hf_amp`.
+    pub hf_sign: f32,
+    /// Per-pixel Gaussian noise amplitude.
+    pub noise_amp: f32,
+}
+
+impl ClassSpec {
+    /// A neutral gray class with no structure (useful as a control).
+    pub fn flat(name: &str) -> Self {
+        ClassSpec {
+            name: name.to_owned(),
+            base: [128.0, 128.0, 128.0],
+            lf_amp: 0.0,
+            lf_angle: 0.0,
+            mf_amp: 0.0,
+            mf_freq: 0.0,
+            mf_angle: 0.0,
+            hf_amp: 0.0,
+            hf_sign: 1.0,
+            noise_amp: 0.0,
+        }
+    }
+}
+
+/// Two classes that agree in every low- and mid-frequency parameter and
+/// differ only in the high-frequency checker — the reproduction's analogue
+/// of the paper's junco/robin pair (Fig. 3), indistinguishable once the top
+/// frequency bands are quantized away.
+pub fn hf_twin_pair() -> (ClassSpec, ClassSpec) {
+    let mut a = ClassSpec::flat("twin-plus");
+    a.base = [140.0, 120.0, 110.0];
+    a.lf_amp = 25.0;
+    a.lf_angle = 0.6;
+    a.mf_amp = 18.0;
+    a.mf_freq = 3.0;
+    a.mf_angle = 1.1;
+    a.hf_amp = 22.0;
+    a.hf_sign = 1.0;
+    a.noise_amp = 4.0;
+    let mut b = a.clone();
+    b.name = "twin-minus".to_owned();
+    b.hf_sign = -1.0;
+    (a, b)
+}
+
+/// The full dataset recipe: image geometry, the class list, and per-class
+/// counts for the train and test splits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Image width (multiple of 8 recommended).
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Class recipes.
+    pub classes: Vec<ClassSpec>,
+    /// Training images generated per class.
+    pub train_per_class: usize,
+    /// Test images generated per class.
+    pub test_per_class: usize,
+}
+
+impl DatasetSpec {
+    /// The default ImageNet stand-in: 32×32, ten classes spanning the
+    /// frequency spectrum, including one high-frequency twin pair (classes
+    /// 8 and 9).
+    pub fn imagenet_standin() -> Self {
+        let mut classes = Vec::new();
+        // LF-dominated classes: moderately separated colors and gradients.
+        // The color margins are deliberately modest so that coarse
+        // quantization of the low bands (what aggressive HVS compression
+        // does to chroma) actually erodes their separability, as it does
+        // between visually similar ImageNet classes.
+        for (i, (base, angle)) in [
+            ([152.0, 114.0, 110.0], 0.0f32),
+            ([110.0, 150.0, 116.0], 1.3),
+            ([112.0, 118.0, 154.0], 2.2),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut c = ClassSpec::flat(&format!("lf-{i}"));
+            c.base = *base;
+            c.lf_amp = 30.0;
+            c.lf_angle = *angle;
+            c.mf_amp = 8.0;
+            c.mf_freq = 2.0;
+            c.mf_angle = *angle + 0.4;
+            c.noise_amp = 6.0;
+            classes.push(c);
+        }
+        // MF-dominated classes: identical base color; identity rides on
+        // the grating frequency/orientation alone.
+        for (i, freq) in [3.0f32, 5.0, 7.0].iter().enumerate() {
+            let mut c = ClassSpec::flat(&format!("mf-{i}"));
+            c.base = [128.0, 124.0, 126.0];
+            c.lf_amp = 10.0;
+            c.lf_angle = 0.8 * i as f32;
+            c.mf_amp = 30.0;
+            c.mf_freq = *freq;
+            c.mf_angle = 0.5 + 0.7 * i as f32;
+            c.noise_amp = 6.0;
+            classes.push(c);
+        }
+        // HF-textured classes: identical base and mid structure; identity
+        // is the checker-to-noise ratio only.
+        for (i, (hf, noise)) in [(30.0f32, 6.0f32), (12.0, 16.0)].iter().enumerate() {
+            let mut c = ClassSpec::flat(&format!("hf-{i}"));
+            c.base = [124.0, 128.0, 122.0];
+            c.lf_amp = 10.0;
+            c.mf_amp = 10.0;
+            c.mf_freq = 4.0;
+            c.mf_angle = 0.3;
+            c.hf_amp = *hf;
+            c.hf_sign = 1.0;
+            c.noise_amp = *noise;
+            classes.push(c);
+        }
+        // The high-frequency twins (classes 8 and 9).
+        let (a, b) = hf_twin_pair();
+        classes.push(a);
+        classes.push(b);
+        DatasetSpec {
+            width: 32,
+            height: 32,
+            classes,
+            train_per_class: 60,
+            test_per_class: 24,
+        }
+    }
+
+    /// A deliberately small configuration for unit tests and doctests:
+    /// 16×16, four classes (one twin pair), a handful of images.
+    pub fn tiny() -> Self {
+        let (a, b) = hf_twin_pair();
+        let mut lf = ClassSpec::flat("lf");
+        lf.base = [170.0, 100.0, 90.0];
+        lf.lf_amp = 40.0;
+        lf.noise_amp = 4.0;
+        let mut mf = ClassSpec::flat("mf");
+        mf.mf_amp = 35.0;
+        mf.mf_freq = 4.0;
+        mf.mf_angle = 0.9;
+        mf.noise_amp = 4.0;
+        DatasetSpec {
+            width: 16,
+            height: 16,
+            classes: vec![lf, mf, a, b],
+            train_per_class: 6,
+            test_per_class: 3,
+        }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total images the spec will generate (train + test).
+    pub fn total_images(&self) -> usize {
+        self.class_count() * (self.train_per_class + self.test_per_class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twins_differ_only_in_hf() {
+        let (a, b) = hf_twin_pair();
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.lf_amp, b.lf_amp);
+        assert_eq!(a.mf_amp, b.mf_amp);
+        assert_eq!(a.mf_freq, b.mf_freq);
+        assert_ne!(a.hf_sign, b.hf_sign);
+    }
+
+    #[test]
+    fn standin_has_ten_classes_with_twins_last() {
+        let spec = DatasetSpec::imagenet_standin();
+        assert_eq!(spec.class_count(), 10);
+        assert_eq!(spec.classes[8].name, "twin-plus");
+        assert_eq!(spec.classes[9].name, "twin-minus");
+        assert_eq!(spec.total_images(), 10 * 84);
+        assert_eq!(spec.width % 8, 0);
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let spec = DatasetSpec::tiny();
+        assert!(spec.total_images() <= 40);
+        assert_eq!(spec.class_count(), 4);
+    }
+}

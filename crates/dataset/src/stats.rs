@@ -1,0 +1,143 @@
+//! Basic dataset statistics (used for sanity checks and normalization).
+
+use deepn_codec::RgbImage;
+
+/// Streaming mean/variance accumulator (Welford's algorithm), numerically
+/// stable for the long coefficient streams the frequency analysis produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlaneStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl PlaneStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        PlaneStats::default()
+    }
+
+    /// Folds one sample into the statistics.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &PlaneStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let d = other.mean - self.mean;
+        let new_mean = self.mean + d * other.n as f64 / n;
+        self.m2 += other.m2 + d * d * self.n as f64 * other.n as f64 / n;
+        self.mean = new_mean;
+        self.n += other.n;
+    }
+}
+
+/// Per-channel `(mean, std)` over a set of images, in `[0, 255]` units.
+pub fn channel_mean_std(images: &[RgbImage]) -> [(f64, f64); 3] {
+    let mut acc = [PlaneStats::new(); 3];
+    for img in images {
+        for (i, &b) in img.as_bytes().iter().enumerate() {
+            acc[i % 3].push(f64::from(b));
+        }
+    }
+    [
+        (acc[0].mean(), acc[0].std_dev()),
+        (acc[1].mean(), acc[1].std_dev()),
+        (acc[2].mean(), acc[2].std_dev()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = PlaneStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let mut whole = PlaneStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = PlaneStats::new();
+        let mut b = PlaneStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = PlaneStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn channel_stats_of_solid_color() {
+        let mut img = RgbImage::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                img.put(x, y, [10, 20, 30]);
+            }
+        }
+        let stats = channel_mean_std(&[img]);
+        assert_eq!(stats[0].0, 10.0);
+        assert_eq!(stats[1].0, 20.0);
+        assert_eq!(stats[2].0, 30.0);
+        assert_eq!(stats[0].1, 0.0);
+    }
+}

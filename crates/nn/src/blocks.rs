@@ -1,0 +1,352 @@
+//! Composite blocks: residual (ResNet-style) and inception (GoogLeNet-style).
+
+use crate::layers::{BatchNorm2d, Conv2d, MaxPool2, Relu};
+use crate::{Layer, Mode, Param};
+use deepn_tensor::{Conv2dGeometry, Tensor};
+
+/// A basic residual block: `relu(bn(conv(relu(bn(conv(x))))) + proj(x))`.
+///
+/// When the block changes the channel count or strides down, the skip path
+/// uses a learned 1×1 projection convolution; otherwise it is the identity.
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    proj: Option<Conv2d>,
+    final_mask: Vec<bool>,
+    cached_input: Tensor,
+}
+
+impl ResidualBlock {
+    /// Creates a residual block mapping `in_c × h × w` to
+    /// `out_c × h/stride × w/stride`.
+    pub fn new(in_c: usize, h: usize, w: usize, out_c: usize, stride: usize, seed: u64) -> Self {
+        let g1 = Conv2dGeometry::new(in_c, h, w, 3, stride, 1);
+        let (oh, ow) = (g1.out_h(), g1.out_w());
+        let g2 = Conv2dGeometry::new(out_c, oh, ow, 3, 1, 1);
+        let proj = if in_c != out_c || stride != 1 {
+            Some(Conv2d::new(
+                Conv2dGeometry::new(in_c, h, w, 1, stride, 0),
+                out_c,
+                seed ^ 0x5151,
+            ))
+        } else {
+            None
+        };
+        ResidualBlock {
+            conv1: Conv2d::new(g1, out_c, seed),
+            bn1: BatchNorm2d::new(out_c),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(g2, out_c, seed ^ 0xABCD),
+            bn2: BatchNorm2d::new(out_c),
+            proj,
+            final_mask: Vec::new(),
+            cached_input: Tensor::default(),
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        self.conv1.geometry().out_h()
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        self.conv1.geometry().out_w()
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.cached_input = input.clone();
+        let mut y = self.conv1.forward(input, mode);
+        y = self.bn1.forward(&y, mode);
+        y = self.relu1.forward(&y, mode);
+        y = self.conv2.forward(&y, mode);
+        y = self.bn2.forward(&y, mode);
+        let skip = match &mut self.proj {
+            Some(p) => p.forward(input, mode),
+            None => input.clone(),
+        };
+        deepn_tensor::add_assign(&mut y, &skip);
+        // Final ReLU, with its own mask.
+        self.final_mask.clear();
+        self.final_mask.reserve(y.len());
+        for v in y.data_mut() {
+            let keep = *v > 0.0;
+            self.final_mask.push(keep);
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        // Through the final ReLU.
+        let mut g = grad_output.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(self.final_mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        // Main branch.
+        let mut gm = self.bn2.backward(&g);
+        gm = self.conv2.backward(&gm);
+        gm = self.relu1.backward(&gm);
+        gm = self.bn1.backward(&gm);
+        let mut gin = self.conv1.backward(&gm);
+        // Skip branch.
+        let gskip = match &mut self.proj {
+            Some(p) => p.backward(&g),
+            None => g,
+        };
+        deepn_tensor::add_assign(&mut gin, &gskip);
+        gin
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(visitor);
+        self.bn1.visit_params(visitor);
+        self.conv2.visit_params(visitor);
+        self.bn2.visit_params(visitor);
+        if let Some(p) = &mut self.proj {
+            p.visit_params(visitor);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ResidualBlock"
+    }
+}
+
+/// A slimmed inception block: parallel 1×1, 3×3, 5×5 convolutions plus a
+/// 3×3-max-pool → 1×1 projection branch, concatenated along channels.
+///
+/// All branches preserve the spatial size (stride 1, "same" padding), so the
+/// output is `[(b1 + b3 + b5 + bp) × h × w]`.
+pub struct InceptionBlock {
+    branch1: Conv2d,
+    branch3: Conv2d,
+    branch5: Conv2d,
+    pool_proj: Conv2d,
+    pool_cache: PoolCache,
+    in_dims: [usize; 4],
+    splits: [usize; 4],
+}
+
+/// Cached 3×3 stride-1 max-pool state for the pooling branch.
+#[derive(Default)]
+struct PoolCache {
+    argmax: Vec<usize>,
+}
+
+impl InceptionBlock {
+    /// Creates an inception block over `in_c × h × w` input with the given
+    /// per-branch output channel counts `(b1, b3, b5, bp)`.
+    pub fn new(
+        in_c: usize,
+        h: usize,
+        w: usize,
+        branches: (usize, usize, usize, usize),
+        seed: u64,
+    ) -> Self {
+        let (b1, b3, b5, bp) = branches;
+        InceptionBlock {
+            branch1: Conv2d::new(Conv2dGeometry::new(in_c, h, w, 1, 1, 0), b1, seed),
+            branch3: Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), b3, seed ^ 0x33),
+            branch5: Conv2d::new(Conv2dGeometry::new(in_c, h, w, 5, 1, 2), b5, seed ^ 0x55),
+            pool_proj: Conv2d::new(Conv2dGeometry::new(in_c, h, w, 1, 1, 0), bp, seed ^ 0x77),
+            pool_cache: PoolCache::default(),
+            in_dims: [0; 4],
+            splits: [b1, b3, b5, bp],
+        }
+    }
+
+    /// Total output channels (sum over branches).
+    pub fn out_channels(&self) -> usize {
+        self.splits.iter().sum()
+    }
+
+    /// 3×3 stride-1 same-padding max pool used by the pooling branch.
+    fn maxpool3_same(&mut self, input: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.in_dims;
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        self.pool_cache.argmax.clear();
+        self.pool_cache.argmax.reserve(out.len());
+        let src = input.data();
+        let dst = out.data_mut();
+        for nc in 0..n * c {
+            let plane = &src[nc * h * w..(nc + 1) * h * w];
+            for y in 0..h {
+                for x in 0..w {
+                    let mut best = y * w + x;
+                    for dy in -1i32..=1 {
+                        for dx in -1i32..=1 {
+                            let (yy, xx) = (y as i32 + dy, x as i32 + dx);
+                            if yy >= 0 && yy < h as i32 && xx >= 0 && xx < w as i32 {
+                                let idx = yy as usize * w + xx as usize;
+                                if plane[idx] > plane[best] {
+                                    best = idx;
+                                }
+                            }
+                        }
+                    }
+                    dst[nc * h * w + y * w + x] = plane[best];
+                    self.pool_cache.argmax.push(nc * h * w + best);
+                }
+            }
+        }
+        out
+    }
+
+    fn maxpool3_backward(&self, grad: &Tensor) -> Tensor {
+        let mut g = Tensor::zeros(&self.in_dims);
+        for (&src_idx, &gv) in self.pool_cache.argmax.iter().zip(grad.data().iter()) {
+            g.data_mut()[src_idx] += gv;
+        }
+        g
+    }
+}
+
+impl Layer for InceptionBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let d = input.shape().dims();
+        assert_eq!(d.len(), 4, "InceptionBlock expects NCHW");
+        self.in_dims = [d[0], d[1], d[2], d[3]];
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let y1 = self.branch1.forward(input, mode);
+        let y3 = self.branch3.forward(input, mode);
+        let y5 = self.branch5.forward(input, mode);
+        let pooled = self.maxpool3_same(input);
+        let yp = self.pool_proj.forward(&pooled, mode);
+        // Concatenate along channels.
+        let out_c = self.out_channels();
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, out_c, h, w]);
+        for i in 0..n {
+            let mut ch_off = 0;
+            for (branch, bc) in [(&y1, self.splits[0]), (&y3, self.splits[1]), (&y5, self.splits[2]), (&yp, self.splits[3])] {
+                let src = &branch.data()[i * bc * plane..(i + 1) * bc * plane];
+                let dst_base = (i * out_c + ch_off) * plane;
+                out.data_mut()[dst_base..dst_base + bc * plane].copy_from_slice(src);
+                ch_off += bc;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let [n, _, h, w] = self.in_dims;
+        let plane = h * w;
+        let out_c = self.out_channels();
+        assert_eq!(grad_output.shape().dims(), &[n, out_c, h, w]);
+        // Split channel-wise.
+        let mut grads: Vec<Tensor> = self
+            .splits
+            .iter()
+            .map(|&bc| Tensor::zeros(&[n, bc, h, w]))
+            .collect();
+        for i in 0..n {
+            let mut ch_off = 0;
+            for (bi, &bc) in self.splits.iter().enumerate() {
+                let src_base = (i * out_c + ch_off) * plane;
+                let dst_base = i * bc * plane;
+                grads[bi].data_mut()[dst_base..dst_base + bc * plane]
+                    .copy_from_slice(&grad_output.data()[src_base..src_base + bc * plane]);
+                ch_off += bc;
+            }
+        }
+        let gp = grads.pop().expect("four branch grads");
+        let g5 = grads.pop().expect("four branch grads");
+        let g3 = grads.pop().expect("four branch grads");
+        let g1 = grads.pop().expect("four branch grads");
+        let mut gin = self.branch1.backward(&g1);
+        deepn_tensor::add_assign(&mut gin, &self.branch3.backward(&g3));
+        deepn_tensor::add_assign(&mut gin, &self.branch5.backward(&g5));
+        let gpool = self.pool_proj.backward(&gp);
+        deepn_tensor::add_assign(&mut gin, &self.maxpool3_backward(&gpool));
+        gin
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.branch1.visit_params(visitor);
+        self.branch3.visit_params(visitor);
+        self.branch5.visit_params(visitor);
+        self.pool_proj.visit_params(visitor);
+    }
+
+    fn name(&self) -> &'static str {
+        "InceptionBlock"
+    }
+}
+
+/// Re-export of the primitive max pool for stem layers in the zoo.
+pub use crate::layers::MaxPool2 as StemPool;
+// Keep the unused import lint quiet for doc purposes.
+const _: fn() -> MaxPool2 = MaxPool2::new;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_identity_skip_preserves_shape() {
+        let mut b = ResidualBlock::new(4, 8, 8, 4, 1, 1);
+        let x = Tensor::full(&[2, 4, 8, 8], 0.3);
+        let y = b.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[2, 4, 8, 8]);
+        let g = b.backward(&Tensor::full(&[2, 4, 8, 8], 1.0));
+        assert_eq!(g.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn residual_projection_changes_channels_and_stride() {
+        let mut b = ResidualBlock::new(4, 8, 8, 8, 2, 2);
+        let x = Tensor::full(&[1, 4, 8, 8], 0.5);
+        let y = b.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[1, 8, 4, 4]);
+        assert_eq!((b.out_h(), b.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn residual_gradient_flows_through_skip() {
+        // Zero all conv weights: the block reduces to relu(bn2(0) + x).
+        let mut b = ResidualBlock::new(2, 4, 4, 2, 1, 3);
+        b.visit_params(&mut |p| {
+            // Zero conv weights only (rank-2), keep bn gamma (rank 1).
+            if p.value.shape().rank() == 2 {
+                p.value.fill_zero();
+            }
+        });
+        let x = Tensor::full(&[1, 2, 4, 4], 1.0);
+        let y = b.forward(&x, Mode::Eval);
+        // skip = x = 1 everywhere, main branch contributes bn bias only (0).
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-4));
+        let _ = b.forward(&x, Mode::Train);
+        let g = b.backward(&Tensor::full(&[1, 2, 4, 4], 1.0));
+        // Gradient through the identity skip must be at least 1 per element.
+        assert!(g.sum() > 0.0);
+    }
+
+    #[test]
+    fn inception_concatenates_branches() {
+        let mut b = InceptionBlock::new(3, 6, 6, (2, 3, 1, 2), 7);
+        assert_eq!(b.out_channels(), 8);
+        let x = Tensor::full(&[2, 3, 6, 6], 0.2);
+        let y = b.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[2, 8, 6, 6]);
+        let g = b.backward(&Tensor::full(&[2, 8, 6, 6], 0.1));
+        assert_eq!(g.shape().dims(), &[2, 3, 6, 6]);
+    }
+
+    #[test]
+    fn inception_param_count_sums_branches() {
+        let mut b = InceptionBlock::new(4, 4, 4, (2, 2, 2, 2), 9);
+        // 1x1: 2*(4)+2, 3x3: 2*(4*9)+2, 5x5: 2*(4*25)+2, proj: 2*(4)+2
+        let expect = (2 * 4 + 2) + (2 * 36 + 2) + (2 * 100 + 2) + (2 * 4 + 2);
+        assert_eq!(b.param_count(), expect);
+    }
+}

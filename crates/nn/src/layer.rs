@@ -1,0 +1,108 @@
+use deepn_tensor::Tensor;
+
+/// Whether a forward pass is part of training or inference.
+///
+/// Layers with distinct behaviours in the two regimes (dropout, batch
+/// normalization) branch on this; everything else ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: dropout active, batch-norm uses batch statistics.
+    Train,
+    /// Inference: dropout disabled, batch-norm uses running statistics.
+    Eval,
+}
+
+/// A learnable parameter: its value, the gradient accumulated by the most
+/// recent backward pass, and the SGD momentum buffer.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient of the loss w.r.t. `value` (same shape).
+    pub grad: Tensor,
+    /// Momentum/velocity buffer used by [`Sgd`](crate::Sgd).
+    pub velocity: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value, allocating zeroed gradient and velocity
+    /// buffers of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims());
+        let velocity = Tensor::zeros(value.shape().dims());
+        Param {
+            value,
+            grad,
+            velocity,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty (never true for real layers).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable network layer.
+///
+/// The contract mirrors classic define-by-hand frameworks:
+///
+/// 1. [`forward`](Layer::forward) consumes an activation batch and caches
+///    whatever it needs for the backward pass;
+/// 2. [`backward`](Layer::backward) consumes `dL/d(output)` and returns
+///    `dL/d(input)`, *accumulating* parameter gradients into
+///    [`Param::grad`];
+/// 3. the optimizer visits parameters through
+///    [`visit_params`](Layer::visit_params).
+///
+/// Activation tensors are NCHW (`[batch, channels, height, width]`) for
+/// spatial layers and `[batch, features]` after a flatten.
+pub trait Layer {
+    /// Computes the layer output for `input`, caching intermediates needed
+    /// by [`backward`](Layer::backward).
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates the output gradient to the input, accumulating parameter
+    /// gradients. Must be called after a matching [`forward`](Layer::forward)
+    /// in [`Mode::Train`].
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits every learnable parameter. The default is a no-op for
+    /// parameter-free layers.
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
+
+    /// A short human-readable layer name used in summaries.
+    fn name(&self) -> &'static str;
+
+    /// Total number of scalar learnable parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.grad.fill_zero());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_allocates_matching_buffers() {
+        let p = Param::new(Tensor::full(&[2, 3], 1.0));
+        assert_eq!(p.grad.shape(), p.value.shape());
+        assert_eq!(p.velocity.shape(), p.value.shape());
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+use crate::{Layer, Mode};
+use deepn_tensor::Tensor;
+
+/// Rectified linear unit, `max(0, x)`, applied element-wise.
+///
+/// The backward pass gates the incoming gradient with the sign mask cached
+/// during the forward pass (the subgradient at 0 is taken as 0).
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mut out = input.clone();
+        self.mask.clear();
+        self.mask.reserve(input.len());
+        for v in out.data_mut() {
+            let keep = *v > 0.0;
+            self.mask.push(keep);
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.len(),
+            self.mask.len(),
+            "Relu backward before forward"
+        );
+        let mut g = grad_output.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(self.mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]), Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient() {
+        let mut r = Relu::new();
+        let _ = r.forward(&Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]), Mode::Train);
+        let g = r.backward(&Tensor::from_vec(vec![10.0, 10.0, 10.0], &[3]));
+        assert_eq!(g.data(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_input_passes_no_gradient() {
+        let mut r = Relu::new();
+        let _ = r.forward(&Tensor::zeros(&[4]), Mode::Train);
+        let g = r.backward(&Tensor::full(&[4], 1.0));
+        assert_eq!(g.sum(), 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+use crate::{Layer, Mode, Param};
+use deepn_tensor::Tensor;
+
+/// Per-channel batch normalization over NCHW activations.
+///
+/// In [`Mode::Train`] each channel is normalized with the batch mean and
+/// variance (and running statistics are updated with exponential averaging);
+/// in [`Mode::Eval`] the running statistics are used instead. The learnable
+/// scale `γ` and shift `β` are per-channel.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // Caches for backward.
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    in_dims: [usize; 4],
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps with
+    /// `γ = 1`, `β = 0`, ε = 1e-5 and running-average momentum 0.1.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            xhat: Tensor::default(),
+            inv_std: Vec::new(),
+            in_dims: [0; 4],
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let d = input.shape().dims();
+        assert_eq!(d.len(), 4, "BatchNorm2d expects NCHW");
+        assert_eq!(d[1], self.channels, "BatchNorm2d channel mismatch");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        self.in_dims = [n, c, h, w];
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = Tensor::zeros(d);
+        let mut xhat = Tensor::zeros(d);
+        self.inv_std.clear();
+        for ch in 0..c {
+            let (mean, var) = if mode == Mode::Train {
+                let mut sum = 0.0f32;
+                let mut sq = 0.0f32;
+                for i in 0..n {
+                    let base = (i * c + ch) * plane;
+                    for &v in &input.data()[base..base + plane] {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / count;
+                let var = (sq / count - mean * mean).max(0.0);
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv = 1.0 / (var + self.eps).sqrt();
+            self.inv_std.push(inv);
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for k in 0..plane {
+                    let xh = (input.data()[base + k] - mean) * inv;
+                    xhat.data_mut()[base + k] = xh;
+                    out.data_mut()[base + k] = g * xh + b;
+                }
+            }
+        }
+        self.xhat = xhat;
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.in_dims;
+        assert_eq!(grad_output.shape().dims(), &[n, c, h, w]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+        for ch in 0..c {
+            // Accumulate dβ = Σ dy and dγ = Σ dy·x̂ along with their means.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for k in 0..plane {
+                    let dy = grad_output.data()[base + k];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * self.xhat.data()[base + k];
+                }
+            }
+            self.beta.grad.data_mut()[ch] += sum_dy;
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+            let g = self.gamma.value.data()[ch];
+            let inv = self.inv_std[ch];
+            let mean_dy = sum_dy / count;
+            let mean_dy_xhat = sum_dy_xhat / count;
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for k in 0..plane {
+                    let dy = grad_output.data()[base + k];
+                    let xh = self.xhat.data()[base + k];
+                    grad_input.data_mut()[base + k] =
+                        g * inv * (dy - mean_dy - xh * mean_dy_xhat);
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_forward_normalizes_per_channel() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let y = bn.forward(&x, Mode::Train);
+        for ch in 0..2 {
+            let c = &y.data()[ch * 4..(ch + 1) * 4];
+            let mean: f32 = c.iter().sum::<f32>() / 4.0;
+            let var: f32 = c.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![4.0, 4.0, 4.0, 4.0], &[1, 1, 2, 2]);
+        // Warm the running stats with many train passes.
+        for _ in 0..200 {
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        // Constant input -> running mean ~4, var ~0 -> eval output ~0.
+        let y = bn.forward(&x, Mode::Eval);
+        assert!(y.data().iter().all(|v| v.abs() < 0.1), "{:?}", y.data());
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0, 1.5, -0.5, 0.25, 1.0], &[2, 1, 2, 2]);
+        // Scalar loss: weighted sum so the gradient is non-uniform.
+        let wts: Vec<f32> = (0..8).map(|i| (i as f32) * 0.3 - 1.0).collect();
+        let loss = |y: &Tensor| -> f32 {
+            y.data().iter().zip(wts.iter()).map(|(a, b)| a * b).sum()
+        };
+        let y = bn.forward(&x, Mode::Train);
+        let _ = loss(&y);
+        let gout = Tensor::from_vec(wts.clone(), &[2, 1, 2, 2]);
+        let gin = bn.backward(&gout);
+        let eps = 1e-2;
+        for probe in 0..8 {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let mut bn2 = BatchNorm2d::new(1);
+            let fp = loss(&bn2.forward(&xp, Mode::Train));
+            let mut bn3 = BatchNorm2d::new(1);
+            let fm = loss(&bn3.forward(&xm, Mode::Train));
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - gin.data()[probe]).abs() < 2e-2 * (1.0 + num.abs()),
+                "probe {probe}: numeric {num} vs analytic {}",
+                gin.data()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let _ = bn.forward(&x, Mode::Train);
+        bn.zero_grads();
+        bn.backward(&Tensor::full(&[1, 1, 2, 2], 1.0));
+        // dβ = Σ dy = 4; dγ = Σ dy·x̂ = 0 for symmetric x̂.
+        assert_eq!(bn.beta.grad.data()[0], 4.0);
+        assert!(bn.gamma.grad.data()[0].abs() < 1e-4);
+    }
+}

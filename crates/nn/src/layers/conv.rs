@@ -1,0 +1,247 @@
+use crate::{Layer, Mode, Param};
+use deepn_tensor::{
+    col2im, he_normal, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 2-D convolution with square kernels, implemented as im2col + matmul.
+///
+/// Weights are stored as a `[out_channels, in_channels·K·K]` matrix so the
+/// forward pass over one image is a single matmul against the column matrix.
+///
+/// ```
+/// use deepn_nn::{layers::Conv2d, Layer, Mode};
+/// use deepn_tensor::{Conv2dGeometry, Tensor};
+///
+/// let g = Conv2dGeometry::new(3, 8, 8, 3, 1, 1);
+/// let mut conv = Conv2d::new(g, 16, 7);
+/// let x = Tensor::zeros(&[2, 3, 8, 8]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape().dims(), &[2, 16, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    geom: Conv2dGeometry,
+    out_channels: usize,
+    weight: Param,
+    bias: Param,
+    cached_cols: Vec<Tensor>,
+    cached_batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-normal weights drawn from a
+    /// dedicated RNG seeded with `seed` (so networks are reproducible).
+    pub fn new(geom: Conv2dGeometry, out_channels: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = geom.col_rows();
+        let weight = Param::new(he_normal(&mut rng, &[out_channels, fan_in], fan_in));
+        let bias = Param::new(Tensor::zeros(&[out_channels]));
+        Conv2d {
+            geom,
+            out_channels,
+            weight,
+            bias,
+            cached_cols: Vec::new(),
+            cached_batch: 0,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Output shape `[N, outC, outH, outW]` for a batch of `n` images.
+    pub fn output_dims(&self, n: usize) -> [usize; 4] {
+        [n, self.out_channels, self.geom.out_h(), self.geom.out_w()]
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "Conv2d expects NCHW input");
+        assert_eq!(
+            &dims[1..],
+            &[self.geom.in_channels, self.geom.in_h, self.geom.in_w],
+            "Conv2d input plane mismatch"
+        );
+        let n = dims[0];
+        let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
+        let per_img = self.geom.in_channels * self.geom.in_h * self.geom.in_w;
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        self.cached_cols.clear();
+        self.cached_batch = n;
+        let opix = oh * ow;
+        for i in 0..n {
+            let img = Tensor::from_vec(
+                input.data()[i * per_img..(i + 1) * per_img].to_vec(),
+                &[self.geom.in_channels, self.geom.in_h, self.geom.in_w],
+            );
+            let cols = im2col(&img, &self.geom);
+            let y = matmul(&self.weight.value, &cols);
+            let dst =
+                &mut out.data_mut()[i * self.out_channels * opix..(i + 1) * self.out_channels * opix];
+            for c in 0..self.out_channels {
+                let b = self.bias.value.data()[c];
+                for (d, s) in dst[c * opix..(c + 1) * opix]
+                    .iter_mut()
+                    .zip(y.data()[c * opix..(c + 1) * opix].iter())
+                {
+                    *d = s + b;
+                }
+            }
+            self.cached_cols.push(cols);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let n = self.cached_batch;
+        assert_eq!(
+            grad_output.shape().dims(),
+            self.output_dims(n),
+            "Conv2d backward shape mismatch"
+        );
+        let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
+        let opix = oh * ow;
+        let per_img = self.geom.in_channels * self.geom.in_h * self.geom.in_w;
+        let mut grad_input =
+            Tensor::zeros(&[n, self.geom.in_channels, self.geom.in_h, self.geom.in_w]);
+        for i in 0..n {
+            let gout = Tensor::from_vec(
+                grad_output.data()[i * self.out_channels * opix..(i + 1) * self.out_channels * opix]
+                    .to_vec(),
+                &[self.out_channels, opix],
+            );
+            // dW += gout · colsᵀ
+            let dw = matmul_a_bt(&gout, &self.cached_cols[i]);
+            deepn_tensor::add_assign(&mut self.weight.grad, &dw);
+            // db += row sums of gout
+            for c in 0..self.out_channels {
+                let s: f32 = gout.data()[c * opix..(c + 1) * opix].iter().sum();
+                self.bias.grad.data_mut()[c] += s;
+            }
+            // dCols = Wᵀ · gout, then scatter back to image space.
+            let dcols = matmul_at_b(&self.weight.value, &gout);
+            let dimg = col2im(&dcols, &self.geom);
+            grad_input.data_mut()[i * per_img..(i + 1) * per_img].copy_from_slice(dimg.data());
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(conv: &mut Conv2d, x: &Tensor) {
+        // Loss = sum(forward(x)); analytic dL/dx vs central differences.
+        let y = conv.forward(x, Mode::Train);
+        let gout = Tensor::full(y.shape().dims(), 1.0);
+        let gin = conv.backward(&gout);
+        let eps = 1e-2;
+        for probe in [0usize, x.len() / 2, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let fp = conv.forward(&xp, Mode::Train).sum();
+            let fm = conv.forward(&xm, Mode::Train).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = gin.data()[probe];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "grad mismatch at {probe}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let g = Conv2dGeometry::new(1, 4, 4, 3, 1, 1);
+        let mut conv = Conv2d::new(g, 2, 3);
+        // Zero the weights, set bias -> output equals bias everywhere.
+        conv.weight.value.fill_zero();
+        conv.bias.value.data_mut()[0] = 1.5;
+        conv.bias.value.data_mut()[1] = -0.5;
+        let y = conv.forward(&Tensor::full(&[1, 1, 4, 4], 3.0), Mode::Eval);
+        assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
+        assert!(y.data()[..16].iter().all(|&v| v == 1.5));
+        assert!(y.data()[16..].iter().all(|&v| v == -0.5));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 2, 1);
+        let mut conv = Conv2d::new(g, 3, 11);
+        let x = Tensor::from_vec(
+            (0..2 * 25).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect(),
+            &[1, 2, 5, 5],
+        );
+        finite_diff_check(&mut conv, &x);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let g = Conv2dGeometry::new(1, 4, 4, 3, 1, 0);
+        let mut conv = Conv2d::new(g, 2, 5);
+        let x = Tensor::from_vec((0..16).map(|i| (i as f32) * 0.1).collect(), &[1, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Train);
+        let gout = Tensor::full(y.shape().dims(), 1.0);
+        conv.zero_grads();
+        conv.backward(&gout);
+        let eps = 1e-2;
+        let probe = 4usize;
+        let ana = conv.weight.grad.data()[probe];
+        let orig = conv.weight.value.data()[probe];
+        conv.weight.value.data_mut()[probe] = orig + eps;
+        let fp = conv.forward(&x, Mode::Train).sum();
+        conv.weight.value.data_mut()[probe] = orig - eps;
+        let fm = conv.forward(&x, Mode::Train).sum();
+        let num = (fp - fm) / (2.0 * eps);
+        assert!(
+            (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+            "numeric {num} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn batch_is_processed_independently() {
+        let g = Conv2dGeometry::new(1, 4, 4, 3, 1, 1);
+        let mut conv = Conv2d::new(g, 2, 9);
+        let a = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let b = Tensor::full(&[1, 1, 4, 4], 0.5);
+        let mut batch = Tensor::zeros(&[2, 1, 4, 4]);
+        batch.data_mut()[..16].copy_from_slice(a.data());
+        batch.data_mut()[16..].copy_from_slice(b.data());
+        let ya = conv.forward(&a, Mode::Eval);
+        let yb = conv.forward(&b, Mode::Eval);
+        let yab = conv.forward(&batch, Mode::Eval);
+        assert_eq!(&yab.data()[..ya.len()], ya.data());
+        assert_eq!(&yab.data()[ya.len()..], yb.data());
+    }
+
+    #[test]
+    fn param_count_is_weights_plus_bias() {
+        let g = Conv2dGeometry::new(3, 8, 8, 3, 1, 1);
+        let mut conv = Conv2d::new(g, 4, 1);
+        assert_eq!(conv.param_count(), 4 * 27 + 4);
+    }
+}

@@ -1,0 +1,165 @@
+use crate::{Layer, Mode, Param};
+use deepn_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fully connected layer: `y = x · Wᵀ + b` over a `[batch, in]` input.
+///
+/// ```
+/// use deepn_nn::{layers::Dense, Layer, Mode};
+/// use deepn_tensor::Tensor;
+///
+/// let mut d = Dense::new(8, 3, 42);
+/// let y = d.forward(&Tensor::zeros(&[4, 8]), Mode::Eval);
+/// assert_eq!(y.shape().dims(), &[4, 3]);
+/// ```
+#[derive(Debug)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weight: Param, // [out, in]
+    bias: Param,   // [out]
+    cached_input: Tensor,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-normal weights from a seeded RNG.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense {
+            in_features,
+            out_features,
+            weight: Param::new(he_normal(
+                &mut rng,
+                &[out_features, in_features],
+                in_features,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cached_input: Tensor::default(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "Dense expects [batch, features]");
+        assert_eq!(
+            input.shape().dim(1),
+            self.in_features,
+            "Dense feature mismatch"
+        );
+        self.cached_input = input.clone();
+        let n = input.shape().dim(0);
+        // y = x(n,in) · Wᵀ(in,out)
+        let mut y = matmul_a_bt(input, &self.weight.value);
+        let yd = y.data_mut();
+        let bd = self.bias.value.data();
+        for r in 0..n {
+            for (o, &b) in yd[r * self.out_features..(r + 1) * self.out_features]
+                .iter_mut()
+                .zip(bd.iter())
+            {
+                *o += b;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let n = self.cached_input.shape().dim(0);
+        assert_eq!(grad_output.shape().dims(), &[n, self.out_features]);
+        // dW += goutᵀ(out,n) · x(n,in)
+        let dw = matmul_at_b(grad_output, &self.cached_input);
+        deepn_tensor::add_assign(&mut self.weight.grad, &dw);
+        // db += column sums of gout
+        let gd = grad_output.data();
+        for r in 0..n {
+            for (b, &g) in self
+                .bias
+                .grad
+                .data_mut()
+                .iter_mut()
+                .zip(gd[r * self.out_features..(r + 1) * self.out_features].iter())
+            {
+                *b += g;
+            }
+        }
+        // dX = gout(n,out) · W(out,in)
+        matmul(grad_output, &self.weight.value)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut d = Dense::new(2, 2, 0);
+        d.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        d.weight.grad = Tensor::zeros(&[2, 2]);
+        d.bias.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = d.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut d = Dense::new(3, 2, 17);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.8, 0.1, 0.0, -0.5], &[2, 3]);
+        let y = d.forward(&x, Mode::Train);
+        let gout = Tensor::full(y.shape().dims(), 1.0);
+        d.zero_grads();
+        let gin = d.backward(&gout);
+        let eps = 1e-3;
+        // Input gradient probe.
+        for probe in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let num = (d.forward(&xp, Mode::Train).sum() - d.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
+            assert!((num - gin.data()[probe]).abs() < 1e-2);
+        }
+        // Weight gradient probe.
+        let probe = 2;
+        let ana = d.weight.grad.data()[probe];
+        let orig = d.weight.value.data()[probe];
+        d.weight.value.data_mut()[probe] = orig + eps;
+        let fp = d.forward(&x, Mode::Train).sum();
+        d.weight.value.data_mut()[probe] = orig - eps;
+        let fm = d.forward(&x, Mode::Train).sum();
+        assert!(((fp - fm) / (2.0 * eps) - ana).abs() < 1e-2);
+    }
+
+    #[test]
+    fn bias_gradient_is_batch_sum() {
+        let mut d = Dense::new(2, 2, 3);
+        let x = Tensor::zeros(&[4, 2]);
+        let _ = d.forward(&x, Mode::Train);
+        d.zero_grads();
+        d.backward(&Tensor::full(&[4, 2], 1.0));
+        assert_eq!(d.bias.grad.data(), &[4.0, 4.0]);
+    }
+}

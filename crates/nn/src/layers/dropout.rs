@@ -1,0 +1,116 @@
+use crate::{Layer, Mode};
+use deepn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so inference
+/// (where dropout is a no-op) sees the same expected magnitude.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, driven by its own
+    /// seeded RNG for reproducible training runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: Vec::new(),
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask.clear();
+            self.mask.resize(input.len(), 1.0);
+            return input.clone();
+        }
+        let keep_scale = 1.0 / (1.0 - self.p);
+        self.mask.clear();
+        self.mask.reserve(input.len());
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            let m = if self.rng.gen::<f32>() < self.p {
+                0.0
+            } else {
+                keep_scale
+            };
+            self.mask.push(m);
+            *v *= m;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.len(),
+            self.mask.len(),
+            "Dropout backward before forward"
+        );
+        let mut g = grad_output.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(self.mask.iter()) {
+            *v *= m;
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(d.forward(&x, Mode::Eval).data(), x.data());
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::full(&[10_000], 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_reuses_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full(&[100], 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::full(&[100], 1.0));
+        // Gradient must be zero exactly where the activation was dropped.
+        for (yv, gv) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn rejects_p_of_one() {
+        Dropout::new(1.0, 0);
+    }
+}

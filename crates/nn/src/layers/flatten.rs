@@ -1,0 +1,50 @@
+use crate::{Layer, Mode};
+use deepn_tensor::Tensor;
+
+/// Reshapes NCHW activations to `[batch, features]` ahead of dense layers.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let d = input.shape().dims();
+        assert!(d.len() >= 2, "Flatten expects at least a batch dimension");
+        self.in_dims = d.to_vec();
+        let n = d[0];
+        let feat: usize = d[1..].iter().product();
+        input.clone().reshape(&[n, feat])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        grad_output.clone().reshape(&self.in_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 2, 2]);
+        let mut f = Flatten::new();
+        let y = f.forward(&x, Mode::Eval);
+        assert_eq!(y.shape().dims(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape().dims(), &[2, 3, 2, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+}

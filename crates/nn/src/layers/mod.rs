@@ -1,0 +1,17 @@
+//! Primitive differentiable layers.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+
+pub use activation::Relu;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::{GlobalAvgPool, MaxPool2};

@@ -1,0 +1,169 @@
+use crate::{Layer, Mode};
+use deepn_tensor::Tensor;
+
+/// 2×2 max pooling with stride 2 over NCHW input.
+///
+/// Odd trailing rows/columns are dropped (floor semantics), matching the
+/// behaviour of classic CNN frameworks.
+#[derive(Debug, Default)]
+pub struct MaxPool2 {
+    argmax: Vec<usize>,
+    in_dims: [usize; 4],
+}
+
+impl MaxPool2 {
+    /// Creates a 2×2/stride-2 max-pool layer.
+    pub fn new() -> Self {
+        MaxPool2::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let d = input.shape().dims();
+        assert_eq!(d.len(), 4, "MaxPool2 expects NCHW");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        assert!(h >= 2 && w >= 2, "MaxPool2 needs at least 2x2 input");
+        let (oh, ow) = (h / 2, w / 2);
+        self.in_dims = [n, c, h, w];
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        self.argmax.clear();
+        self.argmax.reserve(out.len());
+        let src = input.data();
+        let dst = out.data_mut();
+        for nc in 0..n * c {
+            let plane = &src[nc * h * w..(nc + 1) * h * w];
+            let oplane = &mut dst[nc * oh * ow..(nc + 1) * oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base = (oy * 2) * w + ox * 2;
+                    let cand = [base, base + 1, base + w, base + w + 1];
+                    let mut best = cand[0];
+                    for &i in &cand[1..] {
+                        if plane[i] > plane[best] {
+                            best = i;
+                        }
+                    }
+                    oplane[oy * ow + ox] = plane[best];
+                    self.argmax.push(nc * h * w + best);
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.len(),
+            self.argmax.len(),
+            "MaxPool2 backward before forward"
+        );
+        let mut g = Tensor::zeros(&self.in_dims);
+        let gd = g.data_mut();
+        for (&src_idx, &gv) in self.argmax.iter().zip(grad_output.data().iter()) {
+            gd[src_idx] += gv;
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2"
+    }
+}
+
+/// Global average pooling: collapses each channel plane to its mean,
+/// producing a `[batch, channels]` tensor. Used instead of giant dense
+/// layers in the GoogLeNet/ResNet-style zoo models.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    in_dims: [usize; 4],
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let d = input.shape().dims();
+        assert_eq!(d.len(), 4, "GlobalAvgPool expects NCHW");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        self.in_dims = [n, c, h, w];
+        let mut out = Tensor::zeros(&[n, c]);
+        let inv = 1.0 / (h * w) as f32;
+        for nc in 0..n * c {
+            out.data_mut()[nc] =
+                input.data()[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() * inv;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.in_dims;
+        assert_eq!(grad_output.shape().dims(), &[n, c]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut g = Tensor::zeros(&self.in_dims);
+        for nc in 0..n * c {
+            let gv = grad_output.data()[nc] * inv;
+            for v in &mut g.data_mut()[nc * h * w..(nc + 1) * h * w] {
+                *v = gv;
+            }
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, 7.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let mut p = MaxPool2::new();
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let mut p = MaxPool2::new();
+        let _ = p.forward(&x, Mode::Train);
+        let g = p.backward(&Tensor::full(&[1, 1, 1, 1], 5.0));
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_drops_odd_edges() {
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let mut p = MaxPool2::new();
+        assert_eq!(p.forward(&x, Mode::Eval).shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn gap_forward_and_backward() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]);
+        let mut p = GlobalAvgPool::new();
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[4.0, 2.0]);
+        let g = p.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # deepn-nn
+//!
+//! A from-scratch CNN training framework, built as the DNN substrate for the
+//! [DeepN-JPEG](https://arxiv.org/abs/1803.05788) reproduction. The paper
+//! evaluates image-compression schemes by the top-1 accuracy of convolutional
+//! networks trained and tested on (de)compressed images; this crate provides
+//! everything needed to run those experiments on CPU with full determinism:
+//!
+//! - a [`Layer`] trait with hand-written backpropagation for every layer,
+//! - convolution via im2col + matmul, max/global-average pooling, dense,
+//!   ReLU, dropout, and batch normalization,
+//! - composite residual and inception blocks ([`blocks`]),
+//! - a [`zoo`] of four scaled-down architectures standing in for AlexNet,
+//!   VGG-16, GoogLeNet, and ResNet-34/50,
+//! - softmax cross-entropy loss, SGD with momentum and weight decay, and a
+//!   seeded [`Trainer`].
+//!
+//! ## Example
+//!
+//! ```
+//! use deepn_nn::{zoo, Trainer, TrainConfig};
+//! use deepn_tensor::Tensor;
+//!
+//! // Two 4x4 grayscale classes: all-dark vs all-bright.
+//! let xs: Vec<Tensor> = (0..16)
+//!     .map(|i| Tensor::full(&[1, 4, 4], if i % 2 == 0 { 0.1 } else { 0.9 }))
+//!     .collect();
+//! let ys: Vec<usize> = (0..16).map(|i| i % 2).collect();
+//!
+//! let mut net = zoo::mlp_probe(1, 4, 4, 2, 11);
+//! let cfg = TrainConfig { epochs: 20, ..TrainConfig::default() };
+//! let history = Trainer::new(cfg).fit(&mut net, &xs, &ys, &xs, &ys);
+//! assert!(history.final_test_accuracy() > 0.9);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod blocks;
+mod layer;
+pub mod layers;
+mod loss;
+mod metrics;
+mod network;
+mod optim;
+mod trainer;
+pub mod zoo;
+
+pub use layer::{Layer, Mode, Param};
+pub use loss::softmax_cross_entropy;
+pub use metrics::{accuracy, confusion_matrix, softmax_rows};
+pub use network::Sequential;
+pub use optim::Sgd;
+pub use trainer::{stack_batch, TrainConfig, Trainer, TrainingHistory};

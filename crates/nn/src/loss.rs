@@ -1,0 +1,102 @@
+use deepn_tensor::Tensor;
+
+/// Numerically stable softmax cross-entropy over a `[batch, classes]` logit
+/// tensor, with integer class labels.
+///
+/// Returns the mean loss and the gradient w.r.t. the logits, already divided
+/// by the batch size (so it can be fed straight into
+/// [`Layer::backward`](crate::Layer::backward)).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+///
+/// ```
+/// use deepn_nn::softmax_cross_entropy;
+/// use deepn_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 1e-3); // confidently correct
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [batch, classes]");
+    let n = logits.shape().dim(0);
+    let c = logits.shape().dim(1);
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut loss = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - m).exp();
+        }
+        let log_denom = denom.ln();
+        loss += f64::from(log_denom - (row[label] - m));
+        let grow = &mut grad.data_mut()[i * c..(i + 1) * c];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = (row[j] - m).exp() / denom;
+            *g = (p - if j == label { 1.0 } else { 0.0 }) * inv_n;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let (_, g) = softmax_cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = g.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 1.2, 0.0], &[1, 4]);
+        let labels = [2usize];
+        let (_, g) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for probe in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[probe] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[probe] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - g.data()[probe]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]);
+        let (loss, g) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss.is_finite());
+        assert!(g.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[2]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Classification metrics.
+
+use deepn_tensor::Tensor;
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!labels.is_empty(), "empty evaluation set");
+    let hits = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// `classes × classes` confusion matrix; `m[true][pred]` counts.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range labels/predictions.
+pub fn confusion_matrix(predictions: &[usize], labels: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&p, &l) in predictions.iter().zip(labels.iter()) {
+        assert!(p < classes && l < classes, "label/prediction out of range");
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// Row-wise softmax of a `[batch, classes]` tensor, for inspecting
+/// prediction confidences (as in the paper's Fig. 3 junco/robin example).
+///
+/// # Panics
+///
+/// Panics if the tensor is not 2-D.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax_rows expects 2-D");
+    let (n, c) = (logits.shape().dim(0), logits.shape().dim(1));
+    let mut out = Tensor::zeros(&[n, c]);
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for &v in row {
+            denom += (v - m).exp();
+        }
+        for (j, o) in out.data_mut()[i * c..(i + 1) * c].iter_mut().enumerate() {
+            *o = (row[j] - m).exp() / denom;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[0, 1, 2, 2], &[0, 1, 1, 2]), 0.75);
+    }
+
+    #[test]
+    fn confusion_matrix_places_counts() {
+        let m = confusion_matrix(&[0, 1, 1], &[0, 0, 1], 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 1]]);
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 2.0, 0.0], &[2, 2]);
+        let s = softmax_rows(&t);
+        for i in 0..2 {
+            let sum: f32 = s.data()[i * 2..(i + 1) * 2].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s.data()[2] > s.data()[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn accuracy_rejects_empty() {
+        accuracy(&[], &[]);
+    }
+}

@@ -1,0 +1,132 @@
+use crate::{Layer, Mode, Param};
+use deepn_tensor::Tensor;
+
+/// A linear stack of layers, itself a [`Layer`].
+///
+/// ```
+/// use deepn_nn::{layers::{Dense, Relu}, Layer, Mode, Sequential};
+/// use deepn_tensor::Tensor;
+///
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 8, 0));
+/// net.push(Relu::new());
+/// net.push(Dense::new(8, 2, 1));
+/// let y = net.forward(&Tensor::zeros(&[3, 4]), Mode::Eval);
+/// assert_eq!(y.shape().dims(), &[3, 2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the stack.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// One-line-per-layer summary with the total parameter count.
+    pub fn summary(&mut self) -> String {
+        let mut lines = Vec::new();
+        let mut total = 0usize;
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            let n = l.param_count();
+            total += n;
+            lines.push(format!("{i:>3}: {:<16} {n:>9} params", l.name()));
+        }
+        lines.push(format!("total parameters: {total}"));
+        lines.join("\n")
+    }
+
+    /// Class predictions (argmax of logits) for a batch.
+    pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
+        self.forward(input, Mode::Eval).argmax_rows()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params(visitor);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential({})", names.join(" -> "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+
+    #[test]
+    fn forward_composes_layers() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, 0));
+        net.push(Relu::new());
+        let y = net.forward(&Tensor::zeros(&[1, 2]), Mode::Eval);
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn backward_runs_in_reverse() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 4, 0));
+        net.push(Relu::new());
+        net.push(Dense::new(4, 2, 1));
+        let x = Tensor::full(&[2, 3], 0.5);
+        let y = net.forward(&x, Mode::Train);
+        let g = net.backward(&Tensor::full(y.shape().dims(), 1.0));
+        assert_eq!(g.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn summary_reports_totals() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 2, 0));
+        let s = net.summary();
+        assert!(s.contains("total parameters: 10"), "{s}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Model zoo: scaled-down stand-ins for the four architectures the paper
+//! evaluates (AlexNet, VGG-16, GoogLeNet, ResNet-34/50), plus a tiny MLP
+//! probe for fast tests.
+//!
+//! The networks keep each original's distinguishing structure — plain deep
+//! stack with large dense head (AlexNet), double-conv groups (VGG),
+//! inception modules (GoogLeNet), residual blocks (ResNet) — at a parameter
+//! budget that trains in seconds on CPU. DESIGN.md §4 documents why this
+//! substitution preserves the paper's compression-vs-accuracy effects.
+
+use crate::blocks::{InceptionBlock, ResidualBlock};
+use crate::layers::{BatchNorm2d, Conv2d, Dense, Dropout, Flatten, GlobalAvgPool, MaxPool2, Relu};
+use crate::Sequential;
+use deepn_tensor::Conv2dGeometry;
+
+/// Names of the zoo architectures, in the order the paper's Fig. 8 lists
+/// them (GoogLeNet, VGG-16, ResNet-34, ResNet-50) plus AlexNet.
+pub const MODEL_NAMES: [&str; 5] = [
+    "MiniAlexNet",
+    "MiniGoogLeNet",
+    "MiniVgg",
+    "MiniResNet34",
+    "MiniResNet50",
+];
+
+/// Builds a zoo model by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`MODEL_NAMES`].
+pub fn by_name(name: &str, in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
+    match name {
+        "MiniAlexNet" => mini_alexnet(in_c, h, w, classes, seed),
+        "MiniGoogLeNet" => mini_googlenet(in_c, h, w, classes, seed),
+        "MiniVgg" => mini_vgg(in_c, h, w, classes, seed),
+        "MiniResNet34" => mini_resnet34(in_c, h, w, classes, seed),
+        "MiniResNet50" => mini_resnet50(in_c, h, w, classes, seed),
+        other => panic!("unknown zoo model {other:?}"),
+    }
+}
+
+/// A flatten → dense → relu → dense probe, for unit tests and doctests.
+pub fn mlp_probe(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
+    let feat = in_c * h * w;
+    let mut net = Sequential::new();
+    net.push(Flatten::new());
+    net.push(Dense::new(feat, 32, seed));
+    net.push(Relu::new());
+    net.push(Dense::new(32, classes, seed ^ 1));
+    net
+}
+
+/// AlexNet stand-in: three conv stages with pooling and a dropout-guarded
+/// dense head (the "large fully-connected classifier" signature of AlexNet).
+///
+/// # Panics
+///
+/// Panics if `h` or `w` is not divisible by 4.
+pub fn mini_alexnet(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 12, seed));
+    net.push(Relu::new());
+    net.push(MaxPool2::new());
+    let (h2, w2) = (h / 2, w / 2);
+    net.push(Conv2d::new(Conv2dGeometry::new(12, h2, w2, 3, 1, 1), 24, seed ^ 2));
+    net.push(Relu::new());
+    net.push(MaxPool2::new());
+    let (h4, w4) = (h / 4, w / 4);
+    net.push(Conv2d::new(Conv2dGeometry::new(24, h4, w4, 3, 1, 1), 32, seed ^ 3));
+    net.push(Relu::new());
+    net.push(Flatten::new());
+    net.push(Dense::new(32 * h4 * w4, 96, seed ^ 4));
+    net.push(Relu::new());
+    net.push(Dropout::new(0.3, seed ^ 5));
+    net.push(Dense::new(96, classes, seed ^ 6));
+    net
+}
+
+/// VGG stand-in: two double-conv groups with pooling, then a dense head.
+///
+/// # Panics
+///
+/// Panics if `h` or `w` is not divisible by 4.
+pub fn mini_vgg(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 10, seed));
+    net.push(Relu::new());
+    net.push(Conv2d::new(Conv2dGeometry::new(10, h, w, 3, 1, 1), 10, seed ^ 2));
+    net.push(Relu::new());
+    net.push(MaxPool2::new());
+    let (h2, w2) = (h / 2, w / 2);
+    net.push(Conv2d::new(Conv2dGeometry::new(10, h2, w2, 3, 1, 1), 20, seed ^ 3));
+    net.push(Relu::new());
+    net.push(Conv2d::new(Conv2dGeometry::new(20, h2, w2, 3, 1, 1), 20, seed ^ 4));
+    net.push(Relu::new());
+    net.push(MaxPool2::new());
+    let (h4, w4) = (h / 4, w / 4);
+    net.push(Flatten::new());
+    net.push(Dense::new(20 * h4 * w4, 64, seed ^ 5));
+    net.push(Relu::new());
+    net.push(Dense::new(64, classes, seed ^ 6));
+    net
+}
+
+/// GoogLeNet stand-in: conv stem, two inception modules, global average
+/// pooling (no big dense head — the GoogLeNet signature).
+///
+/// # Panics
+///
+/// Panics if `h` or `w` is not divisible by 4.
+pub fn mini_googlenet(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 8, seed));
+    net.push(Relu::new());
+    net.push(MaxPool2::new());
+    let (h2, w2) = (h / 2, w / 2);
+    net.push(InceptionBlock::new(8, h2, w2, (4, 6, 2, 4), seed ^ 2));
+    net.push(Relu::new());
+    net.push(MaxPool2::new());
+    let (h4, w4) = (h / 4, w / 4);
+    net.push(InceptionBlock::new(16, h4, w4, (6, 8, 4, 6), seed ^ 3));
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(24, classes, seed ^ 4));
+    net
+}
+
+/// ResNet-34 stand-in: stem + three residual blocks across two stages.
+///
+/// # Panics
+///
+/// Panics if `h` or `w` is not divisible by 4.
+pub fn mini_resnet34(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 8, seed));
+    net.push(BatchNorm2d::new(8));
+    net.push(Relu::new());
+    net.push(ResidualBlock::new(8, h, w, 8, 1, seed ^ 2));
+    net.push(ResidualBlock::new(8, h, w, 16, 2, seed ^ 3));
+    let (h2, w2) = (h / 2, w / 2);
+    net.push(ResidualBlock::new(16, h2, w2, 16, 1, seed ^ 4));
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(16, classes, seed ^ 5));
+    net
+}
+
+/// ResNet-50 stand-in: like [`mini_resnet34`] with one extra downsampling
+/// stage and block (deeper, more parameters).
+///
+/// # Panics
+///
+/// Panics if `h` or `w` is not divisible by 4.
+pub fn mini_resnet50(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 8, seed));
+    net.push(BatchNorm2d::new(8));
+    net.push(Relu::new());
+    net.push(ResidualBlock::new(8, h, w, 8, 1, seed ^ 2));
+    net.push(ResidualBlock::new(8, h, w, 16, 2, seed ^ 3));
+    let (h2, w2) = (h / 2, w / 2);
+    net.push(ResidualBlock::new(16, h2, w2, 16, 1, seed ^ 4));
+    net.push(ResidualBlock::new(16, h2, w2, 32, 2, seed ^ 5));
+    let (h4, w4) = (h / 4, w / 4);
+    net.push(ResidualBlock::new(32, h4, w4, 32, 1, seed ^ 6));
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(32, classes, seed ^ 7));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, Mode};
+    use deepn_tensor::Tensor;
+
+    fn smoke(mut net: Sequential, classes: usize) {
+        let x = Tensor::full(&[2, 3, 16, 16], 0.5);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[2, classes]);
+        let g = net.backward(&Tensor::full(&[2, classes], 0.1));
+        assert_eq!(g.shape().dims(), &[2, 3, 16, 16]);
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn all_zoo_models_forward_and_backward() {
+        for name in MODEL_NAMES {
+            smoke(by_name(name, 3, 16, 16, 5, 42), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown zoo model")]
+    fn by_name_rejects_unknown() {
+        by_name("ResNet-101", 3, 16, 16, 5, 0);
+    }
+
+    #[test]
+    fn models_have_distinct_parameter_budgets() {
+        let mut counts = Vec::new();
+        for name in MODEL_NAMES {
+            let mut m = by_name(name, 3, 32, 32, 10, 7);
+            counts.push((name, m.param_count()));
+        }
+        // ResNet-50 variant must be strictly bigger than the 34 variant.
+        let c34 = counts.iter().find(|(n, _)| *n == "MiniResNet34").expect("present").1;
+        let c50 = counts.iter().find(|(n, _)| *n == "MiniResNet50").expect("present").1;
+        assert!(c50 > c34, "{counts:?}");
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let mut a = mini_alexnet(3, 16, 16, 4, 9);
+        let mut b = mini_alexnet(3, 16, 16, 4, 9);
+        let x = Tensor::full(&[1, 3, 16, 16], 0.25);
+        assert_eq!(
+            a.forward(&x, Mode::Eval).data(),
+            b.forward(&x, Mode::Eval).data()
+        );
+    }
+}

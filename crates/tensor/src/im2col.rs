@@ -1,0 +1,245 @@
+//! The im2col/col2im lowering that turns 2-D convolution into matmul.
+
+use crate::Tensor;
+
+/// The static geometry of a 2-D convolution: input plane size, kernel size,
+/// stride, and symmetric zero padding.
+///
+/// ```
+/// use deepn_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 32, 32, 3, 1, 1);
+/// assert_eq!((g.out_h(), g.out_w()), (32, 32)); // "same" conv
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Symmetric zero padding in both directions.
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero, or if the padded input is
+    /// smaller than the kernel.
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
+            "padded input {}x{} smaller than kernel {kernel}",
+            in_h + 2 * pad,
+            in_w + 2 * pad,
+        );
+        Conv2dGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the im2col matrix: one per kernel element per input channel.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix: one per output pixel.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Lowers one CHW image into the `[C·K·K, outH·outW]` column matrix, so that
+/// convolution with a `[outC, C·K·K]` kernel matrix is a single matmul.
+///
+/// Out-of-bounds taps (from padding) contribute zeros.
+///
+/// # Panics
+///
+/// Panics if `image` is not 3-D with the geometry's channel/size.
+pub fn im2col(image: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    assert_eq!(image.shape().rank(), 3, "im2col expects a CHW image");
+    assert_eq!(image.shape().dims(), &[g.in_channels, g.in_h, g.in_w]);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[g.col_rows(), cols]);
+    let src = image.data();
+    let dst = out.data_mut();
+    let mut row = 0;
+    for c in 0..g.in_channels {
+        let plane = &src[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let drow = &mut dst[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue; // stays zero
+                    }
+                    let srow = &plane[iy as usize * g.in_w..(iy as usize + 1) * g.in_w];
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix >= 0 && ix < g.in_w as isize {
+                            drow[oy * ow + ox] = srow[ix as usize];
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scatters a column-matrix gradient back into CHW image space — the adjoint
+/// of [`im2col`]. Overlapping taps accumulate.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have shape `[col_rows, col_cols]`.
+pub fn col2im(cols: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    assert_eq!(cols.shape().dims(), &[g.col_rows(), g.col_cols()]);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let ncols = oh * ow;
+    let mut out = Tensor::zeros(&[g.in_channels, g.in_h, g.in_w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+    let mut row = 0;
+    for c in 0..g.in_channels {
+        let plane_off = c * g.in_h * g.in_w;
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let srow = &src[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix >= 0 && ix < g.in_w as isize {
+                            dst[plane_off + iy as usize * g.in_w + ix as usize] +=
+                                srow[oy * ow + ox];
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul;
+
+    #[test]
+    fn geometry_same_conv() {
+        let g = Conv2dGeometry::new(3, 8, 8, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (8, 8));
+        assert_eq!(g.col_rows(), 27);
+        assert_eq!(g.col_cols(), 64);
+    }
+
+    #[test]
+    fn geometry_strided() {
+        let g = Conv2dGeometry::new(1, 9, 9, 3, 2, 0);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn im2col_matches_naive_conv() {
+        // 1 channel 4x4 input, 2x2 kernel, stride 1, no pad.
+        let img = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 4, 4]);
+        let g = Conv2dGeometry::new(1, 4, 4, 2, 1, 0);
+        let cols = im2col(&img, &g);
+        // Kernel [[1, 0], [0, -1]] -> row vector [1, 0, 0, -1]
+        let kmat = Tensor::from_vec(vec![1.0, 0.0, 0.0, -1.0], &[1, 4]);
+        let out = matmul(&kmat, &cols);
+        // Naive: out[y][x] = img[y][x] - img[y+1][x+1] = -5 everywhere.
+        assert!(out.data().iter().all(|&v| v == -5.0));
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border_taps() {
+        let img = Tensor::full(&[1, 2, 2], 1.0);
+        let g = Conv2dGeometry::new(1, 2, 2, 3, 1, 1);
+        let cols = im2col(&img, &g);
+        // Center tap row (ky=1,kx=1) sees the full image: all ones.
+        let ncols = g.col_cols();
+        let center = &cols.data()[4 * ncols..5 * ncols];
+        assert!(center.iter().all(|&v| v == 1.0));
+        // Corner tap row (ky=0,kx=0) only hits the image at output (1,1).
+        let corner = &cols.data()[0..ncols];
+        assert_eq!(corner, &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 2, 1);
+        let x = Tensor::from_vec(
+            (0..2 * 5 * 5).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+            &[2, 5, 5],
+        );
+        let y = Tensor::from_vec(
+            (0..g.col_rows() * g.col_cols())
+                .map(|i| ((i * 5 % 11) as f32) - 5.0)
+                .collect(),
+            &[g.col_rows(), g.col_cols()],
+        );
+        let lhs: f32 = im2col(&x, &g)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, &g).data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn geometry_rejects_tiny_input() {
+        Conv2dGeometry::new(1, 2, 2, 5, 1, 0);
+    }
+}

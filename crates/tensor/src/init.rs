@@ -1,0 +1,75 @@
+//! Weight initialization helpers.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// He-normal initialization: zero-mean Gaussian with variance `2 / fan_in`,
+/// the standard choice for ReLU networks.
+///
+/// The Gaussian is sampled with Box–Muller from the provided seeded RNG so
+/// every training run in this repository is reproducible.
+pub fn he_normal(rng: &mut StdRng, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut t = Tensor::zeros(dims);
+    let data = t.data_mut();
+    let mut i = 0;
+    while i < data.len() {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data[i] = r * theta.cos() * std;
+        if i + 1 < data.len() {
+            data[i + 1] = r * theta.sin() * std;
+        }
+        i += 2;
+    }
+    t
+}
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform_init(rng: &mut StdRng, dims: &[usize], limit: f32) -> Tensor {
+    assert!(limit >= 0.0, "limit must be non-negative");
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.gen_range(-limit..=limit);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = he_normal(&mut rng, &[64, 64], 64);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let expect = 2.0 / 64.0;
+        assert!(
+            (var - expect).abs() < expect * 0.2,
+            "var {var} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = he_normal(&mut StdRng::seed_from_u64(7), &[10], 10);
+        let b = he_normal(&mut StdRng::seed_from_u64(7), &[10], 10);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform_init(&mut rng, &[1000], 0.25);
+        assert!(t.data().iter().all(|v| v.abs() <= 0.25));
+    }
+}

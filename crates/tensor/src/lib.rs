@@ -1,0 +1,35 @@
+//! # deepn-tensor
+//!
+//! A minimal, dependency-light tensor library underpinning the
+//! [DeepN-JPEG](https://arxiv.org/abs/1803.05788) reproduction.
+//!
+//! The library provides exactly what a small CNN training stack needs and
+//! nothing more: a dense row-major [`Tensor`] of `f32` values with an
+//! arbitrary-rank [`Shape`], cache-friendly [`matmul`], the
+//! [`im2col`]/[`col2im`] lowering used by convolution layers, and a handful
+//! of reductions.
+//!
+//! ## Example
+//!
+//! ```
+//! use deepn_tensor::{Tensor, matmul};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![deny(missing_docs)]
+
+mod im2col;
+mod init;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use init::{he_normal, uniform_init};
+pub use ops::{add_assign, axpy, matmul, matmul_a_bt, matmul_at_b, scale};
+pub use shape::Shape;
+pub use tensor::Tensor;

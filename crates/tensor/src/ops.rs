@@ -1,0 +1,199 @@
+//! Dense linear-algebra kernels.
+//!
+//! All three matmul variants use a blocked i-k-j loop order so the innermost
+//! loop streams contiguously through both the output row and one input row,
+//! which is the standard cache-friendly layout for row-major storage.
+
+use crate::Tensor;
+
+/// `C = A · B` for 2-D tensors.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the inner dimensions disagree.
+///
+/// ```
+/// use deepn_tensor::{matmul, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+/// let c = matmul(&a, &b);
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+///
+/// `A` is `[k, m]`, `B` is `[k, n]`, and the result is `[m, n]`. Used by the
+/// convolution backward pass (gradient with respect to the input columns).
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the shared dimension disagrees.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_at_b lhs");
+    let (k2, n) = dims2(b, "matmul_at_b rhs");
+    assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+///
+/// `A` is `[m, k]`, `B` is `[n, k]`, and the result is `[m, n]`. Used by the
+/// convolution backward pass (gradient with respect to the kernel matrix).
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the shared dimension disagrees.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_a_bt lhs");
+    let (n, k2) = dims2(b, "matmul_a_bt rhs");
+    assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// `dst += src`, element-wise.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add_assign(dst: &mut Tensor, src: &Tensor) {
+    assert_eq!(dst.shape(), src.shape(), "add_assign shape mismatch");
+    for (d, s) in dst.data_mut().iter_mut().zip(src.data().iter()) {
+        *d += s;
+    }
+}
+
+/// `dst += alpha * src`, element-wise (the BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn axpy(alpha: f32, src: &Tensor, dst: &mut Tensor) {
+    assert_eq!(dst.shape(), src.shape(), "axpy shape mismatch");
+    for (d, s) in dst.data_mut().iter_mut().zip(src.data().iter()) {
+        *d += alpha * s;
+    }
+}
+
+/// Multiplies every element of `t` by `alpha` in place.
+pub fn scale(t: &mut Tensor, alpha: f32) {
+    for v in t.data_mut() {
+        *v *= alpha;
+    }
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be 2-D, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d)
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let c = matmul(&a, &Tensor::eye(3));
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // [1 2; 3 4; 5 6] · [1; 1] = [3; 7; 11]
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(vec![1.0, 1.0], &[2, 1]);
+        assert_eq!(matmul(&a, &b).data(), &[3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = t(vec![1.0, -2.0, 0.5, 3.0, 4.0, -1.0], &[2, 3]);
+        let b = t(vec![2.0, 1.0, 0.0, -1.0, 1.0, 3.0], &[2, 3]);
+        // at_b: aT(3x2) · b(2x3) = 3x3
+        let atb = matmul_at_b(&a, &b);
+        let at = t(vec![1.0, 3.0, -2.0, 4.0, 0.5, -1.0], &[3, 2]);
+        assert_eq!(atb.data(), matmul(&at, &b).data());
+        // a_bt: a(2x3) · bT(3x2) = 2x2
+        let abt = matmul_a_bt(&a, &b);
+        let bt = t(vec![2.0, -1.0, 1.0, 1.0, 0.0, 3.0], &[3, 2]);
+        assert_eq!(abt.data(), matmul(&a, &bt).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut d = t(vec![1.0, 2.0], &[2]);
+        let s = t(vec![10.0, 20.0], &[2]);
+        axpy(0.5, &s, &mut d);
+        assert_eq!(d.data(), &[6.0, 12.0]);
+        scale(&mut d, 2.0);
+        assert_eq!(d.data(), &[12.0, 24.0]);
+        add_assign(&mut d, &s);
+        assert_eq!(d.data(), &[22.0, 44.0]);
+    }
+}

@@ -1,0 +1,309 @@
+use crate::Shape;
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// `Tensor` is the workhorse value type of the `deepn-nn` training stack:
+/// activations, weights, and gradients are all `Tensor`s. Layout is always
+/// contiguous row-major (outermost dimension first), so a 4-D tensor indexed
+/// as `[n][c][h][w]` is the conventional NCHW layout.
+///
+/// ```
+/// use deepn_tensor::Tensor;
+///
+/// let mut t = Tensor::zeros(&[2, 3]);
+/// t.set(&[1, 2], 5.0);
+/// assert_eq!(t.at(&[1, 2]), 5.0);
+/// assert_eq!(t.sum(), 5.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor that takes ownership of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// The `n × n` identity matrix.
+    ///
+    /// ```
+    /// use deepn_tensor::Tensor;
+    /// let i = Tensor::eye(3);
+    /// assert_eq!(i.at(&[1, 1]), 1.0);
+    /// assert_eq!(i.at(&[1, 2]), 0.0);
+    /// ```
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the backing storage in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage in row-major order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds index.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data but a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "cannot reshape {} elements into {shape}",
+            self.data.len()
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element along the last axis for each row of a
+    /// 2-D tensor. This is the `argmax` used to turn logits into class
+    /// predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.rank(), 2, "argmax_rows requires a 2-D tensor");
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, ", {:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", [{:.4}, {:.4}, .., {:.4}])",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1]
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// A single-element zero tensor.
+    fn default() -> Self {
+        Tensor::zeros(&[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 2]);
+        assert_eq!(z.sum(), 0.0);
+        let f = Tensor::full(&[3], 2.5);
+        assert_eq!(f.sum(), 7.5);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        Tensor::from_vec(vec![1.0], &[2]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], 9.0);
+        assert_eq!(t.at(&[1, 2, 3]), 9.0);
+        assert_eq!(t.data()[23], 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).reshape(&[2, 2]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_size_change() {
+        Tensor::zeros(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max_on_ties() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0, -1.0, -2.0], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert_eq!(t.sum(), 2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.norm_sq(), 14.0);
+    }
+
+    #[test]
+    fn max_abs_diff_measures_distance() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.5, 1.0], &[2]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(4);
+        assert_eq!(i.sum(), 4.0);
+        assert_eq!(i.at(&[2, 2]), 1.0);
+        assert_eq!(i.at(&[0, 3]), 0.0);
+    }
+}

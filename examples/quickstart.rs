@@ -1,0 +1,57 @@
+//! Quickstart: design a DeepN-JPEG quantization table from a labeled
+//! dataset and compare it against standard JPEG on one image.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use deepn::codec::{psnr, Decoder, Encoder};
+use deepn::core::{CompressionScheme, DeepnTableBuilder, PlmParams};
+use deepn::dataset::{DatasetSpec, ImageSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A labeled dataset (stand-in for ImageNet; see DESIGN.md §4).
+    let spec = DatasetSpec::imagenet_standin();
+    let set = ImageSet::generate(&spec, 42);
+    println!(
+        "dataset: {} classes x {} images, {}x{} px",
+        spec.class_count(),
+        spec.train_per_class + spec.test_per_class,
+        spec.width,
+        spec.height
+    );
+
+    // 2. DeepN-JPEG table design: frequency analysis (Algorithm 1) +
+    //    piece-wise linear mapping (Eq. 3), sampling every 4th image.
+    let tables = DeepnTableBuilder::new(PlmParams::paper())
+        .sample_interval(4)
+        .build(set.images())?;
+    println!("\ndesigned luma table (natural order):");
+    for row in 0..8 {
+        let cells: Vec<String> = (0..8)
+            .map(|col| format!("{:>4}", tables.luma.value(row, col)))
+            .collect();
+        println!("  {}", cells.join(" "));
+    }
+
+    // 3. Compress one image with DeepN-JPEG vs the "Original" reference.
+    let img = &set.images()[0];
+    let deepn_bytes = Encoder::with_tables(tables.clone()).encode(img)?;
+    let jpeg_bytes = Encoder::with_quality(100).encode(img)?;
+    let deepn_decoded = Decoder::new().decode(&deepn_bytes)?;
+
+    println!("\nper-image comparison ({}x{} px):", img.width(), img.height());
+    println!("  JPEG QF=100 : {:>6} bytes (CR 1.00x)", jpeg_bytes.len());
+    println!(
+        "  DeepN-JPEG  : {:>6} bytes (CR {:.2}x), psnr {:.1} dB",
+        deepn_bytes.len(),
+        jpeg_bytes.len() as f64 / deepn_bytes.len() as f64,
+        psnr(img, &deepn_decoded)
+    );
+
+    // 4. Dataset-level compression rate (the paper's headline metric).
+    let cr = deepn::core::experiment::compression_rate(
+        &CompressionScheme::Deepn(tables),
+        set.images(),
+    )?;
+    println!("\ndataset compression rate vs Original: {cr:.2}x");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # deepn — DeepN-JPEG, a DNN-favorable JPEG-based image compression framework
+//!
+//! Facade crate for the DAC 2018 paper reproduction. It re-exports the
+//! workspace crates so downstream users can depend on a single crate:
+//!
+//! - [`tensor`] — minimal NCHW `f32` tensor library
+//! - [`nn`] — from-scratch CNN framework and the Mini* model zoo
+//! - [`codec`] — baseline-sequential JPEG codec built from scratch
+//! - [`dataset`] — seeded procedural labeled image dataset (ImageNet stand-in)
+//! - [`power`] — edge-offloading energy/latency model
+//! - [`core`] — the DeepN-JPEG contribution: frequency analysis, PLM
+//!   quantization-table design, baselines, and the experiment pipeline
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deepn::core::{DeepnTableBuilder, PlmParams};
+//! use deepn::codec::{Encoder, QuantTablePair};
+//! use deepn::dataset::{DatasetSpec, ImageSet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Generate a labeled dataset (stand-in for ImageNet).
+//! let set = ImageSet::generate(&DatasetSpec::tiny(), 42);
+//!
+//! // 2. Run the DeepN-JPEG frequency analysis + PLM table design.
+//! let tables: QuantTablePair = DeepnTableBuilder::new(PlmParams::paper())
+//!     .sample_interval(2)
+//!     .build(set.images())?;
+//!
+//! // 3. Compress with the DNN-favorable tables.
+//! let jpeg = Encoder::with_tables(tables).encode(&set.images()[0])?;
+//! assert!(!jpeg.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use deepn_codec as codec;
+pub use deepn_core as core;
+pub use deepn_dataset as dataset;
+pub use deepn_nn as nn;
+pub use deepn_power as power;
+pub use deepn_tensor as tensor;

@@ -1,0 +1,101 @@
+//! Cross-crate integration: the codec round-trips dataset images under
+//! every compression scheme, and the streams carry the tables they claim.
+
+use deepn::codec::{psnr, Decoder, Encoder, QuantTablePair};
+use deepn::core::{CompressionScheme, DeepnTableBuilder, PlmParams};
+use deepn::dataset::{DatasetSpec, ImageSet};
+
+fn small_set() -> ImageSet {
+    ImageSet::generate(&DatasetSpec::tiny(), 99)
+}
+
+#[test]
+fn every_scheme_round_trips_every_image() {
+    let set = small_set();
+    let tables = DeepnTableBuilder::new(PlmParams::paper())
+        .build(set.images())
+        .expect("tables");
+    let schemes = [
+        CompressionScheme::original(),
+        CompressionScheme::Jpeg(50),
+        CompressionScheme::Jpeg(20),
+        CompressionScheme::RmHf(6),
+        CompressionScheme::SameQ(8),
+        CompressionScheme::Deepn(tables),
+    ];
+    for scheme in &schemes {
+        let (decoded, total) = scheme
+            .round_trip_set(set.images())
+            .unwrap_or_else(|e| panic!("{scheme} failed: {e}"));
+        assert_eq!(decoded.len(), set.len(), "{scheme}");
+        assert!(total > 0, "{scheme}");
+        for (orig, dec) in set.images().iter().zip(&decoded) {
+            assert_eq!(
+                (orig.width(), orig.height()),
+                (dec.width(), dec.height()),
+                "{scheme}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deepn_tables_survive_the_bitstream() {
+    let set = small_set();
+    let tables = DeepnTableBuilder::new(PlmParams::paper())
+        .build(set.images())
+        .expect("tables");
+    let bytes = Encoder::with_tables(tables.clone())
+        .encode(&set.images()[0])
+        .expect("encode");
+    let read = Decoder::new().read_quant_tables(&bytes).expect("read");
+    assert_eq!(read[0].as_ref().expect("luma"), &tables.luma);
+    assert_eq!(read[1].as_ref().expect("chroma"), &tables.chroma);
+}
+
+#[test]
+fn quality_ladder_is_monotone_in_rate_and_distortion() {
+    let set = small_set();
+    let img = &set.images()[1];
+    let mut prev_size = usize::MAX;
+    let mut prev_psnr = f64::INFINITY;
+    for qf in [95u8, 70, 45, 20] {
+        let bytes = Encoder::with_quality(qf).encode(img).expect("encode");
+        let dec = Decoder::new().decode(&bytes).expect("decode");
+        let p = psnr(img, &dec);
+        assert!(bytes.len() <= prev_size, "rate not monotone at qf {qf}");
+        // PSNR should not rise as quality falls (small tolerance for
+        // rounding interactions on tiny images).
+        assert!(p <= prev_psnr + 0.75, "distortion not monotone at qf {qf}");
+        prev_size = bytes.len();
+        prev_psnr = p;
+    }
+}
+
+#[test]
+fn uniform_tables_match_same_q_scheme() {
+    let set = small_set();
+    let img = &set.images()[2];
+    let via_scheme = CompressionScheme::SameQ(6).compress(img).expect("scheme");
+    let via_encoder = Encoder::with_tables(QuantTablePair::uniform(6))
+        .encode(img)
+        .expect("encoder");
+    assert_eq!(via_scheme, via_encoder);
+}
+
+#[test]
+fn decoded_images_feed_the_dnn_tensor_layout() {
+    let set = small_set();
+    let (dec, _) = CompressionScheme::Jpeg(80)
+        .round_trip_set(set.images())
+        .expect("roundtrip");
+    let tensors = deepn::core::experiment::to_tensors(&dec);
+    assert_eq!(tensors.len(), set.len());
+    let d = tensors[0].shape().dims();
+    assert_eq!(d, &[3, 16, 16]);
+    // to_tensors centers pixel values on zero for training stability.
+    assert!(tensors[0]
+        .data()
+        .iter()
+        .all(|&v| (-0.5..=0.5).contains(&v) && v.is_finite()));
+}

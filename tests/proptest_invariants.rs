@@ -1,0 +1,89 @@
+//! Property-based tests over the cross-crate invariants that the whole
+//! reproduction rests on: codec round-trips, quantization error bounds,
+//! PLM clamping, and segmentation partitions.
+
+use deepn::codec::dct::{forward_dct_8x8, inverse_dct_8x8};
+use deepn::codec::{Decoder, Encoder, QuantTable, QuantTablePair, RgbImage};
+use deepn::core::{BandKind, PlmParams, Segmentation};
+use proptest::prelude::*;
+
+fn arb_image(max_side: usize) -> impl Strategy<Value = RgbImage> {
+    (1..=max_side, 1..=max_side)
+        .prop_flat_map(|(w, h)| {
+            proptest::collection::vec(any::<u8>(), w * h * 3)
+                .prop_map(move |data| RgbImage::from_bytes(w, h, data).expect("sized buffer"))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn codec_round_trips_arbitrary_images(img in arb_image(24), qf in 1u8..=100) {
+        let bytes = Encoder::with_quality(qf).encode(&img).expect("encode");
+        let back = Decoder::new().decode(&bytes).expect("decode");
+        prop_assert_eq!((back.width(), back.height()), (img.width(), img.height()));
+    }
+
+    #[test]
+    fn uniform_quantization_error_is_bounded(img in arb_image(16), q in 1u16..=32) {
+        // With step q everywhere, each DCT coefficient moves by at most
+        // q/2, so each pixel moves by at most 8*q/2 per plane transform
+        // (very loose bound; the test checks nothing explodes).
+        let tables = QuantTablePair::uniform(q);
+        let bytes = Encoder::with_tables(tables).encode(&img).expect("encode");
+        let back = Decoder::new().decode(&bytes).expect("decode");
+        let worst = img
+            .as_bytes()
+            .iter()
+            .zip(back.as_bytes())
+            .map(|(&a, &b)| (i32::from(a) - i32::from(b)).unsigned_abs())
+            .max()
+            .expect("non-empty");
+        prop_assert!(worst <= 16 + 8 * u32::from(q), "worst-case error {worst} at q {q}");
+    }
+
+    #[test]
+    fn dct_round_trip_is_identity(vals in proptest::collection::vec(-128.0f32..128.0, 64)) {
+        let mut block = [0.0f32; 64];
+        block.copy_from_slice(&vals);
+        let back = inverse_dct_8x8(&forward_dct_8x8(&block));
+        for (a, b) in block.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn plm_steps_always_in_clamp_range(
+        sigma in 0.0f64..1e4,
+        k3 in 0.5f64..8.0,
+        t1 in 1.0f64..50.0,
+        dt in 1.0f64..100.0,
+    ) {
+        let p = PlmParams::calibrated(t1, t1 + dt, k3).expect("valid thresholds");
+        let q = p.quant_step(sigma);
+        prop_assert!(q >= p.q_min && q <= p.q_max);
+    }
+
+    #[test]
+    fn segmentation_is_always_a_6_22_36_partition(
+        sigmas in proptest::collection::vec(0.0f64..1000.0, 64)
+    ) {
+        let mut arr = [0.0f64; 64];
+        arr.copy_from_slice(&sigmas);
+        let seg = Segmentation::magnitude_based(&arr);
+        prop_assert_eq!(seg.counts(), (6, 22, 36));
+        // The smallest Low σ is >= the largest High σ.
+        let min_low = seg.bands_of(BandKind::Low).iter().map(|&b| arr[b]).fold(f64::INFINITY, f64::min);
+        let max_high = seg.bands_of(BandKind::High).iter().map(|&b| arr[b]).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(min_low >= max_high);
+    }
+
+    #[test]
+    fn quant_table_scaling_never_produces_zero(q in 1u8..=100) {
+        let t = QuantTable::standard_luma().scaled(q);
+        prop_assert!(t.values().iter().all(|&v| v >= 1));
+        let c = QuantTable::standard_chroma().scaled(q);
+        prop_assert!(c.values().iter().all(|&v| v >= 1));
+    }
+}
