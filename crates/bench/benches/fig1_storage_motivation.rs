@@ -1,0 +1,56 @@
+//! Fig. 1 — the data-transfer/storage motivation: large-scale image sets
+//! dominate edge-to-cloud traffic, and the bytes a scheme ships are the
+//! bytes the radio pays for.
+//!
+//! We report the dataset footprint of raw RGB, the Original (QF=100) JPEG,
+//! standard JPEG at decreasing quality, and DeepN-JPEG, plus the upload
+//! latency of each footprint on the three Neurosurgeon radio profiles.
+
+use deepn_bench::{banner, bench_set, deepn_tables, timed};
+use deepn_core::CompressionScheme;
+use deepn_power::{EnergyModel, RadioProfile};
+
+fn main() {
+    banner(
+        "Figure 1",
+        "Dataset storage footprint and upload latency per compression scheme.",
+    );
+    let set = bench_set();
+    let images = set.images();
+    let raw_bytes: usize = images.iter().map(|i| i.width() * i.height() * 3).sum();
+
+    let tables = timed("DeepN-JPEG table design", || deepn_tables(&set));
+    let schemes: Vec<CompressionScheme> = vec![
+        CompressionScheme::original(),
+        CompressionScheme::Jpeg(75),
+        CompressionScheme::Jpeg(50),
+        CompressionScheme::Deepn(tables),
+    ];
+
+    println!(
+        "{:<26} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "scheme", "bytes", "vs raw", "3G", "LTE", "Wi-Fi"
+    );
+    println!(
+        "{:<26} {raw_bytes:>12} {:>7.2}x {:>10} {:>10} {:>10}",
+        "raw RGB", 1.0, "-", "-", "-"
+    );
+    for scheme in &schemes {
+        let sizes = scheme.compressed_sizes(images).expect("compression runs");
+        let total: usize = sizes.iter().sum();
+        print!(
+            "{:<26} {total:>12} {:>7.2}x",
+            scheme.to_string(),
+            raw_bytes as f64 / total as f64
+        );
+        for radio in RadioProfile::all() {
+            let model = EnergyModel::new(radio);
+            print!(" {:>9.2}s", model.transfer_latency(total));
+        }
+        println!();
+    }
+    println!(
+        "\npaper shape: the image set dominates transfer cost, and DeepN-JPEG \
+         ships ~3.5x fewer bytes than the Original at equivalent accuracy."
+    );
+}

@@ -60,8 +60,8 @@ fn main() {
         "QF", "CR", "CASE1 top-1", "CASE2 top-1"
     );
     for (i, &qf) in qfs.iter().enumerate() {
-        let cr = compression_rate(&CompressionScheme::Jpeg(qf), set.images())
-            .expect("compression runs");
+        let cr =
+            compression_rate(&CompressionScheme::Jpeg(qf), set.images()).expect("compression runs");
         println!(
             "{qf:>6} {cr:>7.2}x {:>11.1}% {:>11.1}%",
             case1[i] * 100.0,

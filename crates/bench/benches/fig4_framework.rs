@@ -1,0 +1,76 @@
+//! Fig. 4 — the DeepN-JPEG framework, stage by stage: frequency component
+//! analysis (Algorithm 1), magnitude-based band segmentation, and the
+//! piece-wise linear mapping that emits the quantization table.
+//!
+//! Each stage's intermediate output is printed so the closed-form pipeline
+//! can be inspected end to end: the σ spectrum, the Low/Mid/High partition,
+//! the PLM thresholds, and the final luma table the encoder receives.
+
+use deepn_bench::{banner, bench_set, timed};
+use deepn_core::analysis::analyze_images;
+use deepn_core::{BandKind, DeepnTableBuilder, PlmParams, Segmentation};
+
+fn main() {
+    banner(
+        "Figure 4",
+        "Framework stages: frequency analysis -> band segmentation -> PLM \
+         quantization-table generation.",
+    );
+    let set = bench_set();
+    let interval = 4;
+
+    // Stage 1: frequency component analysis over the sampled dataset.
+    let stats = timed("stage 1: frequency analysis", || {
+        analyze_images(set.sample_per_class(interval), 1).expect("analysis runs")
+    });
+    let sigmas = stats.luma_sigmas();
+    println!(
+        "stage 1: {} images, {} blocks; sigma DC {:.1}, min {:.2}, max {:.1}",
+        stats.image_count(),
+        stats.block_count(),
+        sigmas[0],
+        sigmas.iter().cloned().fold(f64::INFINITY, f64::min),
+        sigmas.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+
+    // Stage 2: magnitude-based segmentation of the 64 bands.
+    let seg = Segmentation::magnitude_based(&sigmas);
+    let (lo, mid, hi) = seg.counts();
+    println!("stage 2: band partition Low/Mid/High = {lo}/{mid}/{hi}");
+    for kind in [BandKind::Low, BandKind::Mid, BandKind::High] {
+        let bands = seg.bands_of(kind);
+        let sig_min = bands
+            .iter()
+            .map(|&b| sigmas[b])
+            .fold(f64::INFINITY, f64::min);
+        let sig_max = bands
+            .iter()
+            .map(|&b| sigmas[b])
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "         {kind:?}: {} bands, sigma in [{sig_min:.2}, {sig_max:.2}]",
+            bands.len()
+        );
+    }
+
+    // Stage 3: PLM mapping to a quantization table pair.
+    let params = PlmParams::paper();
+    println!(
+        "stage 3: PLM Qmin {} Qmax {} (a {:.3}, b {:.3}, c {:.3})",
+        params.q_min, params.q_max, params.a, params.b, params.c
+    );
+    // Reuse the stage-1 statistics so the printed spectrum, partition, and
+    // table all describe the same analysis pass.
+    let tables = timed("stage 3: table design", || {
+        DeepnTableBuilder::new(params)
+            .build_from_stats(&stats)
+            .expect("table design runs")
+    });
+    println!("\ndesigned luma table (row-major 8x8):");
+    for row in 0..8 {
+        let cells: Vec<String> = (0..8)
+            .map(|col| format!("{:>4}", tables.luma.value(row, col)))
+            .collect();
+        println!("  {}", cells.join(" "));
+    }
+}

@@ -39,7 +39,10 @@ fn main() {
         &CompressionScheme::Deepn(band_probe_tables(&magnitude, BandKind::Low, 1)),
     )
     .expect("reference evaluation");
-    println!("reference accuracy (all steps = 1): {:.1}%\n", reference * 100.0);
+    println!(
+        "reference accuracy (all steps = 1): {:.1}%\n",
+        reference * 100.0
+    );
 
     // The paper sweeps steps 1–40/60/80 on ImageNet statistics; our
     // synthetic dataset's coefficients sit on a different σ scale (the

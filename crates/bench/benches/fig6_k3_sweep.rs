@@ -30,7 +30,7 @@ fn main() {
         let params = PlmParams::calibrated(t1, t2, f64::from(k3)).expect("valid thresholds");
         let tables = DeepnTableBuilder::new(params)
             .threshold_mode(ThresholdMode::Fixed)
-            .sample_interval(4)
+            .sample_interval(3)
             .build_from_stats(&stats)
             .expect("tables build");
         let scheme = CompressionScheme::Deepn(tables);

@@ -52,7 +52,9 @@ fn main() {
 
     // Absolute transfer energy for one concrete deployment, for context
     // (compute term excluded here too, to match the table).
-    let deepn_sizes = schemes[3].compressed_sizes(images).expect("compression runs");
+    let deepn_sizes = schemes[3]
+        .compressed_sizes(images)
+        .expect("compression runs");
     let mut lte = EnergyModel::new(RadioProfile::lte());
     lte.compute_energy_j = 0.0;
     println!(

@@ -102,7 +102,6 @@ fn bench_ablation(c: &mut Criterion) {
     );
     // Optimized vs standard Huffman at the DeepN tables.
     let tables = DeepnTableBuilder::new(PlmParams::paper())
-        .sample_interval(4)
         .build_from_stats(&stats)
         .expect("builds");
     let opt: usize = images
@@ -152,8 +151,7 @@ fn bench_ablation(c: &mut Criterion) {
     );
     // Rate-model fidelity: predicted vs measured scan size for the DeepN tables.
     let blocks = images.len() * 16; // 32x32 -> 16 blocks per component
-    let predicted =
-        deepn_core::rate::predicted_scan_bytes(&stats, &tables, blocks);
+    let predicted = deepn_core::rate::predicted_scan_bytes(&stats, &tables, blocks);
     println!(
         "[ablation] Laplacian rate model: predicted {predicted:.0} scan bytes \
          vs measured {opt} total bytes (incl. ~{} container overhead)",

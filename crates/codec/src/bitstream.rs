@@ -27,7 +27,8 @@ impl BitWriter {
         if count == 0 {
             return;
         }
-        self.acc = (self.acc << count) | u32::from(bits & ((1u16 << (count - 1) << 1).wrapping_sub(1)));
+        self.acc =
+            (self.acc << count) | u32::from(bits & ((1u16 << (count - 1) << 1).wrapping_sub(1)));
         self.nbits += count;
         while self.nbits >= 8 {
             let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
@@ -141,7 +142,13 @@ mod tests {
     #[test]
     fn round_trip_various_widths() {
         let mut w = BitWriter::new();
-        let values = [(0b1u16, 1u32), (0b1010, 4), (0x3FF, 10), (0xFFFF, 16), (0, 3)];
+        let values = [
+            (0b1u16, 1u32),
+            (0b1010, 4),
+            (0x3FF, 10),
+            (0xFFFF, 16),
+            (0, 3),
+        ];
         for &(v, n) in &values {
             w.put(v, n);
         }

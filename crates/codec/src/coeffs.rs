@@ -191,7 +191,12 @@ mod tests {
         }
     }
 
-    fn tables() -> (HuffmanEncoder, HuffmanEncoder, HuffmanDecoder, HuffmanDecoder) {
+    fn tables() -> (
+        HuffmanEncoder,
+        HuffmanEncoder,
+        HuffmanDecoder,
+        HuffmanDecoder,
+    ) {
         let dc = HuffmanSpec::standard_dc_luma();
         let ac = HuffmanSpec::standard_ac_luma();
         (

@@ -266,11 +266,7 @@ impl Decoder {
                 ));
             }
         }
-        let (ss, se, ah_al) = (
-            payload[1 + 2 * n],
-            payload[2 + 2 * n],
-            payload[3 + 2 * n],
-        );
+        let (ss, se, ah_al) = (payload[1 + 2 * n], payload[2 + 2 * n], payload[3 + 2 * n]);
         if ss != 0 || se != 63 || ah_al != 0 {
             return Err(CodecError::Unsupported(
                 "progressive/partial spectral selection".into(),

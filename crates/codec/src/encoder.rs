@@ -327,7 +327,12 @@ mod tests {
             .expect("std");
         // Optimized tables shrink the scan but add DHT payload; on this
         // image the total must not blow up.
-        assert!(opt.len() <= std.len() + 64, "{} vs {}", opt.len(), std.len());
+        assert!(
+            opt.len() <= std.len() + 64,
+            "{} vs {}",
+            opt.len(),
+            std.len()
+        );
     }
 
     #[test]

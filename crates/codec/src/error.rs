@@ -55,7 +55,9 @@ mod tests {
             height: 4,
         };
         assert_eq!(e.to_string(), "invalid image dimensions 0x4");
-        assert!(CodecError::UnexpectedEof.to_string().starts_with("unexpected"));
+        assert!(CodecError::UnexpectedEof
+            .to_string()
+            .starts_with("unexpected"));
     }
 
     #[test]

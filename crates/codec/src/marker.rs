@@ -106,7 +106,8 @@ impl<'a> SegmentReader<'a> {
             return Ok(None);
         }
         // Skip fill bytes (0xFF padding before a marker is legal).
-        while self.pos + 1 < self.bytes.len() && self.bytes[self.pos] == 0xFF
+        while self.pos + 1 < self.bytes.len()
+            && self.bytes[self.pos] == 0xFF
             && self.bytes[self.pos + 1] == 0xFF
         {
             self.pos += 1;
@@ -131,7 +132,10 @@ impl<'a> SegmentReader<'a> {
         if self.pos + 2 > self.bytes.len() {
             return Err(CodecError::UnexpectedEof);
         }
-        let len = usize::from(u16::from_be_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]));
+        let len = usize::from(u16::from_be_bytes([
+            self.bytes[self.pos],
+            self.bytes[self.pos + 1],
+        ]));
         if len < 2 || self.pos + len > self.bytes.len() {
             return Err(CodecError::UnexpectedEof);
         }
@@ -187,10 +191,7 @@ mod tests {
         write_marker(&mut out, SOI);
         out.extend_from_slice(&[0xFF, DQT, 0x00, 0x50]); // claims 0x50 bytes
         let mut r = SegmentReader::new(&out).expect("valid SOI");
-        assert!(matches!(
-            r.next_segment(),
-            Err(CodecError::UnexpectedEof)
-        ));
+        assert!(matches!(r.next_segment(), Err(CodecError::UnexpectedEof)));
     }
 
     #[test]

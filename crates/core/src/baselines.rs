@@ -145,7 +145,9 @@ mod tests {
     #[test]
     fn rm_hf_shrinks_and_keeps_low_bands() {
         let img = sample_image();
-        let (orig, base) = CompressionScheme::original().round_trip(&img).expect("orig");
+        let (orig, base) = CompressionScheme::original()
+            .round_trip(&img)
+            .expect("orig");
         let (rm, smaller) = CompressionScheme::RmHf(9).round_trip(&img).expect("rm");
         assert!(smaller <= base);
         // Removing only the top bands must stay visually close overall.
@@ -164,7 +166,10 @@ mod tests {
     fn same_q_larger_step_is_smaller_file() {
         let img = sample_image();
         let s4 = CompressionScheme::SameQ(4).compress(&img).expect("4").len();
-        let s12 = CompressionScheme::SameQ(12).compress(&img).expect("12").len();
+        let s12 = CompressionScheme::SameQ(12)
+            .compress(&img)
+            .expect("12")
+            .len();
         assert!(s12 < s4);
     }
 

@@ -10,8 +10,8 @@
 //! The evaluation figures (6–8) train and test on the *same* compressed
 //! dataset, which [`run_symmetric`] provides.
 
-use crate::baselines::CompressionScheme;
 use crate::bands::{BandKind, Segmentation};
+use crate::baselines::CompressionScheme;
 use crate::CoreError;
 use deepn_codec::{QuantTable, QuantTablePair, RgbImage};
 use deepn_dataset::ImageSet;
@@ -150,10 +150,7 @@ pub fn dataset_bytes(scheme: &CompressionScheme, images: &[RgbImage]) -> Result<
 /// # Errors
 ///
 /// Codec errors from compression.
-pub fn compression_rate(
-    scheme: &CompressionScheme,
-    images: &[RgbImage],
-) -> Result<f64, CoreError> {
+pub fn compression_rate(scheme: &CompressionScheme, images: &[RgbImage]) -> Result<f64, CoreError> {
     let reference = dataset_bytes(&CompressionScheme::original(), images)?;
     let target = dataset_bytes(scheme, images)?;
     if target == 0 {
@@ -283,11 +280,7 @@ pub fn evaluate_model(
 /// # Panics
 ///
 /// Panics if `step == 0`.
-pub fn band_probe_tables(
-    segmentation: &Segmentation,
-    kind: BandKind,
-    step: u16,
-) -> QuantTablePair {
+pub fn band_probe_tables(segmentation: &Segmentation, kind: BandKind, step: u16) -> QuantTablePair {
     assert!(step > 0, "quantization step must be positive");
     let mut values = [1u16; 64];
     for band in segmentation.bands_of(kind) {
@@ -341,8 +334,8 @@ mod tests {
 
     #[test]
     fn symmetric_case_learns_something() {
-        let outcome = run_symmetric(&fast_cfg(), &fast_set(), &CompressionScheme::original())
-            .expect("runs");
+        let outcome =
+            run_symmetric(&fast_cfg(), &fast_set(), &CompressionScheme::original()).expect("runs");
         // 4 classes -> chance is 0.25; the model must beat it clearly.
         assert!(outcome.accuracy > 0.4, "accuracy {}", outcome.accuracy);
         assert!(outcome.train_bytes > 0 && outcome.test_bytes > 0);

@@ -30,7 +30,7 @@
 //! # fn main() -> Result<(), deepn_core::CoreError> {
 //! let set = ImageSet::generate(&DatasetSpec::tiny(), 1);
 //! let tables = DeepnTableBuilder::new(PlmParams::paper())
-//!     .sample_interval(2)
+//!     .sample_interval(3)
 //!     .build(set.images())?;
 //! // High-σ (low-frequency) bands get small steps, never below Qmin.
 //! assert!(tables.luma.value(0, 0) >= 5);

@@ -113,8 +113,8 @@ mod tests {
         let sigma = 40.0;
         let q = 0.25;
         let h = laplacian_entropy_bits(sigma, q);
-        let expected = (2.0 * std::f64::consts::E * sigma / std::f64::consts::SQRT_2).log2()
-            - q.log2();
+        let expected =
+            (2.0 * std::f64::consts::E * sigma / std::f64::consts::SQRT_2).log2() - q.log2();
         assert!((h - expected).abs() < 0.05, "{h} vs {expected}");
     }
 

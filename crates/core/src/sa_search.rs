@@ -23,7 +23,11 @@ use rand::{Rng, SeedableRng};
 pub struct SaConfig {
     /// Number of proposal steps.
     pub iterations: usize,
-    /// Initial temperature (in objective units).
+    /// Initial temperature, in objective units *per move*: a move changes
+    /// one band's predicted bits + weighted distortion, so useful
+    /// temperatures are O(1), not O(total objective). Too-hot schedules
+    /// spend the whole budget random-walking uphill and return the start
+    /// table as "best".
     pub t_start: f64,
     /// Final temperature.
     pub t_end: f64,
@@ -37,8 +41,8 @@ impl Default for SaConfig {
     fn default() -> Self {
         SaConfig {
             iterations: 20_000,
-            t_start: 50.0,
-            t_end: 0.05,
+            t_start: 1.0,
+            t_end: 0.01,
             distortion_weight: 0.05,
             seed: 0x5A5A,
         }
@@ -117,8 +121,7 @@ pub fn anneal(stats: &BandStats, config: &SaConfig) -> SaOutcome {
         let proposed = (old * factor).round().clamp(1.0, 255.0) as u16;
         table.set(idx, proposed.max(1));
         let cand_obj = objective(stats, &cand, config.distortion_weight);
-        let accept = cand_obj <= cur_obj
-            || rng.gen::<f64>() < ((cur_obj - cand_obj) / temp).exp();
+        let accept = cand_obj <= cur_obj || rng.gen::<f64>() < ((cur_obj - cand_obj) / temp).exp();
         if accept {
             current = cand;
             cur_obj = cand_obj;

@@ -29,7 +29,10 @@ impl ImageSet {
     /// Panics if the spec has no classes or zero-sized images.
     pub fn generate(spec: &DatasetSpec, seed: u64) -> Self {
         assert!(!spec.classes.is_empty(), "dataset needs at least one class");
-        assert!(spec.width > 0 && spec.height > 0, "images must be non-empty");
+        assert!(
+            spec.width > 0 && spec.height > 0,
+            "images must be non-empty"
+        );
         let mut images = Vec::with_capacity(spec.total_images());
         let mut labels = Vec::with_capacity(spec.total_images());
         // Interleave classes: image j of every class, then j+1, ...
@@ -154,9 +157,7 @@ fn render_class(class: &ClassSpec, width: usize, height: usize, rng: &mut StdRng
             let noise = if class.noise_amp > 0.0 {
                 let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                 let u2: f32 = rng.gen_range(0.0..1.0);
-                class.noise_amp
-                    * (-2.0 * u1.ln()).sqrt()
-                    * (std::f32::consts::TAU * u2).cos()
+                class.noise_amp * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
             } else {
                 0.0
             };
@@ -206,7 +207,10 @@ mod tests {
                 ty.iter().filter(|&&l| l == cls).count(),
                 spec.train_per_class
             );
-            assert_eq!(ey.iter().filter(|&&l| l == cls).count(), spec.test_per_class);
+            assert_eq!(
+                ey.iter().filter(|&&l| l == cls).count(),
+                spec.test_per_class
+            );
         }
     }
 
@@ -248,7 +252,10 @@ mod tests {
         }
         let lp0 = lowpass[0] / count[0] as f64;
         let lp1 = lowpass[1] / count[1] as f64;
-        assert!((lp0 - lp1).abs() < 4.0, "low-pass means diverge: {lp0} vs {lp1}");
+        assert!(
+            (lp0 - lp1).abs() < 4.0,
+            "low-pass means diverge: {lp0} vs {lp1}"
+        );
     }
 
     #[test]

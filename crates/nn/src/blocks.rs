@@ -228,7 +228,12 @@ impl Layer for InceptionBlock {
         let mut out = Tensor::zeros(&[n, out_c, h, w]);
         for i in 0..n {
             let mut ch_off = 0;
-            for (branch, bc) in [(&y1, self.splits[0]), (&y3, self.splits[1]), (&y5, self.splits[2]), (&yp, self.splits[3])] {
+            for (branch, bc) in [
+                (&y1, self.splits[0]),
+                (&y3, self.splits[1]),
+                (&y5, self.splits[2]),
+                (&yp, self.splits[3]),
+            ] {
                 let src = &branch.data()[i * bc * plane..(i + 1) * bc * plane];
                 let dst_base = (i * out_c + ch_off) * plane;
                 out.data_mut()[dst_base..dst_base + bc * plane].copy_from_slice(src);

@@ -125,8 +125,7 @@ impl Layer for BatchNorm2d {
                 for k in 0..plane {
                     let dy = grad_output.data()[base + k];
                     let xh = self.xhat.data()[base + k];
-                    grad_input.data_mut()[base + k] =
-                        g * inv * (dy - mean_dy - xh * mean_dy_xhat);
+                    grad_input.data_mut()[base + k] = g * inv * (dy - mean_dy - xh * mean_dy_xhat);
                 }
             }
         }
@@ -150,7 +149,10 @@ mod tests {
     #[test]
     fn train_forward_normalizes_per_channel() {
         let mut bn = BatchNorm2d::new(2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
         let y = bn.forward(&x, Mode::Train);
         for ch in 0..2 {
             let c = &y.data()[ch * 4..(ch + 1) * 4];
@@ -177,12 +179,14 @@ mod tests {
     #[test]
     fn backward_matches_finite_differences() {
         let mut bn = BatchNorm2d::new(1);
-        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0, 1.5, -0.5, 0.25, 1.0], &[2, 1, 2, 2]);
+        let x = Tensor::from_vec(
+            vec![0.5, -1.0, 2.0, 0.0, 1.5, -0.5, 0.25, 1.0],
+            &[2, 1, 2, 2],
+        );
         // Scalar loss: weighted sum so the gradient is non-uniform.
         let wts: Vec<f32> = (0..8).map(|i| (i as f32) * 0.3 - 1.0).collect();
-        let loss = |y: &Tensor| -> f32 {
-            y.data().iter().zip(wts.iter()).map(|(a, b)| a * b).sum()
-        };
+        let loss =
+            |y: &Tensor| -> f32 { y.data().iter().zip(wts.iter()).map(|(a, b)| a * b).sum() };
         let y = bn.forward(&x, Mode::Train);
         let _ = loss(&y);
         let gout = Tensor::from_vec(wts.clone(), &[2, 1, 2, 2]);

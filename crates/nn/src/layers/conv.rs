@@ -87,8 +87,8 @@ impl Layer for Conv2d {
             );
             let cols = im2col(&img, &self.geom);
             let y = matmul(&self.weight.value, &cols);
-            let dst =
-                &mut out.data_mut()[i * self.out_channels * opix..(i + 1) * self.out_channels * opix];
+            let dst = &mut out.data_mut()
+                [i * self.out_channels * opix..(i + 1) * self.out_channels * opix];
             for c in 0..self.out_channels {
                 let b = self.bias.value.data()[c];
                 for (d, s) in dst[c * opix..(c + 1) * opix]
@@ -117,7 +117,8 @@ impl Layer for Conv2d {
             Tensor::zeros(&[n, self.geom.in_channels, self.geom.in_h, self.geom.in_w]);
         for i in 0..n {
             let gout = Tensor::from_vec(
-                grad_output.data()[i * self.out_channels * opix..(i + 1) * self.out_channels * opix]
+                grad_output.data()
+                    [i * self.out_channels * opix..(i + 1) * self.out_channels * opix]
                     .to_vec(),
                 &[self.out_channels, opix],
             );

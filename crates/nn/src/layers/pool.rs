@@ -95,8 +95,10 @@ impl Layer for GlobalAvgPool {
         let mut out = Tensor::zeros(&[n, c]);
         let inv = 1.0 / (h * w) as f32;
         for nc in 0..n * c {
-            out.data_mut()[nc] =
-                input.data()[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() * inv;
+            out.data_mut()[nc] = input.data()[nc * h * w..(nc + 1) * h * w]
+                .iter()
+                .sum::<f32>()
+                * inv;
         }
         out
     }

@@ -23,7 +23,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
 /// # Panics
 ///
 /// Panics on length mismatch or out-of-range labels/predictions.
-pub fn confusion_matrix(predictions: &[usize], labels: &[usize], classes: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    classes: usize,
+) -> Vec<Vec<usize>> {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     let mut m = vec![vec![0usize; classes]; classes];
     for (&p, &l) in predictions.iter().zip(labels.iter()) {

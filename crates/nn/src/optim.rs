@@ -75,7 +75,7 @@ impl Default for Sgd {
 mod tests {
     use super::*;
     use crate::layers::Dense;
-    use crate::{Mode, Layer};
+    use crate::{Layer, Mode};
     use deepn_tensor::Tensor;
 
     #[test]

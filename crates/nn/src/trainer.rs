@@ -139,10 +139,14 @@ impl Trainer {
                 epoch_loss += f64::from(loss);
                 batches += 1;
             }
-            history.train_loss.push((epoch_loss / batches as f64) as f32);
+            history
+                .train_loss
+                .push((epoch_loss / batches as f64) as f32);
             let last = epoch + 1 == self.config.epochs;
             if self.config.track_epochs || last {
-                history.test_accuracy.push(self.evaluate(net, test_x, test_y));
+                history
+                    .test_accuracy
+                    .push(self.evaluate(net, test_x, test_y));
             }
             sgd.lr *= self.config.lr_decay;
         }

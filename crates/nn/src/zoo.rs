@@ -28,7 +28,14 @@ pub const MODEL_NAMES: [&str; 5] = [
 /// # Panics
 ///
 /// Panics if `name` is not one of [`MODEL_NAMES`].
-pub fn by_name(name: &str, in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
+pub fn by_name(
+    name: &str,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    classes: usize,
+    seed: u64,
+) -> Sequential {
     match name {
         "MiniAlexNet" => mini_alexnet(in_c, h, w, classes, seed),
         "MiniGoogLeNet" => mini_googlenet(in_c, h, w, classes, seed),
@@ -57,17 +64,32 @@ pub fn mlp_probe(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> 
 ///
 /// Panics if `h` or `w` is not divisible by 4.
 pub fn mini_alexnet(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "input must be divisible by 4"
+    );
     let mut net = Sequential::new();
-    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 12, seed));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(in_c, h, w, 3, 1, 1),
+        12,
+        seed,
+    ));
     net.push(Relu::new());
     net.push(MaxPool2::new());
     let (h2, w2) = (h / 2, w / 2);
-    net.push(Conv2d::new(Conv2dGeometry::new(12, h2, w2, 3, 1, 1), 24, seed ^ 2));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(12, h2, w2, 3, 1, 1),
+        24,
+        seed ^ 2,
+    ));
     net.push(Relu::new());
     net.push(MaxPool2::new());
     let (h4, w4) = (h / 4, w / 4);
-    net.push(Conv2d::new(Conv2dGeometry::new(24, h4, w4, 3, 1, 1), 32, seed ^ 3));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(24, h4, w4, 3, 1, 1),
+        32,
+        seed ^ 3,
+    ));
     net.push(Relu::new());
     net.push(Flatten::new());
     net.push(Dense::new(32 * h4 * w4, 96, seed ^ 4));
@@ -83,17 +105,36 @@ pub fn mini_alexnet(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) 
 ///
 /// Panics if `h` or `w` is not divisible by 4.
 pub fn mini_vgg(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "input must be divisible by 4"
+    );
     let mut net = Sequential::new();
-    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 10, seed));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(in_c, h, w, 3, 1, 1),
+        10,
+        seed,
+    ));
     net.push(Relu::new());
-    net.push(Conv2d::new(Conv2dGeometry::new(10, h, w, 3, 1, 1), 10, seed ^ 2));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(10, h, w, 3, 1, 1),
+        10,
+        seed ^ 2,
+    ));
     net.push(Relu::new());
     net.push(MaxPool2::new());
     let (h2, w2) = (h / 2, w / 2);
-    net.push(Conv2d::new(Conv2dGeometry::new(10, h2, w2, 3, 1, 1), 20, seed ^ 3));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(10, h2, w2, 3, 1, 1),
+        20,
+        seed ^ 3,
+    ));
     net.push(Relu::new());
-    net.push(Conv2d::new(Conv2dGeometry::new(20, h2, w2, 3, 1, 1), 20, seed ^ 4));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(20, h2, w2, 3, 1, 1),
+        20,
+        seed ^ 4,
+    ));
     net.push(Relu::new());
     net.push(MaxPool2::new());
     let (h4, w4) = (h / 4, w / 4);
@@ -111,9 +152,16 @@ pub fn mini_vgg(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> S
 ///
 /// Panics if `h` or `w` is not divisible by 4.
 pub fn mini_googlenet(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "input must be divisible by 4"
+    );
     let mut net = Sequential::new();
-    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 8, seed));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(in_c, h, w, 3, 1, 1),
+        8,
+        seed,
+    ));
     net.push(Relu::new());
     net.push(MaxPool2::new());
     let (h2, w2) = (h / 2, w / 2);
@@ -134,9 +182,16 @@ pub fn mini_googlenet(in_c: usize, h: usize, w: usize, classes: usize, seed: u64
 ///
 /// Panics if `h` or `w` is not divisible by 4.
 pub fn mini_resnet34(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "input must be divisible by 4"
+    );
     let mut net = Sequential::new();
-    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 8, seed));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(in_c, h, w, 3, 1, 1),
+        8,
+        seed,
+    ));
     net.push(BatchNorm2d::new(8));
     net.push(Relu::new());
     net.push(ResidualBlock::new(8, h, w, 8, 1, seed ^ 2));
@@ -155,9 +210,16 @@ pub fn mini_resnet34(in_c: usize, h: usize, w: usize, classes: usize, seed: u64)
 ///
 /// Panics if `h` or `w` is not divisible by 4.
 pub fn mini_resnet50(in_c: usize, h: usize, w: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "input must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "input must be divisible by 4"
+    );
     let mut net = Sequential::new();
-    net.push(Conv2d::new(Conv2dGeometry::new(in_c, h, w, 3, 1, 1), 8, seed));
+    net.push(Conv2d::new(
+        Conv2dGeometry::new(in_c, h, w, 3, 1, 1),
+        8,
+        seed,
+    ));
     net.push(BatchNorm2d::new(8));
     net.push(Relu::new());
     net.push(ResidualBlock::new(8, h, w, 8, 1, seed ^ 2));
@@ -208,8 +270,16 @@ mod tests {
             counts.push((name, m.param_count()));
         }
         // ResNet-50 variant must be strictly bigger than the 34 variant.
-        let c34 = counts.iter().find(|(n, _)| *n == "MiniResNet34").expect("present").1;
-        let c50 = counts.iter().find(|(n, _)| *n == "MiniResNet50").expect("present").1;
+        let c34 = counts
+            .iter()
+            .find(|(n, _)| *n == "MiniResNet34")
+            .expect("present")
+            .1;
+        let c50 = counts
+            .iter()
+            .find(|(n, _)| *n == "MiniResNet50")
+            .expect("present")
+            .1;
         assert!(c50 > c34, "{counts:?}");
     }
 

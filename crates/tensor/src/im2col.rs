@@ -213,7 +213,9 @@ mod tests {
         // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
         let g = Conv2dGeometry::new(2, 5, 5, 3, 2, 1);
         let x = Tensor::from_vec(
-            (0..2 * 5 * 5).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+            (0..2 * 5 * 5)
+                .map(|i| ((i * 7 % 13) as f32) - 6.0)
+                .collect(),
             &[2, 5, 5],
         );
         let y = Tensor::from_vec(

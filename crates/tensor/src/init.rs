@@ -49,7 +49,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let t = he_normal(&mut rng, &[64, 64], 64);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         let expect = 2.0 / 64.0;

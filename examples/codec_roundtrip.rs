@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Optimized vs standard Huffman tables.
     let opt = Encoder::with_quality(75).encode(img)?;
-    let std = Encoder::with_quality(75).optimize_huffman(false).encode(img)?;
+    let std = Encoder::with_quality(75)
+        .optimize_huffman(false)
+        .encode(img)?;
     println!(
         "\nHuffman tables at QF=75: optimized {} bytes vs standard {} bytes ({:+.1}%)",
         opt.len(),

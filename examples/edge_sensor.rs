@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example edge_sensor`
 //! (set `DEEPN_SCALE=fast` for a quick pass)
 
-use deepn::core::experiment::{
-    evaluate_model, train_model, ExperimentConfig, Scale,
-};
+use deepn::core::experiment::{evaluate_model, train_model, ExperimentConfig, Scale};
 use deepn::core::{CompressionScheme, DeepnTableBuilder, PlmParams};
 use deepn::dataset::ImageSet;
 use deepn::power::{EnergyModel, RadioProfile};
@@ -17,7 +15,10 @@ use deepn::power::{EnergyModel, RadioProfile};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_env();
     let set = ImageSet::generate(&scale.dataset_spec(), 42);
-    println!("edge sensor scenario: {} images to offload\n", set.test().0.len());
+    println!(
+        "edge sensor scenario: {} images to offload\n",
+        set.test().0.len()
+    );
 
     // The server-side model is trained once on high-quality data.
     let cfg = ExperimentConfig::alexnet(scale);
@@ -26,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Candidate upload formats.
     let tables = DeepnTableBuilder::new(PlmParams::paper())
-        .sample_interval(4)
+        .sample_interval(3)
         .build(set.train().0)?;
     let schemes = [
         CompressionScheme::original(),

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. DeepN-JPEG table design: frequency analysis (Algorithm 1) +
     //    piece-wise linear mapping (Eq. 3), sampling every 4th image.
     let tables = DeepnTableBuilder::new(PlmParams::paper())
-        .sample_interval(4)
+        .sample_interval(3)
         .build(set.images())?;
     println!("\ndesigned luma table (natural order):");
     for row in 0..8 {
@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jpeg_bytes = Encoder::with_quality(100).encode(img)?;
     let deepn_decoded = Decoder::new().decode(&deepn_bytes)?;
 
-    println!("\nper-image comparison ({}x{} px):", img.width(), img.height());
+    println!(
+        "\nper-image comparison ({}x{} px):",
+        img.width(),
+        img.height()
+    );
     println!("  JPEG QF=100 : {:>6} bytes (CR 1.00x)", jpeg_bytes.len());
     println!(
         "  DeepN-JPEG  : {:>6} bytes (CR {:.2}x), psnr {:.1} dB",
@@ -48,10 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Dataset-level compression rate (the paper's headline metric).
-    let cr = deepn::core::experiment::compression_rate(
-        &CompressionScheme::Deepn(tables),
-        set.images(),
-    )?;
+    let cr =
+        deepn::core::experiment::compression_rate(&CompressionScheme::Deepn(tables), set.images())?;
     println!("\ndataset compression rate vs Original: {cr:.2}x");
     Ok(())
 }

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 4: the designed table vs the HVS standard table.
     let tables = DeepnTableBuilder::new(PlmParams::paper())
-        .sample_interval(4)
+        .sample_interval(3)
         .build(set.images())?;
     println!("\n          DeepN-JPEG luma table        standard JPEG luma table");
     for row in 0..8 {

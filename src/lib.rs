@@ -10,6 +10,8 @@
 //! - [`power`] — edge-offloading energy/latency model
 //! - [`core`] — the DeepN-JPEG contribution: frequency analysis, PLM
 //!   quantization-table design, baselines, and the experiment pipeline
+//! - [`bench`] — shared helpers for the figure-regeneration benches (see
+//!   `EXPERIMENTS.md` for how to rerun each paper figure)
 //!
 //! ## Quickstart
 //!
@@ -24,7 +26,7 @@
 //!
 //! // 2. Run the DeepN-JPEG frequency analysis + PLM table design.
 //! let tables: QuantTablePair = DeepnTableBuilder::new(PlmParams::paper())
-//!     .sample_interval(2)
+//!     .sample_interval(3)
 //!     .build(set.images())?;
 //!
 //! // 3. Compress with the DNN-favorable tables.
@@ -34,6 +36,7 @@
 //! # }
 //! ```
 
+pub use deepn_bench as bench;
 pub use deepn_codec as codec;
 pub use deepn_core as core;
 pub use deepn_dataset as dataset;

@@ -28,7 +28,7 @@ fn fast_cfg() -> ExperimentConfig {
 fn deepn_compresses_better_than_original() {
     let set = experiment_set();
     let tables = DeepnTableBuilder::new(PlmParams::paper())
-        .sample_interval(2)
+        .sample_interval(3)
         .build(set.train().0)
         .expect("tables");
     // The tiny 16x16 CI dataset has only 4 blocks per component, so the
@@ -44,7 +44,7 @@ fn deepn_beats_same_q_at_matched_accuracy_shape() {
     // than RM-HF while neither collapses accuracy to chance.
     let set = experiment_set();
     let tables = DeepnTableBuilder::new(PlmParams::paper())
-        .sample_interval(2)
+        .sample_interval(3)
         .build(set.train().0)
         .expect("tables");
     let deepn = CompressionScheme::Deepn(tables);
@@ -56,7 +56,9 @@ fn deepn_beats_same_q_at_matched_accuracy_shape() {
         "DeepN {cr_deepn:.2}x should beat RM-HF {cr_rmhf:.2}x"
     );
     let cfg = fast_cfg();
-    let acc_deepn = run_symmetric(&cfg, &set, &deepn).expect("deepn run").accuracy;
+    let acc_deepn = run_symmetric(&cfg, &set, &deepn)
+        .expect("deepn run")
+        .accuracy;
     // 4 classes -> chance 0.25.
     assert!(acc_deepn > 0.30, "DeepN accuracy collapsed: {acc_deepn}");
 }
@@ -64,8 +66,7 @@ fn deepn_beats_same_q_at_matched_accuracy_shape() {
 #[test]
 fn training_on_original_beats_chance_comfortably() {
     let set = experiment_set();
-    let outcome =
-        run_symmetric(&fast_cfg(), &set, &CompressionScheme::original()).expect("runs");
+    let outcome = run_symmetric(&fast_cfg(), &set, &CompressionScheme::original()).expect("runs");
     assert!(outcome.accuracy > 0.45, "accuracy {}", outcome.accuracy);
 }
 

@@ -8,11 +8,10 @@ use deepn::core::{BandKind, PlmParams, Segmentation};
 use proptest::prelude::*;
 
 fn arb_image(max_side: usize) -> impl Strategy<Value = RgbImage> {
-    (1..=max_side, 1..=max_side)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(any::<u8>(), w * h * 3)
-                .prop_map(move |data| RgbImage::from_bytes(w, h, data).expect("sized buffer"))
-        })
+    (1..=max_side, 1..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h * 3)
+            .prop_map(move |data| RgbImage::from_bytes(w, h, data).expect("sized buffer"))
+    })
 }
 
 proptest! {

@@ -1,0 +1,82 @@
+//! Fast deterministic end-to-end smoke test of the complete DeepN-JPEG
+//! pipeline at the `DEEPN_SCALE=fast` experiment scale, so CI exercises the
+//! exact path the figure benches take: dataset generation → frequency
+//! analysis → PLM table design → compression with every scheme → CNN
+//! training/evaluation → offloading-power comparison.
+//!
+//! The test uses [`Scale::Fast`] directly rather than setting the
+//! environment variable, so it cannot race other tests in the same process;
+//! `Scale::from_env` itself is covered by reading whatever the harness
+//! environment provides.
+
+use deepn::core::experiment::{compression_rate, run_symmetric, ExperimentConfig, Scale};
+use deepn::core::{CompressionScheme, DeepnTableBuilder, PlmParams};
+use deepn::dataset::ImageSet;
+use deepn::power::{EnergyModel, RadioProfile};
+
+#[test]
+fn full_pipeline_smoke_at_fast_scale() {
+    let scale = Scale::Fast;
+    let set = ImageSet::generate(&scale.dataset_spec(), 0xBEEF);
+    assert!(!set.is_empty());
+    assert_eq!(set.len(), scale.dataset_spec().total_images());
+
+    // Stage 1+2+3: frequency analysis → segmentation → PLM tables. The
+    // train split interleaves the 4 classes, so the sampling interval must
+    // be coprime to 4 or the analysis aliases onto a class subset.
+    let tables = DeepnTableBuilder::new(PlmParams::paper())
+        .sample_interval(3)
+        .build(set.train().0)
+        .expect("table design runs at fast scale");
+    assert!(tables.luma.values().iter().all(|&v| v >= 1));
+
+    // Determinism: the same data yields byte-identical tables.
+    let again = DeepnTableBuilder::new(PlmParams::paper())
+        .sample_interval(3)
+        .build(set.train().0)
+        .expect("second design run");
+    assert_eq!(tables, again, "table design must be deterministic");
+
+    // Compression: DeepN-JPEG must out-compress the Original reference.
+    let deepn = CompressionScheme::Deepn(tables);
+    let cr = compression_rate(&deepn, set.images()).expect("compression rate");
+    assert!(cr > 1.2, "DeepN CR only {cr:.2}x at fast scale");
+
+    // Training: the experiment path end to end, at the fast-scale epochs.
+    let cfg = ExperimentConfig::alexnet(scale);
+    let outcome = run_symmetric(&cfg, &set, &deepn).expect("experiment runs");
+    let chance = 1.0 / set.class_count() as f64;
+    assert!(
+        outcome.accuracy > chance,
+        "accuracy {:.3} did not beat chance {chance:.3}",
+        outcome.accuracy
+    );
+    assert!(outcome.train_bytes > 0 && outcome.test_bytes > 0);
+
+    // Power: fewer uploaded bytes must mean proportionally less energy.
+    let sizes = deepn.compressed_sizes(set.images()).expect("sizes");
+    let reference = CompressionScheme::original()
+        .compressed_sizes(set.images())
+        .expect("reference sizes");
+    let mut model = EnergyModel::new(RadioProfile::lte());
+    model.compute_energy_j = 0.0;
+    let np = model.normalized_power(&sizes, &reference);
+    assert!(
+        (np - 1.0 / cr).abs() < 1e-9,
+        "normalized power {np:.4} should equal 1/CR {:.4}",
+        1.0 / cr
+    );
+    assert!(np < 0.85, "DeepN should cut offloading power, got {np:.3}");
+}
+
+#[test]
+fn fast_scale_smoke_is_snappy_and_seed_stable() {
+    // Two generations with the same seed are identical; a different seed
+    // produces different pixels (the pipeline is seeded, not frozen).
+    let spec = Scale::Fast.dataset_spec();
+    let a = ImageSet::generate(&spec, 1);
+    let b = ImageSet::generate(&spec, 1);
+    let c = ImageSet::generate(&spec, 2);
+    assert_eq!(a.images()[0], b.images()[0]);
+    assert_ne!(a.images()[0], c.images()[0]);
+}

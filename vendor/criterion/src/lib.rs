@@ -1,0 +1,198 @@
+//! Vendored, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! written from scratch for this repository (the build environment has no
+//! crates.io access).
+//!
+//! Supported surface — what `crates/bench/benches/kernels.rs` uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (including the
+//! `name = ...; config = ...; targets = ...` form).
+//!
+//! Statistics are deliberately simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and reports min/mean/max time per
+//! iteration. There are no plots, baselines, or outlier analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The subset treats every variant
+/// identically (one setup per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per setup upstream; one here.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// Inputs of unknown size.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples (each sample is a
+    /// batch of iterations sized so one sample takes ≳1 ms).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the batch size on one untimed run.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(10));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as usize;
+
+        self.samples.clear();
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+            if budget.elapsed() > Duration::from_secs(3) {
+                break; // keep slow benches bounded
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.samples.clear();
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if budget.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+    }
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:<40} time: [{} {} {}] ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, in either the positional or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("shim/self_test", |b| b.iter(|| black_box(21u64) * 2));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

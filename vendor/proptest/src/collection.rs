@@ -1,0 +1,28 @@
+//! Collection strategies (`vec`).
+
+use super::Strategy;
+use rand::rngs::StdRng;
+
+/// Strategy producing `Vec`s of a fixed length.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (0..self.len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy generating `Vec`s of exactly `len` elements drawn from
+/// `element`.
+///
+/// (Upstream proptest also accepts a length *range*; the subset vendored
+/// here supports the fixed-length form the test-suite uses.)
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

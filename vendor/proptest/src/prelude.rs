@@ -1,0 +1,4 @@
+//! The conventional `use proptest::prelude::*` import surface.
+
+pub use crate::{any, Any, Arbitrary, ProptestConfig, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, proptest};
