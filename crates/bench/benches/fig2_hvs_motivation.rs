@@ -26,12 +26,12 @@ fn main() {
 
     // CASE 1: one model trained on originals, tested at each QF.
     let mut case1 = Vec::new();
-    let mut model = timed("CASE 1 training", || {
+    let model = timed("CASE 1 training", || {
         train_model(&cfg, &set, &CompressionScheme::original()).expect("training runs")
     });
     for &qf in &qfs {
-        let acc = evaluate_model(&mut model, &set, &CompressionScheme::Jpeg(qf))
-            .expect("evaluation runs");
+        let acc =
+            evaluate_model(&model, &set, &CompressionScheme::Jpeg(qf)).expect("evaluation runs");
         case1.push(acc);
     }
 

@@ -23,7 +23,7 @@ fn main() {
     );
     let set = bench_set();
     let cfg = ExperimentConfig::alexnet(scale());
-    let mut net = timed("training on originals", || {
+    let net = timed("training on originals", || {
         train_model(&cfg, &set, &CompressionScheme::original()).expect("training runs")
     });
 
@@ -34,7 +34,7 @@ fn main() {
 
     // Reference: all steps = 1 (lossless quantization).
     let reference = evaluate_model(
-        &mut net,
+        &net,
         &set,
         &CompressionScheme::Deepn(band_probe_tables(&magnitude, BandKind::Low, 1)),
     )
@@ -62,13 +62,13 @@ fn main() {
         );
         for &step in steps {
             let acc_mag = evaluate_model(
-                &mut net,
+                &net,
                 &set,
                 &CompressionScheme::Deepn(band_probe_tables(&magnitude, kind, step)),
             )
             .expect("evaluation runs");
             let acc_pos = evaluate_model(
-                &mut net,
+                &net,
                 &set,
                 &CompressionScheme::Deepn(band_probe_tables(&position, kind, step)),
             )

@@ -63,6 +63,33 @@ impl BandStats {
         self.images += 1;
     }
 
+    /// Reconstructs statistics from stored parts, the inverse of
+    /// [`luma_stats`](Self::luma_stats) / [`chroma_stats`](Self::chroma_stats)
+    /// plus the counters (used by the artifact store).
+    pub fn from_parts(
+        luma: [PlaneStats; 64],
+        chroma: [PlaneStats; 64],
+        images: usize,
+        blocks: usize,
+    ) -> Self {
+        BandStats {
+            luma,
+            chroma,
+            images,
+            blocks,
+        }
+    }
+
+    /// Raw per-band luma accumulators, natural order.
+    pub fn luma_stats(&self) -> &[PlaneStats; 64] {
+        &self.luma
+    }
+
+    /// Raw per-band pooled-chroma accumulators, natural order.
+    pub fn chroma_stats(&self) -> &[PlaneStats; 64] {
+        &self.chroma
+    }
+
     /// Merges another accumulator (e.g. from a different dataset shard).
     pub fn merge(&mut self, other: &BandStats) {
         for (a, b) in self.luma.iter_mut().zip(other.luma.iter()) {

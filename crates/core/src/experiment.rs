@@ -118,6 +118,97 @@ pub struct CaseOutcome {
     pub test_bytes: usize,
 }
 
+/// A cache of decoded (round-tripped) image sets keyed by a scheme+dataset
+/// fingerprint, letting figure pipelines skip the serial re-encode of every
+/// image when the same scheme/dataset pair recurs (across cases within one
+/// run, or across process restarts when backed by the artifact store).
+///
+/// `deepn-store` provides the persistent filesystem implementation; the
+/// trait lives here so the experiment pipeline can consume it without a
+/// dependency cycle.
+pub trait RoundTripCache {
+    /// Returns the cached decoded images and total compressed byte count
+    /// for `key`, if present.
+    fn load(&mut self, key: &str) -> Option<(Vec<RgbImage>, usize)>;
+
+    /// Stores a decoded set under `key`. Failures must be swallowed (a
+    /// cache is an optimization, never a correctness dependency).
+    fn store(&mut self, key: &str, images: &[RgbImage], compressed_bytes: usize);
+}
+
+/// A no-op cache: every lookup misses, every store is dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCache;
+
+impl RoundTripCache for NoCache {
+    fn load(&mut self, _key: &str) -> Option<(Vec<RgbImage>, usize)> {
+        None
+    }
+
+    fn store(&mut self, _key: &str, _images: &[RgbImage], _compressed_bytes: usize) {}
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// A stable fingerprint of `(scheme, images)` usable as a cache key across
+/// processes: the scheme's full configuration (including designed table
+/// values) plus an FNV-1a hash of every image's dimensions and pixels.
+pub fn cache_key(scheme: &CompressionScheme, images: &[RgbImage]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    match scheme {
+        CompressionScheme::Jpeg(qf) => fnv1a(&mut h, &[1, *qf]),
+        CompressionScheme::RmHf(n) => {
+            fnv1a(&mut h, &[2]);
+            fnv1a(&mut h, &(*n as u64).to_le_bytes());
+        }
+        CompressionScheme::SameQ(q) => {
+            fnv1a(&mut h, &[3]);
+            fnv1a(&mut h, &q.to_le_bytes());
+        }
+        CompressionScheme::Deepn(tables) => {
+            fnv1a(&mut h, &[4]);
+            for table in [&tables.luma, &tables.chroma] {
+                for v in table.values() {
+                    fnv1a(&mut h, &v.to_le_bytes());
+                }
+            }
+        }
+    }
+    let mut ih: u64 = 0xcbf2_9ce4_8422_2325;
+    for img in images {
+        fnv1a(&mut ih, &(img.width() as u64).to_le_bytes());
+        fnv1a(&mut ih, &(img.height() as u64).to_le_bytes());
+        fnv1a(&mut ih, img.as_bytes());
+    }
+    format!("{scheme}-{h:016x}-{ih:016x}").replace(['/', ' ', '(', ')', '='], "_")
+}
+
+/// [`CompressionScheme::round_trip_set`] through a [`RoundTripCache`]:
+/// returns the cached decode when the fingerprint hits, otherwise
+/// round-trips and populates the cache.
+///
+/// # Errors
+///
+/// Codec errors from a cache-miss round trip.
+pub fn round_trip_set_cached(
+    scheme: &CompressionScheme,
+    images: &[RgbImage],
+    cache: &mut dyn RoundTripCache,
+) -> Result<(Vec<RgbImage>, usize), CoreError> {
+    let key = cache_key(scheme, images);
+    if let Some(hit) = cache.load(&key) {
+        return Ok(hit);
+    }
+    let (decoded, bytes) = scheme.round_trip_set(images)?;
+    cache.store(&key, &decoded, bytes);
+    Ok((decoded, bytes))
+}
+
 /// Converts decoded images to normalized CHW tensors for the DNN,
 /// centered on zero (`[-0.5, 0.5]`), which keeps the first conv layer's
 /// pre-activations balanced and makes small-data training markedly more
@@ -185,10 +276,27 @@ pub fn run_case(
     train_scheme: &CompressionScheme,
     test_scheme: &CompressionScheme,
 ) -> Result<CaseOutcome, CoreError> {
+    run_case_cached(cfg, set, train_scheme, test_scheme, &mut NoCache)
+}
+
+/// [`run_case`] with the compress→decode step routed through a
+/// [`RoundTripCache`], so repeated figure runs over the same scheme and
+/// dataset skip the serial per-image round trip.
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn run_case_cached(
+    cfg: &ExperimentConfig,
+    set: &ImageSet,
+    train_scheme: &CompressionScheme,
+    test_scheme: &CompressionScheme,
+    cache: &mut dyn RoundTripCache,
+) -> Result<CaseOutcome, CoreError> {
     let (train_imgs, train_labels) = set.train();
     let (test_imgs, test_labels) = set.test();
-    let (train_dec, train_bytes) = train_scheme.round_trip_set(train_imgs)?;
-    let (test_dec, test_bytes) = test_scheme.round_trip_set(test_imgs)?;
+    let (train_dec, train_bytes) = round_trip_set_cached(train_scheme, train_imgs, cache)?;
+    let (test_dec, test_bytes) = round_trip_set_cached(test_scheme, test_imgs, cache)?;
     let train_x = to_tensors(&train_dec);
     let test_x = to_tensors(&test_dec);
     let mut net = build_model(cfg, set);
@@ -221,6 +329,20 @@ pub fn run_symmetric(
     scheme: &CompressionScheme,
 ) -> Result<CaseOutcome, CoreError> {
     run_case(cfg, set, scheme, scheme)
+}
+
+/// [`run_symmetric`] through a [`RoundTripCache`].
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn run_symmetric_cached(
+    cfg: &ExperimentConfig,
+    set: &ImageSet,
+    scheme: &CompressionScheme,
+    cache: &mut dyn RoundTripCache,
+) -> Result<CaseOutcome, CoreError> {
+    run_case_cached(cfg, set, scheme, scheme, cache)
 }
 
 /// Trains a model once on `scheme`-compressed training data and returns it
@@ -260,7 +382,7 @@ pub fn train_model(
 ///
 /// As [`run_case`].
 pub fn evaluate_model(
-    net: &mut Sequential,
+    net: &Sequential,
     set: &ImageSet,
     scheme: &CompressionScheme,
 ) -> Result<f64, CoreError> {
@@ -345,12 +467,57 @@ mod tests {
     fn train_once_evaluate_many() {
         let set = fast_set();
         let cfg = fast_cfg();
-        let mut net = train_model(&cfg, &set, &CompressionScheme::original()).expect("train");
-        let acc_hi = evaluate_model(&mut net, &set, &CompressionScheme::original()).expect("hi");
+        let net = train_model(&cfg, &set, &CompressionScheme::original()).expect("train");
+        let acc_hi = evaluate_model(&net, &set, &CompressionScheme::original()).expect("hi");
         let acc_crushed =
-            evaluate_model(&mut net, &set, &CompressionScheme::SameQ(200)).expect("crushed");
+            evaluate_model(&net, &set, &CompressionScheme::SameQ(200)).expect("crushed");
         // Destroying nearly all frequency content cannot help accuracy.
         assert!(acc_crushed <= acc_hi + 0.101, "{acc_crushed} vs {acc_hi}");
+    }
+
+    #[test]
+    fn cached_round_trip_matches_uncached() {
+        use std::collections::HashMap;
+
+        #[derive(Default)]
+        struct MemCache {
+            map: HashMap<String, (Vec<RgbImage>, usize)>,
+            hits: usize,
+        }
+        impl RoundTripCache for MemCache {
+            fn load(&mut self, key: &str) -> Option<(Vec<RgbImage>, usize)> {
+                let hit = self.map.get(key).cloned();
+                if hit.is_some() {
+                    self.hits += 1;
+                }
+                hit
+            }
+            fn store(&mut self, key: &str, images: &[RgbImage], compressed_bytes: usize) {
+                self.map
+                    .insert(key.to_owned(), (images.to_vec(), compressed_bytes));
+            }
+        }
+
+        let set = fast_set();
+        let scheme = CompressionScheme::Jpeg(60);
+        let mut cache = MemCache::default();
+        let (a, na) = round_trip_set_cached(&scheme, set.images(), &mut cache).expect("miss");
+        let (b, nb) = round_trip_set_cached(&scheme, set.images(), &mut cache).expect("hit");
+        assert_eq!(cache.hits, 1);
+        assert_eq!((a.len(), na), (b.len(), nb));
+        let (c, nc) = scheme.round_trip_set(set.images()).expect("direct");
+        assert_eq!(a, c);
+        assert_eq!(na, nc);
+        // Distinct schemes and datasets never share a key.
+        let other = ImageSet::generate(&DatasetSpec::tiny(), 99);
+        assert_ne!(
+            cache_key(&scheme, set.images()),
+            cache_key(&CompressionScheme::Jpeg(61), set.images())
+        );
+        assert_ne!(
+            cache_key(&scheme, set.images()),
+            cache_key(&scheme, other.images())
+        );
     }
 
     #[test]

@@ -64,9 +64,42 @@ impl ImageSet {
         }
     }
 
+    /// Reassembles a set from stored parts (the inverse of the accessors,
+    /// used by the artifact store to persist generated datasets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariants do not hold: `labels` must parallel
+    /// `images`, `train_len` must not exceed the image count, and every
+    /// label must be below `class_count`.
+    pub fn from_parts(
+        images: Vec<RgbImage>,
+        labels: Vec<usize>,
+        train_len: usize,
+        class_count: usize,
+    ) -> Self {
+        assert_eq!(images.len(), labels.len(), "labels must parallel images");
+        assert!(train_len <= images.len(), "train split exceeds image count");
+        assert!(
+            labels.iter().all(|&l| l < class_count),
+            "label outside class range"
+        );
+        ImageSet {
+            images,
+            labels,
+            train_len,
+            class_count,
+        }
+    }
+
     /// All images (train split first).
     pub fn images(&self) -> &[RgbImage] {
         &self.images
+    }
+
+    /// Length of the training prefix of [`images`](Self::images).
+    pub fn train_len(&self) -> usize {
+        self.train_len
     }
 
     /// Labels parallel to [`images`](Self::images).

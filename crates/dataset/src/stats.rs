@@ -49,6 +49,18 @@ impl PlaneStats {
         self.variance().sqrt()
     }
 
+    /// Reconstructs an accumulator from raw Welford state, the inverse of
+    /// [`raw_parts`](Self::raw_parts) (used by the artifact store to
+    /// persist analysis results).
+    pub fn from_parts(n: u64, mean: f64, m2: f64) -> Self {
+        PlaneStats { n, mean, m2 }
+    }
+
+    /// The raw Welford state `(n, mean, m2)`.
+    pub fn raw_parts(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &PlaneStats) {
         if other.n == 0 {

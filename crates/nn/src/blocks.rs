@@ -1,8 +1,21 @@
 //! Composite blocks: residual (ResNet-style) and inception (GoogLeNet-style).
 
 use crate::layers::{BatchNorm2d, Conv2d, MaxPool2, Relu};
-use crate::{Layer, Mode, Param};
+use crate::{Layer, Mode, Param, ParamError, ParamExport, ParamImporter};
 use deepn_tensor::{Conv2dGeometry, Tensor};
+
+/// Prefixes a child layer's exports with `prefix.`, the scoping convention
+/// shared by the composite blocks and [`crate::Sequential`].
+pub(crate) fn scoped_exports(prefix: &str, child: &dyn Layer) -> Vec<ParamExport> {
+    child
+        .export_params()
+        .into_iter()
+        .map(|mut e| {
+            e.name = format!("{prefix}.{}", e.name);
+            e
+        })
+        .collect()
+}
 
 /// A basic residual block: `relu(bn(conv(relu(bn(conv(x))))) + proj(x))`.
 ///
@@ -107,6 +120,25 @@ impl Layer for ResidualBlock {
         gin
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut y = self.conv1.infer(input);
+        y = self.bn1.infer(&y);
+        y = self.relu1.infer(&y);
+        y = self.conv2.infer(&y);
+        y = self.bn2.infer(&y);
+        let skip = match &self.proj {
+            Some(p) => p.infer(input),
+            None => input.clone(),
+        };
+        deepn_tensor::add_assign(&mut y, &skip);
+        for v in y.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         self.conv1.visit_params(visitor);
         self.bn1.visit_params(visitor);
@@ -119,6 +151,28 @@ impl Layer for ResidualBlock {
 
     fn name(&self) -> &'static str {
         "ResidualBlock"
+    }
+
+    fn export_params(&self) -> Vec<ParamExport> {
+        let mut out = scoped_exports("conv1", &self.conv1);
+        out.extend(scoped_exports("bn1", &self.bn1));
+        out.extend(scoped_exports("conv2", &self.conv2));
+        out.extend(scoped_exports("bn2", &self.bn2));
+        if let Some(p) = &self.proj {
+            out.extend(scoped_exports("proj", p));
+        }
+        out
+    }
+
+    fn import_params(&mut self, src: &mut ParamImporter) -> Result<(), ParamError> {
+        self.conv1.import_params(src)?;
+        self.bn1.import_params(src)?;
+        self.conv2.import_params(src)?;
+        self.bn2.import_params(src)?;
+        if let Some(p) = &mut self.proj {
+            p.import_params(src)?;
+        }
+        Ok(())
     }
 }
 
@@ -173,33 +227,8 @@ impl InceptionBlock {
     /// 3×3 stride-1 same-padding max pool used by the pooling branch.
     fn maxpool3_same(&mut self, input: &Tensor) -> Tensor {
         let [n, c, h, w] = self.in_dims;
-        let mut out = Tensor::zeros(&[n, c, h, w]);
         self.pool_cache.argmax.clear();
-        self.pool_cache.argmax.reserve(out.len());
-        let src = input.data();
-        let dst = out.data_mut();
-        for nc in 0..n * c {
-            let plane = &src[nc * h * w..(nc + 1) * h * w];
-            for y in 0..h {
-                for x in 0..w {
-                    let mut best = y * w + x;
-                    for dy in -1i32..=1 {
-                        for dx in -1i32..=1 {
-                            let (yy, xx) = (y as i32 + dy, x as i32 + dx);
-                            if yy >= 0 && yy < h as i32 && xx >= 0 && xx < w as i32 {
-                                let idx = yy as usize * w + xx as usize;
-                                if plane[idx] > plane[best] {
-                                    best = idx;
-                                }
-                            }
-                        }
-                    }
-                    dst[nc * h * w + y * w + x] = plane[best];
-                    self.pool_cache.argmax.push(nc * h * w + best);
-                }
-            }
-        }
-        out
+        maxpool3_same_impl(input, n, c, h, w, Some(&mut self.pool_cache.argmax))
     }
 
     fn maxpool3_backward(&self, grad: &Tensor) -> Tensor {
@@ -209,6 +238,48 @@ impl InceptionBlock {
         }
         g
     }
+}
+
+/// 3×3/stride-1/"same" max pool over an NCHW tensor, optionally recording
+/// per-output argmax indices for the backward pass.
+fn maxpool3_same_impl(
+    input: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    mut argmax: Option<&mut Vec<usize>>,
+) -> Tensor {
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    if let Some(a) = argmax.as_deref_mut() {
+        a.reserve(out.len());
+    }
+    let src = input.data();
+    let dst = out.data_mut();
+    for nc in 0..n * c {
+        let plane = &src[nc * h * w..(nc + 1) * h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let mut best = y * w + x;
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let (yy, xx) = (y as i32 + dy, x as i32 + dx);
+                        if yy >= 0 && yy < h as i32 && xx >= 0 && xx < w as i32 {
+                            let idx = yy as usize * w + xx as usize;
+                            if plane[idx] > plane[best] {
+                                best = idx;
+                            }
+                        }
+                    }
+                }
+                dst[nc * h * w + y * w + x] = plane[best];
+                if let Some(a) = argmax.as_deref_mut() {
+                    a.push(nc * h * w + best);
+                }
+            }
+        }
+    }
+    out
 }
 
 impl Layer for InceptionBlock {
@@ -276,6 +347,35 @@ impl Layer for InceptionBlock {
         gin
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let d = input.shape().dims();
+        assert_eq!(d.len(), 4, "InceptionBlock expects NCHW");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let y1 = self.branch1.infer(input);
+        let y3 = self.branch3.infer(input);
+        let y5 = self.branch5.infer(input);
+        let pooled = maxpool3_same_impl(input, n, c, h, w, None);
+        let yp = self.pool_proj.infer(&pooled);
+        let out_c = self.out_channels();
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, out_c, h, w]);
+        for i in 0..n {
+            let mut ch_off = 0;
+            for (branch, bc) in [
+                (&y1, self.splits[0]),
+                (&y3, self.splits[1]),
+                (&y5, self.splits[2]),
+                (&yp, self.splits[3]),
+            ] {
+                let src = &branch.data()[i * bc * plane..(i + 1) * bc * plane];
+                let dst_base = (i * out_c + ch_off) * plane;
+                out.data_mut()[dst_base..dst_base + bc * plane].copy_from_slice(src);
+                ch_off += bc;
+            }
+        }
+        out
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         self.branch1.visit_params(visitor);
         self.branch3.visit_params(visitor);
@@ -285,6 +385,22 @@ impl Layer for InceptionBlock {
 
     fn name(&self) -> &'static str {
         "InceptionBlock"
+    }
+
+    fn export_params(&self) -> Vec<ParamExport> {
+        let mut out = scoped_exports("branch1", &self.branch1);
+        out.extend(scoped_exports("branch3", &self.branch3));
+        out.extend(scoped_exports("branch5", &self.branch5));
+        out.extend(scoped_exports("pool_proj", &self.pool_proj));
+        out
+    }
+
+    fn import_params(&mut self, src: &mut ParamImporter) -> Result<(), ParamError> {
+        self.branch1.import_params(src)?;
+        self.branch3.import_params(src)?;
+        self.branch5.import_params(src)?;
+        self.pool_proj.import_params(src)?;
+        Ok(())
     }
 }
 
@@ -345,6 +461,33 @@ mod tests {
         assert_eq!(y.shape().dims(), &[2, 8, 6, 6]);
         let g = b.backward(&Tensor::full(&[2, 8, 6, 6], 0.1));
         assert_eq!(g.shape().dims(), &[2, 3, 6, 6]);
+    }
+
+    #[test]
+    fn blocks_infer_match_eval_forward_and_round_trip_params() {
+        let x = Tensor::from_vec(
+            (0..2 * 3 * 36)
+                .map(|i| ((i % 11) as f32 - 5.0) * 0.1)
+                .collect(),
+            &[2, 3, 6, 6],
+        );
+        let mut res = ResidualBlock::new(3, 6, 6, 5, 1, 21);
+        let y = res.forward(&x, Mode::Eval);
+        assert_eq!(res.infer(&x).data(), y.data());
+        let mut res2 = ResidualBlock::new(3, 6, 6, 5, 1, 99);
+        let mut imp = ParamImporter::new(res.export_params());
+        res2.import_params(&mut imp).expect("residual import");
+        imp.finish().expect("consumed");
+        assert_eq!(res2.infer(&x).data(), y.data());
+
+        let mut inc = InceptionBlock::new(3, 6, 6, (2, 2, 1, 1), 31);
+        let y = inc.forward(&x, Mode::Eval);
+        assert_eq!(inc.infer(&x).data(), y.data());
+        let mut inc2 = InceptionBlock::new(3, 6, 6, (2, 2, 1, 1), 77);
+        let mut imp = ParamImporter::new(inc.export_params());
+        inc2.import_params(&mut imp).expect("inception import");
+        imp.finish().expect("consumed");
+        assert_eq!(inc2.infer(&x).data(), y.data());
     }
 
     #[test]

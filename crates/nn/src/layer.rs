@@ -1,4 +1,6 @@
 use deepn_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
 
 /// Whether a forward pass is part of training or inference.
 ///
@@ -48,6 +50,162 @@ impl Param {
     }
 }
 
+/// One named tensor exported from a layer: learnable parameters plus any
+/// state the layer needs to reproduce inference (batch-norm running
+/// statistics). Gradient and momentum buffers are *not* exported — they are
+/// transient optimizer state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamExport {
+    /// Buffer name, scoped by containers (e.g. `"3.weight"` for the
+    /// weight of a [`crate::Sequential`]'s fourth layer).
+    pub name: String,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Row-major values.
+    pub values: Vec<f32>,
+}
+
+impl ParamExport {
+    /// Builds an export entry, copying the values out of a tensor.
+    pub fn from_tensor(name: impl Into<String>, t: &Tensor) -> Self {
+        ParamExport {
+            name: name.into(),
+            shape: t.shape().dims().to_vec(),
+            values: t.data().to_vec(),
+        }
+    }
+
+    /// Builds an export entry from a raw value slice and shape.
+    pub fn from_slice(name: impl Into<String>, shape: &[usize], values: &[f32]) -> Self {
+        ParamExport {
+            name: name.into(),
+            shape: shape.to_vec(),
+            values: values.to_vec(),
+        }
+    }
+}
+
+/// Why an [`Layer::import_params`] call rejected a parameter list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// The list ended while a layer still expected a buffer.
+    Missing {
+        /// Name of the buffer the layer asked for next.
+        expected: String,
+    },
+    /// The next buffer's (leaf) name did not match what the layer expects;
+    /// the model architecture and the stored parameters disagree.
+    NameMismatch {
+        /// Name the layer asked for.
+        expected: String,
+        /// Name found in the list.
+        found: String,
+    },
+    /// A buffer had the right name but the wrong shape.
+    ShapeMismatch {
+        /// Offending buffer name.
+        name: String,
+        /// Shape the layer expects.
+        expected: Vec<usize>,
+        /// Shape found in the list.
+        found: Vec<usize>,
+    },
+    /// Buffers were left over after every layer imported its share.
+    Trailing {
+        /// Number of unconsumed buffers.
+        count: usize,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Missing { expected } => {
+                write!(f, "parameter list ended before {expected:?}")
+            }
+            ParamError::NameMismatch { expected, found } => {
+                write!(f, "expected parameter {expected:?}, found {found:?}")
+            }
+            ParamError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter {name:?} has shape {found:?}, expected {expected:?}"
+            ),
+            ParamError::Trailing { count } => {
+                write!(f, "{count} unconsumed parameters after import")
+            }
+        }
+    }
+}
+
+impl Error for ParamError {}
+
+/// Ordered cursor over a [`ParamExport`] list, consumed by
+/// [`Layer::import_params`].
+///
+/// Buffers are matched positionally; each [`take`](ParamImporter::take)
+/// validates the *leaf* name (the part after the last `.`, so container
+/// prefixes do not disturb nested layers) and the shape, making a model /
+/// artifact mismatch a typed error instead of silent corruption.
+#[derive(Debug)]
+pub struct ParamImporter {
+    entries: std::vec::IntoIter<ParamExport>,
+}
+
+impl ParamImporter {
+    /// Wraps an exported parameter list.
+    pub fn new(entries: Vec<ParamExport>) -> Self {
+        ParamImporter {
+            entries: entries.into_iter(),
+        }
+    }
+
+    /// Takes the next buffer, validating leaf name and shape.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError::Missing`], [`ParamError::NameMismatch`], or
+    /// [`ParamError::ShapeMismatch`].
+    pub fn take(&mut self, leaf: &str, shape: &[usize]) -> Result<Vec<f32>, ParamError> {
+        let entry = self.entries.next().ok_or_else(|| ParamError::Missing {
+            expected: leaf.to_owned(),
+        })?;
+        let found_leaf = entry.name.rsplit('.').next().unwrap_or(&entry.name);
+        if found_leaf != leaf {
+            return Err(ParamError::NameMismatch {
+                expected: leaf.to_owned(),
+                found: entry.name.clone(),
+            });
+        }
+        if entry.shape != shape {
+            return Err(ParamError::ShapeMismatch {
+                name: entry.name.clone(),
+                expected: shape.to_vec(),
+                found: entry.shape.clone(),
+            });
+        }
+        Ok(entry.values)
+    }
+
+    /// Asserts every buffer was consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError::Trailing`] if entries remain.
+    pub fn finish(self) -> Result<(), ParamError> {
+        let count = self.entries.len();
+        if count == 0 {
+            Ok(())
+        } else {
+            Err(ParamError::Trailing { count })
+        }
+    }
+}
+
 /// A differentiable network layer.
 ///
 /// The contract mirrors classic define-by-hand frameworks:
@@ -62,10 +220,19 @@ impl Param {
 ///
 /// Activation tensors are NCHW (`[batch, channels, height, width]`) for
 /// spatial layers and `[batch, features]` after a flatten.
-pub trait Layer {
+///
+/// Layers are `Send + Sync` so a trained network behind an `Arc` can serve
+/// inference from many threads at once via [`infer`](Layer::infer), which
+/// takes `&self` and caches nothing.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for `input`, caching intermediates needed
     /// by [`backward`](Layer::backward).
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Inference-mode forward pass on a shared reference: identical output
+    /// to `forward(input, Mode::Eval)` but caches nothing, so a trained
+    /// model can be shared across serving threads.
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Propagates the output gradient to the input, accumulating parameter
     /// gradients. Must be called after a matching [`forward`](Layer::forward)
@@ -90,11 +257,60 @@ pub trait Layer {
     fn zero_grads(&mut self) {
         self.visit_params(&mut |p| p.grad.fill_zero());
     }
+
+    /// Exports every buffer needed to reproduce inference, in a stable
+    /// order. The default is empty for stateless layers.
+    fn export_params(&self) -> Vec<ParamExport> {
+        Vec::new()
+    }
+
+    /// Imports buffers previously produced by
+    /// [`export_params`](Layer::export_params), consuming them from `src`
+    /// in the same order. The default consumes nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] on any name or shape disagreement.
+    fn import_params(&mut self, _src: &mut ParamImporter) -> Result<(), ParamError> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn importer_validates_leaf_name_and_shape() {
+        let entries = vec![
+            ParamExport::from_slice("0.weight", &[2, 1], &[1.0, 2.0]),
+            ParamExport::from_slice("0.bias", &[2], &[0.0, 0.0]),
+        ];
+        let mut imp = ParamImporter::new(entries.clone());
+        assert_eq!(imp.take("weight", &[2, 1]).expect("weight"), [1.0, 2.0]);
+        assert!(matches!(
+            imp.take("bias", &[3]),
+            Err(ParamError::ShapeMismatch { .. })
+        ));
+
+        let mut imp = ParamImporter::new(entries.clone());
+        assert!(matches!(
+            imp.take("gamma", &[2, 1]),
+            Err(ParamError::NameMismatch { .. })
+        ));
+
+        let imp = ParamImporter::new(entries);
+        assert!(matches!(
+            imp.finish(),
+            Err(ParamError::Trailing { count: 2 })
+        ));
+
+        let mut imp = ParamImporter::new(Vec::new());
+        assert!(matches!(
+            imp.take("weight", &[1]),
+            Err(ParamError::Missing { .. })
+        ));
+    }
 
     #[test]
     fn param_allocates_matching_buffers() {

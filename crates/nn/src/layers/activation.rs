@@ -32,6 +32,16 @@ impl Layer for Relu {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert_eq!(
             grad_output.len(),

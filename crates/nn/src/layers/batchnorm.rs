@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, Param};
+use crate::{Layer, Mode, Param, ParamError, ParamExport, ParamImporter};
 use deepn_tensor::Tensor;
 
 /// Per-channel batch normalization over NCHW activations.
@@ -132,6 +132,28 @@ impl Layer for BatchNorm2d {
         grad_input
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let d = input.shape().dims();
+        assert_eq!(d.len(), 4, "BatchNorm2d expects NCHW");
+        assert_eq!(d[1], self.channels, "BatchNorm2d channel mismatch");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let plane = h * w;
+        let mut out = Tensor::zeros(d);
+        for ch in 0..c {
+            let mean = self.running_mean[ch];
+            let inv = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for k in 0..plane {
+                    out.data_mut()[base + k] = g * (input.data()[base + k] - mean) * inv + b;
+                }
+            }
+        }
+        out
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.gamma);
         visitor(&mut self.beta);
@@ -139,6 +161,29 @@ impl Layer for BatchNorm2d {
 
     fn name(&self) -> &'static str {
         "BatchNorm2d"
+    }
+
+    fn export_params(&self) -> Vec<ParamExport> {
+        let c = self.channels;
+        vec![
+            ParamExport::from_tensor("gamma", &self.gamma.value),
+            ParamExport::from_tensor("beta", &self.beta.value),
+            ParamExport::from_slice("running_mean", &[c], &self.running_mean),
+            ParamExport::from_slice("running_var", &[c], &self.running_var),
+        ]
+    }
+
+    fn import_params(&mut self, src: &mut ParamImporter) -> Result<(), ParamError> {
+        let c = self.channels;
+        let gamma = src.take("gamma", &[c])?;
+        let beta = src.take("beta", &[c])?;
+        let mean = src.take("running_mean", &[c])?;
+        let var = src.take("running_var", &[c])?;
+        self.gamma.value = Tensor::from_vec(gamma, &[c]);
+        self.beta.value = Tensor::from_vec(beta, &[c]);
+        self.running_mean = mean;
+        self.running_var = var;
+        Ok(())
     }
 }
 
@@ -174,6 +219,27 @@ mod tests {
         // Constant input -> running mean ~4, var ~0 -> eval output ~0.
         let y = bn.forward(&x, Mode::Eval);
         assert!(y.data().iter().all(|v| v.abs() < 0.1), "{:?}", y.data());
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_and_state_round_trips() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
+        for _ in 0..10 {
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        let eval = bn.forward(&x, Mode::Eval);
+        assert_eq!(bn.infer(&x).data(), eval.data());
+        // Export carries the running stats, not just γ/β.
+        let mut fresh = BatchNorm2d::new(2);
+        assert_ne!(fresh.infer(&x).data(), eval.data());
+        let mut imp = ParamImporter::new(bn.export_params());
+        fresh.import_params(&mut imp).expect("import");
+        imp.finish().expect("consumed");
+        assert_eq!(fresh.infer(&x).data(), eval.data());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, Param};
+use crate::{Layer, Mode, Param, ParamError, ParamExport, ParamImporter};
 use deepn_tensor::{
     col2im, he_normal, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Tensor,
 };
@@ -64,43 +64,64 @@ impl Conv2d {
     }
 }
 
+/// Shared forward kernel: im2col + matmul + bias per image, optionally
+/// recording the column matrices for the backward pass.
+fn conv_forward(
+    geom: &Conv2dGeometry,
+    out_channels: usize,
+    weight: &Tensor,
+    bias: &Tensor,
+    input: &Tensor,
+    mut cache: Option<&mut Vec<Tensor>>,
+) -> Tensor {
+    let dims = input.shape().dims();
+    assert_eq!(dims.len(), 4, "Conv2d expects NCHW input");
+    assert_eq!(
+        &dims[1..],
+        &[geom.in_channels, geom.in_h, geom.in_w],
+        "Conv2d input plane mismatch"
+    );
+    let n = dims[0];
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let per_img = geom.in_channels * geom.in_h * geom.in_w;
+    let mut out = Tensor::zeros(&[n, out_channels, oh, ow]);
+    let opix = oh * ow;
+    for i in 0..n {
+        let img = Tensor::from_vec(
+            input.data()[i * per_img..(i + 1) * per_img].to_vec(),
+            &[geom.in_channels, geom.in_h, geom.in_w],
+        );
+        let cols = im2col(&img, geom);
+        let y = matmul(weight, &cols);
+        let dst = &mut out.data_mut()[i * out_channels * opix..(i + 1) * out_channels * opix];
+        for c in 0..out_channels {
+            let b = bias.data()[c];
+            for (d, s) in dst[c * opix..(c + 1) * opix]
+                .iter_mut()
+                .zip(y.data()[c * opix..(c + 1) * opix].iter())
+            {
+                *d = s + b;
+            }
+        }
+        if let Some(cache) = cache.as_deref_mut() {
+            cache.push(cols);
+        }
+    }
+    out
+}
+
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let dims = input.shape().dims();
-        assert_eq!(dims.len(), 4, "Conv2d expects NCHW input");
-        assert_eq!(
-            &dims[1..],
-            &[self.geom.in_channels, self.geom.in_h, self.geom.in_w],
-            "Conv2d input plane mismatch"
-        );
-        let n = dims[0];
-        let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
-        let per_img = self.geom.in_channels * self.geom.in_h * self.geom.in_w;
-        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
         self.cached_cols.clear();
-        self.cached_batch = n;
-        let opix = oh * ow;
-        for i in 0..n {
-            let img = Tensor::from_vec(
-                input.data()[i * per_img..(i + 1) * per_img].to_vec(),
-                &[self.geom.in_channels, self.geom.in_h, self.geom.in_w],
-            );
-            let cols = im2col(&img, &self.geom);
-            let y = matmul(&self.weight.value, &cols);
-            let dst = &mut out.data_mut()
-                [i * self.out_channels * opix..(i + 1) * self.out_channels * opix];
-            for c in 0..self.out_channels {
-                let b = self.bias.value.data()[c];
-                for (d, s) in dst[c * opix..(c + 1) * opix]
-                    .iter_mut()
-                    .zip(y.data()[c * opix..(c + 1) * opix].iter())
-                {
-                    *d = s + b;
-                }
-            }
-            self.cached_cols.push(cols);
-        }
-        out
+        self.cached_batch = input.shape().dim(0);
+        conv_forward(
+            &self.geom,
+            self.out_channels,
+            &self.weight.value,
+            &self.bias.value,
+            input,
+            Some(&mut self.cached_cols),
+        )
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -138,6 +159,17 @@ impl Layer for Conv2d {
         grad_input
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        conv_forward(
+            &self.geom,
+            self.out_channels,
+            &self.weight.value,
+            &self.bias.value,
+            input,
+            None,
+        )
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.weight);
         visitor(&mut self.bias);
@@ -145,6 +177,22 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "Conv2d"
+    }
+
+    fn export_params(&self) -> Vec<ParamExport> {
+        vec![
+            ParamExport::from_tensor("weight", &self.weight.value),
+            ParamExport::from_tensor("bias", &self.bias.value),
+        ]
+    }
+
+    fn import_params(&mut self, src: &mut ParamImporter) -> Result<(), ParamError> {
+        let fan_in = self.geom.col_rows();
+        let w = src.take("weight", &[self.out_channels, fan_in])?;
+        let b = src.take("bias", &[self.out_channels])?;
+        self.weight.value = Tensor::from_vec(w, &[self.out_channels, fan_in]);
+        self.bias.value = Tensor::from_vec(b, &[self.out_channels]);
+        Ok(())
     }
 }
 
@@ -237,6 +285,25 @@ mod tests {
         let yab = conv.forward(&batch, Mode::Eval);
         assert_eq!(&yab.data()[..ya.len()], ya.data());
         assert_eq!(&yab.data()[ya.len()..], yb.data());
+    }
+
+    #[test]
+    fn infer_matches_forward_and_params_round_trip() {
+        let g = Conv2dGeometry::new(2, 6, 6, 3, 1, 1);
+        let mut conv = Conv2d::new(g, 4, 13);
+        let x = Tensor::from_vec(
+            (0..2 * 36).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(),
+            &[1, 2, 6, 6],
+        );
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(conv.infer(&x).data(), y.data());
+
+        let mut other = Conv2d::new(Conv2dGeometry::new(2, 6, 6, 3, 1, 1), 4, 77);
+        assert_ne!(other.infer(&x).data(), y.data());
+        let mut imp = ParamImporter::new(conv.export_params());
+        other.import_params(&mut imp).expect("import");
+        imp.finish().expect("consumed");
+        assert_eq!(other.infer(&x).data(), y.data());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, Param};
+use crate::{Layer, Mode, Param, ParamError, ParamExport, ParamImporter};
 use deepn_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,27 +52,8 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        assert_eq!(input.shape().rank(), 2, "Dense expects [batch, features]");
-        assert_eq!(
-            input.shape().dim(1),
-            self.in_features,
-            "Dense feature mismatch"
-        );
         self.cached_input = input.clone();
-        let n = input.shape().dim(0);
-        // y = x(n,in) · Wᵀ(in,out)
-        let mut y = matmul_a_bt(input, &self.weight.value);
-        let yd = y.data_mut();
-        let bd = self.bias.value.data();
-        for r in 0..n {
-            for (o, &b) in yd[r * self.out_features..(r + 1) * self.out_features]
-                .iter_mut()
-                .zip(bd.iter())
-            {
-                *o += b;
-            }
-        }
-        y
+        self.infer(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -98,6 +79,28 @@ impl Layer for Dense {
         matmul(grad_output, &self.weight.value)
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "Dense expects [batch, features]");
+        assert_eq!(
+            input.shape().dim(1),
+            self.in_features,
+            "Dense feature mismatch"
+        );
+        let n = input.shape().dim(0);
+        let mut y = matmul_a_bt(input, &self.weight.value);
+        let yd = y.data_mut();
+        let bd = self.bias.value.data();
+        for r in 0..n {
+            for (o, &b) in yd[r * self.out_features..(r + 1) * self.out_features]
+                .iter_mut()
+                .zip(bd.iter())
+            {
+                *o += b;
+            }
+        }
+        y
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.weight);
         visitor(&mut self.bias);
@@ -105,6 +108,21 @@ impl Layer for Dense {
 
     fn name(&self) -> &'static str {
         "Dense"
+    }
+
+    fn export_params(&self) -> Vec<ParamExport> {
+        vec![
+            ParamExport::from_tensor("weight", &self.weight.value),
+            ParamExport::from_tensor("bias", &self.bias.value),
+        ]
+    }
+
+    fn import_params(&mut self, src: &mut ParamImporter) -> Result<(), ParamError> {
+        let w = src.take("weight", &[self.out_features, self.in_features])?;
+        let b = src.take("bias", &[self.out_features])?;
+        self.weight.value = Tensor::from_vec(w, &[self.out_features, self.in_features]);
+        self.bias.value = Tensor::from_vec(b, &[self.out_features]);
+        Ok(())
     }
 }
 
@@ -121,6 +139,20 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
         let y = d.forward(&x, Mode::Eval);
         assert_eq!(y.data(), &[3.5, 6.5]);
+        // Shared-reference inference matches the training-path forward.
+        assert_eq!(d.infer(&x).data(), y.data());
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let src = Dense::new(3, 2, 5);
+        let mut dst = Dense::new(3, 2, 99);
+        let x = Tensor::from_vec(vec![0.1, -0.4, 0.7], &[1, 3]);
+        assert_ne!(src.infer(&x).data(), dst.infer(&x).data());
+        let mut imp = ParamImporter::new(src.export_params());
+        dst.import_params(&mut imp).expect("import");
+        imp.finish().expect("all consumed");
+        assert_eq!(src.infer(&x).data(), dst.infer(&x).data());
     }
 
     #[test]

@@ -58,6 +58,10 @@ impl Layer for Dropout {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.clone()
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert_eq!(
             grad_output.len(),

@@ -24,6 +24,14 @@ impl Layer for Flatten {
         input.clone().reshape(&[n, feat])
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let d = input.shape().dims();
+        assert!(d.len() >= 2, "Flatten expects at least a batch dimension");
+        let n = d[0];
+        let feat: usize = d[1..].iter().product();
+        input.clone().reshape(&[n, feat])
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         grad_output.clone().reshape(&self.in_dims)
     }

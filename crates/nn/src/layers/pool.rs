@@ -52,6 +52,32 @@ impl Layer for MaxPool2 {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let d = input.shape().dims();
+        assert_eq!(d.len(), 4, "MaxPool2 expects NCHW");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        assert!(h >= 2 && w >= 2, "MaxPool2 needs at least 2x2 input");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = input.data();
+        let dst = out.data_mut();
+        for nc in 0..n * c {
+            let plane = &src[nc * h * w..(nc + 1) * h * w];
+            let oplane = &mut dst[nc * oh * ow..(nc + 1) * oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base = (oy * 2) * w + ox * 2;
+                    let m = plane[base]
+                        .max(plane[base + 1])
+                        .max(plane[base + w])
+                        .max(plane[base + w + 1]);
+                    oplane[oy * ow + ox] = m;
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert_eq!(
             grad_output.len(),
@@ -92,6 +118,21 @@ impl Layer for GlobalAvgPool {
         assert_eq!(d.len(), 4, "GlobalAvgPool expects NCHW");
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         self.in_dims = [n, c, h, w];
+        let mut out = Tensor::zeros(&[n, c]);
+        let inv = 1.0 / (h * w) as f32;
+        for nc in 0..n * c {
+            out.data_mut()[nc] = input.data()[nc * h * w..(nc + 1) * h * w]
+                .iter()
+                .sum::<f32>()
+                * inv;
+        }
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let d = input.shape().dims();
+        assert_eq!(d.len(), 4, "GlobalAvgPool expects NCHW");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let mut out = Tensor::zeros(&[n, c]);
         let inv = 1.0 / (h * w) as f32;
         for nc in 0..n * c {

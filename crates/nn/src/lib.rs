@@ -45,7 +45,7 @@ mod optim;
 mod trainer;
 pub mod zoo;
 
-pub use layer::{Layer, Mode, Param};
+pub use layer::{Layer, Mode, Param, ParamError, ParamExport, ParamImporter};
 pub use loss::softmax_cross_entropy;
 pub use metrics::{accuracy, confusion_matrix, softmax_rows};
 pub use network::Sequential;

@@ -1,4 +1,4 @@
-use crate::{Layer, Mode, Param};
+use crate::{Layer, Mode, Param, ParamError, ParamExport, ParamImporter};
 use deepn_tensor::Tensor;
 
 /// A linear stack of layers, itself a [`Layer`].
@@ -53,9 +53,31 @@ impl Sequential {
         lines.join("\n")
     }
 
-    /// Class predictions (argmax of logits) for a batch.
-    pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
-        self.forward(input, Mode::Eval).argmax_rows()
+    /// Class predictions (argmax of logits) for a batch. Runs in inference
+    /// mode on a shared reference, so a trained model behind an `Arc` can
+    /// predict from many threads concurrently.
+    pub fn predict(&self, input: &Tensor) -> Vec<usize> {
+        self.infer(input).argmax_rows()
+    }
+
+    /// Saves every layer's parameters and inference state, in layer order,
+    /// with names scoped as `"{layer_index}.{buffer}"`.
+    pub fn save_params(&self) -> Vec<ParamExport> {
+        self.export_params()
+    }
+
+    /// Restores parameters previously produced by
+    /// [`save_params`](Self::save_params) into this network, which must
+    /// have the same architecture.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the list and the architecture disagree (missing,
+    /// extra, misnamed, or misshapen buffers).
+    pub fn load_params(&mut self, params: Vec<ParamExport>) -> Result<(), ParamError> {
+        let mut src = ParamImporter::new(params);
+        self.import_params(&mut src)?;
+        src.finish()
     }
 }
 
@@ -76,6 +98,14 @@ impl Layer for Sequential {
         g
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for l in &self.layers {
+            x = l.infer(&x);
+        }
+        x
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         for l in &mut self.layers {
             l.visit_params(visitor);
@@ -84,6 +114,21 @@ impl Layer for Sequential {
 
     fn name(&self) -> &'static str {
         "Sequential"
+    }
+
+    fn export_params(&self) -> Vec<ParamExport> {
+        let mut out = Vec::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            out.extend(crate::blocks::scoped_exports(&i.to_string(), l.as_ref()));
+        }
+        out
+    }
+
+    fn import_params(&mut self, src: &mut ParamImporter) -> Result<(), ParamError> {
+        for l in &mut self.layers {
+            l.import_params(src)?;
+        }
+        Ok(())
     }
 }
 
@@ -120,6 +165,57 @@ mod tests {
         let y = net.forward(&x, Mode::Train);
         let g = net.backward(&Tensor::full(y.shape().dims(), 1.0));
         assert_eq!(g.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 4, 2));
+        net.push(Relu::new());
+        net.push(Dense::new(4, 2, 3));
+        let x = Tensor::from_vec(vec![0.2, -0.7, 1.1, 0.0, 0.5, -0.2], &[2, 3]);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(net.infer(&x).data(), y.data());
+        assert_eq!(net.predict(&x), y.argmax_rows());
+    }
+
+    #[test]
+    fn save_load_round_trips_across_same_architecture() {
+        let mut src = Sequential::new();
+        src.push(Dense::new(4, 6, 10));
+        src.push(Relu::new());
+        src.push(Dense::new(6, 3, 11));
+        let mut dst = Sequential::new();
+        dst.push(Dense::new(4, 6, 90));
+        dst.push(Relu::new());
+        dst.push(Dense::new(6, 3, 91));
+        let x = Tensor::from_vec(vec![0.3, 0.1, -0.2, 0.9], &[1, 4]);
+        assert_ne!(src.infer(&x).data(), dst.infer(&x).data());
+        dst.load_params(src.save_params()).expect("load");
+        assert_eq!(src.infer(&x).data(), dst.infer(&x).data());
+        // A mismatched architecture is a typed error, not silence.
+        let mut wrong = Sequential::new();
+        wrong.push(Dense::new(4, 5, 1));
+        assert!(wrong.load_params(src.save_params()).is_err());
+    }
+
+    #[test]
+    fn shared_model_predicts_from_many_threads() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, 4));
+        let net = std::sync::Arc::new(net);
+        let x = Tensor::from_vec(vec![0.5, -0.5], &[1, 2]);
+        let expected = net.predict(&x);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let net = net.clone();
+                let x = x.clone();
+                std::thread::spawn(move || net.predict(&x))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("thread"), expected);
+        }
     }
 
     #[test]

@@ -153,8 +153,9 @@ impl Trainer {
         history
     }
 
-    /// Test-set top-1 accuracy of `net`, evaluated in inference mode.
-    pub fn evaluate(&self, net: &mut Sequential, test_x: &[Tensor], test_y: &[usize]) -> f64 {
+    /// Test-set top-1 accuracy of `net`, evaluated in inference mode on a
+    /// shared reference (no mutation, safe to call concurrently).
+    pub fn evaluate(&self, net: &Sequential, test_x: &[Tensor], test_y: &[usize]) -> f64 {
         assert_eq!(test_x.len(), test_y.len(), "test label mismatch");
         if test_x.is_empty() {
             return 0.0;

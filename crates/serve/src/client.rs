@@ -1,0 +1,170 @@
+//! Blocking client for the compression service.
+
+use crate::protocol::{self, Opcode, STATUS_OK};
+use crate::{ServeError, StatsSnapshot};
+use deepn_codec::RgbImage;
+use deepn_store::{ByteReader, ByteWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A connection to a running [`crate::Server`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to the service.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for scripts that start
+    /// the service as a separate process and must wait for the socket.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the deadline passes.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        timeout: Duration,
+    ) -> Result<Self, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// One request/reply round trip; returns the ok-payload.
+    fn call(&mut self, op: Opcode, payload: &[u8]) -> Result<Vec<u8>, ServeError> {
+        let mut body = Vec::with_capacity(1 + payload.len());
+        body.push(op as u8);
+        body.extend_from_slice(payload);
+        protocol::write_frame(&mut self.stream, &body)?;
+        let reply = protocol::read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Protocol("service closed the connection".into()))?;
+        let (&status, payload) = reply
+            .split_first()
+            .ok_or_else(|| ServeError::Protocol("empty reply frame".into()))?;
+        if status == STATUS_OK {
+            return Ok(payload.to_vec());
+        }
+        let mut r = ByteReader::new(payload);
+        Err(ServeError::Remote(r.string()?))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Socket or protocol errors.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.call(Opcode::Ping, &[])?;
+        Ok(())
+    }
+
+    /// Compresses a batch of images with the service's tables, returning
+    /// one JFIF stream per image, in order.
+    ///
+    /// # Errors
+    ///
+    /// Socket, protocol, or service-side codec errors.
+    pub fn encode_batch(&mut self, images: &[RgbImage]) -> Result<Vec<Vec<u8>>, ServeError> {
+        let mut w = ByteWriter::new();
+        w.put_len(images.len());
+        for img in images {
+            protocol::put_image(&mut w, img);
+        }
+        let reply = self.call(Opcode::EncodeBatch, w.as_bytes())?;
+        let mut r = ByteReader::new(&reply);
+        let n = r.len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(protocol::get_blob(&mut r)?);
+        }
+        Ok(out)
+    }
+
+    /// Decompresses a batch of JFIF streams, returning the images in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Socket, protocol, or service-side codec errors.
+    pub fn decode_batch(&mut self, streams: &[Vec<u8>]) -> Result<Vec<RgbImage>, ServeError> {
+        let mut w = ByteWriter::new();
+        w.put_len(streams.len());
+        for s in streams {
+            protocol::put_blob(&mut w, s);
+        }
+        let reply = self.call(Opcode::DecodeBatch, w.as_bytes())?;
+        let mut r = ByteReader::new(&reply);
+        let n = r.len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(protocol::get_image(&mut r)?);
+        }
+        Ok(out)
+    }
+
+    /// Classifies a batch of images with the service's model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] if the service has no model; socket or
+    /// protocol errors otherwise.
+    pub fn classify(&mut self, images: &[RgbImage]) -> Result<Vec<usize>, ServeError> {
+        let mut w = ByteWriter::new();
+        w.put_len(images.len());
+        for img in images {
+            protocol::put_image(&mut w, img);
+        }
+        let reply = self.call(Opcode::Classify, w.as_bytes())?;
+        let mut r = ByteReader::new(&reply);
+        let n = r.len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(r.u32()? as usize);
+        }
+        Ok(out)
+    }
+
+    /// Fetches the service counters.
+    ///
+    /// # Errors
+    ///
+    /// Socket or protocol errors.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        let reply = self.call(Opcode::Stats, &[])?;
+        let mut r = ByteReader::new(&reply);
+        Ok(StatsSnapshot {
+            requests: r.u64()?,
+            images_encoded: r.u64()?,
+            images_decoded: r.u64()?,
+            images_classified: r.u64()?,
+            workers: r.u32()?,
+            queue_depth: r.u32()?,
+            has_model: r.u8()? != 0,
+        })
+    }
+
+    /// Asks the service to exit after acknowledging.
+    ///
+    /// # Errors
+    ///
+    /// Socket or protocol errors.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.call(Opcode::Shutdown, &[])?;
+        Ok(())
+    }
+}

@@ -1,0 +1,108 @@
+//! # deepn-serve
+//!
+//! A long-running, multi-threaded DeepN-JPEG compression service. The
+//! server loads its quantization tables (and optionally a trained model)
+//! from `deepn-store` artifacts at startup — nothing is recomputed per
+//! process — and serves batch encode/decode/classify requests over a
+//! length-prefixed localhost TCP protocol.
+//!
+//! Architecture: an acceptor thread hands each connection to a lightweight
+//! reader thread; every image in a batch request becomes one job on a
+//! **bounded** queue drained by a fixed worker pool, so a single large
+//! batch parallelizes across cores and an overloaded service applies
+//! backpressure (submission blocks) instead of growing without bound.
+//!
+//! ```no_run
+//! use deepn_codec::QuantTablePair;
+//! use deepn_serve::{Client, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::bind("127.0.0.1:0", QuantTablePair::standard(75), None,
+//!                           ServerConfig::default())?;
+//! let addr = server.local_addr()?;
+//! let handle = server.spawn();
+//! let mut client = Client::connect(addr)?;
+//! client.ping()?;
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig, ServerHandle, StatsSnapshot};
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from the compression service or its client.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer violated the wire protocol (bad opcode, truncated or
+    /// oversized payload, ...).
+    Protocol(String),
+    /// The service reported a failure while handling the request.
+    Remote(String),
+    /// Loading a startup artifact failed.
+    Store(deepn_store::StoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "service io error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServeError::Remote(m) => write!(f, "service-side failure: {m}"),
+            ServeError::Store(e) => write!(f, "artifact error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<deepn_store::StoreError> for ServeError {
+    fn from(e: deepn_store::StoreError) -> Self {
+        // Truncation inside a protocol payload is a peer fault, not a
+        // filesystem one.
+        match e {
+            deepn_store::StoreError::Io(io) => ServeError::Io(io),
+            other => ServeError::Protocol(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<ServeError>();
+        assert!(ServeError::Protocol("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,194 @@
+//! The wire protocol: length-prefixed frames over a (localhost) TCP
+//! stream, with payloads encoded by the same little-endian primitives the
+//! artifact store uses.
+//!
+//! ```text
+//! frame   := u32 body_len (LE) | body
+//! request := u8 opcode | payload
+//! reply   := u8 status (0 = ok, 1 = error) | payload
+//! ```
+//!
+//! An error reply's payload is a length-prefixed UTF-8 message. Batch
+//! payloads carry a `u32` count followed by the items; images travel as
+//! `u32 width | u32 height | width*height*3` RGB bytes, compressed
+//! streams as `u32 len | bytes`.
+
+use crate::ServeError;
+use deepn_codec::RgbImage;
+use deepn_store::{ByteReader, ByteWriter};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame body, bounding a hostile or corrupt length
+/// prefix before any allocation (64 MiB fits thousands of the synthetic
+/// dataset's images per batch).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; echoes an empty ok.
+    Ping = 0,
+    /// Compress a batch of RGB images with the service's tables.
+    EncodeBatch = 1,
+    /// Decompress a batch of JFIF streams.
+    DecodeBatch = 2,
+    /// Classify a batch of RGB images with the service's model.
+    Classify = 3,
+    /// Report service counters.
+    Stats = 4,
+    /// Ask the service to stop accepting connections and exit.
+    Shutdown = 5,
+}
+
+impl Opcode {
+    /// Parses a request opcode byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Opcode::Ping),
+            1 => Some(Opcode::EncodeBatch),
+            2 => Some(Opcode::DecodeBatch),
+            3 => Some(Opcode::Classify),
+            4 => Some(Opcode::Stats),
+            5 => Some(Opcode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Reply status byte.
+pub const STATUS_OK: u8 = 0;
+/// Reply status byte for a service-side failure (payload = message).
+pub const STATUS_ERR: u8 = 1;
+
+/// Writes one frame (length prefix + body).
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects oversized bodies.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), ServeError> {
+    if body.len() > MAX_FRAME {
+        return Err(ServeError::Protocol(format!(
+            "frame of {} bytes exceeds the {} byte limit",
+            body.len(),
+            MAX_FRAME
+        )));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Like `read_exact`, but once any frame byte has been consumed a read
+/// timeout is a **fatal** protocol error: the stream can no longer be
+/// retried from a frame boundary, so treating it as "no request yet"
+/// would reinterpret mid-body bytes as a new frame length.
+fn read_exact_mid_frame(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ServeError> {
+    r.read_exact(buf).map_err(|e| {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            ServeError::Protocol("peer stalled mid-frame; connection desynchronized".into())
+        } else {
+            ServeError::Io(e)
+        }
+    })
+}
+
+/// Reads one frame body. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection). A read timeout *before* the
+/// first byte of a frame surfaces as a retryable [`ServeError::Io`]; a
+/// timeout after that is a fatal protocol error (see
+/// `read_exact_mid_frame`).
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects bodies over [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut len = [0u8; 4];
+    // A clean EOF before any length byte means "no more requests"; a
+    // timeout here consumed nothing and is safe to retry.
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(n) => read_exact_mid_frame(r, &mut len[n..])?,
+        Err(e) => return Err(e.into()),
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(ServeError::Protocol(format!(
+            "peer announced a {n} byte frame (limit {MAX_FRAME})"
+        )));
+    }
+    let mut body = vec![0u8; n];
+    read_exact_mid_frame(r, &mut body)?;
+    Ok(Some(body))
+}
+
+/// Appends an image (dimensions + raw RGB) to a payload — the same
+/// encoding artifact payloads use ([`deepn_store::encode_image`]).
+pub fn put_image(w: &mut ByteWriter, img: &RgbImage) {
+    deepn_store::encode_image(w, img);
+}
+
+/// Reads an image written by [`put_image`].
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on truncation or invalid dimensions.
+pub fn get_image(r: &mut ByteReader<'_>) -> Result<RgbImage, ServeError> {
+    Ok(deepn_store::decode_image(r)?)
+}
+
+/// Appends a length-prefixed byte blob.
+pub fn put_blob(w: &mut ByteWriter, blob: &[u8]) {
+    w.put_len(blob.len());
+    w.put_bytes(blob);
+}
+
+/// Reads a length-prefixed byte blob.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on truncation.
+pub fn get_blob(r: &mut ByteReader<'_>) -> Result<Vec<u8>, ServeError> {
+    let n = r.len(1)?;
+    Ok(r.bytes(n)?.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_pipe() {
+        let body = vec![1u8, 2, 3, 4, 5];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).expect("write");
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).expect("read"), Some(body));
+        assert_eq!(read_frame(&mut cursor).expect("eof"), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn image_payloads_round_trip() {
+        let img = RgbImage::gradient(9, 5);
+        let mut w = ByteWriter::new();
+        put_image(&mut w, &img);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_image(&mut r).expect("image"), img);
+    }
+}

@@ -1,0 +1,473 @@
+//! The service: acceptor + per-connection readers + a bounded job queue
+//! drained by a fixed worker pool.
+
+use crate::protocol::{self, Opcode, STATUS_ERR, STATUS_OK};
+use crate::ServeError;
+use deepn_codec::{Decoder, Encoder, QuantTablePair, RgbImage};
+use deepn_nn::Sequential;
+use deepn_store::{ByteReader, ByteWriter};
+use deepn_tensor::Tensor;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Worker-pool and queue sizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Number of codec worker threads.
+    pub workers: usize,
+    /// Bound of the job queue; submissions block when it is full, so an
+    /// overloaded service applies backpressure instead of buffering
+    /// without limit.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 16);
+        ServerConfig {
+            workers,
+            queue_depth: 256,
+        }
+    }
+}
+
+/// Monotonic service counters, shared across threads.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    images_encoded: AtomicU64,
+    images_decoded: AtomicU64,
+    images_classified: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters and configuration,
+/// as returned by [`crate::Client::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests handled (all opcodes).
+    pub requests: u64,
+    /// Images compressed.
+    pub images_encoded: u64,
+    /// Streams decompressed.
+    pub images_decoded: u64,
+    /// Images classified.
+    pub images_classified: u64,
+    /// Configured worker count.
+    pub workers: u32,
+    /// Configured queue bound.
+    pub queue_depth: u32,
+    /// Whether a model artifact was loaded for `Classify`.
+    pub has_model: bool,
+}
+
+/// One unit of work: a single image (or stream) from a batch request.
+enum JobRequest {
+    Encode(RgbImage),
+    Decode(Vec<u8>),
+    Classify(RgbImage),
+}
+
+enum JobResult {
+    Bytes(Vec<u8>),
+    Image(RgbImage),
+    Label(usize),
+}
+
+struct Job {
+    index: usize,
+    req: JobRequest,
+    reply: mpsc::Sender<(usize, Result<JobResult, String>)>,
+}
+
+/// The compression service. [`bind`](Server::bind) it, then either
+/// [`run`](Server::run) on the current thread or [`spawn`](Server::spawn)
+/// it onto a background one.
+pub struct Server {
+    listener: TcpListener,
+    tables: Arc<QuantTablePair>,
+    model: Option<Arc<Sequential>>,
+    config: ServerConfig,
+    counters: Arc<Counters>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A handle to a [`spawn`](Server::spawn)ed server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop without a client round trip.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the server thread to exit.
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+impl Server {
+    /// Binds the service to `addr` with the given quantization tables and
+    /// optional classification model.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from binding.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        tables: QuantTablePair,
+        model: Option<Sequential>,
+        mut config: ServerConfig,
+    ) -> io::Result<Self> {
+        // Zero workers would park every job forever; zero queue depth
+        // would make sync_channel a rendezvous that deadlocks single
+        // submitters. Clamp rather than error: there is no useful
+        // interpretation of either zero.
+        config.workers = config.workers.max(1);
+        config.queue_depth = config.queue_depth.max(1);
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            tables: Arc::new(tables),
+            model: model.map(Arc::new),
+            config,
+            counters: Arc::new(Counters::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the current thread until a shutdown request
+    /// arrives, then drains the worker pool and returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal socket errors from the accept loop.
+    pub fn run(self) -> io::Result<()> {
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(self.config.queue_depth);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut workers = Vec::with_capacity(self.config.workers);
+        for _ in 0..self.config.workers {
+            let rx = Arc::clone(&job_rx);
+            let tables = Arc::clone(&self.tables);
+            let model = self.model.clone();
+            workers.push(thread::spawn(move || worker_loop(&rx, &tables, model)));
+        }
+
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let ctx = ConnCtx {
+                        job_tx: job_tx.clone(),
+                        counters: Arc::clone(&self.counters),
+                        shutdown: Arc::clone(&self.shutdown),
+                        config: self.config.clone(),
+                        has_model: self.model.is_some(),
+                    };
+                    thread::spawn(move || ctx.serve(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Workers exit once every sender is gone: ours now, the
+        // connection threads' as they notice the flag (bounded by their
+        // read timeout) or hit EOF.
+        drop(job_tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle with the
+    /// bound address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound address cannot be read back (the listener is
+    /// already live, so this cannot happen in practice).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr().expect("listener has an address");
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        }
+    }
+}
+
+/// Everything a connection reader needs.
+struct ConnCtx {
+    job_tx: SyncSender<Job>,
+    counters: Arc<Counters>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+    has_model: bool,
+}
+
+impl ConnCtx {
+    fn serve(self, mut stream: TcpStream) {
+        // The timeout bounds how long a dead-idle connection pins this
+        // thread after shutdown; it is not a per-request deadline.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let _ = stream.set_nodelay(true);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match protocol::read_frame(&mut stream) {
+                Ok(None) => return,
+                Ok(Some(body)) => {
+                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    let (reply, stop) = self.handle(&body);
+                    if protocol::write_frame(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                    if stop {
+                        self.shutdown.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                Err(ServeError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Handles one request, returning `(reply_body, shutdown)`.
+    fn handle(&self, body: &[u8]) -> (Vec<u8>, bool) {
+        match self.dispatch(body) {
+            Ok((payload, stop)) => {
+                let mut reply = Vec::with_capacity(1 + payload.len());
+                reply.push(STATUS_OK);
+                reply.extend_from_slice(&payload);
+                (reply, stop)
+            }
+            Err(e) => {
+                let mut w = ByteWriter::new();
+                w.put_u8(STATUS_ERR);
+                w.put_string(&e.to_string());
+                (w.into_bytes(), false)
+            }
+        }
+    }
+
+    fn dispatch(&self, body: &[u8]) -> Result<(Vec<u8>, bool), ServeError> {
+        let (&op, payload) = body
+            .split_first()
+            .ok_or_else(|| ServeError::Protocol("empty request frame".into()))?;
+        let op = Opcode::from_u8(op)
+            .ok_or_else(|| ServeError::Protocol(format!("unknown opcode {op}")))?;
+        let mut r = ByteReader::new(payload);
+        match op {
+            Opcode::Ping => Ok((Vec::new(), false)),
+            Opcode::Shutdown => Ok((Vec::new(), true)),
+            Opcode::EncodeBatch => {
+                let count = r.len(8)?;
+                let mut reqs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    reqs.push(JobRequest::Encode(protocol::get_image(&mut r)?));
+                }
+                let results = self.fan_out(reqs)?;
+                self.counters
+                    .images_encoded
+                    .fetch_add(count as u64, Ordering::Relaxed);
+                let mut w = ByteWriter::new();
+                w.put_len(results.len());
+                for res in results {
+                    match res {
+                        JobResult::Bytes(b) => protocol::put_blob(&mut w, &b),
+                        _ => unreachable!("encode jobs produce bytes"),
+                    }
+                }
+                Ok((w.into_bytes(), false))
+            }
+            Opcode::DecodeBatch => {
+                let count = r.len(4)?;
+                let mut reqs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    reqs.push(JobRequest::Decode(protocol::get_blob(&mut r)?));
+                }
+                let results = self.fan_out(reqs)?;
+                self.counters
+                    .images_decoded
+                    .fetch_add(count as u64, Ordering::Relaxed);
+                let mut w = ByteWriter::new();
+                w.put_len(results.len());
+                for res in results {
+                    match res {
+                        JobResult::Image(img) => protocol::put_image(&mut w, &img),
+                        _ => unreachable!("decode jobs produce images"),
+                    }
+                }
+                Ok((w.into_bytes(), false))
+            }
+            Opcode::Classify => {
+                if !self.has_model {
+                    return Err(ServeError::Remote(
+                        "service started without a model artifact".into(),
+                    ));
+                }
+                let count = r.len(8)?;
+                let mut reqs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    reqs.push(JobRequest::Classify(protocol::get_image(&mut r)?));
+                }
+                let results = self.fan_out(reqs)?;
+                self.counters
+                    .images_classified
+                    .fetch_add(count as u64, Ordering::Relaxed);
+                let mut w = ByteWriter::new();
+                w.put_len(results.len());
+                for res in results {
+                    match res {
+                        JobResult::Label(l) => w.put_u32(l as u32),
+                        _ => unreachable!("classify jobs produce labels"),
+                    }
+                }
+                Ok((w.into_bytes(), false))
+            }
+            Opcode::Stats => {
+                let mut w = ByteWriter::new();
+                w.put_u64(self.counters.requests.load(Ordering::Relaxed));
+                w.put_u64(self.counters.images_encoded.load(Ordering::Relaxed));
+                w.put_u64(self.counters.images_decoded.load(Ordering::Relaxed));
+                w.put_u64(self.counters.images_classified.load(Ordering::Relaxed));
+                w.put_u32(self.config.workers as u32);
+                w.put_u32(self.config.queue_depth as u32);
+                w.put_u8(u8::from(self.has_model));
+                Ok((w.into_bytes(), false))
+            }
+        }
+    }
+
+    /// Submits one job per batch item to the bounded queue and collects
+    /// the results back into request order.
+    fn fan_out(&self, reqs: Vec<JobRequest>) -> Result<Vec<JobResult>, ServeError> {
+        let n = reqs.len();
+        let (tx, rx) = mpsc::channel();
+        for (index, req) in reqs.into_iter().enumerate() {
+            self.job_tx
+                .send(Job {
+                    index,
+                    req,
+                    reply: tx.clone(),
+                })
+                .map_err(|_| ServeError::Remote("service is shutting down".into()))?;
+        }
+        drop(tx);
+        let mut out: Vec<Option<JobResult>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut first_err: Option<String> = None;
+        for _ in 0..n {
+            let (index, result) = rx
+                .recv()
+                .map_err(|_| ServeError::Remote("worker pool died".into()))?;
+            match result {
+                Ok(res) => out[index] = Some(res),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(ServeError::Remote(e));
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every index replied"))
+            .collect())
+    }
+}
+
+/// Normalizes an image exactly as `deepn_core::experiment::to_tensors`
+/// does, so a model trained by the pipeline classifies service traffic
+/// identically.
+fn image_to_tensor(img: &RgbImage) -> Tensor {
+    let mut chw = img.to_chw_f32();
+    for v in &mut chw {
+        *v -= 0.5;
+    }
+    Tensor::from_vec(chw, &[1, 3, img.height(), img.width()])
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, tables: &QuantTablePair, model: Option<Arc<Sequential>>) {
+    let encoder = Encoder::with_tables(tables.clone());
+    let decoder = Decoder::new();
+    loop {
+        // Hold the lock only while dequeuing, not while working.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        // A panic (e.g. an image whose geometry violates a model layer's
+        // invariants) must cost one request, not one pool thread: an
+        // unreplaced dead worker would eventually wedge the whole service.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.req {
+            JobRequest::Encode(img) => encoder
+                .encode(&img)
+                .map(JobResult::Bytes)
+                .map_err(|e| format!("encode failed: {e}")),
+            JobRequest::Decode(bytes) => decoder
+                .decode(&bytes)
+                .map(JobResult::Image)
+                .map_err(|e| format!("decode failed: {e}")),
+            JobRequest::Classify(img) => match &model {
+                Some(net) => {
+                    let labels = net.predict(&image_to_tensor(&img));
+                    Ok(JobResult::Label(labels[0]))
+                }
+                None => Err("no model loaded".into()),
+            },
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".into());
+            Err(format!("request rejected: {msg}"))
+        });
+        // A dropped receiver means the connection died; nothing to do.
+        let _ = job.reply.send((job.index, result));
+    }
+}

@@ -1,0 +1,150 @@
+//! In-process end-to-end tests: a spawned server, a TCP client, and
+//! byte-identity against the local codec.
+
+use deepn_codec::{Decoder, Encoder, QuantTablePair};
+use deepn_dataset::{DatasetSpec, ImageSet};
+use deepn_serve::{Client, ServeError, Server, ServerConfig};
+use std::time::Duration;
+
+fn start(tables: QuantTablePair) -> (deepn_serve::ServerHandle, Client) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        tables,
+        None,
+        ServerConfig {
+            workers: 3,
+            queue_depth: 8,
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    let client = Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    (handle, client)
+}
+
+#[test]
+fn batch_round_trip_is_byte_identical_to_local_codec() {
+    let tables = QuantTablePair::standard(70);
+    let set = ImageSet::generate(&DatasetSpec::tiny(), 11);
+    let images = &set.images()[..8];
+    let (handle, mut client) = start(tables.clone());
+
+    // Service-side encode must equal a local encode with the same tables.
+    let remote = client.encode_batch(images).expect("encode batch");
+    let encoder = Encoder::with_tables(tables);
+    for (img, remote_bytes) in images.iter().zip(&remote) {
+        assert_eq!(&encoder.encode(img).expect("local encode"), remote_bytes);
+    }
+
+    // Service-side decode must equal a local decode of the same streams.
+    let decoded = client.decode_batch(&remote).expect("decode batch");
+    let decoder = Decoder::new();
+    for (stream, dec) in remote.iter().zip(&decoded) {
+        assert_eq!(&decoder.decode(stream).expect("local decode"), dec);
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.images_encoded, images.len() as u64);
+    assert_eq!(stats.images_decoded, images.len() as u64);
+    assert_eq!(stats.workers, 3);
+    assert!(!stats.has_model);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn oversized_batches_flow_through_the_bounded_queue() {
+    // More jobs than queue_depth (8) exercises backpressure rather than
+    // failure.
+    let set = ImageSet::generate(&DatasetSpec::tiny(), 5);
+    let images: Vec<_> = std::iter::repeat_with(|| set.images().iter().cloned())
+        .take(4)
+        .flatten()
+        .collect();
+    assert!(images.len() > 8);
+    let (handle, mut client) = start(QuantTablePair::uniform(6));
+    let streams = client.encode_batch(&images).expect("large batch");
+    assert_eq!(streams.len(), images.len());
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn errors_are_remote_not_fatal() {
+    let (handle, mut client) = start(QuantTablePair::standard(50));
+    // Decoding garbage must produce a typed remote error...
+    let err = client
+        .decode_batch(&[vec![0xDE, 0xAD, 0xBE, 0xEF]])
+        .expect_err("garbage cannot decode");
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+    // ...and classify without a model likewise...
+    let set = ImageSet::generate(&DatasetSpec::tiny(), 2);
+    let err = client
+        .classify(&set.images()[..1])
+        .expect_err("no model loaded");
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+    // ...while the connection stays serviceable.
+    client.ping().expect("still alive");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn geometry_mismatch_costs_a_request_not_a_worker() {
+    // A model built for 16x16 inputs, served with a single worker: a
+    // wrong-geometry classify must come back as a remote error while the
+    // worker survives to serve correct requests afterwards.
+    let model = deepn_nn::zoo::mlp_probe(3, 16, 16, 4, 3);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        QuantTablePair::standard(60),
+        Some(model),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    let mut client = Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+
+    let bad = deepn_codec::RgbImage::gradient(5, 5);
+    for _ in 0..3 {
+        let err = client
+            .classify(std::slice::from_ref(&bad))
+            .expect_err("wrong geometry");
+        assert!(matches!(err, ServeError::Remote(_)), "{err}");
+    }
+    // The lone worker is still alive: a well-formed request succeeds.
+    let good = deepn_codec::RgbImage::gradient(16, 16);
+    let labels = client.classify(&[good]).expect("classify");
+    assert_eq!(labels.len(), 1);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn concurrent_clients_are_served() {
+    let (handle, client) = start(QuantTablePair::uniform(4));
+    let addr = handle.addr();
+    let set = ImageSet::generate(&DatasetSpec::tiny(), 9);
+    let images: Vec<_> = set.images()[..4].to_vec();
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let images = images.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let streams = c.encode_batch(&images).expect("encode");
+            let back = c.decode_batch(&streams).expect("decode");
+            assert_eq!(back.len(), images.len());
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    drop(client);
+    // Shutdown via the handle instead of a client round trip.
+    handle.request_shutdown();
+    handle.join();
+}

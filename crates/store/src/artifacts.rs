@@ -1,0 +1,552 @@
+//! [`Artifact`] payload codecs for every persistable pipeline type.
+
+use crate::{Artifact, ArtifactKind, ByteReader, ByteWriter, StoreError};
+use deepn_codec::{QuantTable, QuantTablePair, RgbImage};
+use deepn_core::BandStats;
+use deepn_dataset::{ClassSpec, DatasetSpec, ImageSet, PlaneStats};
+use deepn_nn::{zoo, ParamExport, Sequential};
+
+/// Appends an image as `u32 width | u32 height | width·height·3` RGB
+/// bytes — the encoding shared by artifact payloads and the `deepn-serve`
+/// wire protocol.
+pub fn encode_image(w: &mut ByteWriter, img: &RgbImage) {
+    w.put_u32(img.width() as u32);
+    w.put_u32(img.height() as u32);
+    w.put_bytes(img.as_bytes());
+}
+
+/// Reads an image written by [`encode_image`], validating the dimensions
+/// against the remaining bytes before any allocation.
+///
+/// # Errors
+///
+/// [`StoreError::Truncated`] or [`StoreError::Corrupt`].
+pub fn decode_image(r: &mut ByteReader<'_>) -> Result<RgbImage, StoreError> {
+    let width = r.u32()? as usize;
+    let height = r.u32()? as usize;
+    let n = width
+        .checked_mul(height)
+        .and_then(|p| p.checked_mul(3))
+        .ok_or_else(|| StoreError::Corrupt("image dimensions overflow".into()))?;
+    if n > r.remaining() {
+        return Err(StoreError::Truncated);
+    }
+    let data = r.bytes(n)?.to_vec();
+    RgbImage::from_bytes(width, height, data)
+        .map_err(|e| StoreError::Corrupt(format!("invalid stored image: {e}")))
+}
+
+fn encode_images(w: &mut ByteWriter, images: &[RgbImage]) {
+    w.put_len(images.len());
+    for img in images {
+        encode_image(w, img);
+    }
+}
+
+fn decode_images(r: &mut ByteReader<'_>) -> Result<Vec<RgbImage>, StoreError> {
+    // Each image needs at least its 8-byte dimension header.
+    let count = r.len(8)?;
+    let mut images = Vec::with_capacity(count);
+    for _ in 0..count {
+        images.push(decode_image(r)?);
+    }
+    Ok(images)
+}
+
+impl Artifact for QuantTable {
+    const KIND: ArtifactKind = ArtifactKind::QuantTable;
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        for &v in self.values() {
+            w.put_u16(v);
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let mut values = [0u16; 64];
+        for v in &mut values {
+            *v = r.u16()?;
+        }
+        QuantTable::new(values)
+            .map_err(|e| StoreError::Corrupt(format!("invalid quantization table: {e}")))
+    }
+}
+
+impl Artifact for QuantTablePair {
+    const KIND: ArtifactKind = ArtifactKind::QuantTablePair;
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        self.luma.encode_payload(w);
+        self.chroma.encode_payload(w);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(QuantTablePair {
+            luma: QuantTable::decode_payload(r)?,
+            chroma: QuantTable::decode_payload(r)?,
+        })
+    }
+}
+
+fn encode_plane_stats(w: &mut ByteWriter, stats: &[PlaneStats; 64]) {
+    for s in stats {
+        let (n, mean, m2) = s.raw_parts();
+        w.put_u64(n);
+        w.put_f64(mean);
+        w.put_f64(m2);
+    }
+}
+
+fn decode_plane_stats(r: &mut ByteReader<'_>) -> Result<[PlaneStats; 64], StoreError> {
+    let mut out = [PlaneStats::new(); 64];
+    for s in &mut out {
+        let n = r.u64()?;
+        let mean = r.f64()?;
+        let m2 = r.f64()?;
+        if !mean.is_finite() || !m2.is_finite() || m2 < 0.0 {
+            return Err(StoreError::Corrupt("non-finite band statistic".into()));
+        }
+        *s = PlaneStats::from_parts(n, mean, m2);
+    }
+    Ok(out)
+}
+
+impl Artifact for BandStats {
+    const KIND: ArtifactKind = ArtifactKind::BandStats;
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        encode_plane_stats(w, self.luma_stats());
+        encode_plane_stats(w, self.chroma_stats());
+        w.put_u64(self.image_count() as u64);
+        w.put_u64(self.block_count() as u64);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let luma = decode_plane_stats(r)?;
+        let chroma = decode_plane_stats(r)?;
+        let images = r.u64()? as usize;
+        let blocks = r.u64()? as usize;
+        Ok(BandStats::from_parts(luma, chroma, images, blocks))
+    }
+}
+
+fn encode_class(w: &mut ByteWriter, c: &ClassSpec) {
+    w.put_string(&c.name);
+    for &b in &c.base {
+        w.put_f32(b);
+    }
+    for v in [
+        c.lf_amp,
+        c.lf_angle,
+        c.mf_amp,
+        c.mf_freq,
+        c.mf_angle,
+        c.hf_amp,
+        c.hf_sign,
+        c.noise_amp,
+    ] {
+        w.put_f32(v);
+    }
+}
+
+fn decode_class(r: &mut ByteReader<'_>) -> Result<ClassSpec, StoreError> {
+    let name = r.string()?;
+    let mut base = [0.0f32; 3];
+    for b in &mut base {
+        *b = r.f32()?;
+    }
+    let mut rest = [0.0f32; 8];
+    for v in &mut rest {
+        *v = r.f32()?;
+    }
+    if rest.iter().any(|v| !v.is_finite()) || base.iter().any(|v| !v.is_finite()) {
+        return Err(StoreError::Corrupt("non-finite class parameter".into()));
+    }
+    let [lf_amp, lf_angle, mf_amp, mf_freq, mf_angle, hf_amp, hf_sign, noise_amp] = rest;
+    Ok(ClassSpec {
+        name,
+        base,
+        lf_amp,
+        lf_angle,
+        mf_amp,
+        mf_freq,
+        mf_angle,
+        hf_amp,
+        hf_sign,
+        noise_amp,
+    })
+}
+
+impl Artifact for DatasetSpec {
+    const KIND: ArtifactKind = ArtifactKind::DatasetSpec;
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_u32(self.width as u32);
+        w.put_u32(self.height as u32);
+        w.put_u32(self.train_per_class as u32);
+        w.put_u32(self.test_per_class as u32);
+        w.put_len(self.classes.len());
+        for c in &self.classes {
+            encode_class(w, c);
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let width = r.u32()? as usize;
+        let height = r.u32()? as usize;
+        let train_per_class = r.u32()? as usize;
+        let test_per_class = r.u32()? as usize;
+        if width == 0 || height == 0 {
+            return Err(StoreError::Corrupt("zero-sized dataset images".into()));
+        }
+        // Each class carries at least its name length + 11 floats.
+        let count = r.len(4 + 11 * 4)?;
+        let mut classes = Vec::with_capacity(count);
+        for _ in 0..count {
+            classes.push(decode_class(r)?);
+        }
+        if classes.is_empty() {
+            return Err(StoreError::Corrupt("dataset spec with no classes".into()));
+        }
+        Ok(DatasetSpec {
+            width,
+            height,
+            classes,
+            train_per_class,
+            test_per_class,
+        })
+    }
+}
+
+impl Artifact for ImageSet {
+    const KIND: ArtifactKind = ArtifactKind::ImageSet;
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_u32(self.train_len() as u32);
+        w.put_u32(self.class_count() as u32);
+        w.put_len(self.labels().len());
+        for &l in self.labels() {
+            w.put_u32(l as u32);
+        }
+        encode_images(w, self.images());
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let train_len = r.u32()? as usize;
+        let class_count = r.u32()? as usize;
+        let label_count = r.len(4)?;
+        let mut labels = Vec::with_capacity(label_count);
+        for _ in 0..label_count {
+            let l = r.u32()? as usize;
+            if l >= class_count {
+                return Err(StoreError::Corrupt(format!(
+                    "label {l} outside class range {class_count}"
+                )));
+            }
+            labels.push(l);
+        }
+        let images = decode_images(r)?;
+        if images.len() != labels.len() {
+            return Err(StoreError::Corrupt(format!(
+                "{} images but {} labels",
+                images.len(),
+                labels.len()
+            )));
+        }
+        if train_len > images.len() {
+            return Err(StoreError::Corrupt(format!(
+                "train split {train_len} exceeds {} images",
+                images.len()
+            )));
+        }
+        Ok(ImageSet::from_parts(images, labels, train_len, class_count))
+    }
+}
+
+/// Trained [`Sequential`] weights plus the zoo architecture and geometry
+/// needed to rebuild the network exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredModel {
+    /// Zoo architecture name (one of [`zoo::MODEL_NAMES`]).
+    pub arch: String,
+    /// Input channels the network was built for.
+    pub in_channels: usize,
+    /// Input image height.
+    pub height: usize,
+    /// Input image width.
+    pub width: usize,
+    /// Output class count.
+    pub classes: usize,
+    /// Weight-initialization seed the network was built with (structural
+    /// metadata only; the stored parameters override the initial weights).
+    pub seed: u64,
+    /// Every parameter and inference-state buffer, in layer order.
+    pub params: Vec<ParamExport>,
+}
+
+impl StoredModel {
+    /// Captures a trained network's weights together with its build recipe.
+    pub fn from_network(
+        arch: impl Into<String>,
+        in_channels: usize,
+        height: usize,
+        width: usize,
+        classes: usize,
+        seed: u64,
+        net: &Sequential,
+    ) -> Self {
+        StoredModel {
+            arch: arch.into(),
+            in_channels,
+            height,
+            width,
+            classes,
+            seed,
+            params: net.save_params(),
+        }
+    }
+
+    /// Rebuilds the architecture and loads the stored weights into it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if the architecture name is unknown, the
+    /// geometry is implausible, or the stored parameters do not match the
+    /// rebuilt network.
+    pub fn instantiate(&self) -> Result<Sequential, StoreError> {
+        if !zoo::MODEL_NAMES.contains(&self.arch.as_str()) {
+            return Err(StoreError::Corrupt(format!(
+                "unknown model architecture {:?}",
+                self.arch
+            )));
+        }
+        if self.in_channels == 0
+            || self.in_channels > 16
+            || !self.height.is_multiple_of(8)
+            || !self.width.is_multiple_of(8)
+            || !(8..=1024).contains(&self.height)
+            || !(8..=1024).contains(&self.width)
+            || self.classes == 0
+            || self.classes > 65_536
+        {
+            return Err(StoreError::Corrupt(format!(
+                "implausible model geometry {}x{}x{} -> {} classes",
+                self.in_channels, self.height, self.width, self.classes
+            )));
+        }
+        let mut net = zoo::by_name(
+            &self.arch,
+            self.in_channels,
+            self.height,
+            self.width,
+            self.classes,
+            self.seed,
+        );
+        net.load_params(self.params.clone())
+            .map_err(|e| StoreError::Corrupt(format!("stored weights reject: {e}")))?;
+        Ok(net)
+    }
+}
+
+impl Artifact for StoredModel {
+    const KIND: ArtifactKind = ArtifactKind::Model;
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_string(&self.arch);
+        w.put_u32(self.in_channels as u32);
+        w.put_u32(self.height as u32);
+        w.put_u32(self.width as u32);
+        w.put_u32(self.classes as u32);
+        w.put_u64(self.seed);
+        w.put_len(self.params.len());
+        for p in &self.params {
+            w.put_string(&p.name);
+            w.put_len(p.shape.len());
+            for &d in &p.shape {
+                w.put_u32(d as u32);
+            }
+            w.put_len(p.values.len());
+            for &v in &p.values {
+                w.put_f32(v);
+            }
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let arch = r.string()?;
+        let in_channels = r.u32()? as usize;
+        let height = r.u32()? as usize;
+        let width = r.u32()? as usize;
+        let classes = r.u32()? as usize;
+        let seed = r.u64()?;
+        // Each parameter carries at least a name length, a shape length,
+        // and a value length.
+        let count = r.len(12)?;
+        let mut params = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = r.string()?;
+            let rank = r.len(4)?;
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(r.u32()? as usize);
+            }
+            let len = r.len(4)?;
+            let expected: usize = shape.iter().product();
+            if expected != len {
+                return Err(StoreError::Corrupt(format!(
+                    "parameter {name:?}: shape {shape:?} declares {expected} values, found {len}"
+                )));
+            }
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(r.f32()?);
+            }
+            params.push(ParamExport {
+                name,
+                shape,
+                values,
+            });
+        }
+        Ok(StoredModel {
+            arch,
+            in_channels,
+            height,
+            width,
+            classes,
+            seed,
+            params,
+        })
+    }
+}
+
+/// A decoded (round-tripped) image set cached for the figure pipeline,
+/// together with the compressed byte total the round trip measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSet {
+    /// The decoded images.
+    pub images: Vec<RgbImage>,
+    /// Total compressed size of the set under the originating scheme.
+    pub compressed_bytes: u64,
+}
+
+impl Artifact for DecodedSet {
+    const KIND: ArtifactKind = ArtifactKind::DecodedSet;
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_u64(self.compressed_bytes);
+        encode_images(w, &self.images);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let compressed_bytes = r.u64()?;
+        let images = decode_images(r)?;
+        Ok(DecodedSet {
+            images,
+            compressed_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+    use deepn_core::analyze_images;
+    use deepn_nn::Layer;
+
+    fn tiny_set() -> ImageSet {
+        ImageSet::generate(&DatasetSpec::tiny(), 17)
+    }
+
+    #[test]
+    fn quant_pair_round_trips() {
+        let pair = QuantTablePair::standard(42);
+        let back: QuantTablePair = from_bytes(&to_bytes(&pair)).expect("round trip");
+        assert_eq!(pair, back);
+    }
+
+    #[test]
+    fn zero_step_table_is_corrupt_not_panic() {
+        let table = QuantTable::uniform(3);
+        let mut bytes = to_bytes(&table);
+        // Zero the first step and re-seal the container checksum, so the
+        // semantic validation (not the CRC) is what trips.
+        bytes[crate::HEADER_LEN] = 0;
+        bytes[crate::HEADER_LEN + 1] = 0;
+        let end = bytes.len() - 4;
+        let crc = crate::crc32(&bytes[8..end]).to_le_bytes();
+        bytes[end..].copy_from_slice(&crc);
+        assert!(matches!(
+            from_bytes::<QuantTable>(&bytes),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn band_stats_round_trip_preserves_sigmas() {
+        let set = tiny_set();
+        let stats = analyze_images(set.images().iter(), 1).expect("stats");
+        let back: BandStats = from_bytes(&to_bytes(&stats)).expect("round trip");
+        assert_eq!(back.image_count(), stats.image_count());
+        assert_eq!(back.block_count(), stats.block_count());
+        assert_eq!(back.luma_sigmas(), stats.luma_sigmas());
+        assert_eq!(back.chroma_sigmas(), stats.chroma_sigmas());
+    }
+
+    #[test]
+    fn dataset_spec_and_image_set_round_trip() {
+        let spec = DatasetSpec::tiny();
+        let back: DatasetSpec = from_bytes(&to_bytes(&spec)).expect("spec");
+        assert_eq!(spec, back);
+        // Regenerating from the reloaded spec is bit-identical.
+        let a = ImageSet::generate(&spec, 5);
+        let b = ImageSet::generate(&back, 5);
+        assert_eq!(a.images(), b.images());
+
+        let set = tiny_set();
+        let back: ImageSet = from_bytes(&to_bytes(&set)).expect("set");
+        assert_eq!(set.images(), back.images());
+        assert_eq!(set.labels(), back.labels());
+        assert_eq!(set.train_len(), back.train_len());
+        assert_eq!(set.class_count(), back.class_count());
+    }
+
+    #[test]
+    fn stored_model_rebuilds_identical_predictions() {
+        let set = tiny_set();
+        let img = &set.images()[0];
+        let (h, w) = (img.height(), img.width());
+        let net = zoo::by_name("MiniAlexNet", 3, h, w, set.class_count(), 7);
+        let stored = StoredModel::from_network("MiniAlexNet", 3, h, w, set.class_count(), 7, &net);
+        let back: StoredModel = from_bytes(&to_bytes(&stored)).expect("model");
+        let rebuilt = back.instantiate().expect("instantiate");
+        let x = deepn_tensor::Tensor::from_vec(img.to_chw_f32(), &[1, 3, h, w]);
+        assert_eq!(net.predict(&x), rebuilt.predict(&x));
+        assert_eq!(net.infer(&x).data(), rebuilt.infer(&x).data());
+    }
+
+    #[test]
+    fn stored_model_rejects_unknown_arch_and_bad_geometry() {
+        let net = zoo::mlp_probe(3, 16, 16, 4, 1);
+        let mut stored = StoredModel::from_network("MiniAlexNet", 3, 16, 16, 4, 1, &net);
+        stored.arch = "NotAModel".into();
+        assert!(matches!(stored.instantiate(), Err(StoreError::Corrupt(_))));
+        stored.arch = "MiniAlexNet".into();
+        stored.height = 12; // not 8-divisible
+        assert!(matches!(stored.instantiate(), Err(StoreError::Corrupt(_))));
+        stored.height = 16;
+        // Geometry fine, but the MLP params don't fit MiniAlexNet.
+        assert!(matches!(stored.instantiate(), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn decoded_set_round_trips() {
+        let set = tiny_set();
+        let cached = DecodedSet {
+            images: set.images()[..4].to_vec(),
+            compressed_bytes: 1234,
+        };
+        let back: DecodedSet = from_bytes(&to_bytes(&cached)).expect("decoded set");
+        assert_eq!(cached, back);
+    }
+}

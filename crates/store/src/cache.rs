@@ -1,0 +1,146 @@
+//! Filesystem-backed implementation of the experiment pipeline's
+//! [`RoundTripCache`], persisting decoded image sets as [`DecodedSet`]
+//! artifacts so figure regeneration skips the serial per-image round trip
+//! on every rerun.
+
+use crate::{load, save, DecodedSet, StoreError};
+use deepn_codec::RgbImage;
+use deepn_core::experiment::RoundTripCache;
+use std::path::{Path, PathBuf};
+
+/// A directory of [`DecodedSet`] artifacts keyed by the experiment
+/// pipeline's scheme+dataset fingerprint.
+///
+/// Lookups that fail for any reason (missing file, corrupt artifact,
+/// version skew) are treated as misses; stores that fail are dropped — a
+/// cache must never turn into a correctness dependency.
+///
+/// ```no_run
+/// use deepn_core::experiment::{round_trip_set_cached};
+/// use deepn_core::CompressionScheme;
+/// use deepn_dataset::{DatasetSpec, ImageSet};
+/// use deepn_store::FsRoundTripCache;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = ImageSet::generate(&DatasetSpec::tiny(), 1);
+/// let mut cache = FsRoundTripCache::new("target/deepn-cache")?;
+/// // First call round-trips and persists; reruns load from disk.
+/// let (decoded, bytes) =
+///     round_trip_set_cached(&CompressionScheme::Jpeg(50), set.images(), &mut cache)?;
+/// # let _ = (decoded, bytes);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FsRoundTripCache {
+    dir: PathBuf,
+    hits: usize,
+    misses: usize,
+}
+
+impl FsRoundTripCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FsRoundTripCache {
+            dir,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The artifact path a key maps to.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        // Keys are fingerprints ([A-Za-z0-9_-]); sanitize defensively so a
+        // hostile key cannot escape the cache directory.
+        let safe: String = key
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!("{safe}.decoded.deepn"))
+    }
+
+    /// Cache hits observed through this handle.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses observed through this handle.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
+impl RoundTripCache for FsRoundTripCache {
+    fn load(&mut self, key: &str) -> Option<(Vec<RgbImage>, usize)> {
+        match load::<DecodedSet>(self.path_for(key)) {
+            Ok(set) => {
+                self.hits += 1;
+                Some((set.images, set.compressed_bytes as usize))
+            }
+            Err(_) => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, key: &str, images: &[RgbImage], compressed_bytes: usize) {
+        let artifact = DecodedSet {
+            images: images.to_vec(),
+            compressed_bytes: compressed_bytes as u64,
+        };
+        // Best effort: a full disk or read-only dir must not fail the run.
+        let _ = save(&artifact, self.path_for(key));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepn_core::experiment::round_trip_set_cached;
+    use deepn_core::CompressionScheme;
+    use deepn_dataset::{DatasetSpec, ImageSet};
+
+    #[test]
+    fn cache_persists_across_handles() {
+        let dir = std::env::temp_dir().join(format!("deepn-rtc-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let set = ImageSet::generate(&DatasetSpec::tiny(), 3);
+        let scheme = CompressionScheme::SameQ(8);
+
+        let mut cold = FsRoundTripCache::new(&dir).expect("open");
+        let (a, na) = round_trip_set_cached(&scheme, set.images(), &mut cold).expect("cold");
+        assert_eq!(cold.hits(), 0);
+        assert_eq!(cold.misses(), 1);
+
+        // A fresh handle (a "second figure run") hits the persisted set.
+        let mut warm = FsRoundTripCache::new(&dir).expect("reopen");
+        let (b, nb) = round_trip_set_cached(&scheme, set.images(), &mut warm).expect("warm");
+        assert_eq!(warm.hits(), 1);
+        assert_eq!(warm.misses(), 0);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_keys_stay_inside_the_directory() {
+        let dir = std::env::temp_dir().join(format!("deepn-rtc-key-{}", std::process::id()));
+        let cache = FsRoundTripCache::new(&dir).expect("open");
+        let p = cache.path_for("../../etc/passwd");
+        assert!(p.starts_with(&dir), "{p:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from encoding, decoding, or filing artifacts.
+///
+/// Every failure mode of a hostile or damaged input — wrong magic, an
+/// unknown version, a kind mismatch, a checksum failure, truncation, or a
+/// payload that decodes to semantically invalid values — is a typed error;
+/// the store never panics on bad bytes.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Filesystem failure while reading or writing an artifact.
+    Io(io::Error),
+    /// The file does not start with the `DEEPNART` magic.
+    BadMagic,
+    /// The container version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The artifact holds a different kind than the caller requested.
+    WrongKind {
+        /// Kind the caller asked to decode.
+        expected: u16,
+        /// Kind recorded in the header.
+        found: u16,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// CRC recorded in the file.
+        stored: u32,
+        /// CRC computed over the payload read.
+        computed: u32,
+    },
+    /// The byte stream ended before a complete structure was read.
+    Truncated,
+    /// The payload decoded structurally but violates a semantic invariant
+    /// (zero quantization step, label out of range, shape mismatch, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact io error: {e}"),
+            StoreError::BadMagic => write!(f, "not a deepn artifact (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact format version {v}")
+            }
+            StoreError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "artifact kind mismatch: expected {expected}, found {found}"
+                )
+            }
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StoreError::Truncated => write!(f, "artifact truncated"),
+            StoreError::Corrupt(m) => write!(f, "corrupt artifact payload: {m}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        assert!(StoreError::Truncated.to_string().contains("truncated"));
+        let e = StoreError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<StoreError>();
+    }
+}

@@ -1,0 +1,322 @@
+//! # deepn-store
+//!
+//! A versioned, checksummed on-disk artifact store for the DeepN-JPEG
+//! reproduction: everything the pipeline computes — SA-annealed or
+//! PLM-designed [`QuantTablePair`]s, [`BandStats`] from frequency
+//! analysis, [`DatasetSpec`]s and generated [`ImageSet`]s, and trained
+//! [`Sequential`] weights ([`StoredModel`]) — can be persisted once and
+//! reloaded by later processes, instead of being recomputed at every
+//! start (the prerequisite for the long-running `deepn-serve` service).
+//!
+//! The format is hand-rolled at the byte level (see
+//! `docs/ARTIFACT_FORMAT.md` for the full spec): a `DEEPNART` magic, a
+//! format version, an artifact kind tag, a length-prefixed payload, and a
+//! trailing CRC32. There is no serde — the build environment has no
+//! crates.io access — so the reader is written defensively: every length
+//! is validated before it sizes an allocation, and every failure mode of
+//! a damaged file is a typed [`StoreError`], never a panic.
+//!
+//! ```
+//! use deepn_codec::QuantTablePair;
+//! use deepn_store as store;
+//!
+//! # fn main() -> Result<(), store::StoreError> {
+//! let tables = QuantTablePair::standard(80);
+//! let bytes = store::to_bytes(&tables);
+//! let back: QuantTablePair = store::from_bytes(&bytes)?;
+//! assert_eq!(tables, back);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod artifacts;
+mod cache;
+mod error;
+mod rw;
+
+pub use artifacts::{decode_image, encode_image, DecodedSet, StoredModel};
+pub use cache::FsRoundTripCache;
+pub use error::StoreError;
+pub use rw::{crc32, ByteReader, ByteWriter};
+
+// Re-export the artifact-bearing types for downstream convenience.
+pub use deepn_codec::{QuantTable, QuantTablePair};
+pub use deepn_core::BandStats;
+pub use deepn_dataset::{DatasetSpec, ImageSet};
+pub use deepn_nn::Sequential;
+
+use std::fs;
+use std::path::Path;
+
+/// File magic: the first eight bytes of every artifact.
+pub const MAGIC: &[u8; 8] = b"DEEPNART";
+
+/// Container format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Container overhead in bytes: magic + version + kind + payload length
+/// up front, CRC32 behind the payload.
+pub const HEADER_LEN: usize = 16;
+
+/// Kind tags distinguishing the payloads a container can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ArtifactKind {
+    /// A single 64-entry quantization table.
+    QuantTable = 1,
+    /// A luma/chroma quantization-table pair.
+    QuantTablePair = 2,
+    /// Per-band Welford statistics from frequency analysis.
+    BandStats = 3,
+    /// A procedural dataset recipe.
+    DatasetSpec = 4,
+    /// A generated labeled image set.
+    ImageSet = 5,
+    /// Trained network weights plus the architecture to rebuild them.
+    Model = 6,
+    /// A cached decoded (round-tripped) image set for the figure pipeline.
+    DecodedSet = 7,
+}
+
+impl ArtifactKind {
+    /// Parses a header kind tag.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(ArtifactKind::QuantTable),
+            2 => Some(ArtifactKind::QuantTablePair),
+            3 => Some(ArtifactKind::BandStats),
+            4 => Some(ArtifactKind::DatasetSpec),
+            5 => Some(ArtifactKind::ImageSet),
+            6 => Some(ArtifactKind::Model),
+            7 => Some(ArtifactKind::DecodedSet),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase name (used by `deepn inspect`-style tooling).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::QuantTable => "quant-table",
+            ArtifactKind::QuantTablePair => "quant-table-pair",
+            ArtifactKind::BandStats => "band-stats",
+            ArtifactKind::DatasetSpec => "dataset-spec",
+            ArtifactKind::ImageSet => "image-set",
+            ArtifactKind::Model => "model",
+            ArtifactKind::DecodedSet => "decoded-set",
+        }
+    }
+}
+
+/// A value that can be carried as an artifact payload.
+///
+/// Implementations encode/decode *only* the payload; the container
+/// (magic, version, kind, length, checksum) is handled by
+/// [`to_bytes`]/[`from_bytes`].
+pub trait Artifact: Sized {
+    /// The kind tag written into the container header.
+    const KIND: ArtifactKind;
+
+    /// Serializes the payload.
+    fn encode_payload(&self, w: &mut ByteWriter);
+
+    /// Deserializes the payload. The reader is scoped to exactly the
+    /// payload bytes; implementations must consume all of them.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] for truncated or semantically invalid payloads.
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError>;
+}
+
+/// Serializes an artifact into a self-contained container.
+pub fn to_bytes<A: Artifact>(artifact: &A) -> Vec<u8> {
+    let mut payload = ByteWriter::new();
+    artifact.encode_payload(&mut payload);
+    let payload = payload.into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(A::KIND as u16).to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("artifact payload exceeds u32 length")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&payload);
+    // The checksum covers everything after the magic: version, kind,
+    // length, and payload — so header tampering is also detected.
+    let crc = crc32(&out[MAGIC.len()..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parses the container header, returning `(version, kind, payload)` after
+/// validating magic, version, length, and checksum.
+fn open_container(bytes: &[u8]) -> Result<(u16, u16, &[u8]), StoreError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(StoreError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut r = ByteReader::new(&bytes[MAGIC.len()..]);
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let kind = r.u16()?;
+    let payload_len = r.u32()? as usize;
+    if payload_len.checked_add(4).is_none_or(|n| n > r.remaining()) {
+        return Err(StoreError::Truncated);
+    }
+    let payload_end = HEADER_LEN + payload_len;
+    let payload = &bytes[HEADER_LEN..payload_end];
+    if bytes.len() != payload_end + 4 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after checksum",
+            bytes.len() - payload_end - 4
+        )));
+    }
+    let stored = u32::from_le_bytes(
+        bytes[payload_end..payload_end + 4]
+            .try_into()
+            .expect("len 4"),
+    );
+    let computed = crc32(&bytes[MAGIC.len()..payload_end]);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    Ok((version, kind, payload))
+}
+
+/// Deserializes an artifact of type `A` from container bytes.
+///
+/// # Errors
+///
+/// Any [`StoreError`]: bad magic, unsupported version, kind mismatch,
+/// checksum failure, truncation, or a corrupt payload.
+pub fn from_bytes<A: Artifact>(bytes: &[u8]) -> Result<A, StoreError> {
+    let (_, kind, payload) = open_container(bytes)?;
+    if kind != A::KIND as u16 {
+        return Err(StoreError::WrongKind {
+            expected: A::KIND as u16,
+            found: kind,
+        });
+    }
+    let mut r = ByteReader::new(payload);
+    let value = A::decode_payload(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+/// Reads just the header of container bytes: `(version, kind)`. The kind
+/// is `None` for tags this build does not know (a future format addition).
+///
+/// # Errors
+///
+/// As [`from_bytes`], minus payload decoding.
+pub fn peek(bytes: &[u8]) -> Result<(u16, Option<ArtifactKind>), StoreError> {
+    let (version, kind, _) = open_container(bytes)?;
+    Ok((version, ArtifactKind::from_u16(kind)))
+}
+
+/// Saves an artifact to `path`, writing the container atomically via a
+/// sibling temp file + rename so a crashed writer never leaves a torn
+/// artifact behind.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failure.
+pub fn save<A: Artifact>(artifact: &A, path: impl AsRef<Path>) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    let bytes = to_bytes(artifact);
+    let tmp = path.with_extension("tmp-deepn-store");
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads an artifact of type `A` from `path`.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failure, otherwise as [`from_bytes`].
+pub fn load<A: Artifact>(path: impl AsRef<Path>) -> Result<A, StoreError> {
+    let bytes = fs::read(path)?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_round_trips_and_rejects_damage() {
+        let table = QuantTable::uniform(9);
+        let bytes = to_bytes(&table);
+        assert_eq!(&bytes[..8], MAGIC);
+        let back: QuantTable = from_bytes(&bytes).expect("round trip");
+        assert_eq!(table, back);
+        assert_eq!(
+            peek(&bytes).expect("peek"),
+            (FORMAT_VERSION, Some(ArtifactKind::QuantTable))
+        );
+
+        // Wrong kind is typed.
+        assert!(matches!(
+            from_bytes::<QuantTablePair>(&bytes),
+            Err(StoreError::WrongKind { .. })
+        ));
+        // Any single corrupted byte is caught.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x5A;
+            assert!(from_bytes::<QuantTable>(&bad).is_err(), "byte {i}");
+        }
+        // Every truncation is caught.
+        for n in 0..bytes.len() {
+            assert!(from_bytes::<QuantTable>(&bytes[..n]).is_err(), "len {n}");
+        }
+        // Trailing garbage is caught.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            from_bytes::<QuantTable>(&long),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_via_filesystem() {
+        let dir = std::env::temp_dir().join(format!("deepn-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("tables.deepn");
+        let tables = QuantTablePair::standard(65);
+        save(&tables, &path).expect("save");
+        let back: QuantTablePair = load(&path).expect("load");
+        assert_eq!(tables, back);
+        assert!(matches!(
+            load::<QuantTablePair>(dir.join("missing.deepn")),
+            Err(StoreError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let table = QuantTable::uniform(2);
+        let mut bytes = to_bytes(&table);
+        bytes[8] = 99; // version low byte
+                       // Fix up the checksum so the version check itself is what trips.
+        let end = bytes.len() - 4;
+        let crc = crc32(&bytes[8..end]).to_le_bytes();
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&crc);
+        assert!(matches!(
+            from_bytes::<QuantTable>(&bytes),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+    }
+}

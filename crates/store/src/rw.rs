@@ -1,0 +1,305 @@
+//! Little-endian byte-level reader/writer primitives and the CRC32
+//! checksum the container format is built on. Hand-rolled (no serde): the
+//! build environment has no crates.io access, and the codec crate set the
+//! precedent of writing byte-level formats in-repo.
+
+use crate::StoreError;
+
+/// IEEE 802.3 CRC32 lookup table (reflected polynomial `0xEDB88320`).
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC32 of `bytes` (the checksum zip/png/gzip use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only little-endian byte sink for artifact payloads.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32`, little-endian IEEE 754.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64`, little-endian IEEE 754.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix; pair with
+    /// [`put_len`](Self::put_len) when the count varies).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a collection length as `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` (no artifact is that large).
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u32(u32::try_from(n).expect("artifact section exceeds u32 length"));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_string(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian cursor over an artifact payload.
+///
+/// Every read validates the remaining length *before* touching the buffer
+/// (and before any allocation is sized from untrusted input), so a
+/// truncated or corrupted payload yields [`StoreError::Truncated`] rather
+/// than a panic or an absurd allocation.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if n > self.remaining() {
+            return Err(StoreError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] at end of buffer (as all reads).
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`].
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`].
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`].
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`].
+    pub fn f32(&mut self) -> Result<f32, StoreError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`].
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`].
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.take(n)
+    }
+
+    /// Reads a `u32` element count and validates that `count * elem_size`
+    /// bytes can still follow, so decoders can size allocations from it
+    /// safely.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] if the declared count cannot fit in the
+    /// remaining bytes.
+    pub fn len(&mut self, elem_size: usize) -> Result<usize, StoreError> {
+        let n = self.u32()? as usize;
+        match n.checked_mul(elem_size) {
+            Some(total) if total <= self.remaining() => Ok(n),
+            _ => Err(StoreError::Truncated),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] or [`StoreError::Corrupt`] on invalid
+    /// UTF-8.
+    pub fn string(&mut self) -> Result<String, StoreError> {
+        let n = self.len(1)?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| StoreError::Corrupt("invalid utf-8 in string field".into()))
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if bytes remain.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(123_456);
+        w.put_u64(u64::MAX - 1);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        w.put_string("σ-table");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().expect("u8"), 7);
+        assert_eq!(r.u16().expect("u16"), 0xBEEF);
+        assert_eq!(r.u32().expect("u32"), 123_456);
+        assert_eq!(r.u64().expect("u64"), u64::MAX - 1);
+        assert_eq!(r.f32().expect("f32"), 1.5);
+        assert_eq!(r.f64().expect("f64"), -2.25);
+        assert_eq!(r.string().expect("string"), "σ-table");
+        r.finish().expect("consumed exactly");
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(StoreError::Truncated)));
+        // A huge declared count cannot trigger a huge allocation.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.len(8), Err(StoreError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let r = ByteReader::new(&[0]);
+        assert!(matches!(r.finish(), Err(StoreError::Corrupt(_))));
+    }
+}

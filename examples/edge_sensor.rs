@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The server-side model is trained once on high-quality data.
     let cfg = ExperimentConfig::alexnet(scale);
     println!("training server-side {} ...", cfg.model);
-    let mut net = train_model(&cfg, &set, &CompressionScheme::original())?;
+    let net = train_model(&cfg, &set, &CompressionScheme::original())?;
 
     // Candidate upload formats.
     let tables = DeepnTableBuilder::new(PlmParams::paper())
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for scheme in &schemes {
         let sizes = scheme.compressed_sizes(test_imgs)?;
         let total: usize = sizes.iter().sum();
-        let acc = evaluate_model(&mut net, &set, scheme)?;
+        let acc = evaluate_model(&net, &set, scheme)?;
         let latencies: Vec<f64> = radios
             .iter()
             .map(|r| EnergyModel::new(*r).transfer_latency(total))

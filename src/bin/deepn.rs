@@ -1,0 +1,474 @@
+//! The `deepn` command-line tool: build and persist artifacts, run the
+//! compression service, drive it from a benchmarking client, and rerun
+//! the figure pipeline against the decoded-set cache.
+//!
+//! Run `deepn help` for the full usage text; `EXPERIMENTS.md` walks
+//! through the end-to-end workflow.
+
+use deepn::codec::ppm::{read_ppm, write_ppm};
+use deepn::codec::{Decoder, Encoder, QuantTablePair};
+use deepn::core::experiment::{run_symmetric_cached, ExperimentConfig, Scale};
+use deepn::core::sa_search::{anneal, SaConfig};
+use deepn::core::{analyze_images, CompressionScheme, DeepnTableBuilder, PlmParams};
+use deepn::dataset::ImageSet;
+use deepn::serve::{Client, Server, ServerConfig};
+use deepn::store::{self, ArtifactKind, FsRoundTripCache, StoredModel};
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+deepn — DeepN-JPEG artifact store + compression service CLI
+
+USAGE:
+    deepn <command> [options]
+
+COMMANDS:
+    build-table   Analyze a dataset and persist designed quantization tables
+                  --out PATH [--scale fast|full] [--seed N] [--sa]
+                  [--sa-iters N] [--stats-out PATH]
+    train         Train a zoo model and persist its weights
+                  --out PATH [--scale fast|full] [--model NAME] [--epochs N]
+    compress      Compress a PPM image with stored tables
+                  --tables PATH --input IN.ppm --output OUT.jpg
+    decompress    Decompress a JFIF stream back to PPM
+                  --input IN.jpg --output OUT.ppm
+    serve         Run the compression service on stored tables
+                  --tables PATH --addr HOST:PORT [--workers N] [--queue N]
+                  [--model PATH]
+    bench-client  Drive a running service and verify byte-identical
+                  round-trips against the local codec
+                  --addr HOST:PORT --tables PATH [--scale fast|full]
+                  [--batch N] [--iters N] [--model PATH] [--shutdown]
+    pipeline      Rerun the figure experiment through the decoded-set cache
+                  --cache-dir DIR [--scale fast|full]
+    inspect       Print an artifact's header
+                  PATH
+    help          Show this message
+";
+
+/// Minimal `--flag value` / `--flag` argument scanner.
+struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    fn new(argv: Vec<String>) -> Self {
+        Args { argv }
+    }
+
+    /// Consumes `--name VALUE`, if present.
+    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        if let Some(i) = self.argv.iter().position(|a| a == name) {
+            if i + 1 >= self.argv.len() {
+                return Err(format!("{name} requires a value"));
+            }
+            let v = self.argv.remove(i + 1);
+            self.argv.remove(i);
+            return Ok(Some(v));
+        }
+        Ok(None)
+    }
+
+    /// Consumes `--name VALUE`, requiring it.
+    fn required(&mut self, name: &str) -> Result<String, String> {
+        self.value(name)?
+            .ok_or_else(|| format!("missing required option {name}"))
+    }
+
+    /// Consumes a boolean `--name`.
+    fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.argv.iter().position(|a| a == name) {
+            self.argv.remove(i);
+            return true;
+        }
+        false
+    }
+
+    /// Consumes a parsed `--name N` with a default.
+    fn parsed<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name)? {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for {name}: {v}")),
+            None => Ok(default),
+        }
+    }
+
+    /// The scale option (default: the `DEEPN_SCALE` environment variable).
+    fn scale(&mut self) -> Result<Scale, String> {
+        match self.value("--scale")?.as_deref() {
+            Some("fast") => Ok(Scale::Fast),
+            Some("full") => Ok(Scale::Full),
+            Some(other) => Err(format!("invalid --scale {other} (fast|full)")),
+            None => Ok(Scale::from_env()),
+        }
+    }
+
+    /// Errors on anything left unconsumed.
+    fn finish(self) -> Result<(), String> {
+        if self.argv.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {}", self.argv.join(" ")))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let cmd = argv.remove(0);
+    let args = Args::new(argv);
+    let result = match cmd.as_str() {
+        "build-table" => cmd_build_table(args),
+        "train" => cmd_train(args),
+        "compress" => cmd_compress(args),
+        "decompress" => cmd_decompress(args),
+        "serve" => cmd_serve(args),
+        "bench-client" => cmd_bench_client(args),
+        "pipeline" => cmd_pipeline(args),
+        "inspect" => cmd_inspect(args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("deepn {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The dataset every artifact-producing command derives from: the scale's
+/// spec generated at a fixed seed, so `build-table`, `train`, and
+/// `bench-client` all agree on the data distribution.
+fn dataset_for(scale: Scale, seed: u64) -> ImageSet {
+    ImageSet::generate(&scale.dataset_spec(), seed)
+}
+
+fn cmd_build_table(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let out = args.required("--out")?;
+    let scale = args.scale()?;
+    let seed = args.parsed("--seed", 0xDEE9u64)?;
+    let use_sa = args.flag("--sa");
+    let sa_iters = args.parsed("--sa-iters", SaConfig::default().iterations)?;
+    let stats_out = args.value("--stats-out")?;
+    args.finish()?;
+
+    let t0 = Instant::now();
+    let set = dataset_for(scale, seed);
+    let stats = analyze_images(set.sample_per_class(3), 1)?;
+    if let Some(path) = &stats_out {
+        store::save(&stats, path)?;
+        println!("band statistics -> {path}");
+    }
+    let tables = if use_sa {
+        let outcome = anneal(
+            &stats,
+            &SaConfig {
+                iterations: sa_iters,
+                seed,
+                ..SaConfig::default()
+            },
+        );
+        println!(
+            "SA search: {} iterations, objective {:.1}",
+            sa_iters, outcome.objective
+        );
+        outcome.tables
+    } else {
+        DeepnTableBuilder::new(PlmParams::paper()).build_from_stats(&stats)?
+    };
+    store::save(&tables, &out)?;
+    println!(
+        "quantization tables ({}) -> {out}  [{} images analyzed, {:.2?}]",
+        if use_sa { "SA-annealed" } else { "PLM" },
+        stats.image_count(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_train(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let out = args.required("--out")?;
+    let scale = args.scale()?;
+    let model = args
+        .value("--model")?
+        .unwrap_or_else(|| "MiniAlexNet".into());
+    let mut cfg = ExperimentConfig::alexnet(scale).with_model(&model);
+    cfg.epochs = args.parsed("--epochs", cfg.epochs)?;
+    cfg.seed = args.parsed("--seed", cfg.seed)?;
+    args.finish()?;
+
+    let t0 = Instant::now();
+    let set = dataset_for(scale, cfg.seed);
+    let net = deepn::core::experiment::train_model(&cfg, &set, &CompressionScheme::original())?;
+    let img = &set.images()[0];
+    let stored = StoredModel::from_network(
+        &cfg.model,
+        3,
+        img.height(),
+        img.width(),
+        set.class_count(),
+        cfg.seed,
+        &net,
+    );
+    store::save(&stored, &out)?;
+    println!(
+        "trained {} ({} epochs) -> {out}  [{:.2?}]",
+        cfg.model,
+        cfg.epochs,
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_compress(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let tables_path = args.required("--tables")?;
+    let input = args.required("--input")?;
+    let output = args.required("--output")?;
+    args.finish()?;
+    let tables: QuantTablePair = store::load(&tables_path)?;
+    let image = read_ppm(BufReader::new(File::open(&input)?))?;
+    let bytes = Encoder::with_tables(tables).encode(&image)?;
+    std::fs::write(&output, &bytes)?;
+    println!(
+        "{input} ({}x{}) -> {output} ({} bytes)",
+        image.width(),
+        image.height(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_decompress(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let input = args.required("--input")?;
+    let output = args.required("--output")?;
+    args.finish()?;
+    let bytes = std::fs::read(&input)?;
+    let image = Decoder::new().decode(&bytes)?;
+    write_ppm(&image, BufWriter::new(File::create(&output)?))?;
+    println!(
+        "{input} ({} bytes) -> {output} ({}x{})",
+        bytes.len(),
+        image.width(),
+        image.height()
+    );
+    Ok(())
+}
+
+fn cmd_serve(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let tables_path = args.required("--tables")?;
+    let addr = args.required("--addr")?;
+    let mut config = ServerConfig::default();
+    config.workers = args.parsed("--workers", config.workers)?;
+    config.queue_depth = args.parsed("--queue", config.queue_depth)?;
+    let model_path = args.value("--model")?;
+    args.finish()?;
+
+    let tables: QuantTablePair = store::load(&tables_path)?;
+    let model = match &model_path {
+        Some(p) => {
+            let stored: StoredModel = store::load(p)?;
+            let net = stored.instantiate()?;
+            println!("model {} loaded from {p}", stored.arch);
+            Some(net)
+        }
+        None => None,
+    };
+    let server = Server::bind(addr.as_str(), tables, model, config.clone())?;
+    // Machine-parsable readiness line (the CI smoke job waits for it).
+    println!(
+        "deepn-serve listening on {} ({} workers, queue {})",
+        server.local_addr()?,
+        config.workers,
+        config.queue_depth
+    );
+    server.run()?;
+    println!("deepn-serve stopped");
+    Ok(())
+}
+
+fn cmd_bench_client(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let addr = args.required("--addr")?;
+    let tables_path = args.required("--tables")?;
+    let batch = args.parsed("--batch", 16usize)?;
+    let iters = args.parsed("--iters", 4usize)?;
+    let seed = args.parsed("--seed", 0xDEE9u64)?;
+    // Must match the scale the served tables/model were built at, or the
+    // classify check feeds the model images of the wrong geometry.
+    let scale = args.scale()?;
+    let model_path = args.value("--model")?;
+    let stop = args.flag("--shutdown");
+    args.finish()?;
+
+    let tables: QuantTablePair = store::load(&tables_path)?;
+    let set = dataset_for(scale, seed);
+    let images: Vec<_> = set.images().iter().cycle().take(batch).cloned().collect();
+    let raw_bytes: usize = images.iter().map(|i| i.as_bytes().len()).sum();
+
+    let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(10))?;
+    client.ping()?;
+
+    let encoder = Encoder::with_tables(tables);
+    let decoder = Decoder::new();
+    let mut compressed_total = 0usize;
+    let t0 = Instant::now();
+    for iter in 0..iters {
+        let streams = client.encode_batch(&images)?;
+        let decoded = client.decode_batch(&streams)?;
+        // Byte-identity against the local codec, both directions.
+        for (i, img) in images.iter().enumerate() {
+            let local = encoder.encode(img)?;
+            if streams[i] != local {
+                return Err(format!(
+                    "iter {iter}: service stream {i} differs from local encode \
+                     ({} vs {} bytes)",
+                    streams[i].len(),
+                    local.len()
+                )
+                .into());
+            }
+            if decoded[i] != decoder.decode(&local)? {
+                return Err(format!("iter {iter}: service decode {i} differs from local").into());
+            }
+        }
+        compressed_total += streams.iter().map(Vec::len).sum::<usize>();
+    }
+    let elapsed = t0.elapsed();
+    let total_images = batch * iters;
+    println!("round-trip OK: {total_images} images byte-identical over {iters} batches");
+    println!(
+        "throughput: {:.0} images/s, {:.2} MiB raw in, {:.2} MiB compressed \
+         (CR {:.2}) in {elapsed:.2?}",
+        total_images as f64 / elapsed.as_secs_f64(),
+        (raw_bytes * iters) as f64 / (1 << 20) as f64,
+        compressed_total as f64 / (1 << 20) as f64,
+        (raw_bytes * iters) as f64 / compressed_total as f64,
+    );
+    if let Some(p) = &model_path {
+        // The service classifies with a shared `&self` model across its
+        // workers; verify it agrees with the same weights run locally.
+        let stored: StoredModel = store::load(p)?;
+        let net = stored.instantiate()?;
+        let tensors = deepn::core::experiment::to_tensors(&images);
+        let indices: Vec<usize> = (0..tensors.len()).collect();
+        let local = net.predict(&deepn::nn::stack_batch(&tensors, &indices));
+        let remote = client.classify(&images)?;
+        if local != remote {
+            return Err("service classification differs from local model".into());
+        }
+        println!(
+            "classification OK: {} labels match the local model",
+            local.len()
+        );
+    }
+    let stats = client.stats()?;
+    println!(
+        "service counters: {} requests, {} encoded, {} decoded ({} workers)",
+        stats.requests, stats.images_encoded, stats.images_decoded, stats.workers
+    );
+    if stop {
+        client.shutdown()?;
+        println!("service shutdown requested");
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let cache_dir = args.required("--cache-dir")?;
+    let scale = args.scale()?;
+    let seed = args.parsed("--seed", 0xDEE9u64)?;
+    args.finish()?;
+
+    let t0 = Instant::now();
+    let set = dataset_for(scale, seed);
+    let tables = DeepnTableBuilder::new(PlmParams::paper())
+        .sample_interval(3)
+        .build(set.images())?;
+    let schemes = [
+        CompressionScheme::original(),
+        CompressionScheme::Jpeg(50),
+        CompressionScheme::SameQ(30),
+        CompressionScheme::Deepn(tables),
+    ];
+    let mut cache = FsRoundTripCache::new(&cache_dir)?;
+    let cfg = ExperimentConfig::alexnet(scale);
+
+    // Phase 1 — materialize the decoded sets every case needs. On a cold
+    // cache this pays the serial per-image codec round trip; on a warm
+    // one it loads the persisted artifacts, which is where the cache's
+    // speedup is directly measurable.
+    let (train_imgs, _) = set.train();
+    let (test_imgs, _) = set.test();
+    let mat0 = Instant::now();
+    for scheme in &schemes {
+        for split in [train_imgs, test_imgs] {
+            deepn::core::experiment::round_trip_set_cached(scheme, split, &mut cache)?;
+        }
+    }
+    let materialize = mat0.elapsed();
+    println!(
+        "decoded-set materialization: {materialize:.2?} ({} hits, {} misses)",
+        cache.hits(),
+        cache.misses()
+    );
+
+    // Phase 2 — the accuracy comparison itself, fed from the cache.
+    println!(
+        "{:<24} {:>8} {:>12} {:>10}",
+        "scheme", "acc", "bytes", "elapsed"
+    );
+    for scheme in &schemes {
+        let t = Instant::now();
+        let outcome = run_symmetric_cached(&cfg, &set, scheme, &mut cache)?;
+        println!(
+            "{:<24} {:>7.1}% {:>12} {:>10.2?}",
+            scheme.to_string(),
+            outcome.accuracy * 100.0,
+            outcome.train_bytes + outcome.test_bytes,
+            t.elapsed()
+        );
+    }
+    println!(
+        "cache: {} hits, {} misses ({cache_dir}); materialization {materialize:.2?}; \
+         total {:.2?}",
+        cache.hits(),
+        cache.misses(),
+        t0.elapsed()
+    );
+    println!("rerun the same command to reuse the cached decoded sets");
+    Ok(())
+}
+
+fn cmd_inspect(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let path = args
+        .value("--path")?
+        .or_else(|| {
+            if args.argv.is_empty() {
+                None
+            } else {
+                Some(args.argv.remove(0))
+            }
+        })
+        .ok_or("usage: deepn inspect PATH")?;
+    args.finish()?;
+    let bytes = std::fs::read(&path)?;
+    let (version, kind) = store::peek(&bytes)?;
+    println!(
+        "{path}: deepn artifact v{version}, kind {}, {} bytes",
+        kind.map_or("unknown", ArtifactKind::name),
+        bytes.len()
+    );
+    Ok(())
+}

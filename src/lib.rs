@@ -10,8 +10,18 @@
 //! - [`power`] — edge-offloading energy/latency model
 //! - [`core`] — the DeepN-JPEG contribution: frequency analysis, PLM
 //!   quantization-table design, baselines, and the experiment pipeline
-//! - [`bench`] — shared helpers for the figure-regeneration benches (see
+//! - [`store`] — versioned, checksummed on-disk artifacts (tables, band
+//!   statistics, datasets, trained weights; see `docs/ARTIFACT_FORMAT.md`)
+//! - [`serve`] — the long-running TCP compression service (worker pool +
+//!   bounded job queue) and its client
+//! - [`bench`](mod@bench) — shared helpers for the figure-regeneration benches (see
 //!   `EXPERIMENTS.md` for how to rerun each paper figure)
+//!
+//! The `deepn` binary (`cargo run --bin deepn`) wires these together:
+//! `build-table` / `train` persist artifacts, `serve` loads them into the
+//! service, `bench-client` drives it, and `pipeline` reruns the figure
+//! experiment with the decoded-set cache. `EXPERIMENTS.md` walks through
+//! the full workflow.
 //!
 //! ## Quickstart
 //!
@@ -42,4 +52,6 @@ pub use deepn_core as core;
 pub use deepn_dataset as dataset;
 pub use deepn_nn as nn;
 pub use deepn_power as power;
+pub use deepn_serve as serve;
+pub use deepn_store as store;
 pub use deepn_tensor as tensor;

@@ -79,10 +79,9 @@ fn hf_twins_confuse_under_aggressive_compression() {
     use deepn::core::experiment::{evaluate_model, train_model};
     let set = experiment_set();
     let cfg = fast_cfg();
-    let mut net = train_model(&cfg, &set, &CompressionScheme::original()).expect("train");
-    let acc_hi = evaluate_model(&mut net, &set, &CompressionScheme::original()).expect("hi");
-    let acc_crushed =
-        evaluate_model(&mut net, &set, &CompressionScheme::SameQ(120)).expect("crushed");
+    let net = train_model(&cfg, &set, &CompressionScheme::original()).expect("train");
+    let acc_hi = evaluate_model(&net, &set, &CompressionScheme::original()).expect("hi");
+    let acc_crushed = evaluate_model(&net, &set, &CompressionScheme::SameQ(120)).expect("crushed");
     assert!(
         acc_crushed < acc_hi,
         "crushing all bands should hurt: {acc_crushed} vs {acc_hi}"

@@ -1,0 +1,217 @@
+//! Property tests over the artifact store: save→load is the identity for
+//! every artifact type, and damaged inputs — any corrupted byte, any
+//! truncation — always surface as typed [`StoreError`]s, never panics.
+
+use deepn::core::BandStats;
+use deepn::dataset::{ClassSpec, DatasetSpec, ImageSet, PlaneStats};
+use deepn::nn::ParamExport;
+use deepn::store::{self, DecodedSet, StoredModel};
+use deepn_codec::{QuantTable, QuantTablePair, RgbImage};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = QuantTable> {
+    proptest::collection::vec(1u16..=1200, 64).prop_map(|v| {
+        let mut values = [0u16; 64];
+        values.copy_from_slice(&v);
+        QuantTable::new(values).expect("steps are positive")
+    })
+}
+
+fn arb_pair() -> impl Strategy<Value = QuantTablePair> {
+    (arb_table(), arb_table()).prop_map(|(luma, chroma)| QuantTablePair { luma, chroma })
+}
+
+fn arb_plane_stats() -> impl Strategy<Value = PlaneStats> {
+    (0u64..100_000, -1e4f64..1e4, 0.0f64..1e9)
+        .prop_map(|(n, mean, m2)| PlaneStats::from_parts(n, mean, m2))
+}
+
+fn arb_band_stats() -> impl Strategy<Value = BandStats> {
+    (
+        proptest::collection::vec(arb_plane_stats(), 64),
+        proptest::collection::vec(arb_plane_stats(), 64),
+        0usize..10_000,
+        0usize..1_000_000,
+    )
+        .prop_map(|(luma, chroma, images, blocks)| {
+            let mut l = [PlaneStats::new(); 64];
+            l.copy_from_slice(&luma);
+            let mut c = [PlaneStats::new(); 64];
+            c.copy_from_slice(&chroma);
+            BandStats::from_parts(l, c, images, blocks)
+        })
+}
+
+fn arb_class() -> impl Strategy<Value = ClassSpec> {
+    (
+        0u32..1000,
+        (0.0f32..255.0, 0.0f32..255.0, 0.0f32..255.0),
+        (0.0f32..50.0, 0.0f32..6.3, 0.0f32..50.0),
+        (0.0f32..10.0, 0.0f32..6.3, 0.0f32..50.0),
+        0.0f32..30.0,
+    )
+        .prop_map(
+            |(id, base, (lf_amp, lf_angle, mf_amp), (mf_freq, mf_angle, hf_amp), noise)| {
+                let mut c = ClassSpec::flat(&format!("class-{id}"));
+                c.base = [base.0, base.1, base.2];
+                c.lf_amp = lf_amp;
+                c.lf_angle = lf_angle;
+                c.mf_amp = mf_amp;
+                c.mf_freq = mf_freq;
+                c.mf_angle = mf_angle;
+                c.hf_amp = hf_amp;
+                c.hf_sign = if id % 2 == 0 { 1.0 } else { -1.0 };
+                c.noise_amp = noise;
+                c
+            },
+        )
+}
+
+fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
+    (
+        1usize..=4,
+        1usize..=48,
+        1usize..=48,
+        0usize..=5,
+        0usize..=5,
+        proptest::collection::vec(arb_class(), 4),
+    )
+        .prop_map(|(classes, width, height, train, test, pool)| DatasetSpec {
+            width,
+            height,
+            classes: pool[..classes].to_vec(),
+            train_per_class: train,
+            test_per_class: test,
+        })
+}
+
+fn arb_image(max_side: usize) -> impl Strategy<Value = RgbImage> {
+    (1..=max_side, 1..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h * 3)
+            .prop_map(move |data| RgbImage::from_bytes(w, h, data).expect("sized buffer"))
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = StoredModel> {
+    (
+        0usize..5,
+        any::<u64>(),
+        proptest::collection::vec(
+            (0u32..1000, proptest::collection::vec(-10.0f32..10.0, 12)),
+            3,
+        ),
+    )
+        .prop_map(|(arch_idx, seed, raw)| {
+            let params = raw
+                .into_iter()
+                .map(|(id, values)| {
+                    ParamExport::from_slice(format!("{id}.buffer"), &[3, 4], &values)
+                })
+                .collect();
+            StoredModel {
+                arch: deepn::nn::zoo::MODEL_NAMES[arch_idx].to_owned(),
+                in_channels: 3,
+                height: 16,
+                width: 16,
+                classes: 4,
+                seed,
+                params,
+            }
+        })
+}
+
+/// Asserts every single-byte corruption and every truncation of a sealed
+/// container is a typed error (closure runs the typed decode).
+fn assert_damage_detected(bytes: &[u8], decode: &dyn Fn(&[u8]) -> bool, salt: u64) {
+    // Probe a spread of positions rather than all (keeps 24 cases fast):
+    // both ends, and a pseudo-random middle section.
+    let mut positions = vec![0, 8, 9, 12, bytes.len() - 1, bytes.len() - 3];
+    for k in 0..8u64 {
+        positions
+            .push((salt.wrapping_mul(31).wrapping_add(k * 7919) % bytes.len() as u64) as usize);
+    }
+    for &i in &positions {
+        let mut bad = bytes.to_vec();
+        bad[i] ^= 0xA5;
+        assert!(!decode(&bad), "corrupted byte {i} went undetected");
+    }
+    for &i in &positions {
+        assert!(
+            !decode(&bytes[..i.min(bytes.len() - 1)]),
+            "truncation at {i} went undetected"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quant_pair_round_trip_and_damage(pair in arb_pair(), salt in any::<u64>()) {
+        let bytes = store::to_bytes(&pair);
+        let back: QuantTablePair = store::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(&pair, &back);
+        assert_damage_detected(&bytes, &|b| store::from_bytes::<QuantTablePair>(b).is_ok(), salt);
+    }
+
+    #[test]
+    fn band_stats_round_trip_and_damage(stats in arb_band_stats(), salt in any::<u64>()) {
+        let bytes = store::to_bytes(&stats);
+        let back: BandStats = store::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(back.image_count(), stats.image_count());
+        prop_assert_eq!(back.block_count(), stats.block_count());
+        for band in 0..64 {
+            prop_assert_eq!(back.luma_stats()[band], stats.luma_stats()[band]);
+            prop_assert_eq!(back.chroma_stats()[band], stats.chroma_stats()[band]);
+        }
+        assert_damage_detected(&bytes, &|b| store::from_bytes::<BandStats>(b).is_ok(), salt);
+    }
+
+    #[test]
+    fn dataset_spec_round_trip_and_damage(spec in arb_spec(), salt in any::<u64>()) {
+        let bytes = store::to_bytes(&spec);
+        let back: DatasetSpec = store::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(&spec, &back);
+        assert_damage_detected(&bytes, &|b| store::from_bytes::<DatasetSpec>(b).is_ok(), salt);
+    }
+
+    #[test]
+    fn image_set_round_trip_and_damage(seed in any::<u64>(), salt in any::<u64>()) {
+        let mut spec = DatasetSpec::tiny();
+        spec.train_per_class = 2;
+        spec.test_per_class = 1;
+        let set = ImageSet::generate(&spec, seed);
+        let bytes = store::to_bytes(&set);
+        let back: ImageSet = store::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(set.images(), back.images());
+        prop_assert_eq!(set.labels(), back.labels());
+        prop_assert_eq!(set.train_len(), back.train_len());
+        assert_damage_detected(&bytes, &|b| store::from_bytes::<ImageSet>(b).is_ok(), salt);
+    }
+
+    #[test]
+    fn stored_model_round_trip_and_damage(model in arb_model(), salt in any::<u64>()) {
+        let bytes = store::to_bytes(&model);
+        let back: StoredModel = store::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(&model, &back);
+        assert_damage_detected(&bytes, &|b| store::from_bytes::<StoredModel>(b).is_ok(), salt);
+    }
+
+    #[test]
+    fn decoded_set_round_trip_and_damage(img in arb_image(16), n in 0u64..1_000_000, salt in any::<u64>()) {
+        let cached = DecodedSet { images: vec![img], compressed_bytes: n };
+        let bytes = store::to_bytes(&cached);
+        let back: DecodedSet = store::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(&cached, &back);
+        assert_damage_detected(&bytes, &|b| store::from_bytes::<DecodedSet>(b).is_ok(), salt);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 64)) {
+        // Random bytes (including ones that accidentally start with other
+        // structure) must always produce Err, whatever the requested type.
+        prop_assert!(store::from_bytes::<QuantTable>(&data).is_err());
+        prop_assert!(store::from_bytes::<StoredModel>(&data).is_err());
+        prop_assert!(store::peek(&data).is_err());
+    }
+}

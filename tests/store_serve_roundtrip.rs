@@ -1,0 +1,57 @@
+//! The acceptance flow, in process: design tables from a dataset, persist
+//! them with the store, load them in a freshly started service, and
+//! round-trip a batch byte-identically through the TCP protocol.
+
+use deepn::core::{DeepnTableBuilder, PlmParams};
+use deepn::dataset::{DatasetSpec, ImageSet};
+use deepn::serve::{Client, Server, ServerConfig};
+use deepn::store;
+use deepn_codec::{Decoder, Encoder, QuantTablePair};
+use std::time::Duration;
+
+#[test]
+fn persisted_tables_serve_byte_identical_round_trips() {
+    let dir = std::env::temp_dir().join(format!("deepn-accept-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("tables.deepn");
+
+    // `deepn build-table`: design and persist annealed/PLM tables.
+    let set = ImageSet::generate(&DatasetSpec::tiny(), 0xDEE9);
+    let tables = DeepnTableBuilder::new(PlmParams::paper())
+        .build(set.images())
+        .expect("design tables");
+    store::save(&tables, &path).expect("persist tables");
+
+    // `deepn serve`: a separate start loads the artifact, not the builder.
+    let loaded: QuantTablePair = store::load(&path).expect("load tables");
+    assert_eq!(tables, loaded);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        loaded.clone(),
+        None,
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+
+    // `deepn bench-client`: batch round trip, byte-identical both ways.
+    let mut client = Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    let images = &set.images()[..6];
+    let streams = client.encode_batch(images).expect("encode");
+    let decoded = client.decode_batch(&streams).expect("decode");
+    let encoder = Encoder::with_tables(loaded);
+    let local_decoder = Decoder::new();
+    for ((img, stream), dec) in images.iter().zip(&streams).zip(&decoded) {
+        let local_stream = encoder.encode(img).expect("local encode");
+        assert_eq!(&local_stream, stream, "service encode differs");
+        let local_dec = local_decoder.decode(&local_stream).expect("local decode");
+        assert_eq!(&local_dec, dec, "service decode differs");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,8 +10,9 @@
 //! `name = ...; config = ...; targets = ...` form).
 //!
 //! Statistics are deliberately simple: each benchmark runs a short warm-up,
-//! then `sample_size` timed samples, and reports min/mean/max time per
-//! iteration. There are no plots, baselines, or outlier analysis.
+//! then `sample_size` timed samples, and reports min/median/max plus
+//! mean ± standard deviation per iteration. There are no plots, baselines,
+//! or outlier analysis.
 
 use std::time::{Duration, Instant};
 
@@ -113,21 +114,62 @@ impl Criterion {
     }
 }
 
-fn report(id: &str, samples: &[Duration]) {
+/// Summary statistics over one benchmark's samples, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample (midpoint average for even counts) — robust to the
+    /// scheduling outliers that skew the mean on a busy machine.
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Slowest sample.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Number of samples.
+    pub len: usize,
+}
+
+/// Computes [`SampleStats`] over timed samples. Returns `None` when empty.
+pub fn sample_stats(samples: &[Duration]) -> Option<SampleStats> {
     if samples.is_empty() {
+        return None;
+    }
+    let mut ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let len = ns.len();
+    let mean = ns.iter().sum::<f64>() / len as f64;
+    let median = if len % 2 == 1 {
+        ns[len / 2]
+    } else {
+        (ns[len / 2 - 1] + ns[len / 2]) / 2.0
+    };
+    let var = ns.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / len as f64;
+    Some(SampleStats {
+        min: ns[0],
+        median,
+        mean,
+        max: ns[len - 1],
+        std_dev: var.sqrt(),
+        len,
+    })
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    let Some(s) = sample_stats(samples) else {
         println!("{id:<40} (no samples)");
         return;
-    }
-    let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
-    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
-    let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    };
     println!(
-        "{id:<40} time: [{} {} {}] ({} samples)",
-        fmt_ns(min),
-        fmt_ns(mean),
-        fmt_ns(max),
-        ns.len()
+        "{id:<40} time: [{} {} {}] mean: {} ± {} ({} samples)",
+        fmt_ns(s.min),
+        fmt_ns(s.median),
+        fmt_ns(s.max),
+        fmt_ns(s.mean),
+        fmt_ns(s.std_dev),
+        s.len
     );
 }
 
@@ -177,6 +219,32 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sample_stats_match_closed_form() {
+        let samples: Vec<Duration> = [4u64, 2, 8, 6]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        let s = sample_stats(&samples).expect("non-empty");
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.median, 5.0); // midpoint of 4 and 6
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.std_dev, 5.0f64.sqrt()); // var = (9+1+1+9)/4 = 5
+        assert_eq!(s.len, 4);
+
+        // Odd count: the median is the middle element, not an average.
+        let odd: Vec<Duration> = [1u64, 100, 3]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        let s = sample_stats(&odd).expect("non-empty");
+        assert_eq!(s.median, 3.0);
+        assert!(s.mean > s.median, "outlier skews mean, not median");
+
+        assert!(sample_stats(&[]).is_none());
+    }
 
     #[test]
     fn bench_function_collects_samples() {
