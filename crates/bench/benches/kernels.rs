@@ -64,6 +64,78 @@ fn bench_analysis(c: &mut Criterion) {
     });
 }
 
+/// Parallel-vs-scalar speedup benchmarks for the pool-wired hot paths.
+///
+/// The `pool` variants run on the global `deepn-parallel` pool (sized by
+/// `DEEPN_THREADS`, default = cores); the `scalar` variants force the same
+/// code down the inline path with `run_sequential`. On a single-core host
+/// (or under `DEEPN_THREADS=1`) the pairs coincide within noise — the
+/// speedup shows on multi-core. Numbers are recorded in `EXPERIMENTS.md`.
+fn bench_parallel(c: &mut Criterion) {
+    println!(
+        "[parallel] pool threads: {} (DEEPN_THREADS overrides)",
+        deepn_parallel::global().threads()
+    );
+
+    // Blockwise DCT over a 256x256 plane (1024 blocks).
+    let blocks: Vec<[f32; 64]> = (0..1024)
+        .map(|b| {
+            let mut blk = [0.0f32; 64];
+            for (i, v) in blk.iter_mut().enumerate() {
+                *v = (((b * 64 + i) * 37 % 251) as f32) - 125.0;
+            }
+            blk
+        })
+        .collect();
+    c.bench_function("parallel/dct_blockwise_1024_scalar", |bch| {
+        bch.iter(|| {
+            deepn_parallel::run_sequential(|| {
+                deepn_parallel::par_map_collect(black_box(&blocks), |_, blk| forward_dct_8x8(blk))
+            })
+        })
+    });
+    c.bench_function("parallel/dct_blockwise_1024_pool", |bch| {
+        bch.iter(|| {
+            deepn_parallel::par_map_collect(black_box(&blocks), |_, blk| forward_dct_8x8(blk))
+        })
+    });
+
+    // Row-parallel matmul, 192x192x192.
+    let n = 192;
+    let a = deepn_tensor::Tensor::from_vec(
+        (0..n * n)
+            .map(|i| ((i * 13 % 127) as f32) * 0.05 - 3.0)
+            .collect(),
+        &[n, n],
+    );
+    let b = deepn_tensor::Tensor::from_vec(
+        (0..n * n)
+            .map(|i| ((i * 29 % 113) as f32) * 0.04 - 2.0)
+            .collect(),
+        &[n, n],
+    );
+    c.bench_function("parallel/matmul_192_scalar", |bch| {
+        bch.iter(|| {
+            deepn_parallel::run_sequential(|| deepn_tensor::matmul(black_box(&a), black_box(&b)))
+        })
+    });
+    c.bench_function("parallel/matmul_192_pool", |bch| {
+        bch.iter(|| deepn_tensor::matmul(black_box(&a), black_box(&b)))
+    });
+
+    // Full-image encode of a 256x256 image (3 x 1024 block units).
+    let img = deepn_codec::RgbImage::gradient(256, 256);
+    let enc = Encoder::with_quality(75);
+    c.bench_function("parallel/encode_256x256_scalar", |bch| {
+        bch.iter(|| {
+            deepn_parallel::run_sequential(|| enc.encode(black_box(&img)).expect("encodes"))
+        })
+    });
+    c.bench_function("parallel/encode_256x256_pool", |bch| {
+        bch.iter(|| enc.encode(black_box(&img)).expect("encodes"))
+    });
+}
+
 fn bench_nn(c: &mut Criterion) {
     let set = dataset();
     let tensors = to_tensors(&set.images()[..8]);
@@ -171,6 +243,6 @@ fn bench_ablation(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(30);
-    targets = bench_dct, bench_codec, bench_analysis, bench_nn, bench_ablation
+    targets = bench_dct, bench_codec, bench_analysis, bench_parallel, bench_nn, bench_ablation
 }
 criterion_main!(kernels);

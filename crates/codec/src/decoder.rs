@@ -99,23 +99,33 @@ impl Decoder {
             resolved.push((q, dc, ac));
         }
 
-        // Decode the interleaved scan.
+        // Entropy-decode the interleaved scan. The bitstream is inherently
+        // sequential (DC prediction chains through it), so this pass only
+        // collects the zig-zag coefficient blocks...
         let scan_bytes = &bytes[reader.scan_start()..];
         let mut bits = BitReader::new(scan_bytes);
-        let mut blocks: [Vec<Block>; 3] = [
+        let mut coeffs: [Vec<[i32; 64]>; 3] = [
             Vec::with_capacity(bw * bh),
             Vec::with_capacity(bw * bh),
             Vec::with_capacity(bw * bh),
         ];
         let mut prev_dc = [0i32; 3];
         for _ in 0..bw * bh {
-            for (ci, (q, dc, ac)) in resolved.iter().enumerate() {
+            for (ci, (_, dc, ac)) in resolved.iter().enumerate() {
                 let zz = decode_block(&mut bits, dc, ac, prev_dc[ci])?;
                 prev_dc[ci] = zz[0];
-                let natural = unscan(&zz);
-                blocks[ci].push(inverse_dct_8x8(&q.dequantize(&natural)));
+                coeffs[ci].push(zz);
             }
         }
+        // ...and the per-block dequantize → inverse DCT runs on the
+        // `deepn-parallel` pool, block order preserved, so the pixels are
+        // bit-identical to the scalar loop at any `DEEPN_THREADS`.
+        let blocks: [Vec<Block>; 3] = std::array::from_fn(|ci| {
+            let q = resolved[ci].0;
+            deepn_parallel::par_map_collect(&coeffs[ci], |_, zz| {
+                inverse_dct_8x8(&q.dequantize(&unscan(zz)))
+            })
+        });
         let planes = [
             blocks_to_plane(&blocks[0], w, h),
             blocks_to_plane(&blocks[1], w, h),

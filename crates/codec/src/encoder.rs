@@ -107,6 +107,11 @@ impl Encoder {
     /// Runs the pipeline up to and including quantization, returning the
     /// coefficient-domain representation.
     ///
+    /// The per-block DCT → quantize → zig-zag work is embarrassingly
+    /// parallel and runs on the `deepn-parallel` pool; blocks are
+    /// independent and collected in raster order, so the result is
+    /// bit-identical to the scalar loop at any `DEEPN_THREADS`.
+    ///
     /// # Errors
     ///
     /// [`CodecError::InvalidDimensions`] if a dimension exceeds 65535.
@@ -127,10 +132,9 @@ impl Encoder {
                 &self.tables.chroma
             };
             let blocks = plane_to_blocks(plane);
-            out[ci] = blocks
-                .iter()
-                .map(|b| scan(&table.quantize(&forward_dct_8x8(b))))
-                .collect();
+            out[ci] = deepn_parallel::par_map_collect(&blocks, |_, b| {
+                scan(&table.quantize(&forward_dct_8x8(b)))
+            });
         }
         Ok(CoefficientPlanes {
             width: w,

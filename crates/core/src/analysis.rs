@@ -144,6 +144,15 @@ impl BandStats {
 /// Runs Algorithm 1 over `images`, keeping every `interval`-th image
 /// (interval 1 analyzes everything).
 ///
+/// The per-image DCT work fans out over the `deepn-parallel` pool as one
+/// shard per sampled image; shards are then merged in sample order. The
+/// merge tree is fixed by the sample list — never by the thread count —
+/// so the statistics are identical at any `DEEPN_THREADS`. (Adopting the
+/// shard-merge form for the scalar path too was a deliberate one-time
+/// baseline change when the runtime landed: it differs from the old
+/// single-chain Welford accumulation only in final-ulp `f64` rounding,
+/// and buys exact thread-count invariance in exchange.)
+///
 /// # Errors
 ///
 /// [`CoreError::EmptyInput`] if no image survives sampling.
@@ -156,16 +165,20 @@ where
     I: IntoIterator<Item = &'a RgbImage>,
 {
     assert!(interval > 0, "sampling interval must be positive");
-    let mut stats = BandStats::new();
-    for (i, img) in images.into_iter().enumerate() {
-        if i % interval == 0 {
-            stats.push_image(img);
-        }
-    }
-    if stats.image_count() == 0 {
+    let sampled: Vec<&RgbImage> = images.into_iter().step_by(interval).collect();
+    if sampled.is_empty() {
         return Err(CoreError::EmptyInput(
             "no images sampled for frequency analysis".into(),
         ));
+    }
+    let shards = deepn_parallel::par_map_collect(&sampled, |_, img| {
+        let mut shard = BandStats::new();
+        shard.push_image(img);
+        shard
+    });
+    let mut stats = BandStats::new();
+    for shard in &shards {
+        stats.merge(shard);
     }
     Ok(stats)
 }

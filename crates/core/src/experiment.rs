@@ -148,6 +148,82 @@ impl RoundTripCache for NoCache {
     fn store(&mut self, _key: &str, _images: &[RgbImage], _compressed_bytes: usize) {}
 }
 
+/// The architecture/geometry needed to rebuild a cached trained model —
+/// what a persistent [`ModelCache`] must record alongside the weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRecipe {
+    /// Zoo architecture name.
+    pub arch: String,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input image height.
+    pub height: usize,
+    /// Input image width.
+    pub width: usize,
+    /// Output class count.
+    pub classes: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+/// A cache of **trained** models keyed by the experiment's
+/// (config, train scheme, train data) fingerprint, letting pipeline
+/// reruns skip the training stage entirely. Training is deterministic, so
+/// a cached model is byte-for-byte the model a rerun would produce.
+///
+/// `deepn-store` provides the persistent filesystem implementation
+/// (`FsModelCache`); the trait lives here, like [`RoundTripCache`], so
+/// the pipeline can consume it without a dependency cycle.
+pub trait ModelCache {
+    /// Returns the cached trained model for `key`, if present.
+    fn load(&mut self, key: &str) -> Option<Sequential>;
+
+    /// Stores a trained model under `key`. Failures must be swallowed (a
+    /// cache is an optimization, never a correctness dependency).
+    fn store(&mut self, key: &str, recipe: &ModelRecipe, net: &Sequential);
+}
+
+/// A no-op model cache: every lookup misses, every store is dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoModelCache;
+
+impl ModelCache for NoModelCache {
+    fn load(&mut self, _key: &str) -> Option<Sequential> {
+        None
+    }
+
+    fn store(&mut self, _key: &str, _recipe: &ModelRecipe, _net: &Sequential) {}
+}
+
+/// A stable fingerprint of everything that determines a trained model:
+/// the experiment config (model, epochs, batch size, seed, learning
+/// rate), the training labels and class count (identical images under a
+/// different labeling are a different model), and the [`cache_key`] of
+/// the compression scheme + training images.
+pub fn model_cache_key(
+    cfg: &ExperimentConfig,
+    train_scheme: &CompressionScheme,
+    train_images: &[RgbImage],
+    train_labels: &[usize],
+    class_count: usize,
+) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a(&mut h, cfg.model.as_bytes());
+    fnv1a(&mut h, &(cfg.epochs as u64).to_le_bytes());
+    fnv1a(&mut h, &(cfg.batch_size as u64).to_le_bytes());
+    fnv1a(&mut h, &cfg.seed.to_le_bytes());
+    fnv1a(&mut h, &cfg.lr.to_le_bytes());
+    fnv1a(&mut h, &(class_count as u64).to_le_bytes());
+    for &label in train_labels {
+        fnv1a(&mut h, &(label as u64).to_le_bytes());
+    }
+    format!(
+        "model-{}-{h:016x}-{}",
+        cfg.model,
+        cache_key(train_scheme, train_images)
+    )
+}
+
 fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     for &b in bytes {
         *hash ^= u64::from(b);
@@ -293,12 +369,66 @@ pub fn run_case_cached(
     test_scheme: &CompressionScheme,
     cache: &mut dyn RoundTripCache,
 ) -> Result<CaseOutcome, CoreError> {
+    run_case_cached_with_models(
+        cfg,
+        set,
+        train_scheme,
+        test_scheme,
+        cache,
+        &mut NoModelCache,
+    )
+}
+
+/// [`run_case_cached`] with the training stage additionally routed through
+/// a [`ModelCache`]: a hit skips training and only re-evaluates the cached
+/// model on the test split (training is deterministic, so the accuracy is
+/// identical to a fresh run's final entry).
+///
+/// The model cache is bypassed when `cfg.track_epochs` is set — per-epoch
+/// curves require the actual training trajectory.
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn run_case_cached_with_models(
+    cfg: &ExperimentConfig,
+    set: &ImageSet,
+    train_scheme: &CompressionScheme,
+    test_scheme: &CompressionScheme,
+    cache: &mut dyn RoundTripCache,
+    models: &mut dyn ModelCache,
+) -> Result<CaseOutcome, CoreError> {
     let (train_imgs, train_labels) = set.train();
     let (test_imgs, test_labels) = set.test();
     let (train_dec, train_bytes) = round_trip_set_cached(train_scheme, train_imgs, cache)?;
     let (test_dec, test_bytes) = round_trip_set_cached(test_scheme, test_imgs, cache)?;
-    let train_x = to_tensors(&train_dec);
     let test_x = to_tensors(&test_dec);
+    let key = model_cache_key(
+        cfg,
+        train_scheme,
+        train_imgs,
+        train_labels,
+        set.class_count(),
+    );
+    if !cfg.track_epochs {
+        if let Some(net) = models.load(&key) {
+            let trainer = Trainer::new(TrainConfig {
+                batch_size: cfg.batch_size,
+                ..TrainConfig::default()
+            });
+            let accuracy = trainer.evaluate(&net, &test_x, test_labels);
+            return Ok(CaseOutcome {
+                accuracy,
+                history: TrainingHistory {
+                    train_loss: Vec::new(),
+                    test_accuracy: vec![accuracy],
+                },
+                train_bytes,
+                test_bytes,
+            });
+        }
+    }
+    let train_x = to_tensors(&train_dec);
     let mut net = build_model(cfg, set);
     let trainer = Trainer::new(TrainConfig {
         epochs: cfg.epochs,
@@ -309,6 +439,18 @@ pub fn run_case_cached(
         ..TrainConfig::default()
     });
     let history = trainer.fit(&mut net, &train_x, train_labels, &test_x, test_labels);
+    if !cfg.track_epochs {
+        let img = &set.images()[0];
+        let recipe = ModelRecipe {
+            arch: cfg.model.clone(),
+            in_channels: 3,
+            height: img.height(),
+            width: img.width(),
+            classes: set.class_count(),
+            seed: cfg.seed,
+        };
+        models.store(&key, &recipe, &net);
+    }
     Ok(CaseOutcome {
         accuracy: history.final_test_accuracy(),
         history,
@@ -343,6 +485,21 @@ pub fn run_symmetric_cached(
     cache: &mut dyn RoundTripCache,
 ) -> Result<CaseOutcome, CoreError> {
     run_case_cached(cfg, set, scheme, scheme, cache)
+}
+
+/// [`run_symmetric_cached`] with a [`ModelCache`] for the training stage.
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn run_symmetric_cached_with_models(
+    cfg: &ExperimentConfig,
+    set: &ImageSet,
+    scheme: &CompressionScheme,
+    cache: &mut dyn RoundTripCache,
+    models: &mut dyn ModelCache,
+) -> Result<CaseOutcome, CoreError> {
+    run_case_cached_with_models(cfg, set, scheme, scheme, cache, models)
 }
 
 /// Trains a model once on `scheme`-compressed training data and returns it
@@ -517,6 +674,71 @@ mod tests {
         assert_ne!(
             cache_key(&scheme, set.images()),
             cache_key(&scheme, other.images())
+        );
+    }
+
+    #[test]
+    fn model_cache_hit_skips_training_and_matches_accuracy() {
+        #[derive(Default)]
+        struct MemModels {
+            map: std::collections::HashMap<String, (ModelRecipe, Vec<deepn_nn::ParamExport>)>,
+            hits: usize,
+            stores: usize,
+        }
+        impl ModelCache for MemModels {
+            fn load(&mut self, key: &str) -> Option<Sequential> {
+                let (recipe, params) = self.map.get(key)?;
+                let mut net = deepn_nn::zoo::by_name(
+                    &recipe.arch,
+                    recipe.in_channels,
+                    recipe.height,
+                    recipe.width,
+                    recipe.classes,
+                    recipe.seed,
+                );
+                net.load_params(params.clone()).ok()?;
+                self.hits += 1;
+                Some(net)
+            }
+            fn store(&mut self, key: &str, recipe: &ModelRecipe, net: &Sequential) {
+                self.stores += 1;
+                self.map
+                    .insert(key.to_owned(), (recipe.clone(), net.save_params()));
+            }
+        }
+
+        let set = fast_set();
+        let cfg = fast_cfg();
+        let scheme = CompressionScheme::Jpeg(70);
+        let mut models = MemModels::default();
+        let cold = run_symmetric_cached_with_models(&cfg, &set, &scheme, &mut NoCache, &mut models)
+            .expect("cold");
+        assert_eq!((models.hits, models.stores), (0, 1));
+        let warm = run_symmetric_cached_with_models(&cfg, &set, &scheme, &mut NoCache, &mut models)
+            .expect("warm");
+        assert_eq!((models.hits, models.stores), (1, 1));
+        // Deterministic training: the cached model evaluates to exactly
+        // the accuracy the fresh run reported.
+        assert_eq!(cold.accuracy, warm.accuracy);
+        assert!(warm.history.train_loss.is_empty(), "hit must skip training");
+        // A different scheme, config, or labeling is a different key.
+        let (imgs, labels) = set.train();
+        let classes = set.class_count();
+        assert_ne!(
+            model_cache_key(&cfg, &scheme, imgs, labels, classes),
+            model_cache_key(&cfg, &CompressionScheme::Jpeg(71), imgs, labels, classes)
+        );
+        let mut other = cfg.clone();
+        other.epochs += 1;
+        assert_ne!(
+            model_cache_key(&cfg, &scheme, imgs, labels, classes),
+            model_cache_key(&other, &scheme, imgs, labels, classes)
+        );
+        let mut relabeled = labels.to_vec();
+        relabeled.swap(0, 1);
+        assert_ne!(
+            model_cache_key(&cfg, &scheme, imgs, labels, classes),
+            model_cache_key(&cfg, &scheme, imgs, &relabeled, classes)
         );
     }
 

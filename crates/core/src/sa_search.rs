@@ -71,6 +71,9 @@ pub fn band_mse(sigma: f64, q: f64) -> f64 {
 fn objective(stats: &BandStats, pair: &QuantTablePair, weight: f64) -> f64 {
     let luma_sig = stats.luma_sigmas();
     let chroma_sig = stats.chroma_sigmas();
+    // Deliberately sequential: one objective evaluation is microseconds of
+    // work, so forking here would cost more than it saves. Parallelism
+    // lives a level up, across independent chains ([`anneal_restarts`]).
     let rate = predicted_bits_per_block(&luma_sig, &pair.luma)
         + 2.0 * predicted_bits_per_block(&chroma_sig, &pair.chroma);
     let mut distortion = 0.0;
@@ -140,6 +143,42 @@ pub fn anneal(stats: &BandStats, config: &SaConfig) -> SaOutcome {
         objective: best_obj,
         trace,
     }
+}
+
+/// Runs `restarts` independent annealing chains in parallel — restart `i`
+/// uses seed `config.seed + i` (wrapping) — and returns the best outcome, breaking
+/// objective ties toward the lower restart index.
+///
+/// Each chain is the exact sequential [`anneal`] (a Markov chain cannot be
+/// split), so the winner is deterministic at any `DEEPN_THREADS`: this is
+/// the "parallel candidate evaluation" form of the search, where a
+/// multi-core budget buys exploration breadth instead of chain length.
+///
+/// # Panics
+///
+/// Panics if `restarts == 0`, plus everything [`anneal`] panics on.
+pub fn anneal_restarts(stats: &BandStats, config: &SaConfig, restarts: usize) -> SaOutcome {
+    assert!(restarts > 0, "need at least one restart");
+    let seeds: Vec<u64> = (0..restarts as u64)
+        .map(|i| config.seed.wrapping_add(i))
+        .collect();
+    let outcomes = deepn_parallel::par_map_collect(&seeds, |_, &seed| {
+        anneal(
+            stats,
+            &SaConfig {
+                seed,
+                ..config.clone()
+            },
+        )
+    });
+    outcomes
+        .into_iter()
+        .min_by(|a, b| {
+            a.objective
+                .partial_cmp(&b.objective)
+                .expect("objectives are never NaN")
+        })
+        .expect("at least one restart ran")
 }
 
 #[cfg(test)]
@@ -221,6 +260,19 @@ mod tests {
             hi_mean < lo_mean,
             "annealing should refine energetic bands: {hi_mean} vs {lo_mean}"
         );
+    }
+
+    #[test]
+    fn parallel_restarts_are_deterministic_and_no_worse() {
+        let s = stats();
+        let cfg = fast_config();
+        let single = anneal(&s, &cfg);
+        let a = anneal_restarts(&s, &cfg, 3);
+        let b = anneal_restarts(&s, &cfg, 3);
+        assert_eq!(a.tables.luma, b.tables.luma);
+        assert_eq!(a.objective, b.objective);
+        // Restart 0 is the single chain, so the best of three cannot lose.
+        assert!(a.objective <= single.objective);
     }
 
     #[test]

@@ -22,7 +22,9 @@ impl ImageSet {
     /// Generates the dataset described by `spec`, deterministically from
     /// `seed`. Each image gets its own RNG derived from
     /// `(seed, class, index)`, so regenerating with a different per-class
-    /// count leaves earlier images bit-identical.
+    /// count leaves earlier images bit-identical — and, because every
+    /// stream is independent, rendering fans out over the `deepn-parallel`
+    /// pool with the same bit-exact result at any `DEEPN_THREADS`.
     ///
     /// # Panics
     ///
@@ -33,9 +35,9 @@ impl ImageSet {
             spec.width > 0 && spec.height > 0,
             "images must be non-empty"
         );
-        let mut images = Vec::with_capacity(spec.total_images());
-        let mut labels = Vec::with_capacity(spec.total_images());
         // Interleave classes: image j of every class, then j+1, ...
+        let mut plan = Vec::with_capacity(spec.total_images());
+        let mut labels = Vec::with_capacity(spec.total_images());
         for split in 0..2usize {
             let count = if split == 0 {
                 spec.train_per_class
@@ -43,18 +45,21 @@ impl ImageSet {
                 spec.test_per_class
             };
             for j in 0..count {
-                for (label, class) in spec.classes.iter().enumerate() {
-                    // Distinct stream per (split, class, index).
-                    let stream = seed
-                        ^ (label as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        ^ ((j as u64 + 1) << 20)
-                        ^ ((split as u64) << 60);
-                    let mut rng = StdRng::seed_from_u64(stream);
-                    images.push(render_class(class, spec.width, spec.height, &mut rng));
+                for label in 0..spec.classes.len() {
+                    plan.push((split, j, label));
                     labels.push(label);
                 }
             }
         }
+        let images = deepn_parallel::par_map_collect(&plan, |_, &(split, j, label)| {
+            // Distinct stream per (split, class, index).
+            let stream = seed
+                ^ (label as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ ((j as u64 + 1) << 20)
+                ^ ((split as u64) << 60);
+            let mut rng = StdRng::seed_from_u64(stream);
+            render_class(&spec.classes[label], spec.width, spec.height, &mut rng)
+        });
         let train_len = spec.train_per_class * spec.classes.len();
         ImageSet {
             images,

@@ -56,8 +56,35 @@ impl Sequential {
     /// Class predictions (argmax of logits) for a batch. Runs in inference
     /// mode on a shared reference, so a trained model behind an `Arc` can
     /// predict from many threads concurrently.
+    ///
+    /// Multi-sample batches additionally split along the batch dimension
+    /// across the `deepn-parallel` pool. Every inference layer is
+    /// per-sample independent, so the sub-batch forwards produce exactly
+    /// the logits the whole-batch forward would, and predictions are
+    /// reassembled in batch order — bit-identical at any `DEEPN_THREADS`.
     pub fn predict(&self, input: &Tensor) -> Vec<usize> {
-        self.infer(input).argmax_rows()
+        /// Minimum input-element count before a batch fans out: below
+        /// this the fork/join and sub-batch copies outweigh the forward.
+        const PAR_MIN_BATCH_ELEMS: usize = 1 << 12;
+        let dims = input.shape().dims();
+        let n = dims.first().copied().unwrap_or(0);
+        if n < 2 || input.len() < PAR_MIN_BATCH_ELEMS || deepn_parallel::current_threads() == 1 {
+            return self.infer(input).argmax_rows();
+        }
+        let per = input.len() / n;
+        let rows = deepn_parallel::chunk_size_for(deepn_parallel::global(), n);
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(rows)
+            .map(|start| (start, (start + rows).min(n)))
+            .collect();
+        let data = input.data();
+        let chunks = deepn_parallel::par_map_collect(&ranges, |_, &(start, end)| {
+            let mut sub_dims = dims.to_vec();
+            sub_dims[0] = end - start;
+            let sub = Tensor::from_vec(data[start * per..end * per].to_vec(), &sub_dims);
+            self.infer(&sub).argmax_rows()
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// Saves every layer's parameters and inference state, in layer order,

@@ -155,17 +155,25 @@ impl Trainer {
 
     /// Test-set top-1 accuracy of `net`, evaluated in inference mode on a
     /// shared reference (no mutation, safe to call concurrently).
+    ///
+    /// Mini-batches are forwarded in parallel on the `deepn-parallel`
+    /// pool and predictions reassembled in batch order; inference is
+    /// per-sample independent, so the result is bit-identical to the
+    /// sequential batch loop at any `DEEPN_THREADS`.
     pub fn evaluate(&self, net: &Sequential, test_x: &[Tensor], test_y: &[usize]) -> f64 {
         assert_eq!(test_x.len(), test_y.len(), "test label mismatch");
         if test_x.is_empty() {
             return 0.0;
         }
-        let mut preds = Vec::with_capacity(test_x.len());
         let idx: Vec<usize> = (0..test_x.len()).collect();
-        for chunk in idx.chunks(self.config.batch_size.max(1)) {
+        let batches: Vec<&[usize]> = idx.chunks(self.config.batch_size.max(1)).collect();
+        let preds: Vec<usize> = deepn_parallel::par_map_collect(&batches, |_, chunk| {
             let x = stack_batch(test_x, chunk);
-            preds.extend(net.predict(&x));
-        }
+            net.infer(&x).argmax_rows()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         accuracy(&preds, test_y)
     }
 }

@@ -1,0 +1,382 @@
+//! The work-stealing thread pool: per-worker deques, a round-robin
+//! submitter, and sibling stealing, with panic containment per job.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+thread_local! {
+    /// `(Shared address, worker index)` when the current thread is a pool
+    /// worker — lets a nested parallel call help execute instead of
+    /// blocking (which would deadlock a pool whose every worker waits).
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+
+    /// Depth of [`crate::run_sequential`] sections on this thread. Any
+    /// non-zero depth forces every parallel entry point to run inline.
+    static FORCE_SEQUENTIAL: Cell<usize> = const { Cell::new(0) };
+}
+
+/// RAII guard incrementing the force-sequential depth (decrements on drop,
+/// so the flag unwinds correctly through panics).
+pub(crate) struct SequentialGuard;
+
+impl SequentialGuard {
+    pub(crate) fn new() -> Self {
+        FORCE_SEQUENTIAL.with(|d| d.set(d.get() + 1));
+        SequentialGuard
+    }
+}
+
+impl Drop for SequentialGuard {
+    fn drop(&mut self) {
+        FORCE_SEQUENTIAL.with(|d| d.set(d.get() - 1));
+    }
+}
+
+pub(crate) fn forced_sequential() -> bool {
+    FORCE_SEQUENTIAL.with(Cell::get) > 0
+}
+
+/// Tracks one logical job: a batch of tasks submitted together (one
+/// `par_*` call, one `join`, or one `scope`). Completion is a counter;
+/// the first panicking task poisons the job and the panic payload is
+/// rethrown on the thread that waits for the job — a panic costs its job,
+/// never a pool thread.
+pub(crate) struct JobTracker {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl JobTracker {
+    pub(crate) fn new(tasks: usize) -> Self {
+        JobTracker {
+            remaining: AtomicUsize::new(tasks),
+            panic: Mutex::new(None),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn add_task(&self) {
+        self.remaining.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    pub(crate) fn poison(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("panic slot never poisoned");
+        slot.get_or_insert(payload);
+    }
+
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock().expect("job lock never poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Rethrows the first panic recorded by this job, if any. Must only be
+    /// called once the job is done.
+    pub(crate) fn propagate_panic(&self) {
+        let payload = self.panic.lock().expect("panic slot never poisoned").take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// One unit of queued work, bound to its job.
+struct Task {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    job: Arc<JobTracker>,
+}
+
+impl Task {
+    fn execute(self) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(self.run)) {
+            self.job.poison(payload);
+        }
+        self.job.complete_one();
+    }
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One deque per worker. Owners pop from the back (LIFO, cache-warm);
+    /// thieves steal from the front (FIFO, oldest first).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Wakeup generation counter; bumped (under `sleep`) on every submit.
+    sleep: Mutex<u64>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor so successive external submissions spread across
+    /// workers.
+    next_deque: AtomicUsize,
+}
+
+impl Shared {
+    /// Finds a runnable task: own deque first, then steal from siblings in
+    /// ring order.
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(me) = me {
+            if let Some(t) = self.deques[me]
+                .lock()
+                .expect("deque lock never poisoned")
+                .pop_back()
+            {
+                return Some(t);
+            }
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |m| (m + 1) % n);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(t) = self.deques[victim]
+                .lock()
+                .expect("deque lock never poisoned")
+                .pop_front()
+            {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn wake_all(&self) {
+        let mut generation = self.sleep.lock().expect("sleep lock never poisoned");
+        *generation = generation.wrapping_add(1);
+        self.cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    CURRENT_WORKER.with(|w| w.set(Some((Arc::as_ptr(shared) as usize, index))));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Busy path: no shared lock — dequeue and run.
+        if let Some(task) = shared.find_task(Some(index)) {
+            task.execute();
+            continue;
+        }
+        // Miss path only: snapshot the wakeup generation, re-check for
+        // work submitted in the window before the snapshot, then sleep.
+        // A submit between re-check and wait bumps the generation, which
+        // the check under the lock observes — no lost wakeup.
+        let generation = *shared.sleep.lock().expect("sleep lock never poisoned");
+        if let Some(task) = shared.find_task(Some(index)) {
+            task.execute();
+            continue;
+        }
+        let guard = shared.sleep.lock().expect("sleep lock never poisoned");
+        if *guard == generation && !shared.shutdown.load(Ordering::Acquire) {
+            // The timeout is belt-and-braces against a missed wakeup; the
+            // generation check makes the common path race-free.
+            let _ = shared
+                .cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .expect("sleep lock never poisoned");
+        }
+    }
+}
+
+/// A work-stealing thread pool.
+///
+/// A pool of `n` threads runs `n` dedicated workers (callers block — or,
+/// when the caller is itself a worker, help execute — while a job runs).
+/// A pool of one thread spawns nothing and executes every parallel
+/// operation inline on the caller, which is also the behavior under
+/// [`crate::run_sequential`] — the degenerate pool *is* the scalar path.
+///
+/// Most code uses the process-global pool through the crate-level free
+/// functions; explicit pools exist so tests can pin a thread count
+/// independently of `DEEPN_THREADS`.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool with exactly `threads` compute threads (clamped to at
+    /// least 1). `threads == 1` spawns no workers: every operation runs
+    /// inline.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let worker_count = if threads == 1 { 0 } else { threads };
+        let shared = Arc::new(Shared {
+            deques: (0..worker_count)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            sleep: Mutex::new(0),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_deque: AtomicUsize::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("deepn-par-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// The pool's compute-thread count (1 means inline execution).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether a parallel call entering now would run inline: a one-thread
+    /// pool, or a [`crate::run_sequential`] section on this thread.
+    pub fn inline_now(&self) -> bool {
+        self.threads == 1 || forced_sequential()
+    }
+
+    /// `Some(index)` when the current thread is one of **this** pool's
+    /// workers.
+    fn current_worker_index(&self) -> Option<usize> {
+        CURRENT_WORKER.with(|w| match w.get() {
+            Some((pool, index)) if pool == Arc::as_ptr(&self.shared) as usize => Some(index),
+            _ => None,
+        })
+    }
+
+    /// Submits lifetime-erased tasks for `job` and wakes the workers.
+    pub(crate) fn submit(
+        &self,
+        job: &Arc<JobTracker>,
+        fns: Vec<Box<dyn FnOnce() + Send + 'static>>,
+    ) {
+        let n = self.shared.deques.len();
+        debug_assert!(n > 0, "submit on an inline pool");
+        if let Some(me) = self.current_worker_index() {
+            // A worker fans out onto its own deque; siblings steal the
+            // overflow from the front while the owner pops the back.
+            let mut deque = self.shared.deques[me]
+                .lock()
+                .expect("deque lock never poisoned");
+            for f in fns {
+                deque.push_back(Task {
+                    run: f,
+                    job: Arc::clone(job),
+                });
+            }
+        } else {
+            let start = self.shared.next_deque.fetch_add(1, Ordering::Relaxed);
+            for (i, f) in fns.into_iter().enumerate() {
+                self.shared.deques[(start + i) % n]
+                    .lock()
+                    .expect("deque lock never poisoned")
+                    .push_back(Task {
+                        run: f,
+                        job: Arc::clone(job),
+                    });
+            }
+        }
+        self.shared.wake_all();
+    }
+
+    /// Blocks until `job` completes. A worker waiting on a nested job
+    /// helps execute queued tasks instead of sleeping, so nested
+    /// parallelism cannot deadlock the pool.
+    pub(crate) fn wait(&self, job: &JobTracker) {
+        if let Some(me) = self.current_worker_index() {
+            // Help-first, then back off: once nothing is stealable the job
+            // is blocked on tasks already in flight elsewhere, and a hard
+            // yield loop would burn the core those tasks need.
+            let mut idle_spins = 0u32;
+            while !job.done() {
+                match self.shared.find_task(Some(me)) {
+                    Some(task) => {
+                        idle_spins = 0;
+                        task.execute();
+                    }
+                    None if idle_spins < 64 => {
+                        idle_spins += 1;
+                        thread::yield_now();
+                    }
+                    None => thread::sleep(Duration::from_micros(200)),
+                }
+            }
+            return;
+        }
+        while !job.done() {
+            let guard = job.lock.lock().expect("job lock never poisoned");
+            if job.done() {
+                break;
+            }
+            let _ = job
+                .cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .expect("job lock never poisoned");
+        }
+    }
+
+    /// Runs a batch of closures to completion — inline (in order) on the
+    /// degenerate paths, otherwise distributed over the workers — and
+    /// rethrows the first panic after **all** of them finished (borrowed
+    /// data stays live for the full batch even when one task panics).
+    pub(crate) fn exec_batch<'env>(&self, fns: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if fns.is_empty() {
+            return;
+        }
+        if self.inline_now() || fns.len() == 1 {
+            for f in fns {
+                f();
+            }
+            return;
+        }
+        let job = Arc::new(JobTracker::new(fns.len()));
+        // SAFETY: `exec_batch` does not return before `wait` observes every
+        // task completed (even on the panic path), so the `'env` borrows
+        // captured by the closures outlive every task execution.
+        let erased: Vec<Box<dyn FnOnce() + Send + 'static>> = fns
+            .into_iter()
+            .map(|f| unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(f)
+            })
+            .collect();
+        self.submit(&job, erased);
+        self.wait(&job);
+        job.propagate_panic();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}

@@ -1,6 +1,6 @@
 //! Blocking client for the compression service.
 
-use crate::protocol::{self, Opcode, STATUS_OK};
+use crate::protocol::{self, Opcode, STATUS_BUSY, STATUS_ERR, STATUS_OK, STATUS_TIMEOUT};
 use crate::{ServeError, StatsSnapshot};
 use deepn_codec::RgbImage;
 use deepn_store::{ByteReader, ByteWriter};
@@ -60,7 +60,13 @@ impl Client {
             return Ok(payload.to_vec());
         }
         let mut r = ByteReader::new(payload);
-        Err(ServeError::Remote(r.string()?))
+        let message = r.string()?;
+        Err(match status {
+            STATUS_BUSY => ServeError::Busy(message),
+            STATUS_TIMEOUT => ServeError::Timeout(message),
+            STATUS_ERR => ServeError::Remote(message),
+            other => ServeError::Protocol(format!("unknown reply status {other}: {message}")),
+        })
     }
 
     /// Liveness probe.
@@ -152,8 +158,13 @@ impl Client {
             images_encoded: r.u64()?,
             images_decoded: r.u64()?,
             images_classified: r.u64()?,
+            connections_rejected: r.u64()?,
+            requests_timed_out: r.u64()?,
+            active_connections: r.u32()?,
             workers: r.u32()?,
             queue_depth: r.u32()?,
+            max_connections: r.u32()?,
+            request_timeout_ms: r.u64()?,
             has_model: r.u8()? != 0,
         })
     }

@@ -53,6 +53,13 @@ pub enum ServeError {
     Protocol(String),
     /// The service reported a failure while handling the request.
     Remote(String),
+    /// The service rejected the connection because it is at its configured
+    /// connection limit — a typed signal to back off and reconnect, not a
+    /// failure of the request itself.
+    Busy(String),
+    /// The request exceeded the service's per-request time budget and was
+    /// rejected with a typed frame instead of being silently dropped.
+    Timeout(String),
     /// Loading a startup artifact failed.
     Store(deepn_store::StoreError),
 }
@@ -63,6 +70,8 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "service io error: {e}"),
             ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
             ServeError::Remote(m) => write!(f, "service-side failure: {m}"),
+            ServeError::Busy(m) => write!(f, "service over capacity: {m}"),
+            ServeError::Timeout(m) => write!(f, "request deadline exceeded: {m}"),
             ServeError::Store(e) => write!(f, "artifact error: {e}"),
         }
     }

@@ -5,10 +5,10 @@
 //! ```text
 //! frame   := u32 body_len (LE) | body
 //! request := u8 opcode | payload
-//! reply   := u8 status (0 = ok, 1 = error) | payload
+//! reply   := u8 status (0 = ok, 1 = error, 2 = busy, 3 = timeout) | payload
 //! ```
 //!
-//! An error reply's payload is a length-prefixed UTF-8 message. Batch
+//! Every non-ok reply's payload is a length-prefixed UTF-8 message. Batch
 //! payloads carry a `u32` count followed by the items; images travel as
 //! `u32 width | u32 height | width*height*3` RGB bytes, compressed
 //! streams as `u32 len | bytes`.
@@ -60,6 +60,13 @@ impl Opcode {
 pub const STATUS_OK: u8 = 0;
 /// Reply status byte for a service-side failure (payload = message).
 pub const STATUS_ERR: u8 = 1;
+/// Reply status byte for a typed over-capacity rejection: the service is
+/// at its connection limit and this connection is not being served
+/// (payload = message). Clients should back off and reconnect.
+pub const STATUS_BUSY: u8 = 2;
+/// Reply status byte for a typed deadline rejection: the request exceeded
+/// the service's per-request time budget (payload = message).
+pub const STATUS_TIMEOUT: u8 = 3;
 
 /// Writes one frame (length prefix + body).
 ///

@@ -1,7 +1,7 @@
 //! The service: acceptor + per-connection readers + a bounded job queue
 //! drained by a fixed worker pool.
 
-use crate::protocol::{self, Opcode, STATUS_ERR, STATUS_OK};
+use crate::protocol::{self, Opcode, STATUS_BUSY, STATUS_ERR, STATUS_OK, STATUS_TIMEOUT};
 use crate::ServeError;
 use deepn_codec::{Decoder, Encoder, QuantTablePair, RgbImage};
 use deepn_nn::Sequential;
@@ -9,21 +9,35 @@ use deepn_store::{ByteReader, ByteWriter};
 use deepn_tensor::Tensor;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Worker-pool and queue sizing.
+/// Worker-pool sizing and admission control.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Number of codec worker threads.
+    /// Number of codec worker threads. Each worker additionally gets
+    /// intra-image parallelism for free: the codec's block loops fan out
+    /// on the shared `deepn-parallel` pool (sized by `DEEPN_THREADS`), so
+    /// a single large image no longer serializes on one worker.
     pub workers: usize,
     /// Bound of the job queue; submissions block when it is full, so an
     /// overloaded service applies backpressure instead of buffering
     /// without limit.
     pub queue_depth: usize,
+    /// Maximum concurrently served connections. Connections over the
+    /// limit receive a typed [`STATUS_BUSY`] rejection frame (surfacing
+    /// client-side as [`ServeError::Busy`]) instead of a silent drop;
+    /// `Shutdown` is honored even over the limit so a saturated service
+    /// stays stoppable.
+    pub max_connections: usize,
+    /// Per-request time budget, measured from request dispatch. A request
+    /// that exceeds it receives a typed [`STATUS_TIMEOUT`] rejection
+    /// frame ([`ServeError::Timeout`] client-side). `None` disables the
+    /// deadline.
+    pub request_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -35,6 +49,8 @@ impl Default for ServerConfig {
         ServerConfig {
             workers,
             queue_depth: 256,
+            max_connections: 64,
+            request_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -46,6 +62,8 @@ struct Counters {
     images_encoded: AtomicU64,
     images_decoded: AtomicU64,
     images_classified: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests_timed_out: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters and configuration,
@@ -60,10 +78,20 @@ pub struct StatsSnapshot {
     pub images_decoded: u64,
     /// Images classified.
     pub images_classified: u64,
+    /// Connections rejected with a typed busy frame.
+    pub connections_rejected: u64,
+    /// Requests rejected with a typed timeout frame.
+    pub requests_timed_out: u64,
+    /// Connections currently being served.
+    pub active_connections: u32,
     /// Configured worker count.
     pub workers: u32,
     /// Configured queue bound.
     pub queue_depth: u32,
+    /// Configured connection limit.
+    pub max_connections: u32,
+    /// Configured per-request budget in milliseconds (0 = disabled).
+    pub request_timeout_ms: u64,
     /// Whether a model artifact was loaded for `Classify`.
     pub has_model: bool,
 }
@@ -85,6 +113,9 @@ struct Job {
     index: usize,
     req: JobRequest,
     reply: mpsc::Sender<(usize, Result<JobResult, String>)>,
+    /// Set when the submitting request gave up (deadline); workers skip
+    /// cancelled jobs instead of computing results nobody collects.
+    cancelled: Arc<AtomicBool>,
 }
 
 /// The compression service. [`bind`](Server::bind) it, then either
@@ -97,7 +128,15 @@ pub struct Server {
     config: ServerConfig,
     counters: Arc<Counters>,
     shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    rejecting: Arc<AtomicUsize>,
 }
+
+/// Upper bound on concurrent polite-rejection threads. Beyond it an
+/// over-limit connection is closed immediately instead of waiting for a
+/// request frame — a connect flood must not be able to pin an unbounded
+/// number of threads (and sockets) in the rejection path.
+const REJECTION_THREAD_CAP: usize = 32;
 
 /// A handle to a [`spawn`](Server::spawn)ed server.
 pub struct ServerHandle {
@@ -138,10 +177,12 @@ impl Server {
     ) -> io::Result<Self> {
         // Zero workers would park every job forever; zero queue depth
         // would make sync_channel a rendezvous that deadlocks single
-        // submitters. Clamp rather than error: there is no useful
-        // interpretation of either zero.
+        // submitters; zero connections would reject everything including
+        // the shutdown request. Clamp rather than error: there is no
+        // useful interpretation of any of the zeros.
         config.workers = config.workers.max(1);
         config.queue_depth = config.queue_depth.max(1);
+        config.max_connections = config.max_connections.max(1);
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
@@ -151,6 +192,8 @@ impl Server {
             config,
             counters: Arc::new(Counters::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
+            active: Arc::new(AtomicUsize::new(0)),
+            rejecting: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -183,14 +226,25 @@ impl Server {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    // Admission decision happens here, before the next
+                    // accept, so the active count is exact. The guard
+                    // decrements when the connection thread exits.
+                    let guard = ConnGuard {
+                        active: Arc::clone(&self.active),
+                    };
+                    let limited =
+                        guard.active.fetch_add(1, Ordering::SeqCst) >= self.config.max_connections;
                     let ctx = ConnCtx {
                         job_tx: job_tx.clone(),
                         counters: Arc::clone(&self.counters),
                         shutdown: Arc::clone(&self.shutdown),
                         config: self.config.clone(),
                         has_model: self.model.is_some(),
+                        active: Arc::clone(&self.active),
+                        rejecting: Arc::clone(&self.rejecting),
+                        limited,
                     };
-                    thread::spawn(move || ctx.serve(stream));
+                    thread::spawn(move || ctx.serve(stream, guard));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     if self.shutdown.load(Ordering::SeqCst) {
@@ -230,6 +284,18 @@ impl Server {
     }
 }
 
+/// Decrements the active-connection gauge when a connection thread exits,
+/// however it exits.
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Everything a connection reader needs.
 struct ConnCtx {
     job_tx: SyncSender<Job>,
@@ -237,14 +303,62 @@ struct ConnCtx {
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
     has_model: bool,
+    active: Arc<AtomicUsize>,
+    rejecting: Arc<AtomicUsize>,
+    limited: bool,
 }
 
 impl ConnCtx {
-    fn serve(self, mut stream: TcpStream) {
+    fn serve(self, mut stream: TcpStream, guard: ConnGuard) {
+        let _ = stream.set_nodelay(true);
+        if self.limited {
+            // Over the connection limit: this connection is not being
+            // *served*, so free its slot immediately — a burst of
+            // rejected peers must not crowd out admittable ones.
+            drop(guard);
+            self.counters
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            // The polite reply itself is bounded: past the cap, close
+            // immediately so a connect flood cannot pin unbounded threads
+            // here.
+            if self.rejecting.fetch_add(1, Ordering::SeqCst) >= REJECTION_THREAD_CAP {
+                self.rejecting.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            let _reject_guard = ConnGuard {
+                active: Arc::clone(&self.rejecting),
+            };
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            // Consume one request so the peer's write is not met with a
+            // reset, answer with a typed busy frame, and close. Never a
+            // silent drop.
+            if let Ok(Some(request)) = protocol::read_frame(&mut stream) {
+                // Carve-out: a saturated service must still be stoppable.
+                // Shutdown carries no payload and runs no jobs, so honor
+                // it even over the limit.
+                if request.first() == Some(&(Opcode::Shutdown as u8)) {
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    let mut w = ByteWriter::new();
+                    w.put_u8(STATUS_OK);
+                    let _ = protocol::write_frame(&mut stream, w.as_bytes());
+                    return;
+                }
+                let mut w = ByteWriter::new();
+                w.put_u8(STATUS_BUSY);
+                w.put_string(&format!(
+                    "service at its {}-connection limit; retry later",
+                    self.config.max_connections
+                ));
+                let _ = protocol::write_frame(&mut stream, w.as_bytes());
+            }
+            return;
+        }
+        // The guard holds this connection's slot until the reader exits.
+        let _guard = guard;
         // The timeout bounds how long a dead-idle connection pins this
         // thread after shutdown; it is not a per-request deadline.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-        let _ = stream.set_nodelay(true);
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
@@ -283,9 +397,16 @@ impl ConnCtx {
                 (reply, stop)
             }
             Err(e) => {
+                // Admission failures travel as their own status bytes so
+                // clients can distinguish "back off" from "request broken".
+                let (status, message) = match e {
+                    ServeError::Busy(m) => (STATUS_BUSY, m),
+                    ServeError::Timeout(m) => (STATUS_TIMEOUT, m),
+                    other => (STATUS_ERR, other.to_string()),
+                };
                 let mut w = ByteWriter::new();
-                w.put_u8(STATUS_ERR);
-                w.put_string(&e.to_string());
+                w.put_u8(status);
+                w.put_string(&message);
                 (w.into_bytes(), false)
             }
         }
@@ -372,8 +493,20 @@ impl ConnCtx {
                 w.put_u64(self.counters.images_encoded.load(Ordering::Relaxed));
                 w.put_u64(self.counters.images_decoded.load(Ordering::Relaxed));
                 w.put_u64(self.counters.images_classified.load(Ordering::Relaxed));
+                w.put_u64(self.counters.connections_rejected.load(Ordering::Relaxed));
+                w.put_u64(self.counters.requests_timed_out.load(Ordering::Relaxed));
+                w.put_u32(self.active.load(Ordering::SeqCst) as u32);
                 w.put_u32(self.config.workers as u32);
                 w.put_u32(self.config.queue_depth as u32);
+                w.put_u32(self.config.max_connections as u32);
+                // 0 means "no deadline"; an enabled sub-millisecond budget
+                // (e.g. `Some(Duration::ZERO)` in tests) reports as 1 so it
+                // cannot masquerade as disabled.
+                w.put_u64(
+                    self.config
+                        .request_timeout
+                        .map_or(0, |t| (t.as_millis() as u64).max(1)),
+                );
                 w.put_u8(u8::from(self.has_model));
                 Ok((w.into_bytes(), false))
             }
@@ -381,26 +514,79 @@ impl ConnCtx {
     }
 
     /// Submits one job per batch item to the bounded queue and collects
-    /// the results back into request order.
+    /// the results back into request order, honoring the per-request
+    /// deadline: a budget overrun returns a typed [`ServeError::Timeout`]
+    /// (late worker replies then land on a closed channel, harmlessly).
     fn fan_out(&self, reqs: Vec<JobRequest>) -> Result<Vec<JobResult>, ServeError> {
+        let deadline = self.config.request_timeout.map(|t| (t, Instant::now() + t));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let timed_out = |(budget, _): &(Duration, Instant)| {
+            // Giving up cancels the request's still-queued jobs, so a
+            // retrying client does not pile dead work onto the queue.
+            cancelled.store(true, Ordering::SeqCst);
+            self.counters
+                .requests_timed_out
+                .fetch_add(1, Ordering::Relaxed);
+            ServeError::Timeout(format!("request exceeded its {budget:?} budget"))
+        };
+        if let Some(d) = &deadline {
+            if Instant::now() >= d.1 {
+                return Err(timed_out(d));
+            }
+        }
         let n = reqs.len();
         let (tx, rx) = mpsc::channel();
         for (index, req) in reqs.into_iter().enumerate() {
-            self.job_tx
-                .send(Job {
-                    index,
-                    req,
-                    reply: tx.clone(),
-                })
-                .map_err(|_| ServeError::Remote("service is shutting down".into()))?;
+            let mut job = Job {
+                index,
+                req,
+                reply: tx.clone(),
+                cancelled: Arc::clone(&cancelled),
+            };
+            // Submission must honor the deadline too: a full queue under
+            // overload would otherwise block `send` past the budget —
+            // exactly the situation the timeout exists for.
+            match &deadline {
+                None => self
+                    .job_tx
+                    .send(job)
+                    .map_err(|_| ServeError::Remote("service is shutting down".into()))?,
+                Some(d) => loop {
+                    match self.job_tx.try_send(job) {
+                        Ok(()) => break,
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            return Err(ServeError::Remote("service is shutting down".into()));
+                        }
+                        Err(mpsc::TrySendError::Full(back)) => {
+                            if Instant::now() >= d.1 {
+                                return Err(timed_out(d));
+                            }
+                            job = back;
+                            thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                },
+            }
         }
         drop(tx);
         let mut out: Vec<Option<JobResult>> = std::iter::repeat_with(|| None).take(n).collect();
         let mut first_err: Option<String> = None;
         for _ in 0..n {
-            let (index, result) = rx
-                .recv()
-                .map_err(|_| ServeError::Remote("worker pool died".into()))?;
+            let (index, result) = match &deadline {
+                None => rx
+                    .recv()
+                    .map_err(|_| ServeError::Remote("worker pool died".into()))?,
+                Some(d) => {
+                    let remaining = d.1.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(remaining) {
+                        Ok(reply) => reply,
+                        Err(RecvTimeoutError::Timeout) => return Err(timed_out(d)),
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(ServeError::Remote("worker pool died".into()))
+                        }
+                    }
+                }
+            };
             match result {
                 Ok(res) => out[index] = Some(res),
                 Err(e) => {
@@ -439,6 +625,10 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, tables: &QuantTablePair, model: Option
             Err(_) => return,
         };
         let Ok(job) = job else { return };
+        if job.cancelled.load(Ordering::SeqCst) {
+            // The request already timed out; nobody collects this result.
+            continue;
+        }
         // A panic (e.g. an image whose geometry violates a model layer's
         // invariants) must cost one request, not one pool thread: an
         // unreplaced dead worker would eventually wedge the whole service.

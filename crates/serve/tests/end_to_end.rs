@@ -14,6 +14,7 @@ fn start(tables: QuantTablePair) -> (deepn_serve::ServerHandle, Client) {
         ServerConfig {
             workers: 3,
             queue_depth: 8,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -103,6 +104,7 @@ fn geometry_mismatch_costs_a_request_not_a_worker() {
         ServerConfig {
             workers: 1,
             queue_depth: 4,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -120,6 +122,91 @@ fn geometry_mismatch_costs_a_request_not_a_worker() {
     let good = deepn_codec::RgbImage::gradient(16, 16);
     let labels = client.classify(&[good]).expect("classify");
     assert_eq!(labels.len(), 1);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn over_limit_connections_get_a_typed_busy_rejection() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        QuantTablePair::standard(60),
+        None,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    let mut first = Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    // The ping guarantees the first connection is registered before the
+    // second one is accepted.
+    first.ping().expect("within the limit");
+    let mut second = Client::connect(handle.addr()).expect("tcp connect still succeeds");
+    let err = second.ping().expect_err("over the connection limit");
+    assert!(matches!(err, ServeError::Busy(_)), "{err}");
+    // The admitted connection keeps working and observes the rejection.
+    first.ping().expect("first connection unaffected");
+    let stats = first.stats().expect("stats");
+    assert_eq!(stats.connections_rejected, 1);
+    assert_eq!(stats.max_connections, 1);
+    // Dropping the admitted connection frees the slot for a successor.
+    drop(first);
+    let mut third = Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        // The freed slot appears once the server reaps the first
+        // connection's reader thread (bounded by its 200 ms read timeout).
+        match third.ping() {
+            Ok(()) => break,
+            Err(ServeError::Busy(_)) if std::time::Instant::now() < deadline => {
+                third = Client::connect(handle.addr()).expect("reconnect");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    }
+    // A saturated service must still be stoppable: with `third` holding
+    // the only slot, shutdown over a fresh (over-limit) connection is
+    // honored rather than busy-rejected.
+    let mut admin = Client::connect(handle.addr()).expect("connect");
+    admin.shutdown().expect("shutdown honored over the limit");
+    handle.join();
+}
+
+#[test]
+fn exhausted_request_budget_is_a_typed_timeout() {
+    // A zero budget is spent before any job can finish: every batch
+    // request deterministically comes back as a typed timeout frame.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        QuantTablePair::standard(60),
+        None,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            request_timeout: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    let mut client = Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    let set = ImageSet::generate(&DatasetSpec::tiny(), 3);
+    let err = client
+        .encode_batch(&set.images()[..2])
+        .expect_err("zero budget");
+    assert!(matches!(err, ServeError::Timeout(_)), "{err}");
+    // Ping carries no jobs, so the connection itself stays healthy.
+    client.ping().expect("connection survives a timeout");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests_timed_out, 1);
+    // An enabled sub-millisecond budget reports as 1, never as the
+    // "disabled" 0.
+    assert_eq!(stats.request_timeout_ms, 1);
     client.shutdown().expect("shutdown");
     handle.join();
 }

@@ -3,10 +3,25 @@
 //! artifacts so figure regeneration skips the serial per-image round trip
 //! on every rerun.
 
-use crate::{load, save, DecodedSet, StoreError};
+use crate::{load, save, DecodedSet, StoreError, StoredModel};
 use deepn_codec::RgbImage;
-use deepn_core::experiment::RoundTripCache;
+use deepn_core::experiment::{ModelCache, ModelRecipe, RoundTripCache};
+use deepn_nn::Sequential;
 use std::path::{Path, PathBuf};
+
+/// Keys are fingerprints (`[A-Za-z0-9_-]`); sanitize defensively so a
+/// hostile key cannot escape a cache directory.
+fn sanitized_key(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
 
 /// A directory of [`DecodedSet`] artifacts keyed by the experiment
 /// pipeline's scheme+dataset fingerprint.
@@ -56,19 +71,8 @@ impl FsRoundTripCache {
 
     /// The artifact path a key maps to.
     pub fn path_for(&self, key: &str) -> PathBuf {
-        // Keys are fingerprints ([A-Za-z0-9_-]); sanitize defensively so a
-        // hostile key cannot escape the cache directory.
-        let safe: String = key
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        self.dir.join(format!("{safe}.decoded.deepn"))
+        self.dir
+            .join(format!("{}.decoded.deepn", sanitized_key(key)))
     }
 
     /// Cache hits observed through this handle.
@@ -106,6 +110,85 @@ impl RoundTripCache for FsRoundTripCache {
     }
 }
 
+/// A directory of [`StoredModel`] artifacts keyed by the experiment
+/// pipeline's (config, train scheme, train data) fingerprint — the
+/// persistent [`ModelCache`] that lets `deepn pipeline` reruns skip the
+/// training stage.
+///
+/// Same failure policy as [`FsRoundTripCache`]: unreadable or corrupt
+/// artifacts are misses, failed stores are dropped.
+#[derive(Debug, Clone)]
+pub struct FsModelCache {
+    dir: PathBuf,
+    hits: usize,
+    misses: usize,
+}
+
+impl FsModelCache {
+    /// Opens (creating if needed) a model-cache directory.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FsModelCache {
+            dir,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The artifact path a key maps to (same sanitization as
+    /// [`FsRoundTripCache::path_for`]).
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{}.model.deepn", sanitized_key(key)))
+    }
+
+    /// Cache hits observed through this handle.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses observed through this handle.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
+impl ModelCache for FsModelCache {
+    fn load(&mut self, key: &str) -> Option<Sequential> {
+        let net = load::<StoredModel>(self.path_for(key))
+            .ok()
+            .and_then(|stored| stored.instantiate().ok());
+        match net {
+            Some(net) => {
+                self.hits += 1;
+                Some(net)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, key: &str, recipe: &ModelRecipe, net: &Sequential) {
+        let artifact = StoredModel::from_network(
+            recipe.arch.clone(),
+            recipe.in_channels,
+            recipe.height,
+            recipe.width,
+            recipe.classes,
+            recipe.seed,
+            net,
+        );
+        // Best effort: a full disk or read-only dir must not fail the run.
+        let _ = save(&artifact, self.path_for(key));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +215,37 @@ mod tests {
         assert_eq!(warm.misses(), 0);
         assert_eq!(a, b);
         assert_eq!(na, nb);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_cache_persists_trained_models_across_handles() {
+        use deepn_core::experiment::{run_symmetric_cached_with_models, ExperimentConfig, NoCache};
+
+        let dir = std::env::temp_dir().join(format!("deepn-mc-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut spec = DatasetSpec::tiny();
+        spec.train_per_class = 8;
+        spec.test_per_class = 4;
+        let set = ImageSet::generate(&spec, 17);
+        let mut cfg = ExperimentConfig::alexnet(deepn_core::experiment::Scale::Fast);
+        cfg.epochs = 2;
+        let scheme = CompressionScheme::Jpeg(60);
+
+        let mut cold = FsModelCache::new(&dir).expect("open");
+        let first = run_symmetric_cached_with_models(&cfg, &set, &scheme, &mut NoCache, &mut cold)
+            .expect("cold run");
+        assert_eq!((cold.hits(), cold.misses()), (0, 1));
+
+        // A fresh handle (a "second pipeline run") loads the stored model
+        // and skips training; deterministic training makes the accuracy
+        // identical.
+        let mut warm = FsModelCache::new(&dir).expect("reopen");
+        let second = run_symmetric_cached_with_models(&cfg, &set, &scheme, &mut NoCache, &mut warm)
+            .expect("warm run");
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+        assert_eq!(first.accuracy, second.accuracy);
+        assert!(second.history.train_loss.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -37,6 +37,7 @@ mod error;
 mod rw;
 
 pub use artifacts::{decode_image, encode_image, DecodedSet, StoredModel};
+pub use cache::FsModelCache;
 pub use cache::FsRoundTripCache;
 pub use error::StoreError;
 pub use rw::{crc32, ByteReader, ByteWriter};

@@ -84,7 +84,10 @@ impl Conv2dGeometry {
 /// Lowers one CHW image into the `[C·K·K, outH·outW]` column matrix, so that
 /// convolution with a `[outC, C·K·K]` kernel matrix is a single matmul.
 ///
-/// Out-of-bounds taps (from padding) contribute zeros.
+/// Out-of-bounds taps (from padding) contribute zeros. Each output row is
+/// an independent tap gather, so large lowerings split their rows across
+/// the `deepn-parallel` pool; every row is written by exactly the scalar
+/// loop, making the result bit-identical at any `DEEPN_THREADS`.
 ///
 /// # Panics
 ///
@@ -94,34 +97,43 @@ pub fn im2col(image: &Tensor, g: &Conv2dGeometry) -> Tensor {
     assert_eq!(image.shape().dims(), &[g.in_channels, g.in_h, g.in_w]);
     let (oh, ow) = (g.out_h(), g.out_w());
     let cols = oh * ow;
-    let mut out = Tensor::zeros(&[g.col_rows(), cols]);
+    let rows = g.col_rows();
+    let mut out = Tensor::zeros(&[rows, cols]);
     let src = image.data();
     let dst = out.data_mut();
-    let mut row = 0;
-    for c in 0..g.in_channels {
+    let fill_row = |row: usize, drow: &mut [f32]| {
+        let c = row / (g.kernel * g.kernel);
+        let ky = row / g.kernel % g.kernel;
+        let kx = row % g.kernel;
         let plane = &src[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
-        for ky in 0..g.kernel {
-            for kx in 0..g.kernel {
-                let drow = &mut dst[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                    if iy < 0 || iy >= g.in_h as isize {
-                        continue; // stays zero
-                    }
-                    let srow = &plane[iy as usize * g.in_w..(iy as usize + 1) * g.in_w];
-                    for ox in 0..ow {
-                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                        if ix >= 0 && ix < g.in_w as isize {
-                            drow[oy * ow + ox] = srow[ix as usize];
-                        }
-                    }
-                }
-                row += 1;
+        for oy in 0..oh {
+            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+            if iy < 0 || iy >= g.in_h as isize {
+                continue; // stays zero
             }
+            let srow = &plane[iy as usize * g.in_w..(iy as usize + 1) * g.in_w];
+            for ox in 0..ow {
+                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                if ix >= 0 && ix < g.in_w as isize {
+                    drow[oy * ow + ox] = srow[ix as usize];
+                }
+            }
+        }
+    };
+    if rows >= 2 && rows * cols >= PAR_MIN_ELEMS && deepn_parallel::current_threads() > 1 {
+        crate::ops::par_rows(dst, rows, cols, &fill_row);
+    } else {
+        for (row, drow) in dst.chunks_mut(cols).enumerate() {
+            fill_row(row, drow);
         }
     }
     out
 }
+
+/// Minimum column-matrix element count before `im2col` forks onto the
+/// pool; the per-element work is a bounds check and a copy, so it takes a
+/// fairly large lowering to amortize the fork.
+const PAR_MIN_ELEMS: usize = 1 << 14;
 
 /// Scatters a column-matrix gradient back into CHW image space — the adjoint
 /// of [`im2col`]. Overlapping taps accumulate.
@@ -243,5 +255,21 @@ mod tests {
     #[should_panic(expected = "smaller than kernel")]
     fn geometry_rejects_tiny_input() {
         Conv2dGeometry::new(1, 2, 2, 5, 1, 0);
+    }
+
+    #[test]
+    fn parallel_im2col_is_bit_identical_to_scalar() {
+        // 8·3·3 rows × 32·32 cols = 73728 elements: over the fork
+        // threshold whenever the pool is multi-threaded.
+        let g = Conv2dGeometry::new(8, 32, 32, 3, 1, 1);
+        let img = Tensor::from_vec(
+            (0..8 * 32 * 32)
+                .map(|i| ((i * 37 % 251) as f32) - 125.0)
+                .collect(),
+            &[8, 32, 32],
+        );
+        let par = im2col(&img, &g);
+        let seq = deepn_parallel::run_sequential(|| im2col(&img, &g));
+        assert_eq!(par.data(), seq.data());
     }
 }

@@ -3,8 +3,25 @@
 //! All three matmul variants use a blocked i-k-j loop order so the innermost
 //! loop streams contiguously through both the output row and one input row,
 //! which is the standard cache-friendly layout for row-major storage.
+//!
+//! Large products additionally split their **output rows** across the
+//! `deepn-parallel` pool. Each output element still accumulates its terms
+//! in exactly the scalar order (rows are whole units of work), so the
+//! parallel results are bit-identical to the scalar ones at any
+//! `DEEPN_THREADS` — asserted by the parity tests below and in
+//! `tests/proptest_parallel.rs`.
 
 use crate::Tensor;
+
+/// Minimum `m·k·n` product (multiply-add count) before a matmul forks onto
+/// the pool; below this the fork/join overhead dominates.
+const PAR_MIN_FLOPS: usize = 1 << 15;
+
+/// Whether a kernel with `rows` independent output rows and `flops` total
+/// multiply-adds is worth running on the pool right now.
+fn worth_forking(rows: usize, flops: usize) -> bool {
+    rows >= 2 && flops >= PAR_MIN_FLOPS && deepn_parallel::current_threads() > 1
+}
 
 /// `C = A · B` for 2-D tensors.
 ///
@@ -27,9 +44,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let od = out.data_mut();
-    for i in 0..m {
+    let row_kernel = |i: usize, orow: &mut [f32]| {
         let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut od[i * n..(i + 1) * n];
         for (p, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
@@ -39,8 +55,34 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
                 *o += av * bv;
             }
         }
+    };
+    if worth_forking(m, m * k * n) {
+        par_rows(od, m, n, &row_kernel);
+    } else {
+        for (i, orow) in od.chunks_mut(n).enumerate() {
+            row_kernel(i, orow);
+        }
     }
     out
+}
+
+/// Runs `row_kernel(row_index, output_row)` over all `m` rows of `od`
+/// (each `n` wide), splitting contiguous row ranges across the pool.
+/// Shared by the matmul variants and `im2col`, so the chunking policy
+/// lives in one place.
+pub(crate) fn par_rows(
+    od: &mut [f32],
+    m: usize,
+    n: usize,
+    row_kernel: &(impl Fn(usize, &mut [f32]) + Sync),
+) {
+    let rows_per_chunk = deepn_parallel::chunk_size_for(deepn_parallel::global(), m);
+    deepn_parallel::par_chunks_mut(od, rows_per_chunk * n, |ci, chunk| {
+        let base = ci * rows_per_chunk;
+        for (r, orow) in chunk.chunks_mut(n).enumerate() {
+            row_kernel(base + r, orow);
+        }
+    });
 }
 
 /// `C = Aᵀ · B` without materializing the transpose.
@@ -59,6 +101,24 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let od = out.data_mut();
+    if worth_forking(m, m * k * n) {
+        // Row-parallel form: each output row accumulates over p in the
+        // same ascending order as the scalar p-outer loop, so every
+        // output element sees an identical addition sequence.
+        par_rows(od, m, n, &|i: usize, orow: &mut [f32]| {
+            for p in 0..k {
+                let av = ad[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        });
+        return out;
+    }
     for p in 0..k {
         let arow = &ad[p * m..(p + 1) * m];
         let brow = &bd[p * n..(p + 1) * n];
@@ -91,9 +151,8 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let od = out.data_mut();
-    for i in 0..m {
+    let row_kernel = |i: usize, orow: &mut [f32]| {
         let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut od[i * n..(i + 1) * n];
         for (j, o) in orow.iter_mut().enumerate() {
             let brow = &bd[j * k..(j + 1) * k];
             let mut acc = 0.0;
@@ -101,6 +160,13 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
                 acc += av * bv;
             }
             *o = acc;
+        }
+    };
+    if worth_forking(m, m * k * n) {
+        par_rows(od, m, n, &row_kernel);
+    } else {
+        for (i, orow) in od.chunks_mut(n).enumerate() {
+            row_kernel(i, orow);
         }
     }
     out
@@ -183,6 +249,43 @@ mod tests {
     #[should_panic(expected = "inner dimension mismatch")]
     fn matmul_rejects_mismatch() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn parallel_matmuls_are_bit_identical_to_scalar() {
+        // Large enough that `worth_forking` fires whenever the global pool
+        // has more than one thread; under DEEPN_THREADS=1 both sides run
+        // the same inline path and the assertion is trivially true.
+        let m = 48;
+        let k = 40;
+        let n = 44;
+        let mk: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 17) as f32) - 8.0).collect();
+        let kn: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 13 % 23) as f32) * 0.25 - 2.0)
+            .collect();
+        let a = t(mk.clone(), &[m, k]);
+        let b = t(kn.clone(), &[k, n]);
+        let par = matmul(&a, &b);
+        let seq = deepn_parallel::run_sequential(|| matmul(&a, &b));
+        assert_eq!(par.data(), seq.data());
+
+        let at = t(
+            (0..k * m).map(|i| ((i * 7 % 29) as f32) - 14.0).collect(),
+            &[k, m],
+        );
+        let bt = t(kn, &[k, n]);
+        let par = matmul_at_b(&at, &bt);
+        let seq = deepn_parallel::run_sequential(|| matmul_at_b(&at, &bt));
+        assert_eq!(par.data(), seq.data());
+
+        let lhs = t(mk, &[m, k]);
+        let rhs = t(
+            (0..n * k).map(|i| ((i * 11 % 19) as f32) * 0.5).collect(),
+            &[n, k],
+        );
+        let par = matmul_a_bt(&lhs, &rhs);
+        let seq = deepn_parallel::run_sequential(|| matmul_a_bt(&lhs, &rhs));
+        assert_eq!(par.data(), seq.data());
     }
 
     #[test]

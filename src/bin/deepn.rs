@@ -7,12 +7,12 @@
 
 use deepn::codec::ppm::{read_ppm, write_ppm};
 use deepn::codec::{Decoder, Encoder, QuantTablePair};
-use deepn::core::experiment::{run_symmetric_cached, ExperimentConfig, Scale};
-use deepn::core::sa_search::{anneal, SaConfig};
+use deepn::core::experiment::{run_symmetric_cached_with_models, ExperimentConfig, Scale};
+use deepn::core::sa_search::{anneal, anneal_restarts, SaConfig};
 use deepn::core::{analyze_images, CompressionScheme, DeepnTableBuilder, PlmParams};
 use deepn::dataset::ImageSet;
 use deepn::serve::{Client, Server, ServerConfig};
-use deepn::store::{self, ArtifactKind, FsRoundTripCache, StoredModel};
+use deepn::store::{self, ArtifactKind, FsModelCache, FsRoundTripCache, StoredModel};
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -28,7 +28,7 @@ USAGE:
 COMMANDS:
     build-table   Analyze a dataset and persist designed quantization tables
                   --out PATH [--scale fast|full] [--seed N] [--sa]
-                  [--sa-iters N] [--stats-out PATH]
+                  [--sa-iters N] [--sa-restarts N] [--stats-out PATH]
     train         Train a zoo model and persist its weights
                   --out PATH [--scale fast|full] [--model NAME] [--epochs N]
     compress      Compress a PPM image with stored tables
@@ -37,6 +37,7 @@ COMMANDS:
                   --input IN.jpg --output OUT.ppm
     serve         Run the compression service on stored tables
                   --tables PATH --addr HOST:PORT [--workers N] [--queue N]
+                  [--max-conns N] [--timeout-ms N (0 = no deadline)]
                   [--model PATH]
     bench-client  Drive a running service and verify byte-identical
                   round-trips against the local codec
@@ -162,8 +163,12 @@ fn cmd_build_table(mut args: Args) -> Result<(), Box<dyn Error>> {
     let seed = args.parsed("--seed", 0xDEE9u64)?;
     let use_sa = args.flag("--sa");
     let sa_iters = args.parsed("--sa-iters", SaConfig::default().iterations)?;
+    let sa_restarts = args.parsed("--sa-restarts", 1usize)?;
     let stats_out = args.value("--stats-out")?;
     args.finish()?;
+    if sa_restarts == 0 {
+        return Err("--sa-restarts must be at least 1".into());
+    }
 
     let t0 = Instant::now();
     let set = dataset_for(scale, seed);
@@ -173,17 +178,20 @@ fn cmd_build_table(mut args: Args) -> Result<(), Box<dyn Error>> {
         println!("band statistics -> {path}");
     }
     let tables = if use_sa {
-        let outcome = anneal(
-            &stats,
-            &SaConfig {
-                iterations: sa_iters,
-                seed,
-                ..SaConfig::default()
-            },
-        );
+        let cfg = SaConfig {
+            iterations: sa_iters,
+            seed,
+            ..SaConfig::default()
+        };
+        let outcome = if sa_restarts > 1 {
+            // Independent chains anneal in parallel on the shared pool.
+            anneal_restarts(&stats, &cfg, sa_restarts)
+        } else {
+            anneal(&stats, &cfg)
+        };
         println!(
-            "SA search: {} iterations, objective {:.1}",
-            sa_iters, outcome.objective
+            "SA search: {} iterations x {} restart(s), objective {:.1}",
+            sa_iters, sa_restarts, outcome.objective
         );
         outcome.tables
     } else {
@@ -273,6 +281,10 @@ fn cmd_serve(mut args: Args) -> Result<(), Box<dyn Error>> {
     let mut config = ServerConfig::default();
     config.workers = args.parsed("--workers", config.workers)?;
     config.queue_depth = args.parsed("--queue", config.queue_depth)?;
+    config.max_connections = args.parsed("--max-conns", config.max_connections)?;
+    let default_timeout_ms = config.request_timeout.map_or(0, |t| t.as_millis() as u64);
+    let timeout_ms = args.parsed("--timeout-ms", default_timeout_ms)?;
+    config.request_timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
     let model_path = args.value("--model")?;
     args.finish()?;
 
@@ -289,10 +301,15 @@ fn cmd_serve(mut args: Args) -> Result<(), Box<dyn Error>> {
     let server = Server::bind(addr.as_str(), tables, model, config.clone())?;
     // Machine-parsable readiness line (the CI smoke job waits for it).
     println!(
-        "deepn-serve listening on {} ({} workers, queue {})",
+        "deepn-serve listening on {} ({} workers, queue {}, {} conns max, \
+         timeout {})",
         server.local_addr()?,
         config.workers,
-        config.queue_depth
+        config.queue_depth,
+        config.max_connections,
+        config
+            .request_timeout
+            .map_or("off".to_owned(), |t| format!("{t:?}")),
     );
     server.run()?;
     println!("deepn-serve stopped");
@@ -403,6 +420,9 @@ fn cmd_pipeline(mut args: Args) -> Result<(), Box<dyn Error>> {
         CompressionScheme::Deepn(tables),
     ];
     let mut cache = FsRoundTripCache::new(&cache_dir)?;
+    // Trained models persist beside the decoded sets, so reruns skip the
+    // training stage as well as the codec round trips.
+    let mut models = FsModelCache::new(std::path::Path::new(&cache_dir).join("models"))?;
     let cfg = ExperimentConfig::alexnet(scale);
 
     // Phase 1 — materialize the decoded sets every case needs. On a cold
@@ -431,7 +451,8 @@ fn cmd_pipeline(mut args: Args) -> Result<(), Box<dyn Error>> {
     );
     for scheme in &schemes {
         let t = Instant::now();
-        let outcome = run_symmetric_cached(&cfg, &set, scheme, &mut cache)?;
+        let outcome =
+            run_symmetric_cached_with_models(&cfg, &set, scheme, &mut cache, &mut models)?;
         println!(
             "{:<24} {:>7.1}% {:>12} {:>10.2?}",
             scheme.to_string(),
@@ -441,13 +462,15 @@ fn cmd_pipeline(mut args: Args) -> Result<(), Box<dyn Error>> {
         );
     }
     println!(
-        "cache: {} hits, {} misses ({cache_dir}); materialization {materialize:.2?}; \
-         total {:.2?}",
+        "cache: {} decoded-set hits, {} misses; {} model hits, {} misses \
+         ({cache_dir}); materialization {materialize:.2?}; total {:.2?}",
         cache.hits(),
         cache.misses(),
+        models.hits(),
+        models.misses(),
         t0.elapsed()
     );
-    println!("rerun the same command to reuse the cached decoded sets");
+    println!("rerun the same command to reuse the cached decoded sets and models");
     Ok(())
 }
 

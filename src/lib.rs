@@ -3,6 +3,8 @@
 //! Facade crate for the DAC 2018 paper reproduction. It re-exports the
 //! workspace crates so downstream users can depend on a single crate:
 //!
+//! - [`parallel`] — work-stealing data-parallel runtime driving every hot
+//!   path below (`DEEPN_THREADS` sizes it; see `docs/PARALLELISM.md`)
 //! - [`tensor`] — minimal NCHW `f32` tensor library
 //! - [`nn`] — from-scratch CNN framework and the Mini* model zoo
 //! - [`codec`] — baseline-sequential JPEG codec built from scratch
@@ -51,6 +53,7 @@ pub use deepn_codec as codec;
 pub use deepn_core as core;
 pub use deepn_dataset as dataset;
 pub use deepn_nn as nn;
+pub use deepn_parallel as parallel;
 pub use deepn_power as power;
 pub use deepn_serve as serve;
 pub use deepn_store as store;

@@ -32,6 +32,7 @@ fn persisted_tables_serve_byte_identical_round_trips() {
         ServerConfig {
             workers: 2,
             queue_depth: 16,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
