@@ -4,13 +4,50 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use deepn_codec::dct::{forward_dct_8x8, inverse_dct_8x8};
-use deepn_codec::{Decoder, Encoder, QuantTablePair};
+use deepn_codec::{DecodeWorkspace, Decoder, EncodeWorkspace, Encoder, QuantTablePair};
 use deepn_core::analysis::analyze_images;
 use deepn_core::experiment::{band_probe_tables, to_tensors};
 use deepn_core::{BandKind, DeepnTableBuilder, PlmParams, Segmentation};
 use deepn_dataset::{DatasetSpec, ImageSet};
 use deepn_nn::{stack_batch, zoo, Layer, Mode};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation, so the `stream/*` benchmarks can report
+/// allocations-per-encode alongside time — the workspace path's claim is
+/// "no per-block allocation on the steady-state strip loop", which shows
+/// up as a per-image count that does NOT scale with the block count.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter has no
+// allocator-visible side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
 
 fn dataset() -> ImageSet {
     ImageSet::generate(&DatasetSpec::imagenet_standin(), 0xBEEF)
@@ -136,6 +173,66 @@ fn bench_parallel(c: &mut Criterion) {
     });
 }
 
+/// The streaming-codec workspace contract: `encode_with` through a warm
+/// `EncodeWorkspace` must match the throughput of the one-shot path while
+/// performing no per-block heap allocation on the steady-state strip loop.
+/// The allocation counts are printed per image at two sizes — a constant
+/// count across a 64x more blocks (32x32 -> 256x256) is the zero-per-block
+/// evidence; the scalar-executor counts isolate the codec itself from the
+/// pool's per-chunk task boxes.
+fn bench_stream(c: &mut Criterion) {
+    let enc = Encoder::with_quality(75);
+    for side in [32usize, 256] {
+        let img = deepn_codec::RgbImage::gradient(side, side);
+        let mut ws = EncodeWorkspace::new();
+        enc.encode_with(&img, &mut ws).expect("warm-up"); // size the buffers
+        let (oneshot_allocs, _) =
+            allocations_during(|| deepn_parallel::run_sequential(|| enc.encode(&img)));
+        let (warm_allocs, _) = allocations_during(|| {
+            deepn_parallel::run_sequential(|| enc.encode_with(&img, &mut ws))
+        });
+        let blocks = 3 * side.div_ceil(8) * side.div_ceil(8);
+        println!(
+            "[stream] encode {side}x{side} ({blocks} blocks): {oneshot_allocs} allocs oneshot \
+             vs {warm_allocs} warm-workspace (scalar executor)"
+        );
+        let mut dec_ws = DecodeWorkspace::new();
+        let bytes = enc.encode(&img).expect("encodes");
+        let dec = Decoder::new();
+        dec.decode_with(&bytes, &mut dec_ws).expect("warm-up");
+        let (dec_oneshot, _) =
+            allocations_during(|| deepn_parallel::run_sequential(|| dec.decode(&bytes)));
+        let (dec_warm, _) = allocations_during(|| {
+            deepn_parallel::run_sequential(|| dec.decode_with(&bytes, &mut dec_ws))
+        });
+        println!(
+            "[stream] decode {side}x{side} ({blocks} blocks): {dec_oneshot} allocs oneshot \
+             vs {dec_warm} warm-workspace (scalar executor)"
+        );
+    }
+
+    let img = deepn_codec::RgbImage::gradient(256, 256);
+    c.bench_function("stream/encode_oneshot", |b| {
+        b.iter(|| enc.encode(black_box(&img)).expect("encodes"))
+    });
+    let mut ws = EncodeWorkspace::new();
+    c.bench_function("stream/encode_workspace", |b| {
+        b.iter(|| enc.encode_with(black_box(&img), &mut ws).expect("encodes"))
+    });
+    let bytes = enc.encode(&img).expect("encodes");
+    let dec = Decoder::new();
+    c.bench_function("stream/decode_oneshot", |b| {
+        b.iter(|| dec.decode(black_box(&bytes)).expect("decodes"))
+    });
+    let mut dec_ws = DecodeWorkspace::new();
+    c.bench_function("stream/decode_workspace", |b| {
+        b.iter(|| {
+            dec.decode_with(black_box(&bytes), &mut dec_ws)
+                .expect("decodes")
+        })
+    });
+}
+
 fn bench_nn(c: &mut Criterion) {
     let set = dataset();
     let tensors = to_tensors(&set.images()[..8]);
@@ -243,6 +340,7 @@ fn bench_ablation(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(30);
-    targets = bench_dct, bench_codec, bench_analysis, bench_parallel, bench_nn, bench_ablation
+    targets = bench_dct, bench_codec, bench_analysis, bench_parallel, bench_stream, bench_nn,
+        bench_ablation
 }
 criterion_main!(kernels);

@@ -54,6 +54,16 @@ impl BitWriter {
     pub fn byte_len(&self) -> usize {
         self.bytes.len()
     }
+
+    /// Takes the complete bytes emitted so far, leaving any partial byte
+    /// pending — the streaming drain used by
+    /// [`StreamEncoder`](crate::StreamEncoder) to emit scan bytes strip by
+    /// strip. Concatenating every drained piece with the final
+    /// [`finish`](Self::finish) reproduces the one-shot byte stream
+    /// exactly.
+    pub fn take_completed(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.bytes)
+    }
 }
 
 /// Reads bits MSB-first from a stuffed byte stream, transparently removing
@@ -169,6 +179,24 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.bits(8).expect("bits"), 0xFF);
         assert_eq!(r.bits(8).expect("bits"), 0xFF);
+    }
+
+    #[test]
+    fn take_completed_drains_without_losing_partial_bits() {
+        let mut streamed = Vec::new();
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        streamed.extend(w.take_completed()); // nothing complete yet
+        w.put(0xAB, 8);
+        streamed.extend(w.take_completed()); // one complete byte
+        w.put(0x3F, 6);
+        streamed.extend(w.finish());
+
+        let mut oneshot = BitWriter::new();
+        oneshot.put(0b101, 3);
+        oneshot.put(0xAB, 8);
+        oneshot.put(0x3F, 6);
+        assert_eq!(streamed, oneshot.finish());
     }
 
     #[test]

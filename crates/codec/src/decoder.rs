@@ -1,11 +1,7 @@
-use crate::bitstream::BitReader;
-use crate::block::{blocks_along, blocks_to_plane, Block};
-use crate::coeffs::decode_block;
-use crate::color::planes_to_image;
-use crate::dct::inverse_dct_8x8;
 use crate::huffman::{HuffmanDecoder, HuffmanSpec};
 use crate::marker::{SegmentReader, DHT, DQT, SOF0, SOS};
 use crate::quant::QuantTable;
+use crate::stream::{DecodeWorkspace, PixelStrip, StreamDecoder};
 use crate::zigzag::unscan;
 use crate::{CodecError, RgbImage};
 
@@ -34,20 +30,27 @@ struct FrameComponent {
     ac_id: u8,
 }
 
-impl Decoder {
-    /// Creates a decoder.
-    pub fn new() -> Self {
-        Decoder::default()
-    }
+/// One scan component with its tables resolved and owned — what the
+/// streaming decoder carries per component.
+pub(crate) struct ScanComponent {
+    pub(crate) quant: QuantTable,
+    pub(crate) dc: HuffmanDecoder,
+    pub(crate) ac: HuffmanDecoder,
+}
 
-    /// Decodes a JFIF byte stream into an RGB image.
-    ///
-    /// # Errors
-    ///
-    /// Any [`CodecError`] variant: framing problems, truncated data,
-    /// unsupported features (progressive, subsampled, 12-bit, or
-    /// arithmetic-coded streams), or corrupt entropy data.
-    pub fn decode(&self, bytes: &[u8]) -> Result<RgbImage, CodecError> {
+/// Everything the header segments pin down before the entropy-coded scan:
+/// frame geometry, per-component tables, and where the scan bytes start.
+pub(crate) struct ScanSetup {
+    pub(crate) width: usize,
+    pub(crate) height: usize,
+    pub(crate) components: Vec<ScanComponent>,
+    pub(crate) scan_start: usize,
+}
+
+impl ScanSetup {
+    /// Parses the marker segments up to SOS and resolves every component's
+    /// tables.
+    pub(crate) fn parse(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut reader = SegmentReader::new(bytes)?;
         let mut quant: [Option<QuantTable>; 2] = [None, None];
         let mut dc_tables: [Option<HuffmanDecoder>; 2] = [None, None];
@@ -59,15 +62,15 @@ impl Decoder {
         while let Some(seg) = reader.next_segment()? {
             let payload = &bytes[seg.start..seg.end];
             match seg.marker {
-                DQT => Self::parse_dqt(payload, &mut quant)?,
-                DHT => Self::parse_dht(payload, &mut dc_tables, &mut ac_tables)?,
+                DQT => Decoder::parse_dqt(payload, &mut quant)?,
+                DHT => Decoder::parse_dht(payload, &mut dc_tables, &mut ac_tables)?,
                 SOF0 => {
-                    let (dims, comps) = Self::parse_sof0(payload)?;
+                    let (dims, comps) = Decoder::parse_sof0(payload)?;
                     size = Some(dims);
                     components = comps;
                 }
                 SOS => {
-                    Self::parse_sos(payload, &mut components)?;
+                    Decoder::parse_sos(payload, &mut components)?;
                     sos_seen = true;
                 }
                 m if (0xC1..=0xCF).contains(&m) && m != 0xC4 && m != 0xC8 && m != 0xCC => {
@@ -81,11 +84,9 @@ impl Decoder {
         if !sos_seen {
             return Err(CodecError::BadMarker("missing SOS".into()));
         }
-        let (w, h) = size.ok_or_else(|| CodecError::BadMarker("missing SOF0".into()))?;
-        let (bw, bh) = (blocks_along(w), blocks_along(h));
+        let (width, height) = size.ok_or_else(|| CodecError::BadMarker("missing SOF0".into()))?;
 
-        // Resolve per-component tables up front.
-        let mut resolved: Vec<(&QuantTable, &HuffmanDecoder, &HuffmanDecoder)> = Vec::new();
+        let mut resolved = Vec::with_capacity(components.len());
         for c in &components {
             let q = quant[usize::from(c.quant_id)]
                 .as_ref()
@@ -96,42 +97,80 @@ impl Decoder {
             let ac = ac_tables[usize::from(c.ac_id)]
                 .as_ref()
                 .ok_or_else(|| CodecError::BadHuffmanTable("undefined AC table".into()))?;
-            resolved.push((q, dc, ac));
+            resolved.push(ScanComponent {
+                quant: q.clone(),
+                dc: dc.clone(),
+                ac: ac.clone(),
+            });
         }
+        Ok(ScanSetup {
+            width,
+            height,
+            components: resolved,
+            scan_start: reader.scan_start(),
+        })
+    }
+}
 
-        // Entropy-decode the interleaved scan. The bitstream is inherently
-        // sequential (DC prediction chains through it), so this pass only
-        // collects the zig-zag coefficient blocks...
-        let scan_bytes = &bytes[reader.scan_start()..];
-        let mut bits = BitReader::new(scan_bytes);
-        let mut coeffs: [Vec<[i32; 64]>; 3] = [
-            Vec::with_capacity(bw * bh),
-            Vec::with_capacity(bw * bh),
-            Vec::with_capacity(bw * bh),
-        ];
-        let mut prev_dc = [0i32; 3];
-        for _ in 0..bw * bh {
-            for (ci, (_, dc, ac)) in resolved.iter().enumerate() {
-                let zz = decode_block(&mut bits, dc, ac, prev_dc[ci])?;
-                prev_dc[ci] = zz[0];
-                coeffs[ci].push(zz);
-            }
+impl Decoder {
+    /// Creates a decoder.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Decodes a JFIF byte stream into an RGB image.
+    ///
+    /// A thin adapter over [`StreamDecoder`]: the stream is consumed strip
+    /// by strip through a fresh [`DecodeWorkspace`] and reassembled. Use
+    /// [`decode_with`](Self::decode_with) to reuse a workspace across
+    /// calls, or [`stream_decoder`](Self::stream_decoder) to consume the
+    /// strips directly with O(strip) memory.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] variant: framing problems, truncated data,
+    /// unsupported features (progressive, subsampled, 12-bit, or
+    /// arithmetic-coded streams), or corrupt entropy data.
+    pub fn decode(&self, bytes: &[u8]) -> Result<RgbImage, CodecError> {
+        self.decode_with(bytes, &mut DecodeWorkspace::new())
+    }
+
+    /// [`decode`](Self::decode) through a caller-owned, reusable
+    /// [`DecodeWorkspace`] — no per-block heap allocation once the
+    /// workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode).
+    pub fn decode_with(
+        &self,
+        bytes: &[u8],
+        ws: &mut DecodeWorkspace,
+    ) -> Result<RgbImage, CodecError> {
+        let mut session = self.stream_decoder(bytes)?;
+        let mut image = RgbImage::new(session.width(), session.height());
+        let stride = session.width() * 3;
+        let mut strip = PixelStrip::new();
+        let mut y0 = 0usize;
+        while session.next_strip(ws, &mut strip)? {
+            let rows = strip.rows();
+            image.as_bytes_mut()[y0 * stride..(y0 + rows) * stride]
+                .copy_from_slice(strip.as_bytes());
+            y0 += rows;
         }
-        // ...and the per-block dequantize → inverse DCT runs on the
-        // `deepn-parallel` pool, block order preserved, so the pixels are
-        // bit-identical to the scalar loop at any `DEEPN_THREADS`.
-        let blocks: [Vec<Block>; 3] = std::array::from_fn(|ci| {
-            let q = resolved[ci].0;
-            deepn_parallel::par_map_collect(&coeffs[ci], |_, zz| {
-                inverse_dct_8x8(&q.dequantize(&unscan(zz)))
-            })
-        });
-        let planes = [
-            blocks_to_plane(&blocks[0], w, h),
-            blocks_to_plane(&blocks[1], w, h),
-            blocks_to_plane(&blocks[2], w, h),
-        ];
-        Ok(planes_to_image(&planes))
+        Ok(image)
+    }
+
+    /// Opens a streaming decode session over `bytes`: headers are parsed
+    /// eagerly, pixel strips are produced on demand by
+    /// [`StreamDecoder::next_strip`].
+    ///
+    /// # Errors
+    ///
+    /// Header-stage errors as in [`decode`](Self::decode); entropy-data
+    /// errors surface from `next_strip`.
+    pub fn stream_decoder<'b>(&self, bytes: &'b [u8]) -> Result<StreamDecoder<'b>, CodecError> {
+        StreamDecoder::open(bytes)
     }
 
     /// Extracts the luma/chroma quantization tables from a stream without

@@ -7,8 +7,70 @@ use crate::huffman::{HuffmanEncoder, HuffmanSpec};
 use crate::marker::{
     jfif_app0_payload, write_marker, write_segment, APP0, DHT, DQT, EOI, SOF0, SOI, SOS,
 };
+use crate::stream::{EncodeWorkspace, PixelStrip, StreamEncoder};
 use crate::zigzag::scan;
 use crate::{CodecError, QuantTablePair, RgbImage};
+
+/// Writes every header segment of a baseline 4:4:4 stream — SOI through
+/// SOS — exactly as both the one-shot and the streaming encoder emit them.
+/// `specs` is `[dc_luma, ac_luma, dc_chroma, ac_chroma]`.
+pub(crate) fn write_headers(
+    out: &mut Vec<u8>,
+    tables: &QuantTablePair,
+    width: usize,
+    height: usize,
+    specs: [&HuffmanSpec; 4],
+) {
+    write_marker(out, SOI);
+    write_segment(out, APP0, &jfif_app0_payload());
+    // DQT: luma table id 0, chroma table id 1.
+    for (id, table) in [(0u8, &tables.luma), (1u8, &tables.chroma)] {
+        let wide = table.max_value() > 255;
+        let mut payload = Vec::with_capacity(1 + if wide { 128 } else { 64 });
+        payload.push((u8::from(wide) << 4) | id);
+        let zz = scan(table.values());
+        for &v in &zz {
+            if wide {
+                payload.extend_from_slice(&v.to_be_bytes());
+            } else {
+                payload.push(v as u8);
+            }
+        }
+        write_segment(out, DQT, &payload);
+    }
+    // SOF0: 8-bit precision, three 1x1-sampled components.
+    let mut sof = vec![8u8];
+    sof.extend_from_slice(&(height as u16).to_be_bytes());
+    sof.extend_from_slice(&(width as u16).to_be_bytes());
+    sof.push(3);
+    for (comp_id, qt_id) in [(1u8, 0u8), (2, 1), (3, 1)] {
+        sof.push(comp_id);
+        sof.push(0x11); // H=1, V=1
+        sof.push(qt_id);
+    }
+    write_segment(out, SOF0, &sof);
+    // DHT: class 0 = DC, class 1 = AC; destination 0 = luma, 1 = chroma.
+    for (class_dest, spec) in [
+        (0x00u8, specs[0]),
+        (0x10, specs[1]),
+        (0x01, specs[2]),
+        (0x11, specs[3]),
+    ] {
+        let mut payload = Vec::with_capacity(17 + spec.values.len());
+        payload.push(class_dest);
+        payload.extend_from_slice(&spec.bits);
+        payload.extend_from_slice(&spec.values);
+        write_segment(out, DHT, &payload);
+    }
+    // SOS header.
+    let mut sos = vec![3u8];
+    for (comp_id, tables) in [(1u8, 0x00u8), (2, 0x11), (3, 0x11)] {
+        sos.push(comp_id);
+        sos.push(tables);
+    }
+    sos.extend_from_slice(&[0, 63, 0]); // full spectral range, no approx
+    write_segment(out, SOS, &sos);
+}
 
 /// Quantized, zig-zag-ordered DCT coefficients for the three components of
 /// one image — the codec's intermediate representation.
@@ -145,14 +207,66 @@ impl Encoder {
 
     /// Encodes an RGB image to a complete JFIF byte stream.
     ///
+    /// A thin adapter over [`StreamEncoder`]: the image is fed strip by
+    /// strip through a fresh [`EncodeWorkspace`] (twice when optimized
+    /// Huffman tables are on — the analysis pass, then the encode pass).
+    /// Use [`encode_with`](Self::encode_with) to reuse a workspace across
+    /// images, or [`stream_encoder`](Self::stream_encoder) to feed strips
+    /// yourself with O(strip) memory.
+    ///
     /// # Errors
     ///
     /// [`CodecError::InvalidDimensions`] for out-of-range sizes; Huffman
     /// construction errors are internal bugs and surface as
     /// [`CodecError::BadHuffmanTable`].
     pub fn encode(&self, image: &RgbImage) -> Result<Vec<u8>, CodecError> {
-        let planes = self.quantize_image(image)?;
-        self.encode_quantized(&planes)
+        self.encode_with(image, &mut EncodeWorkspace::new())
+    }
+
+    /// [`encode`](Self::encode) through a caller-owned, reusable
+    /// [`EncodeWorkspace`] — no per-block heap allocation once the
+    /// workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// As [`encode`](Self::encode).
+    pub fn encode_with(
+        &self,
+        image: &RgbImage,
+        ws: &mut EncodeWorkspace,
+    ) -> Result<Vec<u8>, CodecError> {
+        let mut session = self.stream_encoder(image.width(), image.height())?;
+        let mut strip = PixelStrip::new();
+        if session.needs_analysis_pass() {
+            for s in 0..session.strip_count() {
+                strip.copy_from_image(image, s);
+                session.analyze_strip(&strip, ws)?;
+            }
+        }
+        for s in 0..session.strip_count() {
+            strip.copy_from_image(image, s);
+            session.encode_strip(&strip, ws)?;
+        }
+        session.finish()
+    }
+
+    /// Opens a push-based streaming encode session for a
+    /// `width` × `height` image (see [`StreamEncoder`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidDimensions`] for zero or >65535 dimensions.
+    pub fn stream_encoder(
+        &self,
+        width: usize,
+        height: usize,
+    ) -> Result<StreamEncoder<'_>, CodecError> {
+        StreamEncoder::new(self, width, height)
+    }
+
+    /// Whether this encoder builds per-image optimized Huffman tables.
+    pub(crate) fn huffman_optimized(&self) -> bool {
+        self.optimize_huffman
     }
 
     /// Entropy-codes pre-quantized coefficient planes into a JFIF stream.
@@ -196,55 +310,13 @@ impl Encoder {
         let enc_ac_c = HuffmanEncoder::from_spec(&ac_chroma)?;
 
         let mut out = Vec::new();
-        write_marker(&mut out, SOI);
-        write_segment(&mut out, APP0, &jfif_app0_payload());
-        // DQT: luma table id 0, chroma table id 1.
-        for (id, table) in [(0u8, &self.tables.luma), (1u8, &self.tables.chroma)] {
-            let wide = table.max_value() > 255;
-            let mut payload = Vec::with_capacity(1 + if wide { 128 } else { 64 });
-            payload.push((u8::from(wide) << 4) | id);
-            let zz = scan(table.values());
-            for &v in &zz {
-                if wide {
-                    payload.extend_from_slice(&v.to_be_bytes());
-                } else {
-                    payload.push(v as u8);
-                }
-            }
-            write_segment(&mut out, DQT, &payload);
-        }
-        // SOF0: 8-bit precision, three 1x1-sampled components.
-        let mut sof = vec![8u8];
-        sof.extend_from_slice(&(h as u16).to_be_bytes());
-        sof.extend_from_slice(&(w as u16).to_be_bytes());
-        sof.push(3);
-        for (comp_id, qt_id) in [(1u8, 0u8), (2, 1), (3, 1)] {
-            sof.push(comp_id);
-            sof.push(0x11); // H=1, V=1
-            sof.push(qt_id);
-        }
-        write_segment(&mut out, SOF0, &sof);
-        // DHT: class 0 = DC, class 1 = AC; destination 0 = luma, 1 = chroma.
-        for (class_dest, spec) in [
-            (0x00u8, &dc_luma),
-            (0x10, &ac_luma),
-            (0x01, &dc_chroma),
-            (0x11, &ac_chroma),
-        ] {
-            let mut payload = Vec::with_capacity(17 + spec.values.len());
-            payload.push(class_dest);
-            payload.extend_from_slice(&spec.bits);
-            payload.extend_from_slice(&spec.values);
-            write_segment(&mut out, DHT, &payload);
-        }
-        // SOS header.
-        let mut sos = vec![3u8];
-        for (comp_id, tables) in [(1u8, 0x00u8), (2, 0x11), (3, 0x11)] {
-            sos.push(comp_id);
-            sos.push(tables);
-        }
-        sos.extend_from_slice(&[0, 63, 0]); // full spectral range, no approx
-        write_segment(&mut out, SOS, &sos);
+        write_headers(
+            &mut out,
+            &self.tables,
+            w,
+            h,
+            [&dc_luma, &ac_luma, &dc_chroma, &ac_chroma],
+        );
 
         // Entropy-coded interleaved scan: per MCU (= one block position in
         // 4:4:4), Y then Cb then Cr.

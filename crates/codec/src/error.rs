@@ -24,6 +24,9 @@ pub enum CodecError {
     BadQuantTable(String),
     /// The stream uses a JPEG feature outside baseline-sequential 4:4:4.
     Unsupported(String),
+    /// A streaming codec session was driven out of protocol (wrong strip
+    /// shape, strips out of order, a missing analysis pass, ...).
+    StreamState(String),
 }
 
 impl fmt::Display for CodecError {
@@ -38,6 +41,7 @@ impl fmt::Display for CodecError {
             CodecError::BadHuffmanTable(m) => write!(f, "invalid huffman table: {m}"),
             CodecError::BadQuantTable(m) => write!(f, "invalid quantization table: {m}"),
             CodecError::Unsupported(m) => write!(f, "unsupported jpeg feature: {m}"),
+            CodecError::StreamState(m) => write!(f, "streaming session misuse: {m}"),
         }
     }
 }

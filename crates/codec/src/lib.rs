@@ -23,6 +23,12 @@
 //! The [`Encoder`]/[`Decoder`] pair round-trips any [`RgbImage`]; 4:4:4
 //! (no chroma subsampling) is used throughout, matching the paper's scope.
 //!
+//! Both directions are thin adapters over the streaming stage pipeline
+//! ([`stream`]): [`StreamEncoder`]/[`StreamDecoder`] process 8-pixel-high
+//! block strips through reusable [`EncodeWorkspace`]/[`DecodeWorkspace`]
+//! buffers, so arbitrarily large images compress in O(strip) memory with
+//! no per-block allocation (see `docs/CODEC_PIPELINE.md`).
+//!
 //! ## Example
 //!
 //! ```
@@ -54,6 +60,7 @@ pub mod marker;
 mod metrics;
 pub mod ppm;
 pub mod quant;
+pub mod stream;
 pub mod zigzag;
 
 pub use decoder::Decoder;
@@ -62,3 +69,6 @@ pub use error::CodecError;
 pub use image::RgbImage;
 pub use metrics::{compression_ratio, mse, psnr, CompressionStats};
 pub use quant::{QuantTable, QuantTablePair};
+pub use stream::{
+    DecodeWorkspace, EncodeWorkspace, PixelStrip, StreamDecoder, StreamEncoder, STRIP_ROWS,
+};

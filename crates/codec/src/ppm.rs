@@ -56,6 +56,141 @@ pub fn read_ppm<R: Read>(mut reader: R) -> Result<RgbImage, CodecError> {
     RgbImage::from_bytes(width, height, data[pos..pos + need].to_vec())
 }
 
+/// Writes just the P6 header, for row-streaming writers that follow it
+/// with `height * width * 3` raw bytes (e.g. the `deepn decompress` CLI,
+/// which emits pixel strips as they decode).
+///
+/// # Errors
+///
+/// I/O errors from the writer.
+pub fn write_ppm_header<W: Write>(
+    mut writer: W,
+    width: usize,
+    height: usize,
+) -> std::io::Result<()> {
+    write!(writer, "P6\n{width} {height}\n255\n")
+}
+
+/// An incremental binary-PPM (P6) reader: the header is parsed eagerly,
+/// pixel rows are pulled on demand — so a large image never needs to be
+/// resident at once. Feeding the `deepn compress` CLI's streaming path.
+#[derive(Debug)]
+pub struct PpmRowReader<R> {
+    reader: R,
+    width: usize,
+    height: usize,
+    rows_read: usize,
+}
+
+impl<R: Read> PpmRowReader<R> {
+    /// Parses the P6 header (comments and arbitrary whitespace accepted,
+    /// maxval 255 only), leaving the reader positioned at the first pixel
+    /// byte.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_ppm`], for the header portion.
+    pub fn new(mut reader: R) -> Result<Self, CodecError> {
+        let mut tok = HeaderTokenizer::new(&mut reader);
+        let magic = tok.token()?;
+        if magic != b"P6" {
+            return Err(CodecError::Unsupported(format!(
+                "PPM magic {:?} (only binary P6 is supported)",
+                String::from_utf8_lossy(&magic)
+            )));
+        }
+        let width = parse_number(&tok.token()?)?;
+        let height = parse_number(&tok.token()?)?;
+        let maxval = parse_number(&tok.token()?)?;
+        if maxval != 255 {
+            return Err(CodecError::Unsupported(format!("PPM maxval {maxval}")));
+        }
+        if width == 0 || height == 0 {
+            return Err(CodecError::InvalidDimensions { width, height });
+        }
+        Ok(PpmRowReader {
+            reader,
+            width,
+            height,
+            rows_read: 0,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Reads up to `rows` pixel rows into `buf` (replacing its contents),
+    /// returning how many were read — 0 only after the last row.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if the pixel data is truncated.
+    pub fn read_rows(&mut self, rows: usize, buf: &mut Vec<u8>) -> Result<usize, CodecError> {
+        let take = rows.min(self.height - self.rows_read);
+        buf.clear();
+        buf.resize(take * self.width * 3, 0);
+        self.reader
+            .read_exact(buf)
+            .map_err(|_| CodecError::UnexpectedEof)?;
+        self.rows_read += take;
+        Ok(take)
+    }
+}
+
+/// Byte-at-a-time header tokenizer with the same grammar as `take_token`,
+/// but over a streaming reader: it never consumes past the single
+/// whitespace byte that terminates the maxval token.
+struct HeaderTokenizer<'r, R> {
+    reader: &'r mut R,
+}
+
+impl<'r, R: Read> HeaderTokenizer<'r, R> {
+    fn new(reader: &'r mut R) -> Self {
+        HeaderTokenizer { reader }
+    }
+
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let mut b = [0u8; 1];
+        self.reader
+            .read_exact(&mut b)
+            .map_err(|_| CodecError::UnexpectedEof)?;
+        Ok(b[0])
+    }
+
+    fn token(&mut self) -> Result<Vec<u8>, CodecError> {
+        // Skip whitespace and comments.
+        let mut b = self.byte()?;
+        loop {
+            if b.is_ascii_whitespace() {
+                b = self.byte()?;
+            } else if b == b'#' {
+                while b != b'\n' {
+                    b = self.byte()?;
+                }
+            } else {
+                break;
+            }
+        }
+        // Collect through the single terminating whitespace byte.
+        let mut token = Vec::new();
+        while !b.is_ascii_whitespace() {
+            token.push(b);
+            b = self.byte()?;
+        }
+        if token.is_empty() {
+            return Err(CodecError::BadMarker("empty PPM header token".into()));
+        }
+        Ok(token)
+    }
+}
+
 /// Reads the next whitespace-delimited token, skipping `#` comments, and
 /// consumes the single whitespace byte that terminates it.
 fn take_token(data: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
@@ -127,6 +262,52 @@ mod tests {
         let img = read_ppm(&buf[..]).expect("read succeeds");
         assert_eq!((img.width(), img.height()), (2, 1));
         assert_eq!(img.get(1, 0), [4, 5, 6]);
+    }
+
+    #[test]
+    fn row_reader_matches_whole_file_parse() {
+        let img = RgbImage::gradient(11, 19);
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).expect("write succeeds");
+        let mut reader = PpmRowReader::new(&buf[..]).expect("header parses");
+        assert_eq!((reader.width(), reader.height()), (11, 19));
+        let mut rows = Vec::new();
+        let mut pixels = Vec::new();
+        loop {
+            let n = reader.read_rows(8, &mut rows).expect("rows read");
+            if n == 0 {
+                break;
+            }
+            pixels.extend_from_slice(&rows);
+        }
+        assert_eq!(pixels, img.as_bytes());
+    }
+
+    #[test]
+    fn row_reader_accepts_comments_and_rejects_truncation() {
+        let mut buf: Vec<u8> = b"P6 # a comment\n# another\n 2\t1 \n255\n".to_vec();
+        buf.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        let mut reader = PpmRowReader::new(&buf[..]).expect("header parses");
+        let mut rows = Vec::new();
+        assert_eq!(reader.read_rows(8, &mut rows).expect("row"), 1);
+        assert_eq!(rows, vec![1, 2, 3, 4, 5, 6]);
+
+        let cut: &[u8] = b"P6\n2 2\n255\n\x01\x02";
+        let mut reader = PpmRowReader::new(cut).expect("header parses");
+        assert!(matches!(
+            reader.read_rows(8, &mut rows),
+            Err(CodecError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn header_writer_matches_write_ppm_prefix() {
+        let img = RgbImage::new(5, 4);
+        let mut whole = Vec::new();
+        write_ppm(&img, &mut whole).expect("write succeeds");
+        let mut header = Vec::new();
+        write_ppm_header(&mut header, 5, 4).expect("header writes");
+        assert!(whole.starts_with(&header));
     }
 
     #[test]

@@ -1,0 +1,847 @@
+//! The streaming stage pipeline: the codec exposed as explicit stages
+//! over 8-pixel-high block *strips* instead of whole images.
+//!
+//! ```text
+//! encode:  ColorConvert → BlockSplit → Dct → Quantize → Zigzag → Entropy
+//! decode:  Entropy → Unzigzag → Dequantize → Idct → BlockMerge → ColorConvert⁻¹
+//! ```
+//!
+//! A [`StreamEncoder`] / [`StreamDecoder`] session processes one strip at
+//! a time through caller-owned, reusable [`EncodeWorkspace`] /
+//! [`DecodeWorkspace`] scratch buffers: peak memory is O(strip), and after
+//! the first strip of a given width no per-block heap allocation happens
+//! at all. The per-block transform stages fan out on the `deepn-parallel`
+//! pool with index-addressed writes, so the output is **byte-identical**
+//! at any `DEEPN_THREADS` — the same determinism contract as every other
+//! pool-wired hot path (`docs/PARALLELISM.md`).
+//!
+//! [`Encoder::encode`](crate::Encoder::encode) and
+//! [`Decoder::decode`](crate::Decoder::decode) are thin adapters over
+//! these sessions; driving a session by hand produces the same bytes,
+//! which `tests/proptest_stream.rs` enforces. The full stage graph and
+//! workspace ownership rules are documented in `docs/CODEC_PIPELINE.md`.
+//!
+//! ## The two Huffman modes
+//!
+//! Per-image optimized Huffman tables (the [`Encoder`] default) need the
+//! whole image's symbol statistics before the first header byte can be
+//! written, so an optimized session is **two passes over the strips**:
+//! every strip through [`StreamEncoder::analyze_strip`] (O(1) tally
+//! state), then every strip again through
+//! [`StreamEncoder::encode_strip`]. With
+//! [`optimize_huffman(false)`](crate::Encoder::optimize_huffman) the
+//! session is single-pass — the mode for sources that cannot be rewound,
+//! like the network strips of `deepn-serve`'s `CompressStream`.
+//!
+//! ```
+//! use deepn_codec::{EncodeWorkspace, Encoder, PixelStrip, RgbImage, StreamEncoder};
+//!
+//! # fn main() -> Result<(), deepn_codec::CodecError> {
+//! let img = RgbImage::gradient(21, 13);
+//! let enc = Encoder::with_quality(80);
+//! let mut ws = EncodeWorkspace::new();
+//! let mut session = StreamEncoder::new(&enc, 21, 13)?;
+//! let mut strip = PixelStrip::new();
+//! for pass in 0..2 {
+//!     for s in 0..session.strip_count() {
+//!         strip.copy_from_image(&img, s);
+//!         if pass == 0 {
+//!             session.analyze_strip(&strip, &mut ws)?;
+//!         } else {
+//!             session.encode_strip(&strip, &mut ws)?;
+//!         }
+//!     }
+//! }
+//! assert_eq!(session.finish()?, enc.encode(&img)?);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::block::{blocks_along, Block, BLOCK_SIZE};
+use crate::coeffs::{decode_block, encode_block, tally_block};
+use crate::color::{rgb_to_ycbcr, ycbcr_to_rgb};
+use crate::dct::{forward_dct_8x8, inverse_dct_8x8};
+use crate::decoder::ScanSetup;
+use crate::encoder::write_headers;
+use crate::huffman::{HuffmanEncoder, HuffmanSpec};
+use crate::marker::{write_marker, EOI};
+use crate::zigzag::{scan, unscan};
+use crate::{CodecError, Encoder, QuantTablePair, RgbImage};
+
+/// Height of one strip — one row of 8×8 blocks.
+pub const STRIP_ROWS: usize = BLOCK_SIZE;
+
+/// Number of strips an image of `height` pixels streams as.
+pub fn strip_count_for(height: usize) -> usize {
+    blocks_along(height)
+}
+
+/// Rows carried by the strip at `index` for an image of `height` pixels
+/// (8, except a shorter final strip when the height is not a multiple of
+/// 8) — the single source of strip geometry for every streaming layer.
+///
+/// # Panics
+///
+/// Panics if `index >= strip_count_for(height)`.
+pub fn strip_rows_for(height: usize, index: usize) -> usize {
+    let count = strip_count_for(height);
+    assert!(index < count, "strip index out of range");
+    if index + 1 == count {
+        height - (count - 1) * STRIP_ROWS
+    } else {
+        STRIP_ROWS
+    }
+}
+
+/// A reusable buffer holding up to [`STRIP_ROWS`] rows of interleaved RGB
+/// pixels — the unit of I/O on both ends of the streaming pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PixelStrip {
+    width: usize,
+    rows: usize,
+    data: Vec<u8>,
+}
+
+impl PixelStrip {
+    /// Creates an empty strip; the first fill sizes it.
+    pub fn new() -> Self {
+        PixelStrip::default()
+    }
+
+    /// Fills the strip from raw interleaved RGB rows.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamState`] unless `rgb` holds exactly
+    /// `rows * width * 3` bytes with `1 <= rows <= 8` and `width > 0`.
+    pub fn set_rows(&mut self, width: usize, rows: usize, rgb: &[u8]) -> Result<(), CodecError> {
+        if width == 0 || rows == 0 || rows > STRIP_ROWS || rgb.len() != rows * width * 3 {
+            return Err(CodecError::StreamState(format!(
+                "{} bytes do not hold {rows} RGB rows of width {width}",
+                rgb.len()
+            )));
+        }
+        self.width = width;
+        self.rows = rows;
+        self.data.clear();
+        self.data.extend_from_slice(rgb);
+        Ok(())
+    }
+
+    /// Fills the strip with rows `8*strip_index ..` of `image`. Returns
+    /// `false` (leaving the strip untouched) when the index is past the
+    /// last strip.
+    pub fn copy_from_image(&mut self, image: &RgbImage, strip_index: usize) -> bool {
+        let y0 = strip_index * STRIP_ROWS;
+        if y0 >= image.height() {
+            return false;
+        }
+        let rows = STRIP_ROWS.min(image.height() - y0);
+        let stride = image.width() * 3;
+        self.width = image.width();
+        self.rows = rows;
+        self.data.clear();
+        self.data
+            .extend_from_slice(&image.as_bytes()[y0 * stride..(y0 + rows) * stride]);
+        true
+    }
+
+    /// Strip width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of valid rows (1–8).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The interleaved RGB bytes, row-major.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Caller-owned scratch buffers for the encode-side stages. Buffers are
+/// sized on first use and reused verbatim while the strip width is
+/// unchanged — the steady-state strip loop allocates nothing per block.
+#[derive(Debug, Default)]
+pub struct EncodeWorkspace {
+    width: usize,
+    bw: usize,
+    planes: [Vec<f32>; 3],
+    blocks: Vec<Block>,
+    coeffs: Vec<[i32; 64]>,
+}
+
+impl EncodeWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        EncodeWorkspace::default()
+    }
+
+    fn ensure(&mut self, width: usize) {
+        if self.width == width {
+            return;
+        }
+        let bw = blocks_along(width);
+        for plane in &mut self.planes {
+            plane.clear();
+            plane.resize(STRIP_ROWS * width, 0.0);
+        }
+        self.blocks.clear();
+        self.blocks.resize(3 * bw, [0.0; 64]);
+        self.coeffs.clear();
+        self.coeffs.resize(3 * bw, [0; 64]);
+        self.width = width;
+        self.bw = bw;
+    }
+
+    /// The level-shifted blocks of one component (0 = Y, 1 = Cb, 2 = Cr)
+    /// produced by the latest [`blockize_strip`] — how `deepn-core`'s
+    /// frequency analysis consumes the block stream without materializing
+    /// whole-image coefficient planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `component > 2`.
+    pub fn component_blocks(&self, component: usize) -> &[Block] {
+        assert!(component < 3, "component index out of range");
+        &self.blocks[component * self.bw..(component + 1) * self.bw]
+    }
+}
+
+/// Caller-owned scratch buffers for the decode-side stages; same reuse
+/// contract as [`EncodeWorkspace`].
+#[derive(Debug, Default)]
+pub struct DecodeWorkspace {
+    width: usize,
+    bw: usize,
+    coeffs: Vec<[i32; 64]>,
+    blocks: Vec<Block>,
+    planes: [Vec<f32>; 3],
+}
+
+impl DecodeWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        DecodeWorkspace::default()
+    }
+
+    fn ensure(&mut self, width: usize) {
+        if self.width == width {
+            return;
+        }
+        let bw = blocks_along(width);
+        self.coeffs.clear();
+        self.coeffs.resize(3 * bw, [0; 64]);
+        self.blocks.clear();
+        self.blocks.resize(3 * bw, [0.0; 64]);
+        for plane in &mut self.planes {
+            plane.clear();
+            plane.resize(STRIP_ROWS * width, 0.0);
+        }
+        self.width = width;
+        self.bw = bw;
+    }
+}
+
+/// Stages 1–2 of the encode pipeline: color-convert `strip` into Y/Cb/Cr
+/// strip planes, then split each plane into level-shifted 8×8 blocks with
+/// edge replication (Y blocks first, then Cb, then Cr — read them back
+/// with [`EncodeWorkspace::component_blocks`]).
+pub fn blockize_strip(strip: &PixelStrip, ws: &mut EncodeWorkspace) {
+    ws.ensure(strip.width);
+    let (w, rows) = (strip.width, strip.rows);
+    // Stage 1 — ColorConvert.
+    for y in 0..rows {
+        for x in 0..w {
+            let i = (y * w + x) * 3;
+            let ycc = rgb_to_ycbcr([strip.data[i], strip.data[i + 1], strip.data[i + 2]]);
+            for (plane, &v) in ws.planes.iter_mut().zip(ycc.iter()) {
+                plane[y * w + x] = v;
+            }
+        }
+    }
+    // Stage 2 — BlockSplit: replicate the nearest edge sample beyond the
+    // right/bottom borders (the standard JPEG padding choice) and center
+    // samples on zero.
+    let bw = ws.bw;
+    for ci in 0..3 {
+        let plane = &ws.planes[ci];
+        for bx in 0..bw {
+            let blk = &mut ws.blocks[ci * bw + bx];
+            for iy in 0..BLOCK_SIZE {
+                let sy = iy.min(rows - 1);
+                for ix in 0..BLOCK_SIZE {
+                    let sx = (bx * BLOCK_SIZE + ix).min(w - 1);
+                    blk[iy * BLOCK_SIZE + ix] = plane[sy * w + sx] - 128.0;
+                }
+            }
+        }
+    }
+}
+
+/// Stages 3–5: Dct → Quantize → Zigzag over every block the workspace
+/// holds, in parallel on the `deepn-parallel` pool. Results are written by
+/// index into the workspace's coefficient buffer, so they are
+/// byte-identical at any thread count and nothing is allocated.
+fn transform_strip(ws: &mut EncodeWorkspace, tables: &QuantTablePair) {
+    let bw = ws.bw;
+    let blocks = &ws.blocks;
+    deepn_parallel::par_map_into(blocks, &mut ws.coeffs, |i, blk| {
+        let table = if i < bw { &tables.luma } else { &tables.chroma };
+        scan(&table.quantize(&forward_dct_8x8(blk)))
+    });
+}
+
+/// Symbol-frequency tallies for the optimized-Huffman analysis pass —
+/// O(1) state regardless of image size.
+#[derive(Debug)]
+struct Tallies {
+    dc_luma: [u64; 256],
+    ac_luma: [u64; 256],
+    dc_chroma: [u64; 256],
+    ac_chroma: [u64; 256],
+}
+
+impl Default for Tallies {
+    fn default() -> Self {
+        Tallies {
+            dc_luma: [0; 256],
+            ac_luma: [0; 256],
+            dc_chroma: [0; 256],
+            ac_chroma: [0; 256],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct EntropyEncoders {
+    dc_luma: HuffmanEncoder,
+    ac_luma: HuffmanEncoder,
+    dc_chroma: HuffmanEncoder,
+    ac_chroma: HuffmanEncoder,
+}
+
+/// A push-based streaming encode session created by
+/// [`StreamEncoder::new`] (or [`Encoder::stream_encoder`]). Strips are fed
+/// in order, top to bottom; output bytes can be drained incrementally with
+/// [`take_output`](Self::take_output) so nothing larger than a strip needs
+/// to stay resident.
+#[derive(Debug)]
+pub struct StreamEncoder<'e> {
+    encoder: &'e Encoder,
+    width: usize,
+    height: usize,
+    strip_count: usize,
+    analyzed: usize,
+    encoded: usize,
+    tallies: Option<Box<Tallies>>,
+    entropy: Option<EntropyEncoders>,
+    analyze_prev_dc: [i32; 3],
+    prev_dc: [i32; 3],
+    writer: BitWriter,
+    out: Vec<u8>,
+}
+
+impl<'e> StreamEncoder<'e> {
+    /// Opens a session for a `width` × `height` image encoded with
+    /// `encoder`'s tables and Huffman mode.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidDimensions`] for zero or >65535 dimensions.
+    pub fn new(encoder: &'e Encoder, width: usize, height: usize) -> Result<Self, CodecError> {
+        if width == 0 || height == 0 || width > 0xFFFF || height > 0xFFFF {
+            return Err(CodecError::InvalidDimensions { width, height });
+        }
+        let optimize = encoder.huffman_optimized();
+        Ok(StreamEncoder {
+            encoder,
+            width,
+            height,
+            strip_count: strip_count_for(height),
+            analyzed: 0,
+            encoded: 0,
+            tallies: optimize.then(Box::default),
+            entropy: None,
+            analyze_prev_dc: [0; 3],
+            prev_dc: [0; 3],
+            writer: BitWriter::new(),
+            out: Vec::new(),
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of strips each pass must feed.
+    pub fn strip_count(&self) -> usize {
+        self.strip_count
+    }
+
+    /// Rows the strip at `index` must carry (8, except a shorter final
+    /// strip when the height is not a multiple of 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= strip_count()`.
+    pub fn strip_rows(&self, index: usize) -> usize {
+        strip_rows_for(self.height, index)
+    }
+
+    /// Whether this session needs the analysis pass before encoding —
+    /// true iff the encoder uses per-image optimized Huffman tables.
+    pub fn needs_analysis_pass(&self) -> bool {
+        self.encoder.huffman_optimized()
+    }
+
+    fn check_strip(&self, strip: &PixelStrip, fed: usize) -> Result<(), CodecError> {
+        if fed >= self.strip_count {
+            return Err(CodecError::StreamState(format!(
+                "all {} strips already fed",
+                self.strip_count
+            )));
+        }
+        if strip.width() != self.width || strip.rows() != self.strip_rows(fed) {
+            return Err(CodecError::StreamState(format!(
+                "strip {fed}: got {}x{}, expected {}x{}",
+                strip.width(),
+                strip.rows(),
+                self.width,
+                self.strip_rows(fed)
+            )));
+        }
+        Ok(())
+    }
+
+    /// Analysis-pass step: runs stages 1–5 on the strip and folds the
+    /// entropy symbols into the optimized-Huffman tallies. Must be called
+    /// for every strip, in order, before the first
+    /// [`encode_strip`](Self::encode_strip).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamState`] on out-of-order or mis-shaped strips,
+    /// or when the encoder uses standard tables (no analysis needed).
+    pub fn analyze_strip(
+        &mut self,
+        strip: &PixelStrip,
+        ws: &mut EncodeWorkspace,
+    ) -> Result<(), CodecError> {
+        if !self.needs_analysis_pass() {
+            return Err(CodecError::StreamState(
+                "standard-Huffman sessions have no analysis pass".into(),
+            ));
+        }
+        if self.encoded > 0 {
+            return Err(CodecError::StreamState(
+                "analysis pass after encoding started".into(),
+            ));
+        }
+        self.check_strip(strip, self.analyzed)?;
+        blockize_strip(strip, ws);
+        transform_strip(ws, self.encoder.tables());
+        let t = self
+            .tallies
+            .as_mut()
+            .expect("optimized sessions hold tallies until encoding starts");
+        let bw = ws.bw;
+        for b in 0..bw {
+            for ci in 0..3 {
+                let (dcf, acf) = if ci == 0 {
+                    (&mut t.dc_luma, &mut t.ac_luma)
+                } else {
+                    (&mut t.dc_chroma, &mut t.ac_chroma)
+                };
+                self.analyze_prev_dc[ci] =
+                    tally_block(dcf, acf, &ws.coeffs[ci * bw + b], self.analyze_prev_dc[ci]);
+            }
+        }
+        self.analyzed += 1;
+        Ok(())
+    }
+
+    /// Builds the Huffman encoders and emits every header segment — runs
+    /// once, before the first strip's scan bytes.
+    fn begin(&mut self) -> Result<(), CodecError> {
+        let specs = match self.tallies.take() {
+            Some(t) => (
+                HuffmanSpec::from_frequencies(&t.dc_luma)?,
+                HuffmanSpec::from_frequencies(&t.ac_luma)?,
+                HuffmanSpec::from_frequencies(&t.dc_chroma)?,
+                HuffmanSpec::from_frequencies(&t.ac_chroma)?,
+            ),
+            None => (
+                HuffmanSpec::standard_dc_luma(),
+                HuffmanSpec::standard_ac_luma(),
+                HuffmanSpec::standard_dc_chroma(),
+                HuffmanSpec::standard_ac_chroma(),
+            ),
+        };
+        self.entropy = Some(EntropyEncoders {
+            dc_luma: HuffmanEncoder::from_spec(&specs.0)?,
+            ac_luma: HuffmanEncoder::from_spec(&specs.1)?,
+            dc_chroma: HuffmanEncoder::from_spec(&specs.2)?,
+            ac_chroma: HuffmanEncoder::from_spec(&specs.3)?,
+        });
+        write_headers(
+            &mut self.out,
+            self.encoder.tables(),
+            self.width,
+            self.height,
+            [&specs.0, &specs.1, &specs.2, &specs.3],
+        );
+        Ok(())
+    }
+
+    /// Encode-pass step: stages 1–5 on the strip, then the sequential
+    /// Entropy stage (DC prediction chains through the scan, so strips
+    /// must arrive in order). Headers are emitted with the first strip.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamState`] on out-of-order or mis-shaped strips,
+    /// or when an optimized session's analysis pass is incomplete.
+    pub fn encode_strip(
+        &mut self,
+        strip: &PixelStrip,
+        ws: &mut EncodeWorkspace,
+    ) -> Result<(), CodecError> {
+        if self.needs_analysis_pass() && self.analyzed < self.strip_count {
+            return Err(CodecError::StreamState(format!(
+                "optimized-Huffman sessions need the full analysis pass first \
+                 ({}/{} strips analyzed)",
+                self.analyzed, self.strip_count
+            )));
+        }
+        self.check_strip(strip, self.encoded)?;
+        if self.encoded == 0 {
+            self.begin()?;
+        }
+        blockize_strip(strip, ws);
+        transform_strip(ws, self.encoder.tables());
+        let e = self
+            .entropy
+            .as_ref()
+            .expect("begin() built the entropy encoders");
+        let bw = ws.bw;
+        for b in 0..bw {
+            for ci in 0..3 {
+                let (dce, ace) = if ci == 0 {
+                    (&e.dc_luma, &e.ac_luma)
+                } else {
+                    (&e.dc_chroma, &e.ac_chroma)
+                };
+                self.prev_dc[ci] = encode_block(
+                    &mut self.writer,
+                    dce,
+                    ace,
+                    &ws.coeffs[ci * bw + b],
+                    self.prev_dc[ci],
+                );
+            }
+        }
+        self.encoded += 1;
+        Ok(())
+    }
+
+    /// Drains the output bytes produced so far (headers plus complete scan
+    /// bytes). Concatenating every drained chunk with the
+    /// [`finish`](Self::finish) remainder yields the complete JFIF stream;
+    /// never draining and taking everything from `finish` is equally
+    /// valid.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        let mut chunk = std::mem::take(&mut self.out);
+        chunk.extend(self.writer.take_completed());
+        chunk
+    }
+
+    /// Completes the session: pads the final entropy byte and appends EOI,
+    /// returning all not-yet-drained output.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamState`] unless every strip was encoded.
+    pub fn finish(mut self) -> Result<Vec<u8>, CodecError> {
+        if self.encoded != self.strip_count {
+            return Err(CodecError::StreamState(format!(
+                "finish after {}/{} strips",
+                self.encoded, self.strip_count
+            )));
+        }
+        let mut out = std::mem::take(&mut self.out);
+        out.extend(std::mem::take(&mut self.writer).finish());
+        write_marker(&mut out, EOI);
+        Ok(out)
+    }
+}
+
+/// A pull-based streaming decode session over a complete JFIF byte
+/// stream: headers are parsed once, pixel strips come out one at a time
+/// with O(strip) working memory.
+pub struct StreamDecoder<'b> {
+    setup: ScanSetup,
+    bits: BitReader<'b>,
+    strip_count: usize,
+    emitted: usize,
+    prev_dc: [i32; 3],
+}
+
+impl<'b> StreamDecoder<'b> {
+    pub(crate) fn open(bytes: &'b [u8]) -> Result<Self, CodecError> {
+        let setup = ScanSetup::parse(bytes)?;
+        let bits = BitReader::new(&bytes[setup.scan_start..]);
+        let strip_count = strip_count_for(setup.height);
+        Ok(StreamDecoder {
+            setup,
+            bits,
+            strip_count,
+            emitted: 0,
+            prev_dc: [0; 3],
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.setup.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.setup.height
+    }
+
+    /// Number of strips the image decodes as.
+    pub fn strip_count(&self) -> usize {
+        self.strip_count
+    }
+
+    /// Rows of the strip at `index` (8, except a shorter final strip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= strip_count()`.
+    pub fn strip_rows(&self, index: usize) -> usize {
+        strip_rows_for(self.setup.height, index)
+    }
+
+    /// Decodes the next strip into `strip`. Returns `Ok(false)` once every
+    /// strip has been produced.
+    ///
+    /// The Entropy stage is sequential (DC prediction chains through the
+    /// scan); the per-block Unzigzag → Dequantize → Idct stage fans out on
+    /// the `deepn-parallel` pool with index-addressed writes, so pixels
+    /// are bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] / [`CodecError::BadHuffmanCode`] on
+    /// truncated or corrupt entropy data.
+    pub fn next_strip(
+        &mut self,
+        ws: &mut DecodeWorkspace,
+        strip: &mut PixelStrip,
+    ) -> Result<bool, CodecError> {
+        if self.emitted == self.strip_count {
+            return Ok(false);
+        }
+        let w = self.setup.width;
+        ws.ensure(w);
+        let bw = ws.bw;
+        // Inverse stage 1 — Entropy (sequential).
+        for b in 0..bw {
+            for (ci, comp) in self.setup.components.iter().enumerate() {
+                let zz = decode_block(&mut self.bits, &comp.dc, &comp.ac, self.prev_dc[ci])?;
+                self.prev_dc[ci] = zz[0];
+                ws.coeffs[ci * bw + b] = zz;
+            }
+        }
+        // Inverse stages 2–4 — Unzigzag → Dequantize → Idct (parallel,
+        // index-addressed).
+        let comps = &self.setup.components;
+        let coeffs = &ws.coeffs;
+        deepn_parallel::par_map_into(coeffs, &mut ws.blocks, |i, zz| {
+            let q = &comps[i / bw].quant;
+            inverse_dct_8x8(&q.dequantize(&unscan(zz)))
+        });
+        // Inverse stage 5 — BlockMerge: reassemble the valid rows, undo
+        // the level shift, discard edge padding.
+        let rows = self.strip_rows(self.emitted);
+        for ci in 0..3 {
+            let plane = &mut ws.planes[ci];
+            for bx in 0..bw {
+                let blk = &ws.blocks[ci * bw + bx];
+                for iy in 0..rows {
+                    for ix in 0..BLOCK_SIZE {
+                        let sx = bx * BLOCK_SIZE + ix;
+                        if sx >= w {
+                            break;
+                        }
+                        plane[iy * w + sx] = blk[iy * BLOCK_SIZE + ix] + 128.0;
+                    }
+                }
+            }
+        }
+        // Inverse stage 6 — ColorConvert⁻¹ into the pixel strip.
+        strip.width = w;
+        strip.rows = rows;
+        strip.data.clear();
+        for y in 0..rows {
+            for x in 0..w {
+                let ycc = [
+                    ws.planes[0][y * w + x],
+                    ws.planes[1][y * w + x],
+                    ws.planes[2][y * w + x],
+                ];
+                strip.data.extend_from_slice(&ycbcr_to_rgb(ycc));
+            }
+        }
+        self.emitted += 1;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Decoder;
+
+    fn stream_encode(enc: &Encoder, img: &RgbImage, ws: &mut EncodeWorkspace) -> Vec<u8> {
+        let mut session = StreamEncoder::new(enc, img.width(), img.height()).expect("open");
+        let mut strip = PixelStrip::new();
+        if session.needs_analysis_pass() {
+            for s in 0..session.strip_count() {
+                assert!(strip.copy_from_image(img, s));
+                session.analyze_strip(&strip, ws).expect("analyze");
+            }
+        }
+        let mut out = Vec::new();
+        for s in 0..session.strip_count() {
+            assert!(strip.copy_from_image(img, s));
+            session.encode_strip(&strip, ws).expect("encode");
+            out.extend(session.take_output()); // exercise incremental drain
+        }
+        out.extend(session.finish().expect("finish"));
+        out
+    }
+
+    #[test]
+    fn manual_session_matches_oneshot_in_both_huffman_modes() {
+        let mut ws = EncodeWorkspace::new();
+        for (w, h) in [(16, 16), (9, 7), (1, 1), (1, 17), (33, 1), (24, 8)] {
+            let img = RgbImage::gradient(w, h);
+            for optimize in [true, false] {
+                let enc = Encoder::with_quality(70).optimize_huffman(optimize);
+                let streamed = stream_encode(&enc, &img, &mut ws);
+                assert_eq!(
+                    streamed,
+                    enc.encode(&img).expect("oneshot"),
+                    "{w}x{h} optimize={optimize}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_widths_does_not_leak_state() {
+        let enc = Encoder::with_quality(55);
+        let mut ws = EncodeWorkspace::new();
+        let sizes = [(40, 12), (7, 30), (40, 12), (16, 16)];
+        for (w, h) in sizes {
+            let img = RgbImage::gradient(w, h);
+            assert_eq!(
+                stream_encode(&enc, &img, &mut ws),
+                enc.encode(&img).expect("oneshot"),
+                "{w}x{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_decoder_reproduces_decode() {
+        let img = RgbImage::gradient(37, 21);
+        let bytes = Encoder::with_quality(65).encode(&img).expect("encode");
+        let dec = Decoder::new();
+        let oneshot = dec.decode(&bytes).expect("decode");
+        let mut session = dec.stream_decoder(&bytes).expect("open");
+        assert_eq!((session.width(), session.height()), (37, 21));
+        let mut ws = DecodeWorkspace::new();
+        let mut strip = PixelStrip::new();
+        let mut pixels = Vec::new();
+        let mut strips = 0;
+        while session.next_strip(&mut ws, &mut strip).expect("strip") {
+            assert_eq!(strip.width(), 37);
+            pixels.extend_from_slice(strip.as_bytes());
+            strips += 1;
+        }
+        assert_eq!(strips, session.strip_count());
+        assert_eq!(pixels, oneshot.as_bytes());
+    }
+
+    #[test]
+    fn session_misuse_is_a_typed_stream_state_error() {
+        let enc = Encoder::with_quality(75); // optimized by default
+        let img = RgbImage::gradient(10, 20);
+        let mut ws = EncodeWorkspace::new();
+        let mut strip = PixelStrip::new();
+        strip.copy_from_image(&img, 0);
+
+        // Encoding before the analysis pass.
+        let mut s = StreamEncoder::new(&enc, 10, 20).expect("open");
+        assert!(matches!(
+            s.encode_strip(&strip, &mut ws),
+            Err(CodecError::StreamState(_))
+        ));
+        // Analysis on a standard-table session.
+        let std_enc = Encoder::with_quality(75).optimize_huffman(false);
+        let mut s = StreamEncoder::new(&std_enc, 10, 20).expect("open");
+        assert!(matches!(
+            s.analyze_strip(&strip, &mut ws),
+            Err(CodecError::StreamState(_))
+        ));
+        // A mis-shaped strip.
+        let wrong = RgbImage::gradient(11, 8);
+        let mut bad = PixelStrip::new();
+        bad.copy_from_image(&wrong, 0);
+        assert!(matches!(
+            s.encode_strip(&bad, &mut ws),
+            Err(CodecError::StreamState(_))
+        ));
+        // Finishing early.
+        let s = StreamEncoder::new(&std_enc, 10, 20).expect("open");
+        assert!(matches!(s.finish(), Err(CodecError::StreamState(_))));
+    }
+
+    #[test]
+    fn strip_geometry_helpers_cover_ragged_heights() {
+        let enc = Encoder::with_quality(75);
+        let s = StreamEncoder::new(&enc, 5, 17).expect("open");
+        assert_eq!(s.strip_count(), 3);
+        assert_eq!(s.strip_rows(0), 8);
+        assert_eq!(s.strip_rows(2), 1);
+        assert_eq!(strip_count_for(8), 1);
+        assert_eq!(strip_count_for(9), 2);
+        assert!(StreamEncoder::new(&enc, 0, 4).is_err());
+        assert!(StreamEncoder::new(&enc, 70_000, 4).is_err());
+    }
+
+    #[test]
+    fn set_rows_validates_geometry() {
+        let mut strip = PixelStrip::new();
+        assert!(strip.set_rows(4, 2, &[0u8; 24]).is_ok());
+        assert_eq!((strip.width(), strip.rows()), (4, 2));
+        assert!(strip.set_rows(4, 2, &[0u8; 23]).is_err());
+        assert!(strip.set_rows(4, 9, &[0u8; 4 * 9 * 3]).is_err());
+        assert!(strip.set_rows(0, 1, &[]).is_err());
+    }
+}

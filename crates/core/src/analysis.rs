@@ -8,10 +8,9 @@
 //! feature learning.
 
 use crate::CoreError;
-use deepn_codec::block::plane_to_blocks;
-use deepn_codec::color::image_to_planes;
 use deepn_codec::dct::forward_dct_8x8;
-use deepn_codec::RgbImage;
+use deepn_codec::stream::{blockize_strip, strip_count_for};
+use deepn_codec::{EncodeWorkspace, PixelStrip, RgbImage};
 use deepn_dataset::PlaneStats;
 
 /// Per-band coefficient statistics for the luma and (pooled) chroma
@@ -43,20 +42,42 @@ impl BandStats {
 
     /// Folds one image into the statistics (Algorithm 1 lines 16–23).
     pub fn push_image(&mut self, image: &RgbImage) {
-        let planes = image_to_planes(image);
-        for (ci, plane) in planes.iter().enumerate() {
-            let acc = if ci == 0 {
-                &mut self.luma
-            } else {
-                &mut self.chroma
-            };
-            for block in plane_to_blocks(plane) {
-                let coeffs = forward_dct_8x8(&block);
-                for (a, &c) in acc.iter_mut().zip(coeffs.iter()) {
-                    a.push(f64::from(c));
-                }
-                if ci == 0 {
-                    self.blocks += 1;
+        self.push_image_with(image, &mut EncodeWorkspace::new());
+    }
+
+    /// [`push_image`](Self::push_image) through a caller-owned, reusable
+    /// codec workspace: the image is consumed as the streaming pipeline's
+    /// block stream (ColorConvert → BlockSplit per 8-row strip, then the
+    /// un-quantized DCT per block), so peak memory is O(strip) instead of
+    /// O(image) and the steady-state loop allocates nothing.
+    ///
+    /// Adopting the strip order was a deliberate one-time baseline change
+    /// for the pooled-chroma accumulator (Cb/Cr now interleave per strip
+    /// instead of all-Cb-then-all-Cr), in the same spirit as the PR 3
+    /// shard-merge change: it differs from the old order only in
+    /// final-ulp `f64` Welford rounding — measured quantization tables
+    /// are byte-identical — and it is what lets analysis stream. Luma
+    /// order is unchanged, and results remain exactly thread-count
+    /// invariant.
+    pub fn push_image_with(&mut self, image: &RgbImage, ws: &mut EncodeWorkspace) {
+        let mut strip = PixelStrip::new();
+        for s in 0..strip_count_for(image.height()) {
+            strip.copy_from_image(image, s);
+            blockize_strip(&strip, ws);
+            for ci in 0..3 {
+                let acc = if ci == 0 {
+                    &mut self.luma
+                } else {
+                    &mut self.chroma
+                };
+                for block in ws.component_blocks(ci) {
+                    let coeffs = forward_dct_8x8(block);
+                    for (a, &c) in acc.iter_mut().zip(coeffs.iter()) {
+                        a.push(f64::from(c));
+                    }
+                    if ci == 0 {
+                        self.blocks += 1;
+                    }
                 }
             }
         }
@@ -172,8 +193,15 @@ where
         ));
     }
     let shards = deepn_parallel::par_map_collect(&sampled, |_, img| {
+        // One codec workspace per pool thread, reused across every image
+        // that thread analyzes — workspace contents never influence the
+        // statistics, so the per-image-shard determinism contract holds.
+        thread_local! {
+            static WS: std::cell::RefCell<EncodeWorkspace> =
+                std::cell::RefCell::new(EncodeWorkspace::new());
+        }
         let mut shard = BandStats::new();
-        shard.push_image(img);
+        WS.with(|ws| shard.push_image_with(img, &mut ws.borrow_mut()));
         shard
     });
     let mut stats = BandStats::new();

@@ -1,20 +1,31 @@
 //! Blocking client for the compression service.
+//!
+//! A [`Client`] holds **one persistent TCP connection** and reuses it
+//! across requests. When the pooled connection turns out to be dead at the
+//! next request (service restart, an idle reap, the close that follows a
+//! busy rejection), the client transparently reconnects once and replays
+//! the request — safe because every service op is idempotent. A failure
+//! *after* reply bytes started arriving is never replayed.
 
 use crate::protocol::{self, Opcode, STATUS_BUSY, STATUS_ERR, STATUS_OK, STATUS_TIMEOUT};
 use crate::{ServeError, StatsSnapshot};
+use deepn_codec::stream::{strip_count_for, strip_rows_for};
 use deepn_codec::RgbImage;
 use deepn_store::{ByteReader, ByteWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// A connection to a running [`crate::Server`].
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
 }
 
 impl Client {
-    /// Connects to the service.
+    /// Connects to the service. The connection persists across requests;
+    /// see the module docs for the reconnect contract.
     ///
     /// # Errors
     ///
@@ -22,7 +33,11 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let addr = stream.peer_addr()?;
+        Ok(Client {
+            addr,
+            stream: Some(stream),
+        })
     }
 
     /// Connects, retrying until `timeout` elapses — for scripts that start
@@ -45,28 +60,65 @@ impl Client {
         }
     }
 
-    /// One request/reply round trip; returns the ok-payload.
+    /// The connection, re-established first if a previous request tore it
+    /// down.
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream, ServeError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("connection just established"))
+    }
+
+    /// Whether an error means "the pooled connection was already dead" —
+    /// the only case a request is transparently replayed on a fresh one.
+    /// Deliberately excludes `UnexpectedEof`: a frame that ends mid-body
+    /// means reply bytes already arrived, and a request whose reply
+    /// started is never replayed.
+    fn is_stale_connection(e: &ServeError) -> bool {
+        match e {
+            ServeError::Io(io) => matches!(
+                io.kind(),
+                io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::NotConnected
+            ),
+            ServeError::Protocol(m) => m == CLOSED_BEFORE_REPLY,
+            _ => false,
+        }
+    }
+
+    /// One request/reply exchange on the current connection; tears the
+    /// connection down on any transport failure so the next request starts
+    /// clean.
+    fn exchange(&mut self, body: &[u8]) -> Result<Vec<u8>, ServeError> {
+        let result = self.exchange_inner(body);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn exchange_inner(&mut self, body: &[u8]) -> Result<Vec<u8>, ServeError> {
+        let stream = self.ensure_connected()?;
+        protocol::write_frame(stream, body)?;
+        protocol::read_frame(stream)?
+            .ok_or_else(|| ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))
+    }
+
+    /// One request/reply round trip with transparent one-shot reconnect;
+    /// returns the ok-payload.
     fn call(&mut self, op: Opcode, payload: &[u8]) -> Result<Vec<u8>, ServeError> {
         let mut body = Vec::with_capacity(1 + payload.len());
         body.push(op as u8);
         body.extend_from_slice(payload);
-        protocol::write_frame(&mut self.stream, &body)?;
-        let reply = protocol::read_frame(&mut self.stream)?
-            .ok_or_else(|| ServeError::Protocol("service closed the connection".into()))?;
-        let (&status, payload) = reply
-            .split_first()
-            .ok_or_else(|| ServeError::Protocol("empty reply frame".into()))?;
-        if status == STATUS_OK {
-            return Ok(payload.to_vec());
-        }
-        let mut r = ByteReader::new(payload);
-        let message = r.string()?;
-        Err(match status {
-            STATUS_BUSY => ServeError::Busy(message),
-            STATUS_TIMEOUT => ServeError::Timeout(message),
-            STATUS_ERR => ServeError::Remote(message),
-            other => ServeError::Protocol(format!("unknown reply status {other}: {message}")),
-        })
+        let reply = match self.exchange(&body) {
+            Err(e) if Self::is_stale_connection(&e) => self.exchange(&body)?,
+            other => other?,
+        };
+        parse_reply(reply)
     }
 
     /// Liveness probe.
@@ -160,6 +212,8 @@ impl Client {
             images_classified: r.u64()?,
             connections_rejected: r.u64()?,
             requests_timed_out: r.u64()?,
+            bytes_in: r.u64()?,
+            bytes_out: r.u64()?,
             active_connections: r.u32()?,
             workers: r.u32()?,
             queue_depth: r.u32()?,
@@ -167,6 +221,80 @@ impl Client {
             request_timeout_ms: r.u64()?,
             has_model: r.u8()? != 0,
         })
+    }
+
+    /// Fetches the service counters as Prometheus text-format metrics.
+    ///
+    /// # Errors
+    ///
+    /// Socket or protocol errors.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let reply = self.call(Opcode::Metrics, &[])?;
+        let mut r = ByteReader::new(&reply);
+        Ok(r.string()?)
+    }
+
+    /// Begins a streaming compression of a `width` × `height` image: feed
+    /// raw RGB rows with [`StreamCompression::send_strip`], then collect
+    /// the JFIF stream from [`StreamCompression::finish`]. Neither side
+    /// ever buffers more than a strip of pixels.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from sending the begin frame.
+    pub fn begin_compress_stream(
+        &mut self,
+        width: usize,
+        height: usize,
+    ) -> Result<StreamCompression<'_>, ServeError> {
+        // A dead pooled connection would not surface on the begin-frame
+        // write (the first write to a closed socket usually lands in the
+        // local buffer) but only once strips start failing — and a
+        // mid-stream session is not replayable. Probe with a ping, which
+        // carries the transparent reconnect, so the session opens on a
+        // connection known to be live.
+        self.ping()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(Opcode::CompressStream as u8);
+        w.put_u32(width as u32);
+        w.put_u32(height as u32);
+        self.send_frame(w.as_bytes())?;
+        Ok(StreamCompression {
+            client: self,
+            width,
+            height,
+            sent: 0,
+            strip_count: strip_count_for(height),
+        })
+    }
+
+    /// Writes one frame on the current connection, tearing it down on
+    /// failure.
+    fn send_frame(&mut self, body: &[u8]) -> Result<(), ServeError> {
+        let result = {
+            let stream = self.ensure_connected()?;
+            protocol::write_frame(stream, body)
+        };
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Reads one reply frame on the current connection, tearing it down on
+    /// failure.
+    fn recv_reply(&mut self) -> Result<Vec<u8>, ServeError> {
+        let result = self.recv_reply_inner();
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn recv_reply_inner(&mut self) -> Result<Vec<u8>, ServeError> {
+        let stream = self.ensure_connected()?;
+        protocol::read_frame(stream)?
+            .ok_or_else(|| ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))
     }
 
     /// Asks the service to exit after acknowledging.
@@ -177,5 +305,146 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
         self.call(Opcode::Shutdown, &[])?;
         Ok(())
+    }
+}
+
+const CLOSED_BEFORE_REPLY: &str = "service closed the connection";
+
+/// Splits a reply frame into its status byte and payload, mapping non-ok
+/// statuses to their typed errors.
+fn parse_reply(reply: Vec<u8>) -> Result<Vec<u8>, ServeError> {
+    let (&status, payload) = reply
+        .split_first()
+        .ok_or_else(|| ServeError::Protocol("empty reply frame".into()))?;
+    if status == STATUS_OK {
+        return Ok(payload.to_vec());
+    }
+    let mut r = ByteReader::new(payload);
+    let message = r.string()?;
+    Err(match status {
+        STATUS_BUSY => ServeError::Busy(message),
+        STATUS_TIMEOUT => ServeError::Timeout(message),
+        STATUS_ERR => ServeError::Remote(message),
+        other => ServeError::Protocol(format!("unknown reply status {other}: {message}")),
+    })
+}
+
+/// An in-flight [`Client::begin_compress_stream`] session.
+#[derive(Debug)]
+pub struct StreamCompression<'c> {
+    client: &'c mut Client,
+    width: usize,
+    height: usize,
+    sent: usize,
+    strip_count: usize,
+}
+
+impl StreamCompression<'_> {
+    /// Number of strips the session must send.
+    pub fn strip_count(&self) -> usize {
+        self.strip_count
+    }
+
+    /// Rows the strip at `index` must carry (8, except a shorter final
+    /// strip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= strip_count()`.
+    pub fn strip_rows(&self, index: usize) -> usize {
+        strip_rows_for(self.height, index)
+    }
+
+    /// Sends the next strip's raw interleaved RGB rows, top to bottom.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on a mis-sized strip or one past the last;
+    /// socket errors otherwise (a service-side rejection frame, when one
+    /// is pending, is surfaced in its place).
+    pub fn send_strip(&mut self, rows_rgb: &[u8]) -> Result<(), ServeError> {
+        if self.sent == self.strip_count {
+            return Err(ServeError::Protocol(format!(
+                "all {} strips already sent",
+                self.strip_count
+            )));
+        }
+        let expected = self.strip_rows(self.sent) * self.width * 3;
+        if rows_rgb.len() != expected {
+            return Err(ServeError::Protocol(format!(
+                "strip {}: {} bytes, expected {expected}",
+                self.sent,
+                rows_rgb.len()
+            )));
+        }
+        // Write on the held stream directly — not through `send_frame`,
+        // whose teardown-on-error would discard the stream before any
+        // pending rejection frame could be read back.
+        let write_result = match self.client.stream.as_mut() {
+            Some(stream) => protocol::write_frame(stream, rows_rgb),
+            None => Err(ServeError::Protocol(
+                "stream session's connection is gone".into(),
+            )),
+        };
+        if let Err(e) = write_result {
+            return Err(self.surface_pending_rejection(e));
+        }
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Collects the complete JFIF stream after the last strip.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] if strips are missing; socket, protocol,
+    /// or service-side errors otherwise.
+    pub fn finish(self) -> Result<Vec<u8>, ServeError> {
+        if self.sent != self.strip_count {
+            return Err(ServeError::Protocol(format!(
+                "finish after {}/{} strips",
+                self.sent, self.strip_count
+            )));
+        }
+        let reply = self.client.recv_reply()?;
+        let payload = parse_reply(reply)?;
+        let mut r = ByteReader::new(&payload);
+        protocol::get_blob(&mut r)
+    }
+
+    /// Whether every strip has been sent (the reply is ready to collect).
+    pub fn is_complete(&self) -> bool {
+        self.sent == self.strip_count
+    }
+
+    /// A send failure mid-stream usually means the service already wrote a
+    /// typed rejection (timeout, shutdown) and closed; prefer surfacing
+    /// that frame over the raw socket error.
+    fn surface_pending_rejection(&mut self, send_error: ServeError) -> ServeError {
+        if let Some(stream) = self.client.stream.as_mut() {
+            // Bounded: a closed peer answers immediately; a wedged one
+            // must not hang the error path.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            if let Ok(Some(reply)) = protocol::read_frame(stream) {
+                if let Err(typed) = parse_reply(reply) {
+                    self.client.stream = None;
+                    return typed;
+                }
+            }
+        }
+        self.client.stream = None;
+        send_error
+    }
+}
+
+impl Drop for StreamCompression<'_> {
+    fn drop(&mut self) {
+        // An abandoned session leaves the service mid-stream, where it
+        // would misread the client's next request frame as a strip. Tear
+        // the connection down so the service unblocks (peer-closed) and
+        // the client's next call transparently opens a fresh one.
+        if self.sent != self.strip_count {
+            self.client.stream = None;
+        }
     }
 }

@@ -35,7 +35,7 @@ mod client;
 pub mod protocol;
 mod server;
 
-pub use client::Client;
+pub use client::{Client, StreamCompression};
 pub use server::{Server, ServerConfig, ServerHandle, StatsSnapshot};
 
 use std::error::Error;

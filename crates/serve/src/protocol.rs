@@ -39,6 +39,14 @@ pub enum Opcode {
     Stats = 4,
     /// Ask the service to stop accepting connections and exit.
     Shutdown = 5,
+    /// Compress one image streamed as 8-row pixel strips: the request
+    /// frame carries `u32 width | u32 height`, then one frame of raw RGB
+    /// rows per strip follows (top to bottom), and the reply carries the
+    /// complete JFIF stream as a blob. The service never buffers more than
+    /// a strip of pixels per connection.
+    CompressStream = 6,
+    /// Report Prometheus-style metrics text.
+    Metrics = 7,
 }
 
 impl Opcode {
@@ -51,6 +59,8 @@ impl Opcode {
             3 => Some(Opcode::Classify),
             4 => Some(Opcode::Stats),
             5 => Some(Opcode::Shutdown),
+            6 => Some(Opcode::CompressStream),
+            7 => Some(Opcode::Metrics),
             _ => None,
         }
     }

@@ -3,7 +3,9 @@
 
 use crate::protocol::{self, Opcode, STATUS_BUSY, STATUS_ERR, STATUS_OK, STATUS_TIMEOUT};
 use crate::ServeError;
-use deepn_codec::{Decoder, Encoder, QuantTablePair, RgbImage};
+use deepn_codec::{
+    DecodeWorkspace, Decoder, EncodeWorkspace, Encoder, PixelStrip, QuantTablePair, RgbImage,
+};
 use deepn_nn::Sequential;
 use deepn_store::{ByteReader, ByteWriter};
 use deepn_tensor::Tensor;
@@ -64,6 +66,8 @@ struct Counters {
     images_classified: AtomicU64,
     connections_rejected: AtomicU64,
     requests_timed_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters and configuration,
@@ -82,6 +86,10 @@ pub struct StatsSnapshot {
     pub connections_rejected: u64,
     /// Requests rejected with a typed timeout frame.
     pub requests_timed_out: u64,
+    /// Total request-frame bytes received (length prefixes included).
+    pub bytes_in: u64,
+    /// Total reply-frame bytes sent (length prefixes included).
+    pub bytes_out: u64,
     /// Connections currently being served.
     pub active_connections: u32,
     /// Configured worker count.
@@ -236,6 +244,7 @@ impl Server {
                         guard.active.fetch_add(1, Ordering::SeqCst) >= self.config.max_connections;
                     let ctx = ConnCtx {
                         job_tx: job_tx.clone(),
+                        tables: Arc::clone(&self.tables),
                         counters: Arc::clone(&self.counters),
                         shutdown: Arc::clone(&self.shutdown),
                         config: self.config.clone(),
@@ -299,6 +308,7 @@ impl Drop for ConnGuard {
 /// Everything a connection reader needs.
 struct ConnCtx {
     job_tx: SyncSender<Job>,
+    tables: Arc<QuantTablePair>,
     counters: Arc<Counters>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
@@ -359,6 +369,13 @@ impl ConnCtx {
         // The timeout bounds how long a dead-idle connection pins this
         // thread after shutdown; it is not a per-request deadline.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        // Per-connection codec state for `CompressStream`: the standard-
+        // Huffman encoder (single-pass streaming cannot rewind the peer
+        // for an optimized-table analysis pass) and the strip workspace,
+        // both reused across every streamed image on this connection.
+        let stream_encoder = Encoder::with_tables((*self.tables).clone()).optimize_huffman(false);
+        let mut stream_ws = EncodeWorkspace::new();
+        let mut stream_strip = PixelStrip::new();
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
@@ -367,8 +384,42 @@ impl ConnCtx {
                 Ok(None) => return,
                 Ok(Some(body)) => {
                     self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .bytes_in
+                        .fetch_add(4 + body.len() as u64, Ordering::Relaxed);
+                    if body.first() == Some(&(Opcode::CompressStream as u8)) {
+                        // The streaming op owns the connection until its
+                        // last strip frame: it cannot go through the
+                        // one-frame `handle` path.
+                        let reply = match self.compress_stream(
+                            &mut stream,
+                            &body[1..],
+                            &stream_encoder,
+                            &mut stream_ws,
+                            &mut stream_strip,
+                        ) {
+                            Ok(payload) => {
+                                let mut reply = Vec::with_capacity(1 + payload.len());
+                                reply.push(STATUS_OK);
+                                reply.extend_from_slice(&payload);
+                                reply
+                            }
+                            Err(e) => {
+                                // After a mid-stream failure the frame
+                                // boundary with the peer is unknown:
+                                // answer with a typed frame, then close.
+                                let reply = error_reply(e);
+                                self.write_reply(&mut stream, &reply);
+                                return;
+                            }
+                        };
+                        if !self.write_reply(&mut stream, &reply) {
+                            return;
+                        }
+                        continue;
+                    }
                     let (reply, stop) = self.handle(&body);
-                    if protocol::write_frame(&mut stream, &reply).is_err() {
+                    if !self.write_reply(&mut stream, &reply) {
                         return;
                     }
                     if stop {
@@ -387,6 +438,175 @@ impl ConnCtx {
         }
     }
 
+    /// Writes a reply frame, counting its bytes; returns false when the
+    /// connection is gone.
+    fn write_reply(&self, stream: &mut TcpStream, reply: &[u8]) -> bool {
+        self.counters
+            .bytes_out
+            .fetch_add(4 + reply.len() as u64, Ordering::Relaxed);
+        protocol::write_frame(stream, reply).is_ok()
+    }
+
+    /// Handles one `CompressStream` request after its begin frame: reads
+    /// one raw-RGB frame per strip, feeds the per-connection streaming
+    /// session, and returns the ok-payload carrying the JFIF blob. Strip
+    /// frames bound the resident pixel memory to O(strip) no matter how
+    /// large the image is; the per-request deadline covers the whole
+    /// stream.
+    fn compress_stream(
+        &self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+        encoder: &Encoder,
+        ws: &mut EncodeWorkspace,
+        strip: &mut PixelStrip,
+    ) -> Result<Vec<u8>, ServeError> {
+        let mut r = ByteReader::new(payload);
+        let width = r.u32()? as usize;
+        let height = r.u32()? as usize;
+        let deadline = self.config.request_timeout.map(|t| (t, Instant::now() + t));
+        let mut session = encoder
+            .stream_encoder(width, height)
+            .map_err(|e| ServeError::Remote(format!("compress-stream rejected: {e}")))?;
+        let mut jfif = Vec::new();
+        for s in 0..session.strip_count() {
+            let frame = loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return Err(ServeError::Remote("service is shutting down".into()));
+                }
+                if let Some((budget, end)) = &deadline {
+                    if Instant::now() >= *end {
+                        self.counters
+                            .requests_timed_out
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Timeout(format!(
+                            "stream exceeded its {budget:?} budget"
+                        )));
+                    }
+                }
+                match protocol::read_frame(stream) {
+                    Ok(Some(frame)) => break frame,
+                    Ok(None) => {
+                        return Err(ServeError::Protocol(format!(
+                            "peer closed after {s} of {} strips",
+                            session.strip_count()
+                        )))
+                    }
+                    Err(ServeError::Io(e))
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            self.counters
+                .bytes_in
+                .fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+            strip
+                .set_rows(width, session.strip_rows(s), &frame)
+                .map_err(|e| ServeError::Protocol(e.to_string()))?;
+            session
+                .encode_strip(strip, ws)
+                .map_err(|e| ServeError::Remote(format!("encode failed: {e}")))?;
+            jfif.extend(session.take_output());
+        }
+        jfif.extend(
+            session
+                .finish()
+                .map_err(|e| ServeError::Remote(format!("encode failed: {e}")))?,
+        );
+        self.counters.images_encoded.fetch_add(1, Ordering::Relaxed);
+        let mut w = ByteWriter::new();
+        protocol::put_blob(&mut w, &jfif);
+        Ok(w.into_bytes())
+    }
+
+    /// Renders the service counters as Prometheus text-format metrics.
+    fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        };
+        let c = &self.counters;
+        metric(
+            "deepn_serve_requests_total",
+            "counter",
+            "Requests handled, all opcodes.",
+            c.requests.load(Ordering::Relaxed),
+        );
+        metric(
+            "deepn_serve_images_encoded_total",
+            "counter",
+            "Images compressed (batch and streamed).",
+            c.images_encoded.load(Ordering::Relaxed),
+        );
+        metric(
+            "deepn_serve_images_decoded_total",
+            "counter",
+            "Compressed streams decoded.",
+            c.images_decoded.load(Ordering::Relaxed),
+        );
+        metric(
+            "deepn_serve_images_classified_total",
+            "counter",
+            "Images classified.",
+            c.images_classified.load(Ordering::Relaxed),
+        );
+        metric(
+            "deepn_serve_connections_rejected_total",
+            "counter",
+            "Connections rejected with a typed busy frame.",
+            c.connections_rejected.load(Ordering::Relaxed),
+        );
+        metric(
+            "deepn_serve_requests_timed_out_total",
+            "counter",
+            "Requests rejected with a typed timeout frame.",
+            c.requests_timed_out.load(Ordering::Relaxed),
+        );
+        metric(
+            "deepn_serve_bytes_in_total",
+            "counter",
+            "Request-frame bytes received.",
+            c.bytes_in.load(Ordering::Relaxed),
+        );
+        metric(
+            "deepn_serve_bytes_out_total",
+            "counter",
+            "Reply-frame bytes sent.",
+            c.bytes_out.load(Ordering::Relaxed),
+        );
+        metric(
+            "deepn_serve_active_connections",
+            "gauge",
+            "Connections currently being served.",
+            self.active.load(Ordering::SeqCst) as u64,
+        );
+        metric(
+            "deepn_serve_workers",
+            "gauge",
+            "Configured worker count.",
+            self.config.workers as u64,
+        );
+        metric(
+            "deepn_serve_queue_depth",
+            "gauge",
+            "Configured job-queue bound.",
+            self.config.queue_depth as u64,
+        );
+        metric(
+            "deepn_serve_max_connections",
+            "gauge",
+            "Configured connection limit.",
+            self.config.max_connections as u64,
+        );
+        out
+    }
+
     /// Handles one request, returning `(reply_body, shutdown)`.
     fn handle(&self, body: &[u8]) -> (Vec<u8>, bool) {
         match self.dispatch(body) {
@@ -396,19 +616,7 @@ impl ConnCtx {
                 reply.extend_from_slice(&payload);
                 (reply, stop)
             }
-            Err(e) => {
-                // Admission failures travel as their own status bytes so
-                // clients can distinguish "back off" from "request broken".
-                let (status, message) = match e {
-                    ServeError::Busy(m) => (STATUS_BUSY, m),
-                    ServeError::Timeout(m) => (STATUS_TIMEOUT, m),
-                    other => (STATUS_ERR, other.to_string()),
-                };
-                let mut w = ByteWriter::new();
-                w.put_u8(status);
-                w.put_string(&message);
-                (w.into_bytes(), false)
-            }
+            Err(e) => (error_reply(e), false),
         }
     }
 
@@ -422,6 +630,16 @@ impl ConnCtx {
         match op {
             Opcode::Ping => Ok((Vec::new(), false)),
             Opcode::Shutdown => Ok((Vec::new(), true)),
+            // The streaming op is intercepted before dispatch (it owns the
+            // connection for its strip frames).
+            Opcode::CompressStream => Err(ServeError::Protocol(
+                "CompressStream must be the first frame of its exchange".into(),
+            )),
+            Opcode::Metrics => {
+                let mut w = ByteWriter::new();
+                w.put_string(&self.metrics_text());
+                Ok((w.into_bytes(), false))
+            }
             Opcode::EncodeBatch => {
                 let count = r.len(8)?;
                 let mut reqs = Vec::with_capacity(count);
@@ -495,6 +713,8 @@ impl ConnCtx {
                 w.put_u64(self.counters.images_classified.load(Ordering::Relaxed));
                 w.put_u64(self.counters.connections_rejected.load(Ordering::Relaxed));
                 w.put_u64(self.counters.requests_timed_out.load(Ordering::Relaxed));
+                w.put_u64(self.counters.bytes_in.load(Ordering::Relaxed));
+                w.put_u64(self.counters.bytes_out.load(Ordering::Relaxed));
                 w.put_u32(self.active.load(Ordering::SeqCst) as u32);
                 w.put_u32(self.config.workers as u32);
                 w.put_u32(self.config.queue_depth as u32);
@@ -604,6 +824,21 @@ impl ConnCtx {
     }
 }
 
+/// Renders an error as a typed reply body. Admission failures travel as
+/// their own status bytes so clients can distinguish "back off" from
+/// "request broken".
+fn error_reply(e: ServeError) -> Vec<u8> {
+    let (status, message) = match e {
+        ServeError::Busy(m) => (STATUS_BUSY, m),
+        ServeError::Timeout(m) => (STATUS_TIMEOUT, m),
+        other => (STATUS_ERR, other.to_string()),
+    };
+    let mut w = ByteWriter::new();
+    w.put_u8(status);
+    w.put_string(&message);
+    w.into_bytes()
+}
+
 /// Normalizes an image exactly as `deepn_core::experiment::to_tensors`
 /// does, so a model trained by the pipeline classifies service traffic
 /// identically.
@@ -618,6 +853,11 @@ fn image_to_tensor(img: &RgbImage) -> Tensor {
 fn worker_loop(rx: &Mutex<Receiver<Job>>, tables: &QuantTablePair, model: Option<Arc<Sequential>>) {
     let encoder = Encoder::with_tables(tables.clone());
     let decoder = Decoder::new();
+    // Per-worker codec workspaces, reused across every job this worker
+    // ever runs: after the first image of a given width, the block-strip
+    // hot loops allocate nothing.
+    let mut enc_ws = EncodeWorkspace::new();
+    let mut dec_ws = DecodeWorkspace::new();
     loop {
         // Hold the lock only while dequeuing, not while working.
         let job = match rx.lock() {
@@ -634,11 +874,11 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, tables: &QuantTablePair, model: Option
         // unreplaced dead worker would eventually wedge the whole service.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.req {
             JobRequest::Encode(img) => encoder
-                .encode(&img)
+                .encode_with(&img, &mut enc_ws)
                 .map(JobResult::Bytes)
                 .map_err(|e| format!("encode failed: {e}")),
             JobRequest::Decode(bytes) => decoder
-                .decode(&bytes)
+                .decode_with(&bytes, &mut dec_ws)
                 .map(JobResult::Image)
                 .map_err(|e| format!("decode failed: {e}")),
             JobRequest::Classify(img) => match &model {

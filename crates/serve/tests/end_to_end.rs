@@ -212,6 +212,156 @@ fn exhausted_request_budget_is_a_typed_timeout() {
 }
 
 #[test]
+fn compress_stream_is_byte_identical_to_local_single_pass_encode() {
+    let tables = QuantTablePair::standard(65);
+    let (handle, mut client) = start(tables.clone());
+    // Ragged height (not a multiple of 8) exercises the short final strip.
+    for (w, h) in [(45, 19), (16, 16), (3, 1)] {
+        let img = deepn_codec::RgbImage::gradient(w, h);
+        let mut session = client.begin_compress_stream(w, h).expect("begin");
+        let mut strip = deepn_codec::PixelStrip::new();
+        for s in 0..session.strip_count() {
+            assert!(strip.copy_from_image(&img, s));
+            session.send_strip(strip.as_bytes()).expect("strip");
+        }
+        let remote = session.finish().expect("finish");
+        // Single-pass network streaming cannot rewind for the optimized-
+        // Huffman analysis pass, so the contract is byte-identity with the
+        // standard-table local encode.
+        let local = Encoder::with_tables(tables.clone())
+            .optimize_huffman(false)
+            .encode(&img)
+            .expect("local encode");
+        assert_eq!(remote, local, "{w}x{h}");
+        // The stream decodes like any other baseline JFIF stream.
+        assert_eq!(Decoder::new().decode(&remote).expect("decodes").width(), w);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.images_encoded, 3);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn mis_sized_strips_are_rejected_client_side_and_server_side() {
+    let (handle, mut client) = start(QuantTablePair::standard(70));
+    let mut session = client.begin_compress_stream(10, 12).expect("begin");
+    // Client-side validation: wrong byte count never leaves the process.
+    let err = session.send_strip(&[0u8; 5]).expect_err("short strip");
+    assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    // A correct session still works on the same client afterwards (the
+    // begin frame above is answered once its strips arrive).
+    let img = deepn_codec::RgbImage::gradient(10, 12);
+    let mut strip = deepn_codec::PixelStrip::new();
+    for s in 0..session.strip_count() {
+        strip.copy_from_image(&img, s);
+        session.send_strip(strip.as_bytes()).expect("strip");
+    }
+    assert!(!session.finish().expect("finish").is_empty());
+    client.ping().expect("connection still framed");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn abandoning_a_stream_session_does_not_poison_the_client() {
+    let (handle, mut client) = start(QuantTablePair::standard(70));
+    {
+        let mut session = client.begin_compress_stream(10, 20).expect("begin");
+        assert!(!session.is_complete());
+        let img = deepn_codec::RgbImage::gradient(10, 20);
+        let mut strip = deepn_codec::PixelStrip::new();
+        strip.copy_from_image(&img, 0);
+        session.send_strip(strip.as_bytes()).expect("first strip");
+        // Dropped here with 1 of 3 strips sent: the server is mid-stream
+        // on this connection, so the session teardown must abandon it.
+    }
+    // The next request must NOT be misread as a strip frame: the client
+    // reconnects and the ping succeeds cleanly.
+    client
+        .ping()
+        .expect("fresh connection after abandoned session");
+    // A full session on the same client still works.
+    let img = deepn_codec::RgbImage::gradient(10, 20);
+    let mut session = client.begin_compress_stream(10, 20).expect("begin");
+    let mut strip = deepn_codec::PixelStrip::new();
+    for s in 0..session.strip_count() {
+        strip.copy_from_image(&img, s);
+        session.send_strip(strip.as_bytes()).expect("strip");
+    }
+    assert!(session.is_complete());
+    assert!(!session.finish().expect("finish").is_empty());
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn metrics_render_prometheus_text() {
+    let (handle, mut client) = start(QuantTablePair::standard(75));
+    client.ping().expect("ping");
+    let set = ImageSet::generate(&DatasetSpec::tiny(), 7);
+    client.encode_batch(&set.images()[..2]).expect("encode");
+    let text = client.metrics().expect("metrics");
+    for needle in [
+        "# TYPE deepn_serve_requests_total counter",
+        "deepn_serve_images_encoded_total 2",
+        "# TYPE deepn_serve_active_connections gauge",
+        "deepn_serve_bytes_in_total",
+        "deepn_serve_bytes_out_total",
+        "deepn_serve_workers 3",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn persistent_client_reconnects_transparently_after_a_busy_close() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        QuantTablePair::standard(60),
+        None,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    let mut occupant =
+        Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    occupant.ping().expect("within the limit");
+    // The second client is busy-rejected and its connection closed by the
+    // server — the classic poisoned-pooled-connection scenario.
+    let mut second = Client::connect(handle.addr()).expect("tcp connect");
+    let err = second.ping().expect_err("over the connection limit");
+    assert!(matches!(err, ServeError::Busy(_)), "{err}");
+    // Free the slot, then reuse `second` WITHOUT reconnecting manually:
+    // the client must notice the dead pooled connection and replay the
+    // request on a fresh one.
+    drop(occupant);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match second.ping() {
+            Ok(()) => break,
+            // The freed slot appears once the server reaps the occupant's
+            // reader thread; a busy rejection meanwhile also closes the
+            // new connection, which the next attempt must again survive.
+            Err(ServeError::Busy(_)) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("transparent reconnect failed: {e}"),
+        }
+    }
+    second.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
 fn concurrent_clients_are_served() {
     let (handle, client) = start(QuantTablePair::uniform(4));
     let addr = handle.addr();

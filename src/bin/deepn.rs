@@ -5,8 +5,10 @@
 //! Run `deepn help` for the full usage text; `EXPERIMENTS.md` walks
 //! through the end-to-end workflow.
 
-use deepn::codec::ppm::{read_ppm, write_ppm};
-use deepn::codec::{Decoder, Encoder, QuantTablePair};
+use deepn::codec::ppm::{read_ppm, write_ppm, write_ppm_header, PpmRowReader};
+use deepn::codec::{
+    DecodeWorkspace, Decoder, EncodeWorkspace, Encoder, PixelStrip, QuantTablePair,
+};
 use deepn::core::experiment::{run_symmetric_cached_with_models, ExperimentConfig, Scale};
 use deepn::core::sa_search::{anneal, anneal_restarts, SaConfig};
 use deepn::core::{analyze_images, CompressionScheme, DeepnTableBuilder, PlmParams};
@@ -15,7 +17,7 @@ use deepn::serve::{Client, Server, ServerConfig};
 use deepn::store::{self, ArtifactKind, FsModelCache, FsRoundTripCache, StoredModel};
 use std::error::Error;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -31,10 +33,14 @@ COMMANDS:
                   [--sa-iters N] [--sa-restarts N] [--stats-out PATH]
     train         Train a zoo model and persist its weights
                   --out PATH [--scale fast|full] [--model NAME] [--epochs N]
-    compress      Compress a PPM image with stored tables
-                  --tables PATH --input IN.ppm --output OUT.jpg
-    decompress    Decompress a JFIF stream back to PPM
-                  --input IN.jpg --output OUT.ppm
+    compress      Compress a PPM image with stored tables, streaming it
+                  strip-by-strip so RSS stays bounded at any image size
+                  --tables PATH --input IN.ppm --output OUT.jpg [--verify]
+    decompress    Decompress a JFIF stream back to PPM, streaming strips
+                  --input IN.jpg --output OUT.ppm [--verify]
+    gen-ppm       Write a synthetic gradient PPM row-by-row (test input
+                  for the streaming paths; never materializes the image)
+                  --out PATH [--width N] [--height N]
     serve         Run the compression service on stored tables
                   --tables PATH --addr HOST:PORT [--workers N] [--queue N]
                   [--max-conns N] [--timeout-ms N (0 = no deadline)]
@@ -43,6 +49,8 @@ COMMANDS:
                   round-trips against the local codec
                   --addr HOST:PORT --tables PATH [--scale fast|full]
                   [--batch N] [--iters N] [--model PATH] [--shutdown]
+    metrics       Print a running service's Prometheus-style metrics
+                  --addr HOST:PORT
     pipeline      Rerun the figure experiment through the decoded-set cache
                   --cache-dir DIR [--scale fast|full]
     inspect       Print an artifact's header
@@ -131,6 +139,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(args),
         "compress" => cmd_compress(args),
         "decompress" => cmd_decompress(args),
+        "gen-ppm" => cmd_gen_ppm(args),
+        "metrics" => cmd_metrics(args),
         "serve" => cmd_serve(args),
         "bench-client" => cmd_bench_client(args),
         "pipeline" => cmd_pipeline(args),
@@ -245,33 +255,130 @@ fn cmd_compress(mut args: Args) -> Result<(), Box<dyn Error>> {
     let tables_path = args.required("--tables")?;
     let input = args.required("--input")?;
     let output = args.required("--output")?;
+    let verify = args.flag("--verify");
     args.finish()?;
     let tables: QuantTablePair = store::load(&tables_path)?;
-    let image = read_ppm(BufReader::new(File::open(&input)?))?;
-    let bytes = Encoder::with_tables(tables).encode(&image)?;
-    std::fs::write(&output, &bytes)?;
-    println!(
-        "{input} ({}x{}) -> {output} ({} bytes)",
-        image.width(),
-        image.height(),
-        bytes.len()
-    );
+    let encoder = Encoder::with_tables(tables);
+
+    // The PPM streams through the codec strip by strip — twice, because
+    // the optimized-Huffman analysis pass needs the whole image's symbol
+    // statistics before the first header byte (the file is simply
+    // reopened). Peak pixel memory is one 8-row strip, whatever the image
+    // size.
+    let open = |path: &str| -> Result<PpmRowReader<BufReader<File>>, Box<dyn Error>> {
+        Ok(PpmRowReader::new(BufReader::new(File::open(path)?))?)
+    };
+    let mut reader = open(&input)?;
+    let (w, h) = (reader.width(), reader.height());
+    let mut session = encoder.stream_encoder(w, h)?;
+    let mut ws = EncodeWorkspace::new();
+    let mut strip = PixelStrip::new();
+    let mut rows = Vec::new();
+    for s in 0..session.strip_count() {
+        let n = reader.read_rows(session.strip_rows(s), &mut rows)?;
+        strip.set_rows(w, n, &rows)?;
+        session.analyze_strip(&strip, &mut ws)?;
+    }
+    let mut reader = open(&input)?;
+    let mut out = BufWriter::new(File::create(&output)?);
+    let mut total = 0usize;
+    for s in 0..session.strip_count() {
+        let n = reader.read_rows(session.strip_rows(s), &mut rows)?;
+        strip.set_rows(w, n, &rows)?;
+        session.encode_strip(&strip, &mut ws)?;
+        let chunk = session.take_output();
+        total += chunk.len();
+        out.write_all(&chunk)?;
+    }
+    let tail = session.finish()?;
+    total += tail.len();
+    out.write_all(&tail)?;
+    out.flush()?;
+    drop(out);
+    if verify {
+        let image = read_ppm(BufReader::new(File::open(&input)?))?;
+        let reference = encoder.encode(&image)?;
+        if std::fs::read(&output)? != reference {
+            return Err("streamed output differs from the in-memory codec".into());
+        }
+        println!("verify OK: streamed bytes identical to the in-memory codec");
+    }
+    println!("{input} ({w}x{h}) -> {output} ({total} bytes, streamed)");
     Ok(())
 }
 
 fn cmd_decompress(mut args: Args) -> Result<(), Box<dyn Error>> {
     let input = args.required("--input")?;
     let output = args.required("--output")?;
+    let verify = args.flag("--verify");
     args.finish()?;
     let bytes = std::fs::read(&input)?;
-    let image = Decoder::new().decode(&bytes)?;
-    write_ppm(&image, BufWriter::new(File::create(&output)?))?;
+    // Strips stream straight from the entropy decoder to the PPM file:
+    // resident memory is the compressed stream plus one 8-row strip,
+    // never the decoded image.
+    let decoder = Decoder::new();
+    let mut session = decoder.stream_decoder(&bytes)?;
+    let (w, h) = (session.width(), session.height());
+    let mut out = BufWriter::new(File::create(&output)?);
+    write_ppm_header(&mut out, w, h)?;
+    let mut ws = DecodeWorkspace::new();
+    let mut strip = PixelStrip::new();
+    while session.next_strip(&mut ws, &mut strip)? {
+        out.write_all(strip.as_bytes())?;
+    }
+    out.flush()?;
+    drop(out);
+    if verify {
+        let image = decoder.decode(&bytes)?;
+        let mut reference = Vec::new();
+        write_ppm(&image, &mut reference)?;
+        if std::fs::read(&output)? != reference {
+            return Err("streamed output differs from the in-memory codec".into());
+        }
+        println!("verify OK: streamed pixels identical to the in-memory codec");
+    }
     println!(
-        "{input} ({} bytes) -> {output} ({}x{})",
-        bytes.len(),
-        image.width(),
-        image.height()
+        "{input} ({} bytes) -> {output} ({w}x{h}, streamed)",
+        bytes.len()
     );
+    Ok(())
+}
+
+fn cmd_gen_ppm(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let out = args.required("--out")?;
+    let width = args.parsed("--width", 2048usize)?;
+    let height = args.parsed("--height", 2048usize)?;
+    args.finish()?;
+    if width == 0 || height == 0 || width > 0xFFFF || height > 0xFFFF {
+        return Err(format!("invalid dimensions {width}x{height}").into());
+    }
+    // Row-streamed writer: the same gradient as `RgbImage::gradient`, but
+    // one row resident at a time.
+    let mut writer = BufWriter::new(File::create(&out)?);
+    write_ppm_header(&mut writer, width, height)?;
+    let mut row = vec![0u8; width * 3];
+    for y in 0..height {
+        for (x, px) in row.chunks_exact_mut(3).enumerate() {
+            px[0] = (x * 255 / width) as u8;
+            px[1] = (y * 255 / height) as u8;
+            px[2] = 128;
+        }
+        writer.write_all(&row)?;
+    }
+    writer.flush()?;
+    drop(writer);
+    println!(
+        "{out}: {width}x{height} gradient ({} bytes)",
+        std::fs::metadata(&out)?.len()
+    );
+    Ok(())
+}
+
+fn cmd_metrics(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let addr = args.required("--addr")?;
+    args.finish()?;
+    let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(10))?;
+    print!("{}", client.metrics()?);
     Ok(())
 }
 

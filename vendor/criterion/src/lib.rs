@@ -11,8 +11,9 @@
 //!
 //! Statistics are deliberately simple: each benchmark runs a short warm-up,
 //! then `sample_size` timed samples, and reports min/median/max plus
-//! mean ± standard deviation per iteration. There are no plots, baselines,
-//! or outlier analysis.
+//! mean ± standard deviation and a 95% confidence interval on the mean
+//! (normal approximation) per iteration. There are no plots, baselines, or
+//! outlier analysis.
 
 use std::time::{Duration, Instant};
 
@@ -128,6 +129,10 @@ pub struct SampleStats {
     pub max: f64,
     /// Population standard deviation.
     pub std_dev: f64,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (`1.96 · σ / √n`, the normal approximation): the mean lies in
+    /// `mean ± ci95` with 95% confidence.
+    pub ci95: f64,
     /// Number of samples.
     pub len: usize,
 }
@@ -147,12 +152,14 @@ pub fn sample_stats(samples: &[Duration]) -> Option<SampleStats> {
         (ns[len / 2 - 1] + ns[len / 2]) / 2.0
     };
     let var = ns.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / len as f64;
+    let std_dev = var.sqrt();
     Some(SampleStats {
         min: ns[0],
         median,
         mean,
         max: ns[len - 1],
-        std_dev: var.sqrt(),
+        std_dev,
+        ci95: 1.96 * std_dev / (len as f64).sqrt(),
         len,
     })
 }
@@ -163,12 +170,14 @@ fn report(id: &str, samples: &[Duration]) {
         return;
     };
     println!(
-        "{id:<40} time: [{} {} {}] mean: {} ± {} ({} samples)",
+        "{id:<40} time: [{} {} {}] mean: {} ± {} (95% CI [{}, {}], {} samples)",
         fmt_ns(s.min),
         fmt_ns(s.median),
         fmt_ns(s.max),
         fmt_ns(s.mean),
         fmt_ns(s.std_dev),
+        fmt_ns(s.mean - s.ci95),
+        fmt_ns(s.mean + s.ci95),
         s.len
     );
 }
@@ -232,6 +241,9 @@ mod tests {
         assert_eq!(s.mean, 5.0);
         assert_eq!(s.max, 8.0);
         assert_eq!(s.std_dev, 5.0f64.sqrt()); // var = (9+1+1+9)/4 = 5
+                                              // 95% CI half-width: 1.96 * sqrt(5) / sqrt(4).
+        assert!((s.ci95 - 1.96 * 5.0f64.sqrt() / 2.0).abs() < 1e-12);
+        assert!(s.mean - s.ci95 < s.median && s.median < s.mean + s.ci95);
         assert_eq!(s.len, 4);
 
         // Odd count: the median is the middle element, not an average.
