@@ -1,0 +1,81 @@
+//! Serial request/response vs a pipelined window on one service
+//! connection.
+//!
+//! The service handles a connection's requests strictly in order, so a
+//! serial client pays a full round-trip gap (reply read + next-request
+//! write) between every two requests, during which the connection's
+//! worker idles. The pipelined client keeps a bounded window in flight,
+//! so the service computes request `k` while `k+1..k+W` are already on
+//! the wire. The `pipelined/window_*` rows should therefore beat
+//! `serial/roundtrip` and improve with the window — modestly on loopback
+//! (where a round trip is microseconds), and by the full gap on a real
+//! network.
+//!
+//! ```sh
+//! cargo bench -p deepn-bench --bench serve_pipeline
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepn_codec::{QuantTablePair, RgbImage};
+use deepn_serve::{Client, PipelineReply, Server, ServerConfig};
+use std::time::Duration;
+
+/// Requests per timed iteration — enough that the per-request gap, not
+/// connection setup, dominates.
+const REQUESTS: usize = 32;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        QuantTablePair::standard(75),
+        None,
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    let mut client = Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    let images: Vec<RgbImage> = (0..REQUESTS)
+        .map(|i| RgbImage::gradient(32, 24 + i))
+        .collect();
+
+    c.bench_function("serve_pipeline/serial_roundtrip", |b| {
+        b.iter(|| {
+            for img in &images {
+                client
+                    .encode_batch(std::slice::from_ref(img))
+                    .expect("encode");
+            }
+        })
+    });
+
+    for window in [2usize, 4, 8, 16] {
+        c.bench_function(&format!("serve_pipeline/pipelined_window_{window}"), |b| {
+            b.iter(|| {
+                let mut pipe = client.pipeline(window);
+                let mut replies = 0usize;
+                for img in &images {
+                    pipe.submit_encode_batch(std::slice::from_ref(img))
+                        .expect("submit");
+                    while let Some(reply) = pipe.try_ready() {
+                        assert!(matches!(reply.expect("reply"), PipelineReply::Encoded(_)));
+                        replies += 1;
+                    }
+                }
+                while pipe.pending() > 0 {
+                    assert!(matches!(
+                        pipe.recv().expect("reply"),
+                        PipelineReply::Encoded(_)
+                    ));
+                    replies += 1;
+                }
+                assert_eq!(replies, REQUESTS);
+            })
+        });
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -6,12 +6,26 @@
 //! busy rejection), the client transparently reconnects once and replays
 //! the request — safe because every service op is idempotent. A failure
 //! *after* reply bytes started arriving is never replayed.
+//!
+//! Three request shapes share the connection:
+//!
+//! - **Request/response** ([`Client::ping`], [`Client::encode_batch`],
+//!   ...): one frame out, one frame back.
+//! - **Streamed exchanges** ([`Client::begin_compress_stream`],
+//!   [`Client::begin_decompress_stream`]): pixel strips travel as
+//!   individual frames so neither side materializes a whole image.
+//! - **Pipelined requests** ([`Client::pipeline`]): a bounded window of
+//!   request/response ops kept in flight at once. The service handles a
+//!   connection's requests strictly in order, so replies sequence
+//!   themselves; the [`Pipeline`] applies backpressure when the window is
+//!   full and extends reconnect+replay to the whole unacknowledged window.
 
 use crate::protocol::{self, Opcode, STATUS_BUSY, STATUS_ERR, STATUS_OK, STATUS_TIMEOUT};
 use crate::{ServeError, StatsSnapshot};
 use deepn_codec::stream::{strip_count_for, strip_rows_for};
-use deepn_codec::RgbImage;
+use deepn_codec::{PixelStrip, RgbImage};
 use deepn_store::{ByteReader, ByteWriter};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -138,19 +152,8 @@ impl Client {
     ///
     /// Socket, protocol, or service-side codec errors.
     pub fn encode_batch(&mut self, images: &[RgbImage]) -> Result<Vec<Vec<u8>>, ServeError> {
-        let mut w = ByteWriter::new();
-        w.put_len(images.len());
-        for img in images {
-            protocol::put_image(&mut w, img);
-        }
-        let reply = self.call(Opcode::EncodeBatch, w.as_bytes())?;
-        let mut r = ByteReader::new(&reply);
-        let n = r.len(4)?;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(protocol::get_blob(&mut r)?);
-        }
-        Ok(out)
+        let reply = self.call(Opcode::EncodeBatch, &image_batch_payload(images))?;
+        parse_blob_list(&mut ByteReader::new(&reply))
     }
 
     /// Decompresses a batch of JFIF streams, returning the images in
@@ -160,19 +163,8 @@ impl Client {
     ///
     /// Socket, protocol, or service-side codec errors.
     pub fn decode_batch(&mut self, streams: &[Vec<u8>]) -> Result<Vec<RgbImage>, ServeError> {
-        let mut w = ByteWriter::new();
-        w.put_len(streams.len());
-        for s in streams {
-            protocol::put_blob(&mut w, s);
-        }
-        let reply = self.call(Opcode::DecodeBatch, w.as_bytes())?;
-        let mut r = ByteReader::new(&reply);
-        let n = r.len(8)?;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(protocol::get_image(&mut r)?);
-        }
-        Ok(out)
+        let reply = self.call(Opcode::DecodeBatch, &blob_batch_payload(streams))?;
+        parse_image_list(&mut ByteReader::new(&reply))
     }
 
     /// Classifies a batch of images with the service's model.
@@ -182,19 +174,8 @@ impl Client {
     /// [`ServeError::Remote`] if the service has no model; socket or
     /// protocol errors otherwise.
     pub fn classify(&mut self, images: &[RgbImage]) -> Result<Vec<usize>, ServeError> {
-        let mut w = ByteWriter::new();
-        w.put_len(images.len());
-        for img in images {
-            protocol::put_image(&mut w, img);
-        }
-        let reply = self.call(Opcode::Classify, w.as_bytes())?;
-        let mut r = ByteReader::new(&reply);
-        let n = r.len(4)?;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(r.u32()? as usize);
-        }
-        Ok(out)
+        let reply = self.call(Opcode::Classify, &image_batch_payload(images))?;
+        parse_label_list(&mut ByteReader::new(&reply))
     }
 
     /// Fetches the service counters.
@@ -204,23 +185,7 @@ impl Client {
     /// Socket or protocol errors.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
         let reply = self.call(Opcode::Stats, &[])?;
-        let mut r = ByteReader::new(&reply);
-        Ok(StatsSnapshot {
-            requests: r.u64()?,
-            images_encoded: r.u64()?,
-            images_decoded: r.u64()?,
-            images_classified: r.u64()?,
-            connections_rejected: r.u64()?,
-            requests_timed_out: r.u64()?,
-            bytes_in: r.u64()?,
-            bytes_out: r.u64()?,
-            active_connections: r.u32()?,
-            workers: r.u32()?,
-            queue_depth: r.u32()?,
-            max_connections: r.u32()?,
-            request_timeout_ms: r.u64()?,
-            has_model: r.u8()? != 0,
-        })
+        parse_stats(&mut ByteReader::new(&reply))
     }
 
     /// Fetches the service counters as Prometheus text-format metrics.
@@ -266,6 +231,63 @@ impl Client {
             sent: 0,
             strip_count: strip_count_for(height),
         })
+    }
+
+    /// Begins a streaming decompression of a complete JFIF stream: the
+    /// service decodes it and frames the pixels back one 8-row strip at a
+    /// time, collected with [`StreamDecompression::next_strip`]. The
+    /// decoded image is never materialized on either side.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; [`ServeError::Remote`] when the stream's headers do
+    /// not parse service-side.
+    pub fn begin_decompress_stream(
+        &mut self,
+        jfif: &[u8],
+    ) -> Result<StreamDecompression<'_>, ServeError> {
+        // Same liveness probe as `begin_compress_stream`: a mid-stream
+        // session is not replayable, so open it on a connection known to
+        // be live.
+        self.ping()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(Opcode::DecompressStream as u8);
+        protocol::put_blob(&mut w, jfif);
+        self.send_frame(w.as_bytes())?;
+        let begin = parse_reply(self.recv_reply()?)?;
+        let mut r = ByteReader::new(&begin);
+        let width = r.u32()? as usize;
+        let height = r.u32()? as usize;
+        if width == 0 || height == 0 {
+            self.stream = None;
+            return Err(ServeError::Protocol(format!(
+                "service announced an empty {width}x{height} image"
+            )));
+        }
+        Ok(StreamDecompression {
+            client: self,
+            width,
+            height,
+            received: 0,
+            strip_count: strip_count_for(height),
+            failed: false,
+        })
+    }
+
+    /// Opens a pipelined request window on this client's connection: up to
+    /// `window` request/response ops stay in flight at once (a `window` of
+    /// 0 is treated as 1, plain request/response). Submitting into a full
+    /// window blocks until the oldest reply is read back — backpressure,
+    /// not unbounded buffering.
+    pub fn pipeline(&mut self, window: usize) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            window: window.max(1),
+            inflight: VecDeque::new(),
+            prefetched: VecDeque::new(),
+            ready: VecDeque::new(),
+            replay_armed: true,
+        }
     }
 
     /// Writes one frame on the current connection, tearing it down on
@@ -326,6 +348,76 @@ fn parse_reply(reply: Vec<u8>) -> Result<Vec<u8>, ServeError> {
         STATUS_TIMEOUT => ServeError::Timeout(message),
         STATUS_ERR => ServeError::Remote(message),
         other => ServeError::Protocol(format!("unknown reply status {other}: {message}")),
+    })
+}
+
+/// Marshals a request payload of counted images.
+fn image_batch_payload(images: &[RgbImage]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(images.len());
+    for img in images {
+        protocol::put_image(&mut w, img);
+    }
+    w.into_bytes()
+}
+
+/// Marshals a request payload of counted byte blobs.
+fn blob_batch_payload(blobs: &[Vec<u8>]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(blobs.len());
+    for b in blobs {
+        protocol::put_blob(&mut w, b);
+    }
+    w.into_bytes()
+}
+
+/// Parses an `EncodeBatch` ok-payload: a counted list of blobs.
+fn parse_blob_list(r: &mut ByteReader<'_>) -> Result<Vec<Vec<u8>>, ServeError> {
+    let n = r.len(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(protocol::get_blob(r)?);
+    }
+    Ok(out)
+}
+
+/// Parses a `DecodeBatch` ok-payload: a counted list of images.
+fn parse_image_list(r: &mut ByteReader<'_>) -> Result<Vec<RgbImage>, ServeError> {
+    let n = r.len(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(protocol::get_image(r)?);
+    }
+    Ok(out)
+}
+
+/// Parses a `Classify` ok-payload: a counted list of `u32` labels.
+fn parse_label_list(r: &mut ByteReader<'_>) -> Result<Vec<usize>, ServeError> {
+    let n = r.len(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u32()? as usize);
+    }
+    Ok(out)
+}
+
+/// Parses a `Stats` ok-payload.
+fn parse_stats(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, ServeError> {
+    Ok(StatsSnapshot {
+        requests: r.u64()?,
+        images_encoded: r.u64()?,
+        images_decoded: r.u64()?,
+        images_classified: r.u64()?,
+        connections_rejected: r.u64()?,
+        requests_timed_out: r.u64()?,
+        bytes_in: r.u64()?,
+        bytes_out: r.u64()?,
+        active_connections: r.u32()?,
+        workers: r.u32()?,
+        queue_depth: r.u32()?,
+        max_connections: r.u32()?,
+        request_timeout_ms: r.u64()?,
+        has_model: r.u8()? != 0,
     })
 }
 
@@ -444,6 +536,496 @@ impl Drop for StreamCompression<'_> {
         // the connection down so the service unblocks (peer-closed) and
         // the client's next call transparently opens a fresh one.
         if self.sent != self.strip_count {
+            self.client.stream = None;
+        }
+    }
+}
+
+/// An in-flight [`Client::begin_decompress_stream`] session: the service
+/// has announced the image geometry and is framing decoded pixel strips
+/// back, top to bottom.
+#[derive(Debug)]
+pub struct StreamDecompression<'c> {
+    client: &'c mut Client,
+    width: usize,
+    height: usize,
+    received: usize,
+    strip_count: usize,
+    /// Set when a typed error frame ended the session early: the session
+    /// is over but incomplete, and (unlike an abandonment) the connection
+    /// ended on an intact frame boundary.
+    failed: bool,
+}
+
+impl StreamDecompression<'_> {
+    /// Decoded image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Decoded image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of strips the session will produce.
+    pub fn strip_count(&self) -> usize {
+        self.strip_count
+    }
+
+    /// Rows carried by the strip at `index` (8, except a shorter final
+    /// strip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= strip_count()`.
+    pub fn strip_rows(&self, index: usize) -> usize {
+        strip_rows_for(self.height, index)
+    }
+
+    /// Receives the next decoded strip into `strip`. Returns `Ok(false)`
+    /// once every strip has arrived.
+    ///
+    /// # Errors
+    ///
+    /// Typed service-side errors (a mid-scan decode failure, a deadline
+    /// overrun) surface as the strip they replace and end the session;
+    /// socket or framing errors tear the connection down.
+    pub fn next_strip(&mut self, strip: &mut PixelStrip) -> Result<bool, ServeError> {
+        if self.failed || self.received == self.strip_count {
+            return Ok(false);
+        }
+        let frame = self.client.recv_reply()?;
+        let payload = match parse_reply(frame) {
+            Ok(p) => p,
+            Err(e) => {
+                // A typed error frame replaces a strip frame on an intact
+                // frame boundary: the session is over (and incomplete),
+                // but the connection remains usable for the client's next
+                // request.
+                self.failed = true;
+                return Err(e);
+            }
+        };
+        let index = self.received;
+        let rows = self.strip_rows(index);
+        if let Err(e) = strip.set_rows(self.width, rows, &payload) {
+            // A mis-sized strip frame breaks the exchange's contract; the
+            // remaining frames can no longer be trusted, so start the next
+            // request on a fresh connection.
+            self.client.stream = None;
+            self.failed = true;
+            return Err(ServeError::Protocol(format!("strip {index}: {e}")));
+        }
+        self.received += 1;
+        Ok(true)
+    }
+
+    /// Whether every strip has been received. `false` after a session
+    /// ended early on a typed service-side error — a partially written
+    /// output must not pass for a whole one.
+    pub fn is_complete(&self) -> bool {
+        !self.failed && self.received == self.strip_count
+    }
+}
+
+impl Drop for StreamDecompression<'_> {
+    fn drop(&mut self) {
+        // An abandoned session leaves undelivered strip frames on the
+        // wire, which the next request would misread as its reply. Tear
+        // the connection down; the next call transparently reconnects. A
+        // `failed` session needs no teardown: the typed error frame
+        // already ended the exchange on an intact frame boundary.
+        if !self.failed && self.received != self.strip_count {
+            self.client.stream = None;
+        }
+    }
+}
+
+/// One parsed pipelined reply, tagged by the op that produced it. Replies
+/// always come back in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineReply {
+    /// Reply to [`Pipeline::submit_ping`].
+    Pong,
+    /// Reply to [`Pipeline::submit_encode_batch`]: one JFIF stream per
+    /// image, in order.
+    Encoded(Vec<Vec<u8>>),
+    /// Reply to [`Pipeline::submit_decode_batch`]: the decoded images, in
+    /// order.
+    Decoded(Vec<RgbImage>),
+    /// Reply to [`Pipeline::submit_classify`]: the predicted labels, in
+    /// order.
+    Labels(Vec<usize>),
+    /// Reply to [`Pipeline::submit_stats`].
+    Stats(StatsSnapshot),
+    /// Reply to [`Pipeline::submit_metrics`].
+    Metrics(String),
+}
+
+/// Parses a pipelined reply frame according to the op that requested it.
+fn decode_pipeline_reply(op: Opcode, frame: Vec<u8>) -> Result<PipelineReply, ServeError> {
+    let payload = parse_reply(frame)?;
+    let mut r = ByteReader::new(&payload);
+    Ok(match op {
+        Opcode::Ping => PipelineReply::Pong,
+        Opcode::EncodeBatch => PipelineReply::Encoded(parse_blob_list(&mut r)?),
+        Opcode::DecodeBatch => PipelineReply::Decoded(parse_image_list(&mut r)?),
+        Opcode::Classify => PipelineReply::Labels(parse_label_list(&mut r)?),
+        Opcode::Stats => PipelineReply::Stats(parse_stats(&mut r)?),
+        Opcode::Metrics => PipelineReply::Metrics(r.string()?),
+        Opcode::Shutdown | Opcode::CompressStream | Opcode::DecompressStream => {
+            unreachable!("the pipeline never submits streaming or shutdown ops")
+        }
+    })
+}
+
+/// A bounded window of pipelined requests on a [`Client`]'s connection,
+/// opened with [`Client::pipeline`].
+///
+/// Submitting is non-blocking while the window has room; once it is full,
+/// the next submit first reads the oldest reply off the wire, so at most
+/// `window` requests are ever outstanding on the connection
+/// (backpressure against the *service*). Replies read ahead this way wait
+/// in a client-side buffer until [`recv`](Pipeline::recv) — a caller that
+/// submits many requests without receiving holds those parsed replies in
+/// memory, so interleave `recv`/[`try_ready`](Pipeline::try_ready) with
+/// submission when replies are large. `recv` returns replies strictly in
+/// submission order — the service handles one connection's requests
+/// serially, so no frame tagging is needed.
+///
+/// ## Failure semantics
+///
+/// Per-request failures ([`ServeError::Remote`], [`ServeError::Busy`],
+/// [`ServeError::Timeout`]) are delivered by `recv` in that request's
+/// position and do **not** end the pipeline. When the pooled connection
+/// turns out to be dead (service restart, the close that follows a busy
+/// rejection), the pipeline reconnects once and replays the *entire
+/// unacknowledged window* in order — safe because every op is idempotent
+/// and no reply frame of the replayed requests had started arriving. A
+/// second consecutive stall without any reply in between, or any other
+/// transport error ([`ServeError::Io`], [`ServeError::Protocol`]), is
+/// fatal to the whole pipeline: drop it and start a fresh one.
+///
+/// Dropping a pipeline with requests still in flight tears the connection
+/// down so their unread replies cannot poison the client's next request.
+#[derive(Debug)]
+pub struct Pipeline<'c> {
+    client: &'c mut Client,
+    window: usize,
+    /// Submitted requests whose reply frame has not been consumed: the op
+    /// (to parse the reply) and the full request body (to replay it).
+    inflight: VecDeque<(Opcode, Vec<u8>)>,
+    /// Raw reply frames read ahead of [`Pipeline::pump`] — drained off
+    /// the socket while a request write was blocked on a full send
+    /// buffer, so a window of large requests and large replies cannot
+    /// write-write deadlock with the server (which has no write timeout
+    /// either). Frame `i` here answers `inflight[i]`.
+    prefetched: VecDeque<Vec<u8>>,
+    /// Replies drained by backpressure before the caller asked for them.
+    ready: VecDeque<Result<PipelineReply, ServeError>>,
+    /// One reconnect+replay is allowed per stall; re-armed every time a
+    /// reply lands (progress), so a dead service cannot loop forever.
+    replay_armed: bool,
+}
+
+impl Pipeline<'_> {
+    /// The window bound this pipeline was opened with.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Requests whose reply has not been returned by
+    /// [`recv`](Pipeline::recv) yet — drain with that many `recv` calls.
+    pub fn pending(&self) -> usize {
+        self.inflight.len() + self.ready.len()
+    }
+
+    /// Submits a liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fatal transport errors (see the type docs; a full window receives
+    /// the oldest reply first, which can surface its transport failure
+    /// here).
+    pub fn submit_ping(&mut self) -> Result<(), ServeError> {
+        self.submit(Opcode::Ping, &[])
+    }
+
+    /// Submits a batch compression; answered by
+    /// [`PipelineReply::Encoded`].
+    ///
+    /// # Errors
+    ///
+    /// Fatal transport errors.
+    pub fn submit_encode_batch(&mut self, images: &[RgbImage]) -> Result<(), ServeError> {
+        self.submit(Opcode::EncodeBatch, &image_batch_payload(images))
+    }
+
+    /// Submits a batch decompression; answered by
+    /// [`PipelineReply::Decoded`].
+    ///
+    /// # Errors
+    ///
+    /// Fatal transport errors.
+    pub fn submit_decode_batch(&mut self, streams: &[Vec<u8>]) -> Result<(), ServeError> {
+        self.submit(Opcode::DecodeBatch, &blob_batch_payload(streams))
+    }
+
+    /// Submits a batch classification; answered by
+    /// [`PipelineReply::Labels`].
+    ///
+    /// # Errors
+    ///
+    /// Fatal transport errors.
+    pub fn submit_classify(&mut self, images: &[RgbImage]) -> Result<(), ServeError> {
+        self.submit(Opcode::Classify, &image_batch_payload(images))
+    }
+
+    /// Submits a counters request; answered by [`PipelineReply::Stats`].
+    ///
+    /// # Errors
+    ///
+    /// Fatal transport errors.
+    pub fn submit_stats(&mut self) -> Result<(), ServeError> {
+        self.submit(Opcode::Stats, &[])
+    }
+
+    /// Submits a metrics request; answered by [`PipelineReply::Metrics`].
+    ///
+    /// # Errors
+    ///
+    /// Fatal transport errors.
+    pub fn submit_metrics(&mut self) -> Result<(), ServeError> {
+        self.submit(Opcode::Metrics, &[])
+    }
+
+    /// Pops a reply that backpressure already read off the wire, without
+    /// blocking. `None` when none is buffered — more replies may still be
+    /// in flight; [`recv`](Pipeline::recv) waits for those.
+    pub fn try_ready(&mut self) -> Option<Result<PipelineReply, ServeError>> {
+        self.ready.pop_front()
+    }
+
+    /// Returns the oldest outstanding reply, in submission order, reading
+    /// it off the wire if backpressure has not already buffered it.
+    ///
+    /// # Errors
+    ///
+    /// The submitted request's own typed failure
+    /// ([`ServeError::Remote`] / [`Busy`](ServeError::Busy) /
+    /// [`Timeout`](ServeError::Timeout) — the pipeline continues), or a
+    /// fatal transport error (see the type docs).
+    pub fn recv(&mut self) -> Result<PipelineReply, ServeError> {
+        if let Some(reply) = self.ready.pop_front() {
+            return reply;
+        }
+        if self.inflight.is_empty() {
+            return Err(ServeError::Protocol("no requests in flight".into()));
+        }
+        self.pump()?;
+        self.ready.pop_front().expect("pump buffered a reply")
+    }
+
+    /// Submits one request, applying backpressure first when the window is
+    /// full.
+    fn submit(&mut self, op: Opcode, payload: &[u8]) -> Result<(), ServeError> {
+        while self.inflight.len() >= self.window {
+            self.pump()?;
+        }
+        let mut body = Vec::with_capacity(1 + payload.len());
+        body.push(op as u8);
+        body.extend_from_slice(payload);
+        if self.client.stream.is_none() && !self.inflight.is_empty() {
+            // The connection died after earlier submissions: those must be
+            // replayed onto the fresh connection *before* this one, or the
+            // reply order no longer matches the submission order.
+            self.recover(ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))?;
+        }
+        match self.send_request(&body) {
+            Ok(()) => {}
+            Err(e) if Client::is_stale_connection(&e) => {
+                self.recover(e)?;
+                self.send_request(&body)?;
+            }
+            Err(e) => return Err(e),
+        }
+        self.inflight.push_back((op, body));
+        Ok(())
+    }
+
+    /// Writes one request frame on the current connection, draining reply
+    /// frames into `prefetched` whenever the send buffer is full. Tears
+    /// the connection down on failure; a partially written frame dies
+    /// with it (the retry rewrites from byte 0 on a fresh connection).
+    fn send_request(&mut self, body: &[u8]) -> Result<(), ServeError> {
+        let outstanding = self.inflight.len() - self.prefetched.len();
+        let result =
+            Self::write_frame_draining(self.client, &mut self.prefetched, outstanding, body);
+        if result.is_err() {
+            self.client.stream = None;
+        }
+        result
+    }
+
+    /// The deadlock-free frame writer the pipeline uses: the socket is
+    /// written in non-blocking chunks, and whenever the send buffer is
+    /// full while `outstanding` replies may be in flight, an available
+    /// reply frame is read into `prefetched` instead of blocking. Without
+    /// this, a window whose requests and replies both exceed the kernel
+    /// socket buffers would write-write deadlock with the server: the
+    /// server blocked writing an earlier reply nobody is reading, the
+    /// client blocked writing a request nobody is reading.
+    fn write_frame_draining(
+        client: &mut Client,
+        prefetched: &mut VecDeque<Vec<u8>>,
+        outstanding: usize,
+        body: &[u8],
+    ) -> Result<(), ServeError> {
+        if body.len() > protocol::MAX_FRAME {
+            return Err(ServeError::Protocol(format!(
+                "frame of {} bytes exceeds the {} byte limit",
+                body.len(),
+                protocol::MAX_FRAME
+            )));
+        }
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(body);
+        // One connection for the whole frame: reconnecting mid-frame
+        // would splice garbage into the new stream, so any failure below
+        // surfaces instead and the caller rewrites from scratch.
+        let stream = client.ensure_connected()?;
+        // One nonblocking window per frame (not per chunk): the socket
+        // flips back to blocking only around a drain read and before
+        // returning, so callers that keep the connection never see it
+        // nonblocking — even on failure, where `restored` matters because
+        // `recover`'s write errors leave the stream in place for the
+        // pipeline's Drop to discard.
+        stream.set_nonblocking(true)?;
+        let result = Self::write_draining_nonblocking(stream, prefetched, outstanding, &frame);
+        let restored = stream.set_nonblocking(false);
+        result?;
+        restored?;
+        Ok(())
+    }
+
+    /// The write loop of [`write_frame_draining`](Self::write_frame_draining);
+    /// entered and left with `stream` in nonblocking mode.
+    fn write_draining_nonblocking(
+        stream: &mut TcpStream,
+        prefetched: &mut VecDeque<Vec<u8>>,
+        mut outstanding: usize,
+        frame: &[u8],
+    ) -> Result<(), ServeError> {
+        let mut written = 0usize;
+        while written < frame.len() {
+            match std::io::Write::write(stream, &frame[written..]) {
+                Ok(0) => {
+                    return Err(ServeError::Io(io::ErrorKind::WriteZero.into()));
+                }
+                Ok(n) => written += n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    // Send buffer full: the server may be blocked writing
+                    // a reply. Drain one if it has arrived (a peek spots
+                    // data or EOF; either resolves promptly); otherwise
+                    // yield briefly and retry the write.
+                    let available = outstanding > 0
+                        && match stream.peek(&mut [0u8]) {
+                            Ok(_) => true,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+                            Err(e) => return Err(e.into()),
+                        };
+                    if available {
+                        stream.set_nonblocking(false)?;
+                        let reply = protocol::read_frame(stream)?
+                            .ok_or_else(|| ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))?;
+                        stream.set_nonblocking(true)?;
+                        prefetched.push_back(reply);
+                        outstanding -= 1;
+                    } else {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the oldest in-flight request's reply into the ready queue,
+    /// reconnecting and replaying the unacknowledged window when the
+    /// pooled connection turns out to be dead.
+    fn pump(&mut self) -> Result<(), ServeError> {
+        debug_assert!(!self.inflight.is_empty(), "pump with requests in flight");
+        if self.prefetched.is_empty() && self.client.stream.is_none() {
+            // A previous failure already tore the connection down (e.g.
+            // the close that follows a busy rejection): replay before
+            // reading anything.
+            self.recover(ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))?;
+        }
+        if self.prefetched.is_empty() {
+            match self.client.recv_reply() {
+                Ok(frame) => self.prefetched.push_back(frame),
+                Err(e) if Client::is_stale_connection(&e) => {
+                    self.recover(e)?;
+                    // The replay itself may have prefetched the frame.
+                    if self.prefetched.is_empty() {
+                        let frame = self.client.recv_reply()?;
+                        self.prefetched.push_back(frame);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let frame = self
+            .prefetched
+            .pop_front()
+            .expect("a reply frame is buffered");
+        // A reply landed: progress, so a future stall gets a fresh replay.
+        self.replay_armed = true;
+        let (op, _) = self
+            .inflight
+            .pop_front()
+            .expect("pump with requests in flight");
+        self.ready.push_back(decode_pipeline_reply(op, frame));
+        Ok(())
+    }
+
+    /// One-shot reconnect+replay of the unacknowledged window, in
+    /// submission order. Requests whose reply frame was already prefetched
+    /// are acknowledged and are **not** resent — a duplicate would earn a
+    /// duplicate reply and desynchronize every later request. `cause` is
+    /// surfaced unchanged when the replay budget for this stall is
+    /// already spent.
+    fn recover(&mut self, cause: ServeError) -> Result<(), ServeError> {
+        if !self.replay_armed {
+            return Err(cause);
+        }
+        self.replay_armed = false;
+        self.client.stream = None;
+        let client = &mut *self.client;
+        let prefetched = &mut self.prefetched;
+        let acknowledged = prefetched.len();
+        for (resent, (_, body)) in self.inflight.iter().skip(acknowledged).enumerate() {
+            // Replies to already-resent requests may arrive while later
+            // bodies are still being written; the draining writer absorbs
+            // them.
+            let outstanding = resent - (prefetched.len() - acknowledged);
+            Self::write_frame_draining(client, prefetched, outstanding, body)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Pipeline<'_> {
+    fn drop(&mut self) {
+        // Unread replies of abandoned requests would be misread as the
+        // next request's reply; a fresh connection cannot have any.
+        if !self.inflight.is_empty() {
             self.client.stream = None;
         }
     }

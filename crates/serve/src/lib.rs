@@ -12,6 +12,15 @@
 //! batch parallelizes across cores and an overloaded service applies
 //! backpressure (submission blocks) instead of growing without bound.
 //!
+//! Both wire directions stream: `CompressStream` feeds pixels to the
+//! service one 8-row strip frame at a time, and `DecompressStream` frames
+//! decoded strips back the same way, so neither side ever materializes a
+//! whole image for the streamed ops. Request/response ops can additionally
+//! be **pipelined** ([`Client::pipeline`]): a bounded window of requests
+//! in flight on one connection, with ordered replies and reconnect+replay
+//! of the whole unacknowledged window. `docs/PROTOCOL.md` is the complete
+//! wire specification.
+//!
 //! ```no_run
 //! use deepn_codec::QuantTablePair;
 //! use deepn_serve::{Client, Server, ServerConfig};
@@ -35,7 +44,7 @@ mod client;
 pub mod protocol;
 mod server;
 
-pub use client::{Client, StreamCompression};
+pub use client::{Client, Pipeline, PipelineReply, StreamCompression, StreamDecompression};
 pub use server::{Server, ServerConfig, ServerHandle, StatsSnapshot};
 
 use std::error::Error;

@@ -12,6 +12,14 @@
 //! payloads carry a `u32` count followed by the items; images travel as
 //! `u32 width | u32 height | width*height*3` RGB bytes, compressed
 //! streams as `u32 len | bytes`.
+//!
+//! Requests on one connection are handled strictly in arrival order and
+//! replies come back in the same order, which is what lets
+//! [`crate::Pipeline`] keep a window of requests in flight without tagging
+//! frames. The complete wire specification — every opcode, status byte,
+//! streamed exchange, and the reconnect/replay and pipelining contracts —
+//! lives in `docs/PROTOCOL.md` and is checked against this module's
+//! constants by `tests/protocol_doc.rs`.
 
 use crate::ServeError;
 use deepn_codec::RgbImage;
@@ -47,6 +55,14 @@ pub enum Opcode {
     CompressStream = 6,
     /// Report Prometheus-style metrics text.
     Metrics = 7,
+    /// Decompress one JFIF stream with the reply streamed as 8-row pixel
+    /// strips — the [`CompressStream`](Opcode::CompressStream) twin. The
+    /// request frame carries the complete stream as a blob; the service
+    /// answers with a begin frame (`status | u32 width | u32 height`),
+    /// then one frame per strip (`status | raw RGB rows`, top to bottom).
+    /// The service never materializes the decoded image: peak reply-side
+    /// memory is one strip.
+    DecompressStream = 8,
 }
 
 impl Opcode {
@@ -61,6 +77,7 @@ impl Opcode {
             5 => Some(Opcode::Shutdown),
             6 => Some(Opcode::CompressStream),
             7 => Some(Opcode::Metrics),
+            8 => Some(Opcode::DecompressStream),
             _ => None,
         }
     }

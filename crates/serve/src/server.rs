@@ -369,13 +369,15 @@ impl ConnCtx {
         // The timeout bounds how long a dead-idle connection pins this
         // thread after shutdown; it is not a per-request deadline.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-        // Per-connection codec state for `CompressStream`: the standard-
+        // Per-connection codec state for the streaming ops: the standard-
         // Huffman encoder (single-pass streaming cannot rewind the peer
-        // for an optimized-table analysis pass) and the strip workspace,
-        // both reused across every streamed image on this connection.
+        // for an optimized-table analysis pass) and the strip workspaces,
+        // all reused across every streamed image on this connection.
         let stream_encoder = Encoder::with_tables((*self.tables).clone()).optimize_huffman(false);
         let mut stream_ws = EncodeWorkspace::new();
         let mut stream_strip = PixelStrip::new();
+        let stream_decoder = Decoder::new();
+        let mut stream_dec_ws = DecodeWorkspace::new();
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
@@ -414,6 +416,23 @@ impl ConnCtx {
                             }
                         };
                         if !self.write_reply(&mut stream, &reply) {
+                            return;
+                        }
+                        continue;
+                    }
+                    if body.first() == Some(&(Opcode::DecompressStream as u8)) {
+                        // The streaming reply owns the connection until its
+                        // last strip frame. Unlike `CompressStream`, every
+                        // failure here still lands on a frame boundary (the
+                        // request was one frame, and error frames replace
+                        // strip frames), so the connection stays usable.
+                        if !self.decompress_stream(
+                            &mut stream,
+                            &body[1..],
+                            &stream_decoder,
+                            &mut stream_dec_ws,
+                            &mut stream_strip,
+                        ) {
                             return;
                         }
                         continue;
@@ -523,6 +542,82 @@ impl ConnCtx {
         Ok(w.into_bytes())
     }
 
+    /// Handles one `DecompressStream` request: parses the JFIF blob from
+    /// the request payload, then frames the decoded image back as a begin
+    /// frame (`status | u32 width | u32 height`) followed by one
+    /// `status | raw RGB rows` frame per 8-row strip. The decoded image is
+    /// never materialized — peak reply-side memory is one strip, no matter
+    /// how large the image is.
+    ///
+    /// Every outcome (including mid-stream decode failures and deadline
+    /// overruns) is delivered as a typed frame on an intact frame
+    /// boundary, so the return value is `false` only when the peer is
+    /// gone.
+    fn decompress_stream(
+        &self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+        decoder: &Decoder,
+        ws: &mut DecodeWorkspace,
+        strip: &mut PixelStrip,
+    ) -> bool {
+        let deadline = self.config.request_timeout.map(|t| (t, Instant::now() + t));
+        let mut run = || -> Result<(), ServeError> {
+            let mut r = ByteReader::new(payload);
+            let jfif = protocol::get_blob(&mut r)?;
+            let mut session = decoder
+                .stream_decoder(&jfif)
+                .map_err(|e| ServeError::Remote(format!("decode failed: {e}")))?;
+            let mut begin = ByteWriter::new();
+            begin.put_u8(STATUS_OK);
+            begin.put_u32(session.width() as u32);
+            begin.put_u32(session.height() as u32);
+            if !self.write_reply(stream, begin.as_bytes()) {
+                return Err(ServeError::Io(io::ErrorKind::BrokenPipe.into()));
+            }
+            let mut frame = Vec::new();
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return Err(ServeError::Remote("service is shutting down".into()));
+                }
+                if let Some((budget, end)) = &deadline {
+                    if Instant::now() >= *end {
+                        self.counters
+                            .requests_timed_out
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Timeout(format!(
+                            "stream exceeded its {budget:?} budget"
+                        )));
+                    }
+                }
+                let more = session
+                    .next_strip(ws, strip)
+                    .map_err(|e| ServeError::Remote(format!("decode failed: {e}")))?;
+                if !more {
+                    break;
+                }
+                frame.clear();
+                frame.push(STATUS_OK);
+                frame.extend_from_slice(strip.as_bytes());
+                if !self.write_reply(stream, &frame) {
+                    return Err(ServeError::Io(io::ErrorKind::BrokenPipe.into()));
+                }
+            }
+            self.counters.images_decoded.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        };
+        match run() {
+            Ok(()) => true,
+            Err(ServeError::Io(_)) => false,
+            Err(e) => {
+                // Every reply frame of this exchange leads with a status
+                // byte, so a typed error frame in place of a strip frame
+                // is unambiguous: the client stops reading strips there.
+                self.write_reply(stream, &error_reply(e))
+            }
+        }
+    }
+
     /// Renders the service counters as Prometheus text-format metrics.
     fn metrics_text(&self) -> String {
         let mut out = String::new();
@@ -630,10 +725,10 @@ impl ConnCtx {
         match op {
             Opcode::Ping => Ok((Vec::new(), false)),
             Opcode::Shutdown => Ok((Vec::new(), true)),
-            // The streaming op is intercepted before dispatch (it owns the
-            // connection for its strip frames).
-            Opcode::CompressStream => Err(ServeError::Protocol(
-                "CompressStream must be the first frame of its exchange".into(),
+            // The streaming ops are intercepted before dispatch (they own
+            // the connection for their strip frames).
+            Opcode::CompressStream | Opcode::DecompressStream => Err(ServeError::Protocol(
+                "streaming ops must be the first frame of their exchange".into(),
             )),
             Opcode::Metrics => {
                 let mut w = ByteWriter::new();

@@ -244,6 +244,132 @@ fn compress_stream_is_byte_identical_to_local_single_pass_encode() {
 }
 
 #[test]
+fn decompress_stream_is_byte_identical_to_local_decode() {
+    let tables = QuantTablePair::standard(65);
+    let (handle, mut client) = start(tables.clone());
+    let encoder = Encoder::with_tables(tables);
+    let decoder = Decoder::new();
+    // Ragged height (not a multiple of 8) exercises the short final strip.
+    for (w, h) in [(45, 19), (16, 16), (3, 1)] {
+        let img = deepn_codec::RgbImage::gradient(w, h);
+        let jfif = encoder.encode(&img).expect("local encode");
+        let mut session = client.begin_decompress_stream(&jfif).expect("begin");
+        assert_eq!((session.width(), session.height()), (w, h));
+        let mut strip = deepn_codec::PixelStrip::new();
+        let mut pixels = Vec::new();
+        let mut strips = 0;
+        while session.next_strip(&mut strip).expect("strip") {
+            assert_eq!(strip.width(), w);
+            assert_eq!(strip.rows(), session.strip_rows(strips));
+            pixels.extend_from_slice(strip.as_bytes());
+            strips += 1;
+        }
+        assert!(session.is_complete());
+        assert_eq!(strips, session.strip_count());
+        // The streamed pixels must equal the local whole-image decode.
+        let local = decoder.decode(&jfif).expect("local decode");
+        assert_eq!(pixels, local.as_bytes(), "{w}x{h}");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.images_decoded, 3);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn decompress_stream_failures_are_typed_and_keep_the_connection() {
+    let (handle, mut client) = start(QuantTablePair::standard(70));
+    // Garbage that cannot even parse as headers fails at the begin frame.
+    let err = client
+        .begin_decompress_stream(&[0xDE, 0xAD, 0xBE, 0xEF])
+        .expect_err("garbage cannot decode");
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+    // Unlike a failed CompressStream, every failure here lands on a frame
+    // boundary, so the same connection keeps serving.
+    client.ping().expect("connection still framed");
+
+    // A stream truncated mid-scan parses its headers (the begin frame and
+    // some strips arrive) and then fails with a typed error frame in place
+    // of a strip frame.
+    let img = deepn_codec::RgbImage::gradient(64, 64);
+    let jfif = Encoder::with_tables(QuantTablePair::standard(70))
+        .encode(&img)
+        .expect("encode");
+    let truncated = &jfif[..jfif.len() - 40];
+    let mut session = client.begin_decompress_stream(truncated).expect("begin");
+    let mut strip = deepn_codec::PixelStrip::new();
+    let err = loop {
+        match session.next_strip(&mut strip) {
+            Ok(true) => continue,
+            Ok(false) => panic!("a truncated scan cannot complete"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+    // A session ended by a typed error is over but NOT complete — the
+    // partial output must not pass for a whole image.
+    assert!(!session.is_complete());
+    assert!(!session.next_strip(&mut strip).expect("session is over"));
+    drop(session);
+    // The typed mid-stream error also lands on a frame boundary.
+    client.ping().expect("connection still framed");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn compress_and_decompress_streams_round_trip_without_materializing() {
+    // The full wire round trip: pixels up via CompressStream, pixels back
+    // via DecompressStream, byte-identical to the local single-pass codec
+    // end to end.
+    let tables = QuantTablePair::standard(65);
+    let (handle, mut client) = start(tables.clone());
+    let img = deepn_codec::RgbImage::gradient(50, 37);
+    let mut up = client.begin_compress_stream(50, 37).expect("begin up");
+    let mut strip = deepn_codec::PixelStrip::new();
+    for s in 0..up.strip_count() {
+        assert!(strip.copy_from_image(&img, s));
+        up.send_strip(strip.as_bytes()).expect("strip up");
+    }
+    let jfif = up.finish().expect("finish up");
+    let mut pixels = Vec::new();
+    {
+        let mut down = client.begin_decompress_stream(&jfif).expect("begin down");
+        while down.next_strip(&mut strip).expect("strip down") {
+            pixels.extend_from_slice(strip.as_bytes());
+        }
+    }
+    let local = Decoder::new().decode(&jfif).expect("local decode");
+    assert_eq!(pixels, local.as_bytes());
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn abandoning_a_decompress_session_does_not_poison_the_client() {
+    let (handle, mut client) = start(QuantTablePair::standard(70));
+    let img = deepn_codec::RgbImage::gradient(10, 40);
+    let jfif = Encoder::with_tables(QuantTablePair::standard(70))
+        .optimize_huffman(false)
+        .encode(&img)
+        .expect("encode");
+    {
+        let mut session = client.begin_decompress_stream(&jfif).expect("begin");
+        let mut strip = deepn_codec::PixelStrip::new();
+        assert!(session.next_strip(&mut strip).expect("first strip"));
+        assert!(!session.is_complete());
+        // Dropped with strips still on the wire: the session teardown must
+        // abandon the connection so they cannot masquerade as the next
+        // reply.
+    }
+    client
+        .ping()
+        .expect("fresh connection after abandoned session");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
 fn mis_sized_strips_are_rejected_client_side_and_server_side() {
     let (handle, mut client) = start(QuantTablePair::standard(70));
     let mut session = client.begin_compress_stream(10, 12).expect("begin");

@@ -1,0 +1,313 @@
+//! Pipelining edge cases: reply sequencing under a full window, typed
+//! rejections mid-window, and reconnect+replay of a partially
+//! acknowledged window (driven against a scripted frame-level server so
+//! the failure point is exact).
+
+use deepn_codec::{Encoder, QuantTablePair, RgbImage};
+use deepn_serve::protocol::{self, Opcode, STATUS_OK};
+use deepn_serve::{Client, PipelineReply, ServeError, Server, ServerConfig};
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn start(config: ServerConfig) -> (deepn_serve::ServerHandle, Client) {
+    let server =
+        Server::bind("127.0.0.1:0", QuantTablePair::standard(70), None, config).expect("bind");
+    let handle = server.spawn();
+    let client = Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    (handle, client)
+}
+
+#[test]
+fn replies_sequence_in_submission_order_under_a_full_window() {
+    let (handle, mut client) = start(ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    // Distinguishable images: the replies can only pass verification if
+    // they come back in exactly the submission order.
+    let images: Vec<RgbImage> = (1..=12).map(|i| RgbImage::gradient(8 * i, 8 + i)).collect();
+    let encoder = Encoder::with_tables(QuantTablePair::standard(70));
+    let mut replies = Vec::new();
+    {
+        let mut pipe = client.pipeline(4);
+        assert_eq!(pipe.window(), 4);
+        for (i, img) in images.iter().enumerate() {
+            // A mixed window: encodes interleaved with pings.
+            pipe.submit_encode_batch(std::slice::from_ref(img))
+                .expect("submit encode");
+            if i % 3 == 0 {
+                pipe.submit_ping().expect("submit ping");
+            }
+            // The window stays bounded no matter how much was submitted.
+            assert!(pipe.pending() >= 1);
+            while let Some(r) = pipe.try_ready() {
+                replies.push(r.expect("pipelined reply"));
+            }
+        }
+        while pipe.pending() > 0 {
+            replies.push(pipe.recv().expect("pipelined reply"));
+        }
+    }
+    // Reconstruct the expected submission order and verify each reply.
+    let mut expect = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        expect.push(Some(img));
+        if i % 3 == 0 {
+            expect.push(None);
+        }
+    }
+    assert_eq!(replies.len(), expect.len());
+    for (i, (reply, want)) in replies.iter().zip(&expect).enumerate() {
+        match (reply, want) {
+            (PipelineReply::Encoded(blobs), Some(img)) => {
+                let local = encoder.encode(img).expect("local encode");
+                assert_eq!(blobs.as_slice(), &[local], "reply {i} out of order");
+            }
+            (PipelineReply::Pong, None) => {}
+            (other, want) => panic!("reply {i}: got {other:?}, wanted encode={}", want.is_some()),
+        }
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn timeout_rejection_mid_window_fails_one_request_not_the_pipeline() {
+    // A zero budget: every job-carrying request comes back as a typed
+    // timeout frame, while ping (which runs no jobs) succeeds — all on
+    // one pipelined connection.
+    let (handle, mut client) = start(ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        request_timeout: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    });
+    let img = RgbImage::gradient(16, 16);
+    {
+        let mut pipe = client.pipeline(4);
+        pipe.submit_ping().expect("submit");
+        pipe.submit_encode_batch(std::slice::from_ref(&img))
+            .expect("submit");
+        pipe.submit_ping().expect("submit");
+        pipe.submit_encode_batch(std::slice::from_ref(&img))
+            .expect("submit");
+        assert!(matches!(pipe.recv(), Ok(PipelineReply::Pong)));
+        let err = pipe.recv().expect_err("zero budget");
+        assert!(matches!(err, ServeError::Timeout(_)), "{err}");
+        // The rejection consumed its slot in the reply sequence and
+        // nothing more: the later requests are unaffected.
+        assert!(matches!(pipe.recv(), Ok(PipelineReply::Pong)));
+        let err = pipe.recv().expect_err("zero budget");
+        assert!(matches!(err, ServeError::Timeout(_)), "{err}");
+        assert_eq!(pipe.pending(), 0);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests_timed_out, 2);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn large_requests_and_replies_do_not_write_write_deadlock() {
+    // A window whose request and reply payloads both dwarf the kernel
+    // socket buffers: a naive blocking submit would deadlock — the server
+    // blocked writing a multi-megabyte reply nobody reads while the
+    // client blocks writing a multi-megabyte request nobody reads. The
+    // draining writer must interleave instead.
+    let (handle, mut client) = start(ServerConfig {
+        workers: 2,
+        queue_depth: 256,
+        request_timeout: Some(Duration::from_secs(60)),
+        ..ServerConfig::default()
+    });
+    let img = RgbImage::gradient(128, 128);
+    let copies = 80; // ~3.7 MiB of raw pixels per batch payload
+    let images = vec![img.clone(); copies];
+    let blobs = vec![
+        Encoder::with_tables(QuantTablePair::standard(70))
+            .encode(&img)
+            .expect("encode");
+        copies
+    ];
+    {
+        let mut pipe = client.pipeline(4);
+        // A huge reply queues up first, then a huge request goes out
+        // while that reply sits unread in the server's send path.
+        pipe.submit_decode_batch(&blobs).expect("submit decode");
+        pipe.submit_encode_batch(&images).expect("submit encode");
+        pipe.submit_decode_batch(&blobs).expect("submit decode");
+        match pipe.recv().expect("decoded") {
+            PipelineReply::Decoded(out) => assert_eq!(out.len(), copies),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match pipe.recv().expect("encoded") {
+            PipelineReply::Encoded(out) => assert_eq!(out.len(), copies),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match pipe.recv().expect("decoded") {
+            PipelineReply::Decoded(out) => {
+                assert_eq!(out.len(), copies);
+                assert_eq!(out[0].width(), 128);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(pipe.pending(), 0);
+    }
+    client.ping().expect("connection still framed");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn busy_rejection_mid_window_recovers_via_replay() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        QuantTablePair::standard(60),
+        None,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    let mut occupant =
+        Client::connect_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+    occupant.ping().expect("within the limit");
+    // The pipelined client lands over the limit: its first reply is a
+    // typed busy rejection and the server closes the connection — the
+    // worst mid-window case, because every later in-flight request's
+    // reply can now only come from a replay.
+    let mut second = Client::connect(handle.addr()).expect("tcp connect");
+    let mut pipe = second.pipeline(3);
+    for _ in 0..3 {
+        pipe.submit_ping().expect("submit");
+    }
+    let err = pipe.recv().expect_err("over the connection limit");
+    assert!(matches!(err, ServeError::Busy(_)), "{err}");
+    // Free the slot; the pipeline must replay the unacknowledged window
+    // on a fresh connection. Until the server reaps the occupant's reader
+    // thread the replays themselves are busy-rejected — each one lands as
+    // a typed per-request error, never a dead pipeline.
+    drop(occupant);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut pongs = 0;
+    loop {
+        while pipe.pending() > 0 {
+            match pipe.recv() {
+                Ok(PipelineReply::Pong) => pongs += 1,
+                Ok(other) => panic!("unexpected reply {other:?}"),
+                Err(ServeError::Busy(_)) => {}
+                Err(e) => panic!("pipeline died: {e}"),
+            }
+        }
+        if pongs > 0 || std::time::Instant::now() >= deadline {
+            break;
+        }
+        // Busy-rejected requests are not resubmitted automatically; keep
+        // the window alive until the freed slot appears.
+        std::thread::sleep(Duration::from_millis(50));
+        pipe.submit_ping().expect("submit");
+    }
+    assert!(pongs > 0, "slot never freed");
+    drop(pipe);
+    second.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// A scripted frame-level server: accepts one connection, answers the
+/// first `ack` requests with ok frames, then closes; a second connection
+/// must then receive exactly the replayed remainder, which it answers.
+/// Returns the bodies the replayed connection received.
+fn scripted_partial_ack(listener: TcpListener, total: usize, ack: usize) -> Vec<Vec<u8>> {
+    let (mut conn, _) = listener.accept().expect("first connection");
+    let mut seen = 0usize;
+    while seen < total {
+        let body = protocol::read_frame(&mut conn)
+            .expect("request frame")
+            .expect("request before eof");
+        assert_eq!(body, vec![Opcode::Ping as u8], "request {seen}");
+        seen += 1;
+        if seen <= ack {
+            protocol::write_frame(&mut conn, &[STATUS_OK]).expect("ack");
+        }
+    }
+    drop(conn); // close with total-ack requests unacknowledged
+    let (mut conn, _) = listener.accept().expect("replay connection");
+    let mut replayed = Vec::new();
+    for _ in 0..total - ack {
+        let body = protocol::read_frame(&mut conn)
+            .expect("replayed frame")
+            .expect("replay before eof");
+        protocol::write_frame(&mut conn, &[STATUS_OK]).expect("ack");
+        replayed.push(body);
+    }
+    // A clean EOF must follow: the client replays nothing else.
+    assert_eq!(protocol::read_frame(&mut conn).expect("eof"), None);
+    replayed
+}
+
+#[test]
+fn partially_acknowledged_window_replays_only_the_unacknowledged_tail() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let script = std::thread::spawn(move || scripted_partial_ack(listener, 5, 2));
+
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut pipe = client.pipeline(5);
+        for _ in 0..5 {
+            pipe.submit_ping().expect("submit");
+        }
+        // Replies 1–2 arrive on the original connection; reply 3 hits the
+        // close, which must trigger a reconnect that replays requests 3–5
+        // (and only those — 1–2 were acknowledged).
+        for i in 0..5 {
+            match pipe.recv() {
+                Ok(PipelineReply::Pong) => {}
+                other => panic!("reply {i}: {other:?}"),
+            }
+        }
+        assert_eq!(pipe.pending(), 0);
+        // The client closes here, handing the script its final EOF.
+    }
+    let replayed = script.join().expect("script");
+    assert_eq!(replayed, vec![vec![Opcode::Ping as u8]; 3]);
+}
+
+#[test]
+fn a_second_consecutive_stall_without_progress_is_fatal() {
+    // The scripted server acks nothing and closes twice: the first close
+    // spends the replay budget, the second must surface as a fatal error
+    // instead of looping forever.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let script = std::thread::spawn(move || {
+        // Each connection consumes exactly the two-request window, acks
+        // nothing, and closes.
+        for _ in 0..2 {
+            let (mut conn, _) = listener.accept().expect("connection");
+            for _ in 0..2 {
+                protocol::read_frame(&mut conn)
+                    .expect("request frame")
+                    .expect("request before eof");
+            }
+        }
+    });
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut pipe = client.pipeline(2);
+    pipe.submit_ping().expect("submit");
+    pipe.submit_ping().expect("submit");
+    let err = pipe.recv().expect_err("no reply ever arrives");
+    assert!(
+        matches!(&err, ServeError::Protocol(_) | ServeError::Io(_)),
+        "{err}"
+    );
+    drop(pipe);
+    drop(client);
+    script.join().expect("script");
+}

@@ -1,0 +1,102 @@
+//! `docs/PROTOCOL.md` claims to be byte-accurate; this test holds it to
+//! that. The opcode and status tables and the frame-size limit in the
+//! spec are parsed out of the markdown and compared against the
+//! `protocol` module's constants, so adding, renaming, or re-numbering an
+//! op without updating the spec fails CI.
+
+use deepn_serve::protocol::{
+    Opcode, MAX_FRAME, STATUS_BUSY, STATUS_ERR, STATUS_OK, STATUS_TIMEOUT,
+};
+
+fn spec() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    std::fs::read_to_string(path).expect("docs/PROTOCOL.md exists")
+}
+
+/// Extracts `(number, name)` pairs from markdown table rows of the form
+/// `| 6 | `CompressStream` | ... |`.
+fn numbered_rows(doc: &str) -> Vec<(u8, String)> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some("") = cells.next() else { continue };
+        let Some(num) = cells.next().and_then(|c| c.parse::<u8>().ok()) else {
+            continue;
+        };
+        let Some(name) = cells
+            .next()
+            .and_then(|c| c.strip_prefix('`'))
+            .and_then(|c| c.strip_suffix('`'))
+        else {
+            continue;
+        };
+        out.push((num, name.to_string()));
+    }
+    out
+}
+
+#[test]
+fn every_opcode_is_documented_byte_accurately() {
+    let rows = numbered_rows(&spec());
+    let documented: Vec<&(u8, String)> = rows
+        .iter()
+        .filter(|(_, name)| !name.starts_with("STATUS_"))
+        .collect();
+    // Every opcode the server accepts appears in the spec with its exact
+    // byte value (the Debug name is the enum variant name).
+    for byte in 0..=u8::MAX {
+        let Some(op) = Opcode::from_u8(byte) else {
+            continue;
+        };
+        let name = format!("{op:?}");
+        assert!(
+            documented.iter().any(|(n, d)| *n == byte && *d == name),
+            "opcode {byte} ({name}) is missing from docs/PROTOCOL.md"
+        );
+    }
+    // And the spec documents no opcode the server does not accept — a
+    // stale or re-numbered row is as wrong as a missing one.
+    for (num, name) in &documented {
+        let op = Opcode::from_u8(*num)
+            .unwrap_or_else(|| panic!("docs/PROTOCOL.md documents unknown opcode {num} ({name})"));
+        assert_eq!(
+            &format!("{op:?}"),
+            name,
+            "docs/PROTOCOL.md mis-names opcode {num}"
+        );
+    }
+}
+
+#[test]
+fn every_status_byte_is_documented_byte_accurately() {
+    let rows = numbered_rows(&spec());
+    let documented: Vec<(u8, String)> = rows
+        .into_iter()
+        .filter(|(_, name)| name.starts_with("STATUS_"))
+        .collect();
+    let expected = [
+        (STATUS_OK, "STATUS_OK"),
+        (STATUS_ERR, "STATUS_ERR"),
+        (STATUS_BUSY, "STATUS_BUSY"),
+        (STATUS_TIMEOUT, "STATUS_TIMEOUT"),
+    ];
+    for (byte, name) in expected {
+        assert!(
+            documented.contains(&(byte, name.to_string())),
+            "status {byte} ({name}) is missing from docs/PROTOCOL.md"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        expected.len(),
+        "docs/PROTOCOL.md documents a status byte the protocol does not define"
+    );
+}
+
+#[test]
+fn the_frame_limit_is_documented_byte_accurately() {
+    assert!(
+        spec().contains(&format!("{MAX_FRAME} bytes")),
+        "docs/PROTOCOL.md must state the exact MAX_FRAME value ({MAX_FRAME} bytes)"
+    );
+}

@@ -13,7 +13,7 @@ use deepn::core::experiment::{run_symmetric_cached_with_models, ExperimentConfig
 use deepn::core::sa_search::{anneal, anneal_restarts, SaConfig};
 use deepn::core::{analyze_images, CompressionScheme, DeepnTableBuilder, PlmParams};
 use deepn::dataset::ImageSet;
-use deepn::serve::{Client, Server, ServerConfig};
+use deepn::serve::{Client, PipelineReply, Server, ServerConfig};
 use deepn::store::{self, ArtifactKind, FsModelCache, FsRoundTripCache, StoredModel};
 use std::error::Error;
 use std::fs::File;
@@ -33,11 +33,20 @@ COMMANDS:
                   [--sa-iters N] [--sa-restarts N] [--stats-out PATH]
     train         Train a zoo model and persist its weights
                   --out PATH [--scale fast|full] [--model NAME] [--epochs N]
-    compress      Compress a PPM image with stored tables, streaming it
-                  strip-by-strip so RSS stays bounded at any image size
-                  --tables PATH --input IN.ppm --output OUT.jpg [--verify]
-    decompress    Decompress a JFIF stream back to PPM, streaming strips
+    compress      Compress a PPM image, streaming it strip-by-strip so RSS
+                  stays bounded at any image size. With --addr the strips
+                  travel to a running service (CompressStream op,
+                  standard-Huffman, the service's own tables); otherwise
+                  the local codec encodes
+                  --input IN.ppm --output OUT.jpg [--verify]
+                  [--addr HOST:PORT] [--tables PATH (required unless
+                  --addr is given without --verify)]
+    decompress    Decompress a JFIF stream back to PPM, streaming strips.
+                  With --addr the service decodes and streams the pixel
+                  strips back (DecompressStream op); either way the
+                  decoded image is never materialized
                   --input IN.jpg --output OUT.ppm [--verify]
+                  [--addr HOST:PORT]
     gen-ppm       Write a synthetic gradient PPM row-by-row (test input
                   for the streaming paths; never materializes the image)
                   --out PATH [--width N] [--height N]
@@ -46,9 +55,13 @@ COMMANDS:
                   [--max-conns N] [--timeout-ms N (0 = no deadline)]
                   [--model PATH]
     bench-client  Drive a running service and verify byte-identical
-                  round-trips against the local codec
+                  round-trips against the local codec. --pipeline W adds a
+                  serial-vs-pipelined phase: the same per-image requests
+                  once strictly request/response, once with a W-deep
+                  in-flight window on the same connection
                   --addr HOST:PORT --tables PATH [--scale fast|full]
-                  [--batch N] [--iters N] [--model PATH] [--shutdown]
+                  [--batch N] [--iters N] [--model PATH] [--pipeline W]
+                  [--shutdown]
     metrics       Print a running service's Prometheus-style metrics
                   --addr HOST:PORT
     pipeline      Rerun the figure experiment through the decoded-set cache
@@ -252,58 +265,103 @@ fn cmd_train(mut args: Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_compress(mut args: Args) -> Result<(), Box<dyn Error>> {
-    let tables_path = args.required("--tables")?;
+    let tables_path = args.value("--tables")?;
     let input = args.required("--input")?;
     let output = args.required("--output")?;
     let verify = args.flag("--verify");
+    let addr = args.value("--addr")?;
     args.finish()?;
-    let tables: QuantTablePair = store::load(&tables_path)?;
-    let encoder = Encoder::with_tables(tables);
+    // The service encodes with its own tables, so a local artifact is
+    // only needed to encode locally or to back --verify.
+    let encoder = match &tables_path {
+        Some(p) => Some(Encoder::with_tables(store::load::<QuantTablePair>(p)?)),
+        None if addr.is_none() || verify => {
+            return Err("--tables is required unless --addr is given without --verify".into())
+        }
+        None => None,
+    };
 
-    // The PPM streams through the codec strip by strip — twice, because
-    // the optimized-Huffman analysis pass needs the whole image's symbol
-    // statistics before the first header byte (the file is simply
-    // reopened). Peak pixel memory is one 8-row strip, whatever the image
-    // size.
     let open = |path: &str| -> Result<PpmRowReader<BufReader<File>>, Box<dyn Error>> {
         Ok(PpmRowReader::new(BufReader::new(File::open(path)?))?)
     };
     let mut reader = open(&input)?;
     let (w, h) = (reader.width(), reader.height());
-    let mut session = encoder.stream_encoder(w, h)?;
-    let mut ws = EncodeWorkspace::new();
     let mut strip = PixelStrip::new();
     let mut rows = Vec::new();
-    for s in 0..session.strip_count() {
-        let n = reader.read_rows(session.strip_rows(s), &mut rows)?;
-        strip.set_rows(w, n, &rows)?;
-        session.analyze_strip(&strip, &mut ws)?;
-    }
-    let mut reader = open(&input)?;
-    let mut out = BufWriter::new(File::create(&output)?);
-    let mut total = 0usize;
-    for s in 0..session.strip_count() {
-        let n = reader.read_rows(session.strip_rows(s), &mut rows)?;
-        strip.set_rows(w, n, &rows)?;
-        session.encode_strip(&strip, &mut ws)?;
-        let chunk = session.take_output();
-        total += chunk.len();
-        out.write_all(&chunk)?;
-    }
-    let tail = session.finish()?;
-    total += tail.len();
-    out.write_all(&tail)?;
-    out.flush()?;
-    drop(out);
-    if verify {
-        let image = read_ppm(BufReader::new(File::open(&input)?))?;
-        let reference = encoder.encode(&image)?;
-        if std::fs::read(&output)? != reference {
-            return Err("streamed output differs from the in-memory codec".into());
+    let total;
+    if let Some(addr) = &addr {
+        // Service path: the strips travel over the wire (CompressStream),
+        // one frame per strip, and the service answers with the JFIF blob.
+        // Network peers cannot be rewound for the optimized-Huffman
+        // analysis pass, so this is the single-pass standard-Huffman mode;
+        // --verify compares against the same mode locally. The served
+        // tables are the service's own — the local --tables only back the
+        // verification.
+        let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(10))?;
+        let mut session = client.begin_compress_stream(w, h)?;
+        for s in 0..session.strip_count() {
+            let n = reader.read_rows(session.strip_rows(s), &mut rows)?;
+            strip.set_rows(w, n, &rows)?;
+            session.send_strip(strip.as_bytes())?;
         }
-        println!("verify OK: streamed bytes identical to the in-memory codec");
+        let jfif = session.finish()?;
+        total = jfif.len();
+        std::fs::write(&output, &jfif)?;
+        if verify {
+            let encoder = encoder.as_ref().expect("--verify requires --tables");
+            let image = read_ppm(BufReader::new(File::open(&input)?))?;
+            let reference = encoder.clone().optimize_huffman(false).encode(&image)?;
+            if jfif != reference {
+                return Err("service stream differs from the local single-pass codec \
+                            (is --tables the artifact the service was started with?)"
+                    .into());
+            }
+            println!("verify OK: service bytes identical to the local single-pass codec");
+        }
+    } else {
+        // Local path: the PPM streams through the codec strip by strip —
+        // twice, because the optimized-Huffman analysis pass needs the
+        // whole image's symbol statistics before the first header byte
+        // (the file is simply reopened). Peak pixel memory is one 8-row
+        // strip, whatever the image size.
+        let encoder = encoder.as_ref().expect("local encoding requires --tables");
+        let mut session = encoder.stream_encoder(w, h)?;
+        let mut ws = EncodeWorkspace::new();
+        for s in 0..session.strip_count() {
+            let n = reader.read_rows(session.strip_rows(s), &mut rows)?;
+            strip.set_rows(w, n, &rows)?;
+            session.analyze_strip(&strip, &mut ws)?;
+        }
+        let mut reader = open(&input)?;
+        let mut out = BufWriter::new(File::create(&output)?);
+        let mut written = 0usize;
+        for s in 0..session.strip_count() {
+            let n = reader.read_rows(session.strip_rows(s), &mut rows)?;
+            strip.set_rows(w, n, &rows)?;
+            session.encode_strip(&strip, &mut ws)?;
+            let chunk = session.take_output();
+            written += chunk.len();
+            out.write_all(&chunk)?;
+        }
+        let tail = session.finish()?;
+        written += tail.len();
+        out.write_all(&tail)?;
+        out.flush()?;
+        drop(out);
+        total = written;
+        if verify {
+            let image = read_ppm(BufReader::new(File::open(&input)?))?;
+            let reference = encoder.encode(&image)?;
+            if std::fs::read(&output)? != reference {
+                return Err("streamed output differs from the in-memory codec".into());
+            }
+            println!("verify OK: streamed bytes identical to the in-memory codec");
+        }
     }
-    println!("{input} ({w}x{h}) -> {output} ({total} bytes, streamed)");
+    println!(
+        "{input} ({w}x{h}) -> {output} ({total} bytes, streamed{})",
+        if addr.is_some() { " via service" } else { "" }
+    );
     Ok(())
 }
 
@@ -311,20 +369,34 @@ fn cmd_decompress(mut args: Args) -> Result<(), Box<dyn Error>> {
     let input = args.required("--input")?;
     let output = args.required("--output")?;
     let verify = args.flag("--verify");
+    let addr = args.value("--addr")?;
     args.finish()?;
     let bytes = std::fs::read(&input)?;
-    // Strips stream straight from the entropy decoder to the PPM file:
-    // resident memory is the compressed stream plus one 8-row strip,
-    // never the decoded image.
     let decoder = Decoder::new();
-    let mut session = decoder.stream_decoder(&bytes)?;
-    let (w, h) = (session.width(), session.height());
+    let (w, h);
     let mut out = BufWriter::new(File::create(&output)?);
-    write_ppm_header(&mut out, w, h)?;
-    let mut ws = DecodeWorkspace::new();
     let mut strip = PixelStrip::new();
-    while session.next_strip(&mut ws, &mut strip)? {
-        out.write_all(strip.as_bytes())?;
+    if let Some(addr) = &addr {
+        // Service path: the service decodes and frames the pixel strips
+        // back over the wire (DecompressStream), and they stream straight
+        // into the PPM file — resident memory is the compressed stream
+        // plus one 8-row strip on both sides, never the decoded image.
+        let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(10))?;
+        let mut session = client.begin_decompress_stream(&bytes)?;
+        (w, h) = (session.width(), session.height());
+        write_ppm_header(&mut out, w, h)?;
+        while session.next_strip(&mut strip)? {
+            out.write_all(strip.as_bytes())?;
+        }
+    } else {
+        // Local path: same bound, with the entropy decoder in-process.
+        let mut session = decoder.stream_decoder(&bytes)?;
+        (w, h) = (session.width(), session.height());
+        write_ppm_header(&mut out, w, h)?;
+        let mut ws = DecodeWorkspace::new();
+        while session.next_strip(&mut ws, &mut strip)? {
+            out.write_all(strip.as_bytes())?;
+        }
     }
     out.flush()?;
     drop(out);
@@ -338,8 +410,9 @@ fn cmd_decompress(mut args: Args) -> Result<(), Box<dyn Error>> {
         println!("verify OK: streamed pixels identical to the in-memory codec");
     }
     println!(
-        "{input} ({} bytes) -> {output} ({w}x{h}, streamed)",
-        bytes.len()
+        "{input} ({} bytes) -> {output} ({w}x{h}, streamed{})",
+        bytes.len(),
+        if addr.is_some() { " via service" } else { "" }
     );
     Ok(())
 }
@@ -433,6 +506,7 @@ fn cmd_bench_client(mut args: Args) -> Result<(), Box<dyn Error>> {
     // classify check feeds the model images of the wrong geometry.
     let scale = args.scale()?;
     let model_path = args.value("--model")?;
+    let pipeline_window = args.parsed("--pipeline", 0usize)?;
     let stop = args.flag("--shutdown");
     args.finish()?;
 
@@ -497,6 +571,9 @@ fn cmd_bench_client(mut args: Args) -> Result<(), Box<dyn Error>> {
             local.len()
         );
     }
+    if pipeline_window > 0 {
+        run_pipeline_phase(&mut client, &encoder, &images, iters, pipeline_window)?;
+    }
     let stats = client.stats()?;
     println!(
         "service counters: {} requests, {} encoded, {} decoded ({} workers)",
@@ -506,6 +583,83 @@ fn cmd_bench_client(mut args: Args) -> Result<(), Box<dyn Error>> {
         client.shutdown()?;
         println!("service shutdown requested");
     }
+    Ok(())
+}
+
+/// Unwraps a [`PipelineReply`] expected to carry exactly one encoded
+/// stream.
+fn expect_encoded(reply: PipelineReply) -> Result<Vec<u8>, Box<dyn Error>> {
+    match reply {
+        PipelineReply::Encoded(mut blobs) if blobs.len() == 1 => Ok(blobs.remove(0)),
+        other => Err(format!("unexpected pipelined reply: {other:?}").into()),
+    }
+}
+
+/// The serial-vs-pipelined comparison phase of `bench-client`: the same
+/// per-image encode requests, first strictly request/response, then with a
+/// `window`-deep in-flight window on the same connection. Pipelining hides
+/// the per-request round-trip gap (the service computes request `k` while
+/// requests `k+1..k+window` are already on the wire), so the second number
+/// should grow with the window even on one connection. Every pipelined
+/// reply is verified byte-identical to the local codec.
+fn run_pipeline_phase(
+    client: &mut Client,
+    encoder: &Encoder,
+    images: &[deepn::codec::RgbImage],
+    iters: usize,
+    window: usize,
+) -> Result<(), Box<dyn Error>> {
+    let requests = images.len() * iters;
+    // One local reference encode per distinct image, computed outside the
+    // timed phases and reused for every iteration's verification.
+    let references: Vec<Vec<u8>> = images
+        .iter()
+        .map(|img| encoder.encode(img))
+        .collect::<Result<_, _>>()?;
+
+    // Phase 1 — serial: wait out every round trip.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for img in images {
+            client.encode_batch(std::slice::from_ref(img))?;
+        }
+    }
+    let serial = t0.elapsed();
+
+    // Phase 2 — pipelined: same requests, same connection, bounded window.
+    let mut streams = Vec::with_capacity(requests);
+    let t0 = Instant::now();
+    {
+        let mut pipe = client.pipeline(window);
+        for _ in 0..iters {
+            for img in images {
+                pipe.submit_encode_batch(std::slice::from_ref(img))?;
+                while let Some(reply) = pipe.try_ready() {
+                    streams.push(expect_encoded(reply?)?);
+                }
+            }
+        }
+        while pipe.pending() > 0 {
+            streams.push(expect_encoded(pipe.recv()?)?);
+        }
+    }
+    let pipelined = t0.elapsed();
+
+    // Replies must sequence in submission order and match the local codec.
+    for (i, stream) in streams.iter().enumerate() {
+        if stream != &references[i % references.len()] {
+            return Err(format!("pipelined reply {i} differs from local encode").into());
+        }
+    }
+    let per_sec = |d: Duration| requests as f64 / d.as_secs_f64();
+    println!(
+        "pipeline phase: {requests} single-image requests on one connection\n\
+         \x20 serial    (window 1): {serial:>9.2?}  ({:.0} req/s)\n\
+         \x20 pipelined (window {window}): {pipelined:>9.2?}  ({:.0} req/s, {:.2}x)",
+        per_sec(serial),
+        per_sec(pipelined),
+        serial.as_secs_f64() / pipelined.as_secs_f64(),
+    );
     Ok(())
 }
 

@@ -15,7 +15,8 @@
 //! - [`store`] — versioned, checksummed on-disk artifacts (tables, band
 //!   statistics, datasets, trained weights; see `docs/ARTIFACT_FORMAT.md`)
 //! - [`serve`] — the long-running TCP compression service (worker pool +
-//!   bounded job queue) and its client
+//!   bounded job queue, both wire directions streamed strip-by-strip) and
+//!   its persistent, pipelining client (see `docs/PROTOCOL.md`)
 //! - [`bench`](mod@bench) — shared helpers for the figure-regeneration benches (see
 //!   `EXPERIMENTS.md` for how to rerun each paper figure)
 //!

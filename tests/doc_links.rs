@@ -1,0 +1,69 @@
+//! Link check over the repository's markdown documentation: every
+//! relative link in `README.md` and `docs/*.md` must point at a file or
+//! directory that exists, so the docs cannot rot as files move. CI runs
+//! this with the rest of the suite.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts the targets of inline markdown links (`[text](target)`),
+/// ignoring code fences so exemplar snippets cannot false-positive.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            out.push(tail[..close].to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_doc_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<PathBuf> = vec![root.join("README.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    assert!(files.len() >= 5, "expected README.md plus the docs/ specs");
+
+    let mut broken = Vec::new();
+    for file in &files {
+        let text =
+            std::fs::read_to_string(file).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        let dir = file.parent().expect("files live in a directory");
+        for target in link_targets(&text) {
+            // External links and intra-page anchors are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let path = target.split('#').next().expect("split yields a head");
+            if path.is_empty() || !dir.join(path).exists() {
+                broken.push(format!("{}: {target}", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links:\n{}",
+        broken.join("\n")
+    );
+}

@@ -12,8 +12,11 @@
 //! Statistics are deliberately simple: each benchmark runs a short warm-up,
 //! then `sample_size` timed samples, and reports min/median/max plus
 //! mean ± standard deviation and a 95% confidence interval on the mean
-//! (normal approximation) per iteration. There are no plots, baselines, or
-//! outlier analysis.
+//! (normal approximation) per iteration. Samples outside the Tukey fences
+//! (1.5 × IQR beyond the quartiles — the scheduling hiccups that skew the
+//! mean on a busy machine) are rejected before the mean/σ/CI are computed,
+//! and the rejected count is reported alongside. There are no plots or
+//! baselines.
 
 use std::time::{Duration, Instant};
 
@@ -116,6 +119,11 @@ impl Criterion {
 }
 
 /// Summary statistics over one benchmark's samples, in nanoseconds.
+///
+/// `min`/`median`/`max` describe **all** samples; `mean`/`std_dev`/`ci95`
+/// are computed on the samples that survive IQR outlier rejection
+/// (`outliers` counts the rejected ones), so a single scheduling hiccup
+/// cannot skew the reported interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleStats {
     /// Fastest sample.
@@ -123,18 +131,45 @@ pub struct SampleStats {
     /// Median sample (midpoint average for even counts) — robust to the
     /// scheduling outliers that skew the mean on a busy machine.
     pub median: f64,
-    /// Arithmetic mean.
+    /// Arithmetic mean of the retained (non-outlier) samples.
     pub mean: f64,
     /// Slowest sample.
     pub max: f64,
-    /// Population standard deviation.
+    /// Population standard deviation of the retained samples.
     pub std_dev: f64,
     /// Half-width of the 95% confidence interval on the mean
-    /// (`1.96 · σ / √n`, the normal approximation): the mean lies in
-    /// `mean ± ci95` with 95% confidence.
+    /// (`1.96 · σ / √n` over the retained samples, the normal
+    /// approximation): the mean lies in `mean ± ci95` with 95% confidence.
     pub ci95: f64,
-    /// Number of samples.
+    /// Number of samples collected (outliers included).
     pub len: usize,
+    /// Samples rejected by the Tukey fences (more than 1.5 × IQR below
+    /// the first or above the third quartile). Zero when fewer than four
+    /// samples were collected — quartiles need that many to mean
+    /// anything.
+    pub outliers: usize,
+}
+
+/// The median of a sorted, non-empty slice (midpoint average for even
+/// counts).
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// The Tukey fences over a sorted sample set: `[q1 - 1.5·iqr, q3 +
+/// 1.5·iqr]`, with the quartiles taken as the medians of the lower and
+/// upper halves (the common "exclusive" convention).
+fn tukey_fences(sorted: &[f64]) -> (f64, f64) {
+    let n = sorted.len();
+    let q1 = median_of(&sorted[..n / 2]);
+    let q3 = median_of(&sorted[n.div_ceil(2)..]);
+    let iqr = q3 - q1;
+    (q1 - 1.5 * iqr, q3 + 1.5 * iqr)
 }
 
 /// Computes [`SampleStats`] over timed samples. Returns `None` when empty.
@@ -145,13 +180,23 @@ pub fn sample_stats(samples: &[Duration]) -> Option<SampleStats> {
     let mut ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
     ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     let len = ns.len();
-    let mean = ns.iter().sum::<f64>() / len as f64;
-    let median = if len % 2 == 1 {
-        ns[len / 2]
+    let median = median_of(&ns);
+    // IQR outlier rejection: the mean/σ/CI are computed on the samples
+    // inside the Tukey fences. Below four samples the quartiles are
+    // meaningless, so everything is retained.
+    let retained: Vec<f64> = if len >= 4 {
+        let (lo, hi) = tukey_fences(&ns);
+        ns.iter().copied().filter(|&v| v >= lo && v <= hi).collect()
     } else {
-        (ns[len / 2 - 1] + ns[len / 2]) / 2.0
+        ns.clone()
     };
-    let var = ns.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / len as f64;
+    let outliers = len - retained.len();
+    let mean = retained.iter().sum::<f64>() / retained.len() as f64;
+    let var = retained
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / retained.len() as f64;
     let std_dev = var.sqrt();
     Some(SampleStats {
         min: ns[0],
@@ -159,8 +204,9 @@ pub fn sample_stats(samples: &[Duration]) -> Option<SampleStats> {
         mean,
         max: ns[len - 1],
         std_dev,
-        ci95: 1.96 * std_dev / (len as f64).sqrt(),
+        ci95: 1.96 * std_dev / (retained.len() as f64).sqrt(),
         len,
+        outliers,
     })
 }
 
@@ -170,7 +216,8 @@ fn report(id: &str, samples: &[Duration]) {
         return;
     };
     println!(
-        "{id:<40} time: [{} {} {}] mean: {} ± {} (95% CI [{}, {}], {} samples)",
+        "{id:<40} time: [{} {} {}] mean: {} ± {} (95% CI [{}, {}], {} samples, \
+         {} outlier{} rejected)",
         fmt_ns(s.min),
         fmt_ns(s.median),
         fmt_ns(s.max),
@@ -178,7 +225,9 @@ fn report(id: &str, samples: &[Duration]) {
         fmt_ns(s.std_dev),
         fmt_ns(s.mean - s.ci95),
         fmt_ns(s.mean + s.ci95),
-        s.len
+        s.len,
+        s.outliers,
+        if s.outliers == 1 { "" } else { "s" },
     );
 }
 
@@ -245,8 +294,12 @@ mod tests {
         assert!((s.ci95 - 1.96 * 5.0f64.sqrt() / 2.0).abs() < 1e-12);
         assert!(s.mean - s.ci95 < s.median && s.median < s.mean + s.ci95);
         assert_eq!(s.len, 4);
+        // [2,4,6,8]: q1 = 3, q3 = 7, fences [-3, 13] — nothing rejected.
+        assert_eq!(s.outliers, 0);
 
         // Odd count: the median is the middle element, not an average.
+        // Below four samples no rejection happens, so the giant sample
+        // skews the mean but not the median.
         let odd: Vec<Duration> = [1u64, 100, 3]
             .iter()
             .map(|&n| Duration::from_nanos(n))
@@ -254,8 +307,33 @@ mod tests {
         let s = sample_stats(&odd).expect("non-empty");
         assert_eq!(s.median, 3.0);
         assert!(s.mean > s.median, "outlier skews mean, not median");
+        assert_eq!(s.outliers, 0);
 
         assert!(sample_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn iqr_rejection_discards_scheduling_spikes_from_the_mean() {
+        // Seven tight samples and one 100x spike: the spike must be
+        // rejected, leaving the mean/σ/CI on the tight cluster, while
+        // min/median/max still describe the full set.
+        let samples: Vec<Duration> = [10u64, 10, 11, 10, 9, 10, 11, 1000]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        let s = sample_stats(&samples).expect("non-empty");
+        assert_eq!(s.len, 8);
+        assert_eq!(s.outliers, 1);
+        assert_eq!(s.max, 1000.0);
+        let tight_mean = (10 + 10 + 11 + 10 + 9 + 10 + 11) as f64 / 7.0;
+        assert!((s.mean - tight_mean).abs() < 1e-12, "mean {}", s.mean);
+        assert!(s.ci95 < 1.0, "CI reflects the cluster, not the spike");
+
+        // A constant sample set has a zero IQR: the fences collapse onto
+        // the value itself and reject nothing.
+        let flat: Vec<Duration> = std::iter::repeat_n(Duration::from_nanos(5), 6).collect();
+        let s = sample_stats(&flat).expect("non-empty");
+        assert_eq!((s.outliers, s.mean, s.std_dev), (0, 5.0, 0.0));
     }
 
     #[test]
