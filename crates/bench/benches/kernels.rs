@@ -30,10 +30,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
 
+    // SAFETY: forwards the exact `ptr`/`layout` pair it was given to the
+    // system allocator, upholding the caller's contract unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards the caller's pointer, layout, and size verbatim;
+    // the counter bump has no allocator-visible side effects.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

@@ -1,0 +1,306 @@
+//! A minimal, line-oriented Rust lexer.
+//!
+//! The rules in this crate work at line and token granularity, never on a
+//! full syntax tree. What they need from a lexer is exactly one thing:
+//! **knowing which bytes are code and which are not**, so that a banned
+//! token inside a string literal or a comment never produces a finding,
+//! and so that `// SAFETY:` / `// lint:allow(...)` markers can be read
+//! out of the comment channel. [`split_source`] provides that split:
+//! every source line becomes a [`Line`] whose `code` field has comments
+//! removed and string/char-literal *contents* blanked (delimiters kept),
+//! and whose `comment` field carries the comment text.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! plain and raw (`r#"..."#`, byte) string literals spanning any number of
+//! lines, char literals, and the char-literal/lifetime ambiguity (`'a'`
+//! vs `'a`). Not handled (and not needed): macro token trees, nested
+//! generics, or anything requiring a parse.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line's code with comments removed and every string/char
+    /// literal's contents replaced by spaces (delimiters preserved), so
+    /// token scans cannot match inside literals.
+    pub code: String,
+    /// The comment text carried by this line (all of its `//...` tail
+    /// and/or the part of a block comment crossing it).
+    pub comment: String,
+}
+
+impl Line {
+    /// Whether the line carries neither code nor comment text.
+    pub fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty()
+    }
+}
+
+/// Cross-line lexer state: inside a block comment of some depth, or
+/// inside a (possibly raw) string literal.
+enum State {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Splits source text into per-line code/comment channels; see the module
+/// docs for the exact contract.
+pub fn split_source(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    state = State::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = raw_or_plain_string(&code);
+                    i += 1;
+                } else if c == '\'' {
+                    i = consume_quote(&chars, i, &mut code);
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::Block(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    comment.push_str("*/");
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                let closes =
+                    c == '"' && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                if closes {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line { code, comment });
+    }
+    lines
+}
+
+/// Decides, at an opening `"` already pushed onto `code`, whether the
+/// literal is raw (`r"`, `r#"`, `br##"`, ...) by looking back at the code
+/// emitted so far.
+fn raw_or_plain_string(code: &str) -> State {
+    let before_quote = &code[..code.len() - 1];
+    let mut rev = before_quote.chars().rev();
+    let mut hashes = 0u32;
+    let mut c = rev.next();
+    while c == Some('#') {
+        hashes += 1;
+        c = rev.next();
+    }
+    if c == Some('r') {
+        let prev = rev.next();
+        let prev_is_ident = prev.is_some_and(|p| (p.is_alphanumeric() || p == '_') && p != 'b');
+        if !prev_is_ident {
+            return State::RawStr(hashes);
+        }
+    }
+    State::Str
+}
+
+/// Consumes a `'` at `chars[i]` in code position: a char literal (its
+/// contents blanked) or a lifetime tick (kept verbatim). Returns the index
+/// of the next unconsumed char.
+fn consume_quote(chars: &[char], i: usize, code: &mut String) -> usize {
+    code.push('\'');
+    match chars.get(i + 1) {
+        // `'\n'`, `'\''`, `'\x7f'`: escaped char literal — scan to the
+        // closing quote.
+        Some('\\') => {
+            let mut j = i + 1;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    code.push(' ');
+                    if j + 1 < chars.len() {
+                        code.push(' ');
+                    }
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\'' {
+                    code.push('\'');
+                    return j + 1;
+                }
+                code.push(' ');
+                j += 1;
+            }
+            j
+        }
+        // `'x'` for any single char (including punctuation like `'|'`).
+        Some(&n) if chars.get(i + 2) == Some(&'\'') && n != '\'' => {
+            code.push(' ');
+            code.push('\'');
+            i + 3
+        }
+        // Anything else is a lifetime tick (`'a`, `'_`, `'static`).
+        _ => i + 1,
+    }
+}
+
+/// Calls `f(ident, following)` for every identifier token in a code line,
+/// where `following` is the first non-whitespace char after the token
+/// (`None` at end of line). Identifiers starting inside numeric literals
+/// (`1e3`) may be over-approximated; the rules only match known names, so
+/// that is harmless.
+pub fn each_ident(code: &str, mut f: impl FnMut(&str, Option<char>)) {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphabetic() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+            let mut j = i;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            f(&ident, chars.get(j).copied());
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// The line with all whitespace removed — for structural pattern matches
+/// (`#[cfg(test)]`, `Instant::now`) that must not care about spacing.
+pub fn squash(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        split_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_go_to_the_comment_channel() {
+        let lines = split_source("let x = 1; // SAFETY: tail\n// whole line\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("SAFETY: tail"));
+        assert_eq!(lines[1].code.trim(), "");
+        assert!(lines[1].comment.contains("whole line"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_delimiters_kept() {
+        let lines = codes("let s = \"unsafe // HashMap\"; unwrap();\n");
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[0].contains("HashMap"));
+        assert!(lines[0].contains("unwrap"));
+        assert_eq!(lines[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_span_lines_and_hide_contents() {
+        let lines = codes("let s = r#\"line one unsafe\nline two \" still\"#; done();\n");
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[1].contains("still"));
+        assert!(lines[1].contains("done"));
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let lines = split_source("/* outer /* inner */ still comment */ code();\n");
+        assert!(lines[0].code.contains("code"));
+        assert!(lines[0].comment.contains("inner"));
+        assert!(!lines[0].code.contains("comment"));
+    }
+
+    #[test]
+    fn char_literals_are_not_confused_with_lifetimes() {
+        let lines = codes("fn f<'a>(x: &'a str) { s.split('|'); let q = '\\''; }\n");
+        assert!(lines[0].contains("'a"), "{}", lines[0]);
+        assert!(!lines[0].contains('|'));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings_early() {
+        let lines = codes("let s = \"a\\\"unsafe\\\"b\"; next();\n");
+        assert!(!lines[0].contains("unsafe"));
+        assert!(lines[0].contains("next"));
+    }
+
+    #[test]
+    fn ident_scanner_reports_following_char() {
+        let mut seen = Vec::new();
+        each_ident(
+            "x.unwrap(); y.unwrap_or_else(z); panic!(\"\")",
+            |id, next| {
+                seen.push((id.to_string(), next));
+            },
+        );
+        assert!(seen.contains(&("unwrap".into(), Some('('))));
+        assert!(seen.contains(&("unwrap_or_else".into(), Some('('))));
+        assert!(seen.contains(&("panic".into(), Some('!'))));
+    }
+}

@@ -1,0 +1,53 @@
+#![deny(missing_docs)]
+//! deepn-lint: a workspace invariant analyzer.
+//!
+//! The DeepN-JPEG workspace rests on contracts that `rustc` cannot see:
+//! parallel paths must be byte-identical to single-threaded runs, the
+//! wire spec in `docs/PROTOCOL.md` must match `protocol.rs` and the
+//! server dispatch, the service path must not panic, and every `unsafe`
+//! site must justify itself. This crate enforces them statically with a
+//! minimal comment- and string-aware [lexer] (no full parser) and five
+//! [rules]:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `safety-ledger` | `unsafe` ⇒ `// SAFETY:` comment + `docs/UNSAFE_LEDGER.md` row |
+//! | `determinism` | no `HashMap`/`HashSet`/clocks in byte-identity crates |
+//! | `panic-policy` | no `unwrap`/`expect`/`panic!` in serve handling or pool internals |
+//! | `protocol-sync` | `protocol.rs` ⇔ `docs/PROTOCOL.md` ⇔ server dispatch |
+//! | `docs-gate` | every crate root has `#![deny(missing_docs)]` |
+//!
+//! A finding can be waived in place with `// lint:allow(rule): reason`
+//! on the offending line or the line above; the reason is mandatory.
+//! Run it as `deepn lint` (add `--json` for machine-readable output).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use report::Finding;
+pub use workspace::Workspace;
+
+/// Runs every rule over an already-scanned workspace. Findings are
+/// ordered rule-by-rule, file-by-file, line-by-line — deterministic for
+/// a given tree.
+pub fn lint(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(rules::safety_ledger::check(ws));
+    findings.extend(rules::determinism::check(ws));
+    findings.extend(rules::panic_policy::check(ws));
+    findings.extend(rules::protocol_sync::check(ws));
+    findings.extend(rules::docs_gate::check(ws));
+    findings
+}
+
+/// Scans `root` and runs every rule: the one-call entry point used by
+/// the CLI and CI.
+pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
+    let ws = Workspace::scan(root)?;
+    Ok(lint(&ws))
+}

@@ -1,0 +1,195 @@
+//! Findings, waiver handling, and output formatting.
+
+use crate::workspace::SourceFile;
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (`safety-ledger`, `determinism`, ...).
+    pub rule: &'static str,
+    /// Root-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding from a 0-based line index.
+    pub fn at(rule: &'static str, file: &str, idx0: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: idx0 + 1,
+            message,
+        }
+    }
+
+    /// Builds a whole-file finding (reported as line 0).
+    pub fn whole_file(rule: &'static str, file: &str, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 0,
+            message,
+        }
+    }
+
+    /// `file:line: [rule] message` (line omitted for whole-file findings).
+    pub fn human(&self) -> String {
+        if self.line == 0 {
+            format!("{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            format!(
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+
+    /// One JSON object per finding, on a single line.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            escape(self.rule),
+            escape(&self.file),
+            self.line,
+            escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// How a `// lint:allow(rule)` marker on or above a finding's line
+/// affects it.
+pub enum Waiver {
+    /// No marker for this rule — the finding stands.
+    None,
+    /// Marker present with a non-empty reason — the finding is waived.
+    Waived,
+    /// Marker present but the reason is empty — the finding stands AND
+    /// the marker itself is a violation.
+    MissingReason(usize),
+}
+
+/// Looks for `lint:allow(rule): reason` on the finding's own line or in
+/// the contiguous comment block directly above it (a multi-line waiver
+/// comment carries the marker on its first line).
+pub fn waiver_for(file: &SourceFile, idx0: usize, rule: &str) -> Waiver {
+    if let Some(w) = marker_on(file, idx0, rule) {
+        return w;
+    }
+    let mut i = idx0;
+    while i > 0 {
+        i -= 1;
+        if let Some(w) = marker_on(file, i, rule) {
+            return w;
+        }
+        let line = &file.lines[i];
+        // Keep walking only through comment-only lines; a code line or a
+        // blank line ends the block (a trailing comment on the code line
+        // directly above was still checked just now).
+        if !line.code.trim().is_empty() || line.comment.trim().is_empty() {
+            break;
+        }
+    }
+    Waiver::None
+}
+
+/// Parses a `lint:allow(rule)` marker out of one line's comment.
+fn marker_on(file: &SourceFile, i: usize, rule: &str) -> Option<Waiver> {
+    let comment = &file.lines[i].comment;
+    let pos = comment.find("lint:allow(")?;
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    if rest[..close].trim() != rule {
+        return None;
+    }
+    let after = rest[close + 1..].trim_start_matches(':').trim();
+    Some(if after.is_empty() {
+        Waiver::MissingReason(i)
+    } else {
+        Waiver::Waived
+    })
+}
+
+/// Applies waiver resolution to a tentative finding: returns the finding
+/// itself if it stands, plus a `waiver` finding when a marker is present
+/// without a reason.
+pub fn apply_waiver(file: &SourceFile, finding: Finding) -> Vec<Finding> {
+    let idx0 = finding.line.saturating_sub(1);
+    match waiver_for(file, idx0, finding.rule) {
+        Waiver::None => vec![finding],
+        Waiver::Waived => vec![],
+        Waiver::MissingReason(marker_idx) => {
+            let marker = Finding::at(
+                "waiver",
+                &finding.file,
+                marker_idx,
+                format!(
+                    "lint:allow({}) has no reason; a waiver must say why",
+                    finding.rule
+                ),
+            );
+            vec![finding, marker]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let f = Finding::at("x", "a\"b.rs", 0, "line1\nline2".into());
+        assert_eq!(
+            f.json(),
+            "{\"rule\":\"x\",\"file\":\"a\\\"b.rs\",\"line\":1,\"message\":\"line1\\nline2\"}"
+        );
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses() {
+        let src = "// lint:allow(determinism): fixed iteration order proven above\nuse std::collections::HashMap;\n";
+        let file = SourceFile::from_source("x.rs".into(), src);
+        let out = apply_waiver(&file, Finding::at("determinism", "x.rs", 1, "m".into()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_keeps_finding_and_flags_marker() {
+        let src = "// lint:allow(determinism)\nuse std::collections::HashMap;\n";
+        let file = SourceFile::from_source("x.rs".into(), src);
+        let out = apply_waiver(&file, Finding::at("determinism", "x.rs", 1, "m".into()));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].rule, "waiver");
+    }
+
+    #[test]
+    fn waiver_for_other_rule_does_not_apply() {
+        let src =
+            "// lint:allow(panic-policy): justified elsewhere\nuse std::collections::HashMap;\n";
+        let file = SourceFile::from_source("x.rs".into(), src);
+        let out = apply_waiver(&file, Finding::at("determinism", "x.rs", 1, "m".into()));
+        assert_eq!(out.len(), 1);
+    }
+}

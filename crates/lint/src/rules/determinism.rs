@@ -1,0 +1,72 @@
+//! **determinism**: the byte-identity crates must not depend on
+//! iteration order or wall-clock time.
+//!
+//! The ROADMAP contract says every parallel path produces output
+//! byte-identical to `DEEPN_THREADS=1`. `HashMap`/`HashSet` iteration
+//! order is randomized per process, and `Instant::now` / `SystemTime` /
+//! `thread::current().id()` leak scheduling into results, so all of them
+//! are banned from non-test code in the crates that carry the contract.
+//! Use `BTreeMap`/`BTreeSet` or sorted `Vec`s instead, and thread
+//! explicit counters where elapsed time would have been read.
+
+use crate::lexer::{each_ident, squash};
+use crate::report::{apply_waiver, Finding};
+use crate::workspace::Workspace;
+
+const RULE: &str = "determinism";
+
+/// The crates bound by the byte-identity contract.
+const SCOPED_CRATES: &[&str] = &["codec", "parallel", "tensor", "nn", "core"];
+
+/// Banned plain identifiers (matched as whole tokens).
+const BANNED_IDENTS: &[&str] = &["HashMap", "HashSet", "SystemTime"];
+
+/// Banned call paths (matched on the whitespace-squashed line, so
+/// formatting cannot hide them).
+const BANNED_PATHS: &[&str] = &["Instant::now", "thread::current"];
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !in_scope(&file.rel) || file.aux {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if file.is_test_line(idx) {
+                continue;
+            }
+            let mut hits: Vec<String> = Vec::new();
+            each_ident(&line.code, |id, _| {
+                if BANNED_IDENTS.contains(&id) {
+                    hits.push(format!("`{id}`"));
+                }
+            });
+            let squashed = squash(&line.code);
+            for path in BANNED_PATHS {
+                if squashed.contains(path) {
+                    hits.push(format!("`{path}`"));
+                }
+            }
+            for hit in hits {
+                findings.extend(apply_waiver(
+                    file,
+                    Finding::at(
+                        RULE,
+                        &file.rel,
+                        idx,
+                        format!("{hit} breaks the byte-identity contract in this crate"),
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// True for files under `crates/<scoped>/src/`.
+fn in_scope(rel: &str) -> bool {
+    SCOPED_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}

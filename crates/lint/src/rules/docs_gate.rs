@@ -1,0 +1,43 @@
+//! **docs-gate**: every crate root must enforce documentation.
+//!
+//! Each workspace crate's `lib.rs` (and the facade's `src/lib.rs`) must
+//! carry `#![deny(missing_docs)]`, so an undocumented public item is a
+//! build error everywhere, not just in the crates that happened to opt
+//! in.
+
+use crate::lexer::squash;
+use crate::report::Finding;
+use crate::workspace::Workspace;
+
+const RULE: &str = "docs-gate";
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !is_crate_root(&file.rel) {
+            continue;
+        }
+        let has_gate = file
+            .lines
+            .iter()
+            .any(|l| squash(&l.code).contains("#![deny(missing_docs)]"));
+        if !has_gate {
+            findings.push(Finding::whole_file(
+                RULE,
+                &file.rel,
+                "crate root lacks `#![deny(missing_docs)]`".into(),
+            ));
+        }
+    }
+    findings
+}
+
+/// True for `src/lib.rs` (the facade) and `crates/<name>/src/lib.rs`.
+fn is_crate_root(rel: &str) -> bool {
+    if rel == "src/lib.rs" {
+        return true;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.len() == 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "lib.rs"
+}

@@ -1,0 +1,12 @@
+//! The five workspace invariant rules.
+//!
+//! Each rule is a function from [`Workspace`](crate::workspace::Workspace)
+//! to findings. Rules are pure: they read the scanned files and documents
+//! and never touch the filesystem, which keeps them trivially testable
+//! against fixture trees.
+
+pub mod determinism;
+pub mod docs_gate;
+pub mod panic_policy;
+pub mod protocol_sync;
+pub mod safety_ledger;

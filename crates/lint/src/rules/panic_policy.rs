@@ -1,0 +1,62 @@
+//! **panic-policy**: no panics in the service path or pool internals.
+//!
+//! A panicking worker thread kills a shard; a panic while a pool mutex is
+//! held poisons it for every other worker. `deepn-serve` request handling
+//! and the `deepn-parallel` pool must therefore return typed errors
+//! instead of calling `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`.
+//! Invariants that genuinely cannot fail are documented with a
+//! `// lint:allow(panic-policy): reason` waiver at the site.
+
+use crate::lexer::each_ident;
+use crate::report::{apply_waiver, Finding};
+use crate::workspace::Workspace;
+
+const RULE: &str = "panic-policy";
+
+/// Banned method names (only when followed by `(`, so `unwrap_or_else`
+/// and friends never match).
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Banned macro names (only when followed by `!`).
+const BANNED_MACROS: &[&str] = &["panic", "unreachable", "todo"];
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !in_scope(&file.rel) || file.aux {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if file.is_test_line(idx) {
+                continue;
+            }
+            let mut hits: Vec<String> = Vec::new();
+            each_ident(&line.code, |id, next| {
+                if BANNED_METHODS.contains(&id) && next == Some('(') {
+                    hits.push(format!("`{id}()`"));
+                } else if BANNED_MACROS.contains(&id) && next == Some('!') {
+                    hits.push(format!("`{id}!`"));
+                }
+            });
+            for hit in hits {
+                findings.extend(apply_waiver(
+                    file,
+                    Finding::at(
+                        RULE,
+                        &file.rel,
+                        idx,
+                        format!("{hit} can panic in a no-panic zone; return a typed error"),
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// True in the no-panic zones: all of `deepn-serve` and the pool module
+/// of `deepn-parallel`.
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/serve/src/") || rel == "crates/parallel/src/pool.rs"
+}

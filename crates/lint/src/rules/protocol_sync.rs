@@ -1,0 +1,205 @@
+//! **protocol-sync**: one wire protocol, three synchronized views.
+//!
+//! The protocol lives in `crates/serve/src/protocol.rs` (the `Opcode`
+//! enum, `from_u8`, and the `STATUS_*` constants), is documented in
+//! `docs/PROTOCOL.md` (the opcode and status tables), and is dispatched
+//! in `crates/serve/src/server.rs`. This rule parses all three and fails
+//! on any drift: an opcode defined but undocumented, documented but
+//! undefined, missing from `from_u8`, or never mentioned by the server's
+//! dispatch; likewise for status constants in both directions.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::squash;
+use crate::report::Finding;
+use crate::workspace::Workspace;
+
+const RULE: &str = "protocol-sync";
+
+const PROTOCOL_RS: &str = "crates/serve/src/protocol.rs";
+const SERVER_RS: &str = "crates/serve/src/server.rs";
+const PROTOCOL_MD: &str = "docs/PROTOCOL.md";
+
+/// Runs the rule over the workspace. A workspace without
+/// `crates/serve/src/protocol.rs` (e.g. a fixture tree for another rule)
+/// is out of scope and produces no findings.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let Some(protocol) = ws.file(PROTOCOL_RS) else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+
+    let opcodes = parse_enum_opcodes(protocol);
+    let from_u8 = parse_from_u8(protocol);
+    let statuses = parse_status_consts(protocol);
+
+    // Internal consistency: every enum variant must round-trip through
+    // from_u8.
+    for (name, &num) in &opcodes {
+        match from_u8.get(name) {
+            None => findings.push(Finding::whole_file(
+                RULE,
+                PROTOCOL_RS,
+                format!("opcode `{name}` is not decoded by `Opcode::from_u8`"),
+            )),
+            Some(&m) if m != num => findings.push(Finding::whole_file(
+                RULE,
+                PROTOCOL_RS,
+                format!("`Opcode::from_u8` maps {m} to `{name}`, but the enum says {num}"),
+            )),
+            Some(_) => {}
+        }
+    }
+
+    // Doc tables vs code, both directions.
+    match &ws.protocol_doc {
+        None => findings.push(Finding::whole_file(
+            RULE,
+            PROTOCOL_MD,
+            "docs/PROTOCOL.md is missing".into(),
+        )),
+        Some(doc) => {
+            let doc_ops = parse_doc_rows(doc, |name| !name.starts_with("STATUS_"));
+            let doc_statuses = parse_doc_rows(doc, |name| name.starts_with("STATUS_"));
+            findings.extend(diff_maps(&opcodes, &doc_ops, "opcode", PROTOCOL_MD));
+            findings.extend(diff_maps(&statuses, &doc_statuses, "status", PROTOCOL_MD));
+        }
+    }
+
+    // Server dispatch: every opcode must appear somewhere in server.rs
+    // non-test code as `Opcode::Name`.
+    if let Some(server) = ws.file(SERVER_RS) {
+        for name in opcodes.keys() {
+            let pattern = format!("Opcode::{name}");
+            let handled = server.lines.iter().enumerate().any(|(idx, line)| {
+                !server.is_test_line(idx) && squash(&line.code).contains(&pattern)
+            });
+            if !handled {
+                findings.push(Finding::whole_file(
+                    RULE,
+                    SERVER_RS,
+                    format!("opcode `{name}` is defined but never dispatched by the server"),
+                ));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Parses `Name = N,` variants inside `enum Opcode { ... }`.
+fn parse_enum_opcodes(file: &crate::workspace::SourceFile) -> BTreeMap<String, u8> {
+    let mut out = BTreeMap::new();
+    let mut inside = false;
+    for line in &file.lines {
+        let sq = squash(&line.code);
+        if sq.contains("enumOpcode{") {
+            inside = true;
+        }
+        if inside {
+            if let Some((name, num)) = sq
+                .strip_suffix(',')
+                .and_then(|s| s.split_once('='))
+                .and_then(|(n, v)| Some((n.to_string(), v.parse::<u8>().ok()?)))
+            {
+                if name.chars().all(|c| c.is_alphanumeric()) && !name.is_empty() {
+                    out.insert(name, num);
+                }
+            }
+            if sq.ends_with('}') || sq == "}" {
+                inside = false;
+            }
+        }
+    }
+    out
+}
+
+/// Parses `N => Some(Opcode::Name)` arms from `from_u8`.
+fn parse_from_u8(file: &crate::workspace::SourceFile) -> BTreeMap<String, u8> {
+    let mut out = BTreeMap::new();
+    for line in &file.lines {
+        let sq = squash(&line.code);
+        if let Some((num_s, rest)) = sq.split_once("=>Some(Opcode::") {
+            if let (Ok(num), Some(name)) = (num_s.parse::<u8>(), rest.split(')').next()) {
+                out.insert(name.to_string(), num);
+            }
+        }
+    }
+    out
+}
+
+/// Parses `pub const STATUS_X: u8 = N;` constants.
+fn parse_status_consts(file: &crate::workspace::SourceFile) -> BTreeMap<String, u8> {
+    let mut out = BTreeMap::new();
+    for line in &file.lines {
+        let sq = squash(&line.code);
+        if let Some(rest) = sq.strip_prefix("pubconstSTATUS_") {
+            if let Some((name_tail, value)) = rest.split_once(":u8=") {
+                if let Ok(num) = value.trim_end_matches(';').parse::<u8>() {
+                    out.insert(format!("STATUS_{name_tail}"), num);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses markdown table rows of the form `| N | `Name` | ... |`,
+/// keeping those whose name passes `keep`.
+fn parse_doc_rows(doc: &str, keep: impl Fn(&str) -> bool) -> BTreeMap<String, u8> {
+    let mut out = BTreeMap::new();
+    for raw in doc.lines() {
+        let t = raw.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let Ok(num) = cells[0].parse::<u8>() else {
+            continue;
+        };
+        let name = cells[1].trim_matches('`');
+        if !name.is_empty() && keep(name) {
+            out.insert(name.to_string(), num);
+        }
+    }
+    out
+}
+
+/// Reports entries present in one map but not the other, and matching
+/// names bound to different numbers.
+fn diff_maps(
+    code: &BTreeMap<String, u8>,
+    doc: &BTreeMap<String, u8>,
+    kind: &str,
+    doc_rel: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, &num) in code {
+        match doc.get(name) {
+            None => findings.push(Finding::whole_file(
+                RULE,
+                doc_rel,
+                format!("{kind} `{name}` ({num}) is defined in code but not documented"),
+            )),
+            Some(&m) if m != num => findings.push(Finding::whole_file(
+                RULE,
+                doc_rel,
+                format!("{kind} `{name}` is {num} in code but {m} in the doc"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, &num) in doc {
+        if !code.contains_key(name) {
+            findings.push(Finding::whole_file(
+                RULE,
+                doc_rel,
+                format!("{kind} `{name}` ({num}) is documented but not defined in code"),
+            ));
+        }
+    }
+    findings
+}

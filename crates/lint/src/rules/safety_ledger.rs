@@ -1,0 +1,158 @@
+//! **safety-ledger**: every `unsafe` site must be explained in place and
+//! registered centrally.
+//!
+//! Two obligations per `unsafe` occurrence (block, fn, impl, or trait):
+//!
+//! 1. A `// SAFETY:` comment within the few lines directly above it (the
+//!    chain of preceding non-blank lines, up to a small lookback), so the
+//!    argument lives next to the code it justifies.
+//! 2. A row in `docs/UNSAFE_LEDGER.md` for the file, with the ledger's
+//!    per-file row count equal to the file's unsafe-site count — so the
+//!    ledger can neither silently lag behind new unsafe code nor carry
+//!    stale entries for code that became safe.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::each_ident;
+use crate::report::{apply_waiver, Finding};
+use crate::workspace::Workspace;
+
+const RULE: &str = "safety-ledger";
+
+/// How many preceding non-blank lines may separate an `unsafe` token from
+/// its `// SAFETY:` comment (signatures and attributes sit in between).
+const LOOKBACK: usize = 8;
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut site_counts: BTreeMap<String, usize> = BTreeMap::new();
+
+    for file in &ws.files {
+        let mut sites_here = 0usize;
+        for (idx, line) in file.lines.iter().enumerate() {
+            let mut has_unsafe = false;
+            each_ident(&line.code, |id, _| {
+                if id == "unsafe" {
+                    has_unsafe = true;
+                }
+            });
+            if !has_unsafe {
+                continue;
+            }
+            sites_here += 1;
+            if !safety_comment_above(file, idx) {
+                findings.extend(apply_waiver(
+                    file,
+                    Finding::at(
+                        RULE,
+                        &file.rel,
+                        idx,
+                        "`unsafe` without a `// SAFETY:` comment directly above".into(),
+                    ),
+                ));
+            }
+        }
+        if sites_here > 0 {
+            site_counts.insert(file.rel.clone(), sites_here);
+        }
+    }
+
+    findings.extend(check_ledger(ws, &site_counts));
+    findings
+}
+
+/// True if a `SAFETY:` comment appears on the line itself or in the chain
+/// of preceding non-blank lines (at most [`LOOKBACK`] of them).
+fn safety_comment_above(file: &crate::workspace::SourceFile, idx: usize) -> bool {
+    if file.lines[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    for _ in 0..LOOKBACK {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        let line = &file.lines[i];
+        if line.is_blank() {
+            return false;
+        }
+        if line.comment.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Cross-checks the per-file unsafe counts against the ledger rows.
+fn check_ledger(ws: &Workspace, site_counts: &BTreeMap<String, usize>) -> Vec<Finding> {
+    let ledger_rel = "docs/UNSAFE_LEDGER.md";
+    let mut findings = Vec::new();
+    let Some(ledger) = &ws.unsafe_ledger else {
+        if !site_counts.is_empty() {
+            findings.push(Finding::whole_file(
+                RULE,
+                ledger_rel,
+                format!(
+                    "missing ledger, but the workspace has unsafe code in {} file(s)",
+                    site_counts.len()
+                ),
+            ));
+        }
+        return findings;
+    };
+
+    // Ledger rows: `| file | context | justification |`, skipping the
+    // header and separator rows.
+    let mut ledger_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, raw) in ledger.lines().enumerate() {
+        let t = raw.trim();
+        if !t.starts_with('|') || !t.ends_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() != 3 {
+            continue;
+        }
+        let file_cell = cells[0].trim_matches('`');
+        if file_cell == "File" || file_cell.chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        if cells[1].is_empty() || cells[2].is_empty() {
+            findings.push(Finding::at(
+                RULE,
+                ledger_rel,
+                idx,
+                format!("ledger row for `{file_cell}` has an empty context or justification"),
+            ));
+        }
+        *ledger_counts.entry(file_cell.to_string()).or_insert(0) += 1;
+    }
+
+    for (file, &n) in site_counts {
+        match ledger_counts.get(file) {
+            None => findings.push(Finding::whole_file(
+                RULE,
+                ledger_rel,
+                format!("`{file}` has {n} unsafe site(s) but no ledger entry"),
+            )),
+            Some(&m) if m != n => findings.push(Finding::whole_file(
+                RULE,
+                ledger_rel,
+                format!("`{file}` has {n} unsafe site(s) but {m} ledger row(s)"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for file in ledger_counts.keys() {
+        if !site_counts.contains_key(file) {
+            findings.push(Finding::whole_file(
+                RULE,
+                ledger_rel,
+                format!("ledger lists `{file}`, which has no unsafe code (stale entry)"),
+            ));
+        }
+    }
+    findings
+}

@@ -1,0 +1,141 @@
+//! Workspace discovery: walk a repository root, lex every Rust source
+//! file, and classify each line so the rules can skip test-only code.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{split_source, squash, Line};
+
+/// Directory names never descended into during the scan. `fixtures` is
+/// excluded so the lint's own known-bad test inputs do not fail the real
+/// workspace; `vendor` holds API-compatible shims held to their upstream
+/// contracts, not this repo's invariants.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "fixtures"];
+
+/// One lexed Rust source file plus the classification the rules need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Per-line code/comment split (index 0 is line 1).
+    pub lines: Vec<Line>,
+    /// Index of the first line of a trailing `#[cfg(test)]` module, if
+    /// any; lines from here on are test code.
+    pub test_from: Option<usize>,
+    /// True for files under `tests/`, `benches/`, or `examples/` —
+    /// auxiliary code outside the library invariants.
+    pub aux: bool,
+}
+
+impl SourceFile {
+    /// Lexes and classifies one file's source text.
+    pub fn from_source(rel: String, src: &str) -> SourceFile {
+        let lines = split_source(src);
+        let test_from = lines
+            .iter()
+            .position(|l| squash(&l.code).contains("#[cfg(test)]"));
+        let aux = rel
+            .split('/')
+            .any(|part| matches!(part, "tests" | "benches" | "examples"));
+        SourceFile {
+            rel,
+            lines,
+            test_from,
+            aux,
+        }
+    }
+
+    /// Whether 0-based line `idx` belongs to a trailing test module.
+    pub fn is_test_line(&self, idx: usize) -> bool {
+        self.test_from.is_some_and(|t| idx >= t)
+    }
+}
+
+/// A scanned workspace: every Rust file plus the raw text of the
+/// documents the cross-checking rules need.
+#[derive(Debug)]
+pub struct Workspace {
+    /// All lexed `.rs` files, sorted by relative path for deterministic
+    /// finding order.
+    pub files: Vec<SourceFile>,
+    /// `docs/UNSAFE_LEDGER.md` contents, if present.
+    pub unsafe_ledger: Option<String>,
+    /// `docs/PROTOCOL.md` contents, if present.
+    pub protocol_doc: Option<String>,
+}
+
+impl Workspace {
+    /// Walks `root`, lexing every `.rs` file outside the skipped
+    /// directories (`.git`, `target`, `vendor`, `fixtures`) and loading
+    /// the ledger and protocol documents.
+    pub fn scan(root: &Path) -> io::Result<Workspace> {
+        let mut paths = Vec::new();
+        walk(root, root, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for rel in paths {
+            let src = fs::read_to_string(root.join(&rel))?;
+            let rel = rel.to_string_lossy().replace('\\', "/");
+            files.push(SourceFile::from_source(rel, &src));
+        }
+        Ok(Workspace {
+            files,
+            unsafe_ledger: fs::read_to_string(root.join("docs/UNSAFE_LEDGER.md")).ok(),
+            protocol_doc: fs::read_to_string(root.join("docs/PROTOCOL.md")).ok(),
+        })
+    }
+
+    /// The file with exactly this root-relative path, if scanned.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// Collects root-relative paths of `.rs` files under `dir`, skipping
+/// [`SKIP_DIRS`] at any depth.
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_test_module_is_classified() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\n";
+        let f = SourceFile::from_source("x.rs".into(), src);
+        assert!(!f.is_test_line(0));
+        assert!(f.is_test_line(1));
+        assert!(f.is_test_line(3));
+    }
+
+    #[test]
+    fn aux_paths_are_recognised() {
+        for rel in [
+            "crates/x/tests/t.rs",
+            "crates/x/benches/b.rs",
+            "examples/e.rs",
+        ] {
+            assert!(SourceFile::from_source(rel.into(), "").aux, "{rel}");
+        }
+        assert!(!SourceFile::from_source("crates/x/src/lib.rs".into(), "").aux);
+    }
+}

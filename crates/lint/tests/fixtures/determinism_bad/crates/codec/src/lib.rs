@@ -1,0 +1,39 @@
+// A fixture: banned APIs in a byte-identity crate, one of them waived
+// with a reason, one "waived" without a reason.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+pub fn dedup(keys: &[u32]) -> Vec<u32> {
+    // lint:allow(determinism): the set is drained in sorted order below
+    let s: std::collections::HashSet<u32> = keys.iter().copied().collect();
+    let mut v: Vec<u32> = s.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn stamp() -> Instant {
+    // lint:allow(determinism)
+    Instant::now()
+}
+
+// In strings and comments these names must NOT fire: HashMap, Instant::now.
+pub const DOC: &str = "uses HashMap and Instant::now in prose only";
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope for the determinism rule.
+    use std::collections::HashMap;
+
+    #[test]
+    fn ok() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

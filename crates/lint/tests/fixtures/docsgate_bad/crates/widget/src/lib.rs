@@ -1,0 +1,4 @@
+// A fixture crate root without the missing_docs gate.
+pub fn widget() -> u32 {
+    42
+}

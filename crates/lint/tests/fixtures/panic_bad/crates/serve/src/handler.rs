@@ -1,0 +1,28 @@
+// A fixture: panicking calls in the no-panic zone, plus lookalikes that
+// must not fire.
+pub fn handle(input: Option<u32>) -> u32 {
+    let v = input.unwrap();
+    if v > 100 {
+        panic!("too big");
+    }
+    v
+}
+
+pub fn fine(input: Option<u32>) -> u32 {
+    // unwrap_or_else is not unwrap; this line must not fire.
+    input.unwrap_or_else(|| 0)
+}
+
+pub fn message() -> &'static str {
+    // The words unwrap() and panic! inside a string must not fire.
+    "never unwrap() or panic! in handlers"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

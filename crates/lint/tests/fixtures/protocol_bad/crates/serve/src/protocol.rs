@@ -1,0 +1,20 @@
+// A fixture: drift in every direction the rule checks.
+pub enum Opcode {
+    Ping = 0,
+    Encode = 1,
+    Decode = 2,
+}
+
+impl Opcode {
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Opcode::Ping),
+            1 => Some(Opcode::Encode),
+            // Decode is missing here: defined but not decodable.
+            _ => None,
+        }
+    }
+}
+
+pub const STATUS_OK: u8 = 0;
+pub const STATUS_ERR: u8 = 1;

@@ -1,0 +1,13 @@
+// A fixture server: dispatches Ping and Decode but never Encode.
+pub fn dispatch(op: crate::protocol::Opcode) -> u8 {
+    match op {
+        crate::protocol::Opcode::Ping => 0,
+        crate::protocol::Opcode::Decode => 2,
+        _ => 1,
+    }
+}
+
+pub fn dispatch2() {
+    let _ = Opcode::Ping;
+    let _ = Opcode::Decode;
+}

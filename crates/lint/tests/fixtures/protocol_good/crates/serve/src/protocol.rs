@@ -1,0 +1,18 @@
+// A fixture: a fully synchronized mini protocol.
+pub enum Opcode {
+    Ping = 0,
+    Encode = 1,
+}
+
+impl Opcode {
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Opcode::Ping),
+            1 => Some(Opcode::Encode),
+            _ => None,
+        }
+    }
+}
+
+pub const STATUS_OK: u8 = 0;
+pub const STATUS_ERR: u8 = 1;

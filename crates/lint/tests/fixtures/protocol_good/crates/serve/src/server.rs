@@ -1,0 +1,7 @@
+// A fixture server dispatching every opcode.
+pub fn dispatch(op: crate::protocol::Opcode) -> u8 {
+    match op {
+        crate::protocol::Opcode::Ping => 0,
+        crate::protocol::Opcode::Encode => 1,
+    }
+}

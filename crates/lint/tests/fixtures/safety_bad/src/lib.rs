@@ -1,0 +1,4 @@
+// A fixture: unsafe with no SAFETY comment and no ledger.
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

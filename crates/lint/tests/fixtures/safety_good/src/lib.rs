@@ -1,0 +1,6 @@
+// A fixture: a properly documented and ledgered unsafe site.
+pub fn peek(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,195 @@
+//! End-to-end rule tests against the fixture trees in `tests/fixtures/`,
+//! plus the meta-test that the real workspace lints clean.
+
+use std::path::{Path, PathBuf};
+
+use deepn_lint::{lint, Finding, Workspace};
+
+fn scan_fixture(name: &str) -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let ws = Workspace::scan(&root).expect("fixture tree scans");
+    lint(&ws)
+}
+
+fn rule_findings<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn safety_ledger_fires_on_undocumented_unsafe_and_missing_ledger() {
+    let findings = scan_fixture("safety_bad");
+    let hits = rule_findings(&findings, "safety-ledger");
+    assert!(
+        hits.iter()
+            .any(|f| f.file == "src/lib.rs" && f.message.contains("SAFETY")),
+        "expected a missing-SAFETY-comment finding: {findings:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("missing ledger")),
+        "expected a missing-ledger finding: {findings:?}"
+    );
+}
+
+#[test]
+fn safety_ledger_accepts_documented_and_ledgered_unsafe() {
+    let findings = scan_fixture("safety_good");
+    assert!(
+        rule_findings(&findings, "safety-ledger").is_empty(),
+        "expected no safety-ledger findings: {findings:?}"
+    );
+}
+
+#[test]
+fn safety_ledger_flags_stale_ledger_rows() {
+    let findings = scan_fixture("safety_stale");
+    assert!(
+        rule_findings(&findings, "safety-ledger")
+            .iter()
+            .any(|f| f.message.contains("stale")),
+        "expected a stale-entry finding: {findings:?}"
+    );
+}
+
+#[test]
+fn safety_ledger_flags_row_count_mismatch() {
+    // Two unsafe sites, one ledger row: drift the fixture trees don't
+    // cover, driven through an in-memory workspace.
+    let src = "// SAFETY: a\npub unsafe fn a() {}\n\n// SAFETY: b\npub unsafe fn b() {}\n";
+    let ws = Workspace {
+        files: vec![deepn_lint::workspace::SourceFile::from_source(
+            "crates/x/src/m.rs".into(),
+            src,
+        )],
+        unsafe_ledger: Some(
+            "| File | Context | Justification |\n|---|---|---|\n| `crates/x/src/m.rs` | a | a |\n"
+                .into(),
+        ),
+        protocol_doc: None,
+    };
+    let findings = lint(&ws);
+    assert!(
+        rule_findings(&findings, "safety-ledger")
+            .iter()
+            .any(|f| f.message.contains("2 unsafe site(s) but 1 ledger row(s)")),
+        "expected a count-mismatch finding: {findings:?}"
+    );
+}
+
+#[test]
+fn determinism_fires_in_byte_identity_crates() {
+    let findings = scan_fixture("determinism_bad");
+    let hits = rule_findings(&findings, "determinism");
+    assert!(
+        hits.iter().any(|f| f.message.contains("HashMap")),
+        "expected a HashMap finding: {findings:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("Instant::now")),
+        "expected an Instant::now finding: {findings:?}"
+    );
+    // The HashSet use is waived with a reason: no finding on it.
+    assert!(
+        !hits.iter().any(|f| f.message.contains("HashSet")),
+        "the waived HashSet must not fire: {findings:?}"
+    );
+    // Banned names in strings, comments, and test code never fire.
+    assert!(
+        !hits.iter().any(|f| f.line >= 27),
+        "strings/comments/test code must not fire: {findings:?}"
+    );
+}
+
+#[test]
+fn waiver_without_reason_keeps_the_finding_and_flags_the_marker() {
+    let findings = scan_fixture("determinism_bad");
+    // `Instant::now` carries a reasonless `lint:allow`: the determinism
+    // finding stands (asserted above) and the marker itself is flagged.
+    assert!(
+        rule_findings(&findings, "waiver")
+            .iter()
+            .any(|f| f.message.contains("no reason")),
+        "expected a reasonless-waiver finding: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_policy_fires_on_real_panics_only() {
+    let findings = scan_fixture("panic_bad");
+    let hits = rule_findings(&findings, "panic-policy");
+    assert!(
+        hits.iter().any(|f| f.message.contains("`unwrap()`")),
+        "expected an unwrap finding: {findings:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("`panic!`")),
+        "expected a panic! finding: {findings:?}"
+    );
+    // unwrap_or_else, string literals, and test code must not fire.
+    assert_eq!(hits.len(), 2, "exactly the two real sites: {findings:?}");
+}
+
+#[test]
+fn protocol_sync_detects_drift_in_every_direction() {
+    let findings = scan_fixture("protocol_bad");
+    let messages: Vec<&str> = rule_findings(&findings, "protocol-sync")
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect();
+    let expect = [
+        "`Decode` is not decoded by `Opcode::from_u8`",
+        "`Encode` is 1 in code but 7 in the doc",
+        "`Decode` (2) is defined in code but not documented",
+        "`Stats` (4) is documented but not defined",
+        "`STATUS_ERR` (1) is defined in code but not documented",
+        "`STATUS_BUSY` (2) is documented but not defined",
+        "`Encode` is defined but never dispatched",
+    ];
+    for needle in expect {
+        assert!(
+            messages.iter().any(|m| m.contains(needle)),
+            "missing {needle:?} in {messages:?}"
+        );
+    }
+}
+
+#[test]
+fn protocol_sync_accepts_a_synchronized_protocol() {
+    let findings = scan_fixture("protocol_good");
+    assert!(
+        rule_findings(&findings, "protocol-sync").is_empty(),
+        "expected no protocol-sync findings: {findings:?}"
+    );
+}
+
+#[test]
+fn docs_gate_fires_on_ungated_crate_roots() {
+    let findings = scan_fixture("docsgate_bad");
+    assert!(
+        rule_findings(&findings, "docs-gate")
+            .iter()
+            .any(|f| f.file == "crates/widget/src/lib.rs"),
+        "expected a docs-gate finding: {findings:?}"
+    );
+}
+
+#[test]
+fn the_real_workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().expect("workspace root resolves");
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "expected the workspace root at {root:?}"
+    );
+    let findings = deepn_lint::run(Path::new(&root)).expect("workspace scans");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        findings
+            .iter()
+            .map(Finding::human)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

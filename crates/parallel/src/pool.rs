@@ -6,9 +6,23 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Duration;
+
+/// Locks a mutex, recovering from poisoning instead of panicking.
+///
+/// Every critical section in this module is a single queue push/pop,
+/// counter read, or notify that cannot be left half-done: user-task
+/// panics are caught in [`Task::execute`] *outside* these locks, so a
+/// poisoned mutex here means a thread died between acquiring and
+/// releasing a lock around an operation that either happened or did not.
+/// The protected data is therefore always consistent, and recovering is
+/// sound — while propagating the poison would escalate one caught panic
+/// into a dead pool for every other worker.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 thread_local! {
     /// `(Shared address, worker index)` when the current thread is a pool
@@ -73,13 +87,13 @@ impl JobTracker {
     }
 
     pub(crate) fn poison(&self, payload: Box<dyn Any + Send>) {
-        let mut slot = self.panic.lock().expect("panic slot never poisoned");
+        let mut slot = lock_unpoisoned(&self.panic);
         slot.get_or_insert(payload);
     }
 
     fn complete_one(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = self.lock.lock().expect("job lock never poisoned");
+            let _guard = lock_unpoisoned(&self.lock);
             self.cv.notify_all();
         }
     }
@@ -87,7 +101,7 @@ impl JobTracker {
     /// Rethrows the first panic recorded by this job, if any. Must only be
     /// called once the job is done.
     pub(crate) fn propagate_panic(&self) {
-        let payload = self.panic.lock().expect("panic slot never poisoned").take();
+        let payload = lock_unpoisoned(&self.panic).take();
         if let Some(p) = payload {
             resume_unwind(p);
         }
@@ -128,11 +142,7 @@ impl Shared {
     /// ring order.
     fn find_task(&self, me: Option<usize>) -> Option<Task> {
         if let Some(me) = me {
-            if let Some(t) = self.deques[me]
-                .lock()
-                .expect("deque lock never poisoned")
-                .pop_back()
-            {
+            if let Some(t) = lock_unpoisoned(&self.deques[me]).pop_back() {
                 return Some(t);
             }
         }
@@ -143,11 +153,7 @@ impl Shared {
             if Some(victim) == me {
                 continue;
             }
-            if let Some(t) = self.deques[victim]
-                .lock()
-                .expect("deque lock never poisoned")
-                .pop_front()
-            {
+            if let Some(t) = lock_unpoisoned(&self.deques[victim]).pop_front() {
                 return Some(t);
             }
         }
@@ -155,7 +161,7 @@ impl Shared {
     }
 
     fn wake_all(&self) {
-        let mut generation = self.sleep.lock().expect("sleep lock never poisoned");
+        let mut generation = lock_unpoisoned(&self.sleep);
         *generation = generation.wrapping_add(1);
         self.cv.notify_all();
     }
@@ -176,19 +182,17 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         // work submitted in the window before the snapshot, then sleep.
         // A submit between re-check and wait bumps the generation, which
         // the check under the lock observes — no lost wakeup.
-        let generation = *shared.sleep.lock().expect("sleep lock never poisoned");
+        let generation = *lock_unpoisoned(&shared.sleep);
         if let Some(task) = shared.find_task(Some(index)) {
             task.execute();
             continue;
         }
-        let guard = shared.sleep.lock().expect("sleep lock never poisoned");
+        let guard = lock_unpoisoned(&shared.sleep);
         if *guard == generation && !shared.shutdown.load(Ordering::Acquire) {
             // The timeout is belt-and-braces against a missed wakeup; the
-            // generation check makes the common path race-free.
-            let _ = shared
-                .cv
-                .wait_timeout(guard, Duration::from_millis(50))
-                .expect("sleep lock never poisoned");
+            // generation check makes the common path race-free. A poisoned
+            // result still returns the guard, which we drop either way.
+            let _ = shared.cv.wait_timeout(guard, Duration::from_millis(50));
         }
     }
 }
@@ -232,6 +236,10 @@ impl Pool {
                 thread::Builder::new()
                     .name(format!("deepn-par-{i}"))
                     .spawn(move || worker_loop(&shared, i))
+                    // lint:allow(panic-policy): pool construction, not the
+                    // request path — if the OS cannot spawn a thread at
+                    // startup there is no pool to degrade to, and no work
+                    // has been queued yet that could be lost.
                     .expect("spawning a pool worker")
             })
             .collect();
@@ -273,9 +281,7 @@ impl Pool {
         if let Some(me) = self.current_worker_index() {
             // A worker fans out onto its own deque; siblings steal the
             // overflow from the front while the owner pops the back.
-            let mut deque = self.shared.deques[me]
-                .lock()
-                .expect("deque lock never poisoned");
+            let mut deque = lock_unpoisoned(&self.shared.deques[me]);
             for f in fns {
                 deque.push_back(Task {
                     run: f,
@@ -285,13 +291,10 @@ impl Pool {
         } else {
             let start = self.shared.next_deque.fetch_add(1, Ordering::Relaxed);
             for (i, f) in fns.into_iter().enumerate() {
-                self.shared.deques[(start + i) % n]
-                    .lock()
-                    .expect("deque lock never poisoned")
-                    .push_back(Task {
-                        run: f,
-                        job: Arc::clone(job),
-                    });
+                lock_unpoisoned(&self.shared.deques[(start + i) % n]).push_back(Task {
+                    run: f,
+                    job: Arc::clone(job),
+                });
             }
         }
         self.shared.wake_all();
@@ -322,14 +325,11 @@ impl Pool {
             return;
         }
         while !job.done() {
-            let guard = job.lock.lock().expect("job lock never poisoned");
+            let guard = lock_unpoisoned(&job.lock);
             if job.done() {
                 break;
             }
-            let _ = job
-                .cv
-                .wait_timeout(guard, Duration::from_millis(50))
-                .expect("job lock never poisoned");
+            let _ = job.cv.wait_timeout(guard, Duration::from_millis(50));
         }
     }
 

@@ -82,7 +82,12 @@ impl Client {
             stream.set_nodelay(true)?;
             self.stream = Some(stream);
         }
-        Ok(self.stream.as_mut().expect("connection just established"))
+        match self.stream.as_mut() {
+            Some(stream) => Ok(stream),
+            None => Err(ServeError::Protocol(
+                "connection slot empty after connect".into(),
+            )),
+        }
     }
 
     /// Whether an error means "the pooled connection was already dead" —
@@ -675,7 +680,9 @@ fn decode_pipeline_reply(op: Opcode, frame: Vec<u8>) -> Result<PipelineReply, Se
         Opcode::Stats => PipelineReply::Stats(parse_stats(&mut r)?),
         Opcode::Metrics => PipelineReply::Metrics(r.string()?),
         Opcode::Shutdown | Opcode::CompressStream | Opcode::DecompressStream => {
-            unreachable!("the pipeline never submits streaming or shutdown ops")
+            return Err(ServeError::Protocol(format!(
+                "op {op:?} cannot be pipelined"
+            )))
         }
     })
 }
@@ -824,7 +831,10 @@ impl Pipeline<'_> {
             return Err(ServeError::Protocol("no requests in flight".into()));
         }
         self.pump()?;
-        self.ready.pop_front().expect("pump buffered a reply")
+        match self.ready.pop_front() {
+            Some(reply) => reply,
+            None => Err(ServeError::Protocol("pipeline pumped no reply".into())),
+        }
     }
 
     /// Submits one request, applying backpressure first when the window is
@@ -981,16 +991,16 @@ impl Pipeline<'_> {
                 Err(e) => return Err(e),
             }
         }
-        let frame = self
-            .prefetched
-            .pop_front()
-            .expect("a reply frame is buffered");
+        let Some(frame) = self.prefetched.pop_front() else {
+            return Err(ServeError::Protocol("pump buffered no reply frame".into()));
+        };
         // A reply landed: progress, so a future stall gets a fresh replay.
         self.replay_armed = true;
-        let (op, _) = self
-            .inflight
-            .pop_front()
-            .expect("pump with requests in flight");
+        let Some((op, _)) = self.inflight.pop_front() else {
+            return Err(ServeError::Protocol(
+                "pump ran with no requests in flight".into(),
+            ));
+        };
         self.ready.push_back(decode_pipeline_reply(op, frame));
         Ok(())
     }

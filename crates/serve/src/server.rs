@@ -282,6 +282,9 @@ impl Server {
     /// Panics if the bound address cannot be read back (the listener is
     /// already live, so this cannot happen in practice).
     pub fn spawn(self) -> ServerHandle {
+        // lint:allow(panic-policy): startup, not request handling — the
+        // listener is already bound, so `local_addr` failing here means
+        // the socket itself is broken and there is no service to run.
         let addr = self.local_addr().expect("listener has an address");
         let shutdown = Arc::clone(&self.shutdown);
         let thread = thread::spawn(move || self.run());
@@ -750,7 +753,11 @@ impl ConnCtx {
                 for res in results {
                     match res {
                         JobResult::Bytes(b) => protocol::put_blob(&mut w, &b),
-                        _ => unreachable!("encode jobs produce bytes"),
+                        _ => {
+                            return Err(ServeError::Remote(
+                                "encode job produced a non-bytes result".into(),
+                            ))
+                        }
                     }
                 }
                 Ok((w.into_bytes(), false))
@@ -770,7 +777,11 @@ impl ConnCtx {
                 for res in results {
                     match res {
                         JobResult::Image(img) => protocol::put_image(&mut w, &img),
-                        _ => unreachable!("decode jobs produce images"),
+                        _ => {
+                            return Err(ServeError::Remote(
+                                "decode job produced a non-image result".into(),
+                            ))
+                        }
                     }
                 }
                 Ok((w.into_bytes(), false))
@@ -795,7 +806,11 @@ impl ConnCtx {
                 for res in results {
                     match res {
                         JobResult::Label(l) => w.put_u32(l as u32),
-                        _ => unreachable!("classify jobs produce labels"),
+                        _ => {
+                            return Err(ServeError::Remote(
+                                "classify job produced a non-label result".into(),
+                            ))
+                        }
                     }
                 }
                 Ok((w.into_bytes(), false))
@@ -912,10 +927,9 @@ impl ConnCtx {
         if let Some(e) = first_err {
             return Err(ServeError::Remote(e));
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("every index replied"))
-            .collect())
+        out.into_iter()
+            .map(|r| r.ok_or_else(|| ServeError::Remote("a fan-out job returned no result".into())))
+            .collect()
     }
 }
 

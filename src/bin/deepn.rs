@@ -68,6 +68,10 @@ COMMANDS:
                   --cache-dir DIR [--scale fast|full]
     inspect       Print an artifact's header
                   PATH
+    lint          Run the workspace invariant analyzer (safety-ledger,
+                  determinism, panic-policy, protocol-sync, docs-gate);
+                  exits nonzero on any finding
+                  [--root DIR (default .)] [--json]
     help          Show this message
 ";
 
@@ -158,6 +162,7 @@ fn main() -> ExitCode {
         "bench-client" => cmd_bench_client(args),
         "pipeline" => cmd_pipeline(args),
         "inspect" => cmd_inspect(args),
+        "lint" => cmd_lint(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -755,4 +760,26 @@ fn cmd_inspect(mut args: Args) -> Result<(), Box<dyn Error>> {
         bytes.len()
     );
     Ok(())
+}
+
+fn cmd_lint(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let root = args.value("--root")?.unwrap_or_else(|| ".".into());
+    let json = args.flag("--json");
+    args.finish()?;
+    let findings = deepn::lint::run(std::path::Path::new(&root))?;
+    for f in &findings {
+        if json {
+            println!("{}", f.json());
+        } else {
+            println!("{}", f.human());
+        }
+    }
+    if findings.is_empty() {
+        if !json {
+            println!("deepn lint: clean ({root})");
+        }
+        Ok(())
+    } else {
+        Err(format!("{} finding(s)", findings.len()).into())
+    }
 }

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # deepn — DeepN-JPEG, a DNN-favorable JPEG-based image compression framework
 //!
 //! Facade crate for the DAC 2018 paper reproduction. It re-exports the
@@ -17,6 +18,8 @@
 //! - [`serve`] — the long-running TCP compression service (worker pool +
 //!   bounded job queue, both wire directions streamed strip-by-strip) and
 //!   its persistent, pipelining client (see `docs/PROTOCOL.md`)
+//! - [`lint`] — the workspace invariant analyzer behind `deepn lint`
+//!   (safety-ledger, determinism, panic-policy, protocol-sync, docs-gate)
 //! - [`bench`](mod@bench) — shared helpers for the figure-regeneration benches (see
 //!   `EXPERIMENTS.md` for how to rerun each paper figure)
 //!
@@ -53,6 +56,7 @@ pub use deepn_bench as bench;
 pub use deepn_codec as codec;
 pub use deepn_core as core;
 pub use deepn_dataset as dataset;
+pub use deepn_lint as lint;
 pub use deepn_nn as nn;
 pub use deepn_parallel as parallel;
 pub use deepn_power as power;
