@@ -27,7 +27,10 @@
 //! ([`stream`]): [`StreamEncoder`]/[`StreamDecoder`] process 8-pixel-high
 //! block strips through reusable [`EncodeWorkspace`]/[`DecodeWorkspace`]
 //! buffers, so arbitrarily large images compress in O(strip) memory with
-//! no per-block allocation (see `docs/CODEC_PIPELINE.md`).
+//! no per-block allocation (see `docs/CODEC_PIPELINE.md`). Per-stage
+//! strip timings are available behind the [`profile`] seam
+//! (`deepn pipeline --profile`) without the codec ever reading a clock
+//! itself — and without changing output bytes.
 //!
 //! ## Example
 //!
@@ -59,6 +62,7 @@ mod image;
 pub mod marker;
 mod metrics;
 pub mod ppm;
+pub mod profile;
 pub mod quant;
 pub mod stream;
 pub mod zigzag;

@@ -1,0 +1,229 @@
+//! The `Profiler` seam: per-stage strip timings for the streaming
+//! pipeline, recorded into `deepn-trace` histograms.
+//!
+//! The codec is inside the byte-identity determinism scope, so it never
+//! reads a clock directly — all timing goes through this module, which
+//! delegates to [`deepn_trace::tick`] (the workspace's single clock
+//! seam). Profiling is off by default; [`enable`] turns it on
+//! process-wide, and sessions capture the decision **at creation** so a
+//! session is profiled consistently for its whole life.
+//!
+//! Timing feeds histograms, never results: with profiling on, the fused
+//! Dct+Quantize transform pass runs as two passes staged through a
+//! workspace buffer so each stage can be timed separately — the same
+//! IEEE operations in the same order per value, so output bytes are
+//! identical either way (`tests/proptest_trace.rs` proves it).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// One pipeline stage, encode stages first. `Quant` covers Quantize +
+/// Zigzag (and `Dequant` their inverses) — the scan reorder is a few
+/// nanoseconds and not worth a separate series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Encode: ColorConvert + BlockSplit.
+    EncodeColor,
+    /// Encode: forward DCT.
+    EncodeDct,
+    /// Encode: Quantize + Zigzag.
+    EncodeQuant,
+    /// Encode: Huffman entropy coding (sequential).
+    EncodeEntropy,
+    /// Decode: Huffman entropy decoding (sequential).
+    DecodeEntropy,
+    /// Decode: Unzigzag + Dequantize.
+    DecodeDequant,
+    /// Decode: inverse DCT.
+    DecodeIdct,
+    /// Decode: BlockMerge + ColorConvert⁻¹.
+    DecodeColor,
+}
+
+impl Stage {
+    /// Every stage, encode pipeline first, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::EncodeColor,
+        Stage::EncodeDct,
+        Stage::EncodeQuant,
+        Stage::EncodeEntropy,
+        Stage::DecodeEntropy,
+        Stage::DecodeDequant,
+        Stage::DecodeIdct,
+        Stage::DecodeColor,
+    ];
+
+    /// Short human label (`encode.dct`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::EncodeColor => "encode.color",
+            Stage::EncodeDct => "encode.dct",
+            Stage::EncodeQuant => "encode.quant",
+            Stage::EncodeEntropy => "encode.entropy",
+            Stage::DecodeEntropy => "decode.entropy",
+            Stage::DecodeDequant => "decode.dequant",
+            Stage::DecodeIdct => "decode.idct",
+            Stage::DecodeColor => "decode.color",
+        }
+    }
+
+    /// The registered instrument name for this stage's histogram.
+    pub fn metric(self) -> &'static str {
+        match self {
+            Stage::EncodeColor => "deepn_codec_encode_color_seconds",
+            Stage::EncodeDct => "deepn_codec_encode_dct_seconds",
+            Stage::EncodeQuant => "deepn_codec_encode_quant_seconds",
+            Stage::EncodeEntropy => "deepn_codec_encode_entropy_seconds",
+            Stage::DecodeEntropy => "deepn_codec_decode_entropy_seconds",
+            Stage::DecodeDequant => "deepn_codec_decode_dequant_seconds",
+            Stage::DecodeIdct => "deepn_codec_decode_idct_seconds",
+            Stage::DecodeColor => "deepn_codec_decode_color_seconds",
+        }
+    }
+}
+
+/// The per-stage histogram set, registered once on the global
+/// `deepn-trace` registry.
+pub struct Profiler {
+    hists: [Arc<deepn_trace::Histogram>; 8],
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler").finish()
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn instance() -> &'static Profiler {
+    static INSTANCE: OnceLock<Profiler> = OnceLock::new();
+    INSTANCE.get_or_init(|| {
+        let r = deepn_trace::global();
+        Profiler {
+            hists: [
+                r.histogram(
+                    "deepn_codec_encode_color_seconds",
+                    "ColorConvert + BlockSplit time per encoded strip",
+                ),
+                r.histogram(
+                    "deepn_codec_encode_dct_seconds",
+                    "Forward DCT time per encoded strip",
+                ),
+                r.histogram(
+                    "deepn_codec_encode_quant_seconds",
+                    "Quantize + Zigzag time per encoded strip",
+                ),
+                r.histogram(
+                    "deepn_codec_encode_entropy_seconds",
+                    "Huffman entropy-coding time per encoded strip",
+                ),
+                r.histogram(
+                    "deepn_codec_decode_entropy_seconds",
+                    "Huffman entropy-decoding time per decoded strip",
+                ),
+                r.histogram(
+                    "deepn_codec_decode_dequant_seconds",
+                    "Unzigzag + Dequantize time per decoded strip",
+                ),
+                r.histogram(
+                    "deepn_codec_decode_idct_seconds",
+                    "Inverse DCT time per decoded strip",
+                ),
+                r.histogram(
+                    "deepn_codec_decode_color_seconds",
+                    "BlockMerge + inverse ColorConvert time per decoded strip",
+                ),
+            ],
+        }
+    })
+}
+
+/// Turns stage profiling on process-wide (and registers the histograms).
+/// Sessions created from now on record per-stage strip timings.
+pub fn enable() {
+    instance();
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Turns stage profiling off for sessions created from now on.
+pub fn disable() {
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Whether stage profiling is currently on.
+pub fn is_enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The profiler a session created right now should use: `Some` iff
+/// profiling is enabled.
+pub fn current() -> Option<&'static Profiler> {
+    if is_enabled() {
+        Some(instance())
+    } else {
+        None
+    }
+}
+
+impl Profiler {
+    /// Starts timing `stage`; the returned guard records on drop.
+    pub fn timer(&self, stage: Stage) -> StageTimer<'_> {
+        StageTimer {
+            hist: &self.hists[stage as usize],
+            start_ns: deepn_trace::tick(),
+        }
+    }
+}
+
+/// RAII stage timer: records the elapsed time into the stage's histogram
+/// when dropped.
+#[derive(Debug)]
+pub struct StageTimer<'p> {
+    hist: &'p deepn_trace::Histogram,
+    start_ns: u64,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record_since(self.start_ns);
+    }
+}
+
+/// A timer for `stage` when a profiler is present, else nothing — the
+/// shape session code uses so unprofiled paths cost one `Option` check.
+pub(crate) fn maybe_timer(
+    prof: Option<&'static Profiler>,
+    stage: Stage,
+) -> Option<StageTimer<'static>> {
+    prof.map(|p| p.timer(stage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_metrics_are_distinct_and_ordered() {
+        let metrics: Vec<&str> = Stage::ALL.iter().map(|s| s.metric()).collect();
+        let mut dedup = metrics.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), metrics.len(), "no duplicate instrument names");
+        assert!(metrics.iter().all(|m| m.starts_with("deepn_codec_")));
+        assert!(metrics.iter().all(|m| m.ends_with("_seconds")));
+    }
+
+    #[test]
+    fn timers_record_into_the_stage_histogram() {
+        enable();
+        let p = current().expect("profiler active after enable");
+        drop(p.timer(Stage::EncodeDct));
+        disable();
+        assert!(current().is_none());
+        match deepn_trace::global().reading("deepn_codec_encode_dct_seconds") {
+            Some(deepn_trace::Reading::Histogram(snap)) => assert!(snap.count >= 1),
+            other => panic!("expected a histogram reading, got {other:?}"),
+        }
+    }
+}

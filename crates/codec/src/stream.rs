@@ -66,6 +66,7 @@ use crate::decoder::ScanSetup;
 use crate::encoder::write_headers;
 use crate::huffman::{HuffmanEncoder, HuffmanSpec};
 use crate::marker::{write_marker, EOI};
+use crate::profile::{self, maybe_timer, Profiler, Stage};
 use crate::zigzag::{scan, unscan};
 use crate::{CodecError, Encoder, QuantTablePair, RgbImage};
 
@@ -173,6 +174,10 @@ pub struct EncodeWorkspace {
     planes: [Vec<f32>; 3],
     blocks: Vec<Block>,
     coeffs: Vec<[i32; 64]>,
+    /// DCT-output staging used only by profiled sessions, which split the
+    /// fused Dct+Quantize pass to time each stage; sized lazily so
+    /// unprofiled sessions never pay for it.
+    dct: Vec<Block>,
 }
 
 impl EncodeWorkspace {
@@ -221,6 +226,9 @@ pub struct DecodeWorkspace {
     coeffs: Vec<[i32; 64]>,
     blocks: Vec<Block>,
     planes: [Vec<f32>; 3],
+    /// Dequantize-output staging used only by profiled sessions (the
+    /// mirror of [`EncodeWorkspace::dct`]); sized lazily.
+    dequant: Vec<Block>,
 }
 
 impl DecodeWorkspace {
@@ -287,8 +295,33 @@ pub fn blockize_strip(strip: &PixelStrip, ws: &mut EncodeWorkspace) {
 /// holds, in parallel on the `deepn-parallel` pool. Results are written by
 /// index into the workspace's coefficient buffer, so they are
 /// byte-identical at any thread count and nothing is allocated.
-fn transform_strip(ws: &mut EncodeWorkspace, tables: &QuantTablePair) {
+///
+/// A profiled session runs the same math as two passes staged through
+/// `ws.dct` so Dct and Quantize time separately — per value the identical
+/// IEEE operations in the identical order, so the coefficients (and
+/// therefore the output bytes) match the fused path exactly.
+fn transform_strip(
+    ws: &mut EncodeWorkspace,
+    tables: &QuantTablePair,
+    prof: Option<&'static Profiler>,
+) {
     let bw = ws.bw;
+    if let Some(p) = prof {
+        if ws.dct.len() != ws.blocks.len() {
+            ws.dct.clear();
+            ws.dct.resize(ws.blocks.len(), [0.0; 64]);
+        }
+        {
+            let _t = p.timer(Stage::EncodeDct);
+            deepn_parallel::par_map_into(&ws.blocks, &mut ws.dct, |_, blk| forward_dct_8x8(blk));
+        }
+        let _t = p.timer(Stage::EncodeQuant);
+        deepn_parallel::par_map_into(&ws.dct, &mut ws.coeffs, |i, blk| {
+            let table = if i < bw { &tables.luma } else { &tables.chroma };
+            scan(&table.quantize(blk))
+        });
+        return;
+    }
     let blocks = &ws.blocks;
     deepn_parallel::par_map_into(blocks, &mut ws.coeffs, |i, blk| {
         let table = if i < bw { &tables.luma } else { &tables.chroma };
@@ -344,6 +377,7 @@ pub struct StreamEncoder<'e> {
     prev_dc: [i32; 3],
     writer: BitWriter,
     out: Vec<u8>,
+    prof: Option<&'static Profiler>,
 }
 
 impl<'e> StreamEncoder<'e> {
@@ -371,6 +405,7 @@ impl<'e> StreamEncoder<'e> {
             prev_dc: [0; 3],
             writer: BitWriter::new(),
             out: Vec::new(),
+            prof: profile::current(),
         })
     }
 
@@ -449,8 +484,12 @@ impl<'e> StreamEncoder<'e> {
             ));
         }
         self.check_strip(strip, self.analyzed)?;
-        blockize_strip(strip, ws);
-        transform_strip(ws, self.encoder.tables());
+        {
+            let _t = maybe_timer(self.prof, Stage::EncodeColor);
+            blockize_strip(strip, ws);
+        }
+        transform_strip(ws, self.encoder.tables(), self.prof);
+        let _t = maybe_timer(self.prof, Stage::EncodeEntropy);
         let t = self
             .tallies
             .as_mut()
@@ -528,8 +567,12 @@ impl<'e> StreamEncoder<'e> {
         if self.encoded == 0 {
             self.begin()?;
         }
-        blockize_strip(strip, ws);
-        transform_strip(ws, self.encoder.tables());
+        {
+            let _t = maybe_timer(self.prof, Stage::EncodeColor);
+            blockize_strip(strip, ws);
+        }
+        transform_strip(ws, self.encoder.tables(), self.prof);
+        let _t = maybe_timer(self.prof, Stage::EncodeEntropy);
         let e = self
             .entropy
             .as_ref()
@@ -595,6 +638,7 @@ pub struct StreamDecoder<'b> {
     strip_count: usize,
     emitted: usize,
     prev_dc: [i32; 3],
+    prof: Option<&'static Profiler>,
 }
 
 impl<'b> StreamDecoder<'b> {
@@ -608,6 +652,7 @@ impl<'b> StreamDecoder<'b> {
             strip_count,
             emitted: 0,
             prev_dc: [0; 3],
+            prof: profile::current(),
         })
     }
 
@@ -659,21 +704,44 @@ impl<'b> StreamDecoder<'b> {
         ws.ensure(w);
         let bw = ws.bw;
         // Inverse stage 1 — Entropy (sequential).
-        for b in 0..bw {
-            for (ci, comp) in self.setup.components.iter().enumerate() {
-                let zz = decode_block(&mut self.bits, &comp.dc, &comp.ac, self.prev_dc[ci])?;
-                self.prev_dc[ci] = zz[0];
-                ws.coeffs[ci * bw + b] = zz;
+        {
+            let _t = maybe_timer(self.prof, Stage::DecodeEntropy);
+            for b in 0..bw {
+                for (ci, comp) in self.setup.components.iter().enumerate() {
+                    let zz = decode_block(&mut self.bits, &comp.dc, &comp.ac, self.prev_dc[ci])?;
+                    self.prev_dc[ci] = zz[0];
+                    ws.coeffs[ci * bw + b] = zz;
+                }
             }
         }
         // Inverse stages 2–4 — Unzigzag → Dequantize → Idct (parallel,
-        // index-addressed).
+        // index-addressed). A profiled session stages through `ws.dequant`
+        // to time Dequantize and Idct separately — identical math, same
+        // bytes (see `transform_strip`).
         let comps = &self.setup.components;
-        let coeffs = &ws.coeffs;
-        deepn_parallel::par_map_into(coeffs, &mut ws.blocks, |i, zz| {
-            let q = &comps[i / bw].quant;
-            inverse_dct_8x8(&q.dequantize(&unscan(zz)))
-        });
+        if let Some(p) = self.prof {
+            if ws.dequant.len() != ws.coeffs.len() {
+                ws.dequant.clear();
+                ws.dequant.resize(ws.coeffs.len(), [0.0; 64]);
+            }
+            {
+                let _t = p.timer(Stage::DecodeDequant);
+                deepn_parallel::par_map_into(&ws.coeffs, &mut ws.dequant, |i, zz| {
+                    comps[i / bw].quant.dequantize(&unscan(zz))
+                });
+            }
+            let _t = p.timer(Stage::DecodeIdct);
+            deepn_parallel::par_map_into(&ws.dequant, &mut ws.blocks, |_, blk| {
+                inverse_dct_8x8(blk)
+            });
+        } else {
+            let coeffs = &ws.coeffs;
+            deepn_parallel::par_map_into(coeffs, &mut ws.blocks, |i, zz| {
+                let q = &comps[i / bw].quant;
+                inverse_dct_8x8(&q.dequantize(&unscan(zz)))
+            });
+        }
+        let _t = maybe_timer(self.prof, Stage::DecodeColor);
         // Inverse stage 5 — BlockMerge: reassemble the valid rows, undo
         // the level shift, discard edge padding.
         let rows = self.strip_rows(self.emitted);
@@ -786,6 +854,26 @@ mod tests {
         }
         assert_eq!(strips, session.strip_count());
         assert_eq!(pixels, oneshot.as_bytes());
+    }
+
+    #[test]
+    fn profiled_sessions_produce_identical_bytes() {
+        let img = RgbImage::gradient(29, 23);
+        let enc = Encoder::with_quality(70);
+        let mut ws = EncodeWorkspace::new();
+        let plain = stream_encode(&enc, &img, &mut ws);
+        crate::profile::enable();
+        let profiled = stream_encode(&enc, &img, &mut ws);
+        let dec = Decoder::new();
+        let pixels_profiled = dec.decode(&plain).expect("decode profiled");
+        crate::profile::disable();
+        let pixels_plain = dec.decode(&plain).expect("decode plain");
+        assert_eq!(plain, profiled, "profiling must not change encoded bytes");
+        assert_eq!(
+            pixels_profiled.as_bytes(),
+            pixels_plain.as_bytes(),
+            "profiling must not change decoded pixels"
+        );
     }
 
     #[test]

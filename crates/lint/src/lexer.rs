@@ -26,6 +26,10 @@ pub struct Line {
     /// The comment text carried by this line (all of its `//...` tail
     /// and/or the part of a block comment crossing it).
     pub comment: String,
+    /// The line exactly as written, literals included — for rules that
+    /// must read string contents (e.g. registered instrument names) after
+    /// locating the call site through the blanked `code` channel.
+    pub raw: String,
 }
 
 impl Line {
@@ -59,6 +63,7 @@ pub fn split_source(src: &str) -> Vec<Line> {
             lines.push(Line {
                 code: std::mem::take(&mut code),
                 comment: std::mem::take(&mut comment),
+                ..Line::default()
             });
             i += 1;
             continue;
@@ -136,7 +141,17 @@ pub fn split_source(src: &str) -> Vec<Line> {
         }
     }
     if !code.is_empty() || !comment.is_empty() {
-        lines.push(Line { code, comment });
+        lines.push(Line {
+            code,
+            comment,
+            ..Line::default()
+        });
+    }
+    // The raw channel is the source itself, line for line; `lines()` and
+    // the state machine agree on line boundaries ('\n' only), so a plain
+    // zip pairs them up.
+    for (line, raw) in lines.iter_mut().zip(src.lines()) {
+        line.raw = raw.to_string();
     }
     lines
 }

@@ -6,7 +6,7 @@
 //! wire spec in `docs/PROTOCOL.md` must match `protocol.rs` and the
 //! server dispatch, the service path must not panic, and every `unsafe`
 //! site must justify itself. This crate enforces them statically with a
-//! minimal comment- and string-aware [lexer] (no full parser) and five
+//! minimal comment- and string-aware [lexer] (no full parser) and six
 //! [rules]:
 //!
 //! | rule | contract |
@@ -16,6 +16,7 @@
 //! | `panic-policy` | no `unwrap`/`expect`/`panic!` in serve handling or pool internals |
 //! | `protocol-sync` | `protocol.rs` ⇔ `docs/PROTOCOL.md` ⇔ server dispatch |
 //! | `docs-gate` | every crate root has `#![deny(missing_docs)]` |
+//! | `metrics-sync` | registered instruments ⇔ `docs/OBSERVABILITY.md` catalog |
 //!
 //! A finding can be waived in place with `// lint:allow(rule): reason`
 //! on the offending line or the line above; the reason is mandatory.
@@ -42,6 +43,7 @@ pub fn lint(ws: &Workspace) -> Vec<Finding> {
     findings.extend(rules::panic_policy::check(ws));
     findings.extend(rules::protocol_sync::check(ws));
     findings.extend(rules::docs_gate::check(ws));
+    findings.extend(rules::metrics_sync::check(ws));
     findings
 }
 

@@ -1,0 +1,145 @@
+//! **metrics-sync**: every registered instrument is documented, and every
+//! documented instrument exists.
+//!
+//! `docs/OBSERVABILITY.md` carries the instrument catalog — the names an
+//! operator can rely on finding in a `deepn metrics` scrape. This rule
+//! collects every `.counter("...")` / `.gauge("...")` / `.histogram("...")`
+//! registration in non-test library code and cross-checks it against the
+//! catalog table in both directions: a registration missing from the doc
+//! is an undocumented metric, a doc row without a registration is a stale
+//! promise.
+//!
+//! Call sites are located through the lexer's blanked `code` channel (so
+//! the patterns cannot match inside string literals or comments), then
+//! the name is read back out of the `raw` channel, joining up to four
+//! lines because rustfmt routinely wraps the name literal onto the line
+//! after the call. Registrations whose name is not a string literal are
+//! skipped: the codec profiler's names, for instance, are checked via
+//! their literal registration site, not their `Stage::metric` table.
+
+use std::collections::BTreeMap;
+
+use crate::report::{apply_waiver, Finding};
+use crate::workspace::Workspace;
+
+const RULE: &str = "metrics-sync";
+
+const OBSERVABILITY_MD: &str = "docs/OBSERVABILITY.md";
+
+/// Registration methods whose first argument is the instrument name. The
+/// leading dot keeps `fn counter(...)` definitions from matching.
+const REGISTRATION_CALLS: &[&str] = &[".counter(", ".gauge(", ".histogram("];
+
+/// How many raw lines (call line included) to join when extracting the
+/// name literal; rustfmt wraps long calls but never this deep.
+const JOIN_LINES: usize = 4;
+
+/// Runs the rule over the workspace. A tree with no registrations at all
+/// (e.g. a fixture tree for another rule) is out of scope.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    // name -> first registration site (file, 0-based line).
+    let mut registered: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.aux {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if file.is_test_line(idx) {
+                continue;
+            }
+            for call in REGISTRATION_CALLS {
+                if !line.code.contains(call) {
+                    continue;
+                }
+                let joined: String = file.lines[idx..(idx + JOIN_LINES).min(file.lines.len())]
+                    .iter()
+                    .map(|l| l.raw.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if let Some(name) = extract_name(&joined, call) {
+                    registered.entry(name).or_insert((fi, idx));
+                }
+            }
+        }
+    }
+    if registered.is_empty() {
+        return Vec::new();
+    }
+
+    let Some(doc) = &ws.observability_doc else {
+        return vec![Finding::whole_file(
+            RULE,
+            OBSERVABILITY_MD,
+            format!(
+                "{} instrument(s) are registered but docs/OBSERVABILITY.md is missing",
+                registered.len()
+            ),
+        )];
+    };
+    let documented = parse_doc_names(doc);
+
+    let mut findings = Vec::new();
+    for (name, &(fi, idx)) in &registered {
+        if !documented.contains_key(name.as_str()) {
+            let file = &ws.files[fi];
+            findings.extend(apply_waiver(
+                file,
+                Finding::at(
+                    RULE,
+                    &file.rel,
+                    idx,
+                    format!("instrument `{name}` is registered but not in the catalog table"),
+                ),
+            ));
+        }
+    }
+    for name in documented.keys() {
+        if !registered.contains_key(name.as_str()) {
+            findings.push(Finding::whole_file(
+                RULE,
+                OBSERVABILITY_MD,
+                format!("instrument `{name}` is documented but never registered"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Pulls the name literal out of joined raw text at the first `call`
+/// site: the first argument must open with a `"` (a non-literal name is
+/// skipped), and the name must be a well-formed metric identifier.
+fn extract_name(joined: &str, call: &str) -> Option<String> {
+    let after = &joined[joined.find(call)? + call.len()..];
+    let after = after.trim_start();
+    let body = after.strip_prefix('"')?;
+    let name = &body[..body.find('"')?];
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+/// Parses catalog rows: markdown table lines whose first cell is a
+/// backticked name starting with `deepn_`.
+fn parse_doc_names(doc: &str) -> BTreeMap<String, ()> {
+    let mut out = BTreeMap::new();
+    for raw in doc.lines() {
+        let t = raw.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let Some(first) = t.trim_matches('|').split('|').next() else {
+            continue;
+        };
+        let name = first.trim().trim_matches('`');
+        if name.starts_with("deepn_") {
+            out.insert(name.to_string(), ());
+        }
+    }
+    out
+}

@@ -1,4 +1,4 @@
-//! The five workspace invariant rules.
+//! The six workspace invariant rules.
 //!
 //! Each rule is a function from [`Workspace`](crate::workspace::Workspace)
 //! to findings. Rules are pure: they read the scanned files and documents
@@ -7,6 +7,7 @@
 
 pub mod determinism;
 pub mod docs_gate;
+pub mod metrics_sync;
 pub mod panic_policy;
 pub mod protocol_sync;
 pub mod safety_ledger;

@@ -63,6 +63,8 @@ pub struct Workspace {
     pub unsafe_ledger: Option<String>,
     /// `docs/PROTOCOL.md` contents, if present.
     pub protocol_doc: Option<String>,
+    /// `docs/OBSERVABILITY.md` contents, if present.
+    pub observability_doc: Option<String>,
 }
 
 impl Workspace {
@@ -83,6 +85,7 @@ impl Workspace {
             files,
             unsafe_ledger: fs::read_to_string(root.join("docs/UNSAFE_LEDGER.md")).ok(),
             protocol_doc: fs::read_to_string(root.join("docs/PROTOCOL.md")).ok(),
+            observability_doc: fs::read_to_string(root.join("docs/OBSERVABILITY.md")).ok(),
         })
     }
 

@@ -1,0 +1,28 @@
+//! Fixture: one undocumented registration, one waived, plus a catalog
+//! row for an instrument that does not exist.
+
+fn instruments() {
+    let r = registry();
+    // Undocumented: must fire.
+    let _a = r.counter("deepn_fixture_undocumented_total", "not in the doc");
+    // rustfmt-style wrap: the name sits on the line after the call.
+    let _b = r.histogram(
+        "deepn_fixture_wrapped_seconds",
+        "also not in the doc, found via joined raw lines",
+    );
+    // lint:allow(metrics-sync): internal-only instrument, deliberately
+    // kept out of the operator catalog.
+    let _c = r.gauge("deepn_fixture_waived_depth", "waived");
+    // Documented: must not fire.
+    let _d = r.counter("deepn_fixture_ok_total", "in the doc");
+    // Not a literal name: skipped, never flagged.
+    let _e = r.counter(dynamic_name(), "computed");
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_only() {
+        let r = super::registry();
+        let _ = r.counter("deepn_fixture_test_only_total", "test code never fires");
+    }
+}

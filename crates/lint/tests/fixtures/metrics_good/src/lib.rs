@@ -1,0 +1,10 @@
+//! Fixture: every registration documented, every row registered.
+
+fn instruments() {
+    let r = registry();
+    let _a = r.counter("deepn_fixture_ok_total", "in the doc");
+    let _b = r.histogram(
+        "deepn_fixture_wrapped_seconds",
+        "wrapped name, also in the doc",
+    );
+}

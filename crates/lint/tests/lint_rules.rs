@@ -67,6 +67,7 @@ fn safety_ledger_flags_row_count_mismatch() {
                 .into(),
         ),
         protocol_doc: None,
+        observability_doc: None,
     };
     let findings = lint(&ws);
     assert!(
@@ -171,6 +172,42 @@ fn docs_gate_fires_on_ungated_crate_roots() {
             .iter()
             .any(|f| f.file == "crates/widget/src/lib.rs"),
         "expected a docs-gate finding: {findings:?}"
+    );
+}
+
+#[test]
+fn metrics_sync_detects_drift_in_both_directions() {
+    let findings = scan_fixture("metrics_bad");
+    let hits = rule_findings(&findings, "metrics-sync");
+    assert!(
+        hits.iter()
+            .any(|f| f.file == "src/lib.rs"
+                && f.message.contains("`deepn_fixture_undocumented_total`")),
+        "expected an undocumented-instrument finding: {findings:?}"
+    );
+    // rustfmt wraps the name onto the next line; the rule must still
+    // extract it through the joined raw channel.
+    assert!(
+        hits.iter()
+            .any(|f| f.message.contains("`deepn_fixture_wrapped_seconds`")),
+        "expected a finding for the wrapped registration: {findings:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.file == "docs/OBSERVABILITY.md"
+            && f.message.contains("`deepn_fixture_ghost_total`")),
+        "expected a documented-but-unregistered finding: {findings:?}"
+    );
+    // The waived, documented, dynamic, and test-only registrations must
+    // not fire.
+    assert_eq!(hits.len(), 3, "exactly the three drift sites: {findings:?}");
+}
+
+#[test]
+fn metrics_sync_accepts_a_synchronized_catalog() {
+    let findings = scan_fixture("metrics_good");
+    assert!(
+        rule_findings(&findings, "metrics-sync").is_empty(),
+        "expected no metrics-sync findings: {findings:?}"
     );
 }
 

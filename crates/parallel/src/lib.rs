@@ -112,6 +112,12 @@ pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// [`Pool::worker_busy_ns`] on the global pool: per-worker busy time in
+/// nanoseconds, advancing only while tracing is enabled.
+pub fn worker_busy_ns() -> Vec<u64> {
+    global().worker_busy_ns()
+}
+
 /// [`Pool::join`] on the global pool.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -346,6 +352,28 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_busy_time_advances_only_under_tracing() {
+        let pool = Pool::with_threads(2);
+        let spin = |_: usize, &x: &u64| {
+            let mut acc = x;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let items: Vec<u64> = (0..64).collect();
+        // Tracing disabled (the default): busy counters must not move.
+        let before = pool.par_map_collect(&items, spin);
+        assert_eq!(pool.worker_busy_ns().iter().sum::<u64>(), 0);
+        deepn_trace::set_enabled(true);
+        let after = pool.par_map_collect(&items, spin);
+        deepn_trace::set_enabled(false);
+        assert!(pool.worker_busy_ns().iter().sum::<u64>() > 0);
+        // And instrumentation never changes results.
+        assert_eq!(before, after);
     }
 
     #[test]

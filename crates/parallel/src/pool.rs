@@ -5,10 +5,41 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
 use std::time::Duration;
+
+/// The pool's process-wide instruments, registered once on the global
+/// `deepn-trace` registry. Steal counts and the queue high-water mark are
+/// always live (plain atomics, no clock); busy-time is recorded only
+/// while tracing is enabled, because it needs two clock reads per task.
+struct PoolMetrics {
+    steals: Arc<deepn_trace::Counter>,
+    queue_high_water: Arc<deepn_trace::Gauge>,
+    busy_ns: Arc<deepn_trace::Counter>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = deepn_trace::global();
+        PoolMetrics {
+            steals: registry.counter(
+                "deepn_parallel_steals_total",
+                "Tasks stolen from a sibling worker's deque",
+            ),
+            queue_high_water: registry.gauge(
+                "deepn_parallel_queue_high_water",
+                "Largest per-worker deque depth observed since process start",
+            ),
+            busy_ns: registry.counter(
+                "deepn_parallel_worker_busy_ns_total",
+                "Nanoseconds pool workers spent executing tasks (only advances while tracing is enabled)",
+            ),
+        }
+    })
+}
 
 /// Locks a mutex, recovering from poisoning instead of panicking.
 ///
@@ -135,6 +166,9 @@ struct Shared {
     /// Round-robin cursor so successive external submissions spread across
     /// workers.
     next_deque: AtomicUsize,
+    /// Per-worker nanoseconds spent executing tasks; only advances while
+    /// tracing is enabled (see [`Shared::execute_timed`]).
+    busy_ns: Vec<AtomicU64>,
 }
 
 impl Shared {
@@ -154,10 +188,26 @@ impl Shared {
                 continue;
             }
             if let Some(t) = lock_unpoisoned(&self.deques[victim]).pop_front() {
+                metrics().steals.inc();
                 return Some(t);
             }
         }
         None
+    }
+
+    /// Runs a task, charging its wall time to `worker`'s busy counter and
+    /// the process-wide busy total when tracing is enabled. Disabled cost:
+    /// one relaxed atomic load, no clock read.
+    fn execute_timed(&self, worker: usize, task: Task) {
+        if deepn_trace::enabled() {
+            let start = deepn_trace::tick();
+            task.execute();
+            let dur = deepn_trace::tick().saturating_sub(start);
+            self.busy_ns[worker].fetch_add(dur, Ordering::Relaxed);
+            metrics().busy_ns.add(dur);
+        } else {
+            task.execute();
+        }
     }
 
     fn wake_all(&self) {
@@ -175,7 +225,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         }
         // Busy path: no shared lock — dequeue and run.
         if let Some(task) = shared.find_task(Some(index)) {
-            task.execute();
+            shared.execute_timed(index, task);
             continue;
         }
         // Miss path only: snapshot the wakeup generation, re-check for
@@ -184,7 +234,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         // the check under the lock observes — no lost wakeup.
         let generation = *lock_unpoisoned(&shared.sleep);
         if let Some(task) = shared.find_task(Some(index)) {
-            task.execute();
+            shared.execute_timed(index, task);
             continue;
         }
         let guard = lock_unpoisoned(&shared.sleep);
@@ -229,6 +279,7 @@ impl Pool {
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_deque: AtomicUsize::new(0),
+            busy_ns: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -253,6 +304,17 @@ impl Pool {
     /// The pool's compute-thread count (1 means inline execution).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Per-worker nanoseconds spent executing tasks. Advances only while
+    /// tracing is enabled (`deepn_trace::set_enabled(true)` or
+    /// `DEEPN_TRACE=1`); empty for a one-thread pool, which runs inline.
+    pub fn worker_busy_ns(&self) -> Vec<u64> {
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Whether a parallel call entering now would run inline: a one-thread
@@ -288,13 +350,16 @@ impl Pool {
                     job: Arc::clone(job),
                 });
             }
+            metrics().queue_high_water.set_max(deque.len() as u64);
         } else {
             let start = self.shared.next_deque.fetch_add(1, Ordering::Relaxed);
             for (i, f) in fns.into_iter().enumerate() {
-                lock_unpoisoned(&self.shared.deques[(start + i) % n]).push_back(Task {
+                let mut deque = lock_unpoisoned(&self.shared.deques[(start + i) % n]);
+                deque.push_back(Task {
                     run: f,
                     job: Arc::clone(job),
                 });
+                metrics().queue_high_water.set_max(deque.len() as u64);
             }
         }
         self.shared.wake_all();
@@ -313,7 +378,7 @@ impl Pool {
                 match self.shared.find_task(Some(me)) {
                     Some(task) => {
                         idle_spins = 0;
-                        task.execute();
+                        self.shared.execute_timed(me, task);
                     }
                     None if idle_spins < 64 => {
                         idle_spins += 1;

@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 
 mod client;
+mod metrics;
 pub mod protocol;
 mod server;
 

@@ -1,6 +1,7 @@
 //! The service: acceptor + per-connection readers + a bounded job queue
 //! drained by a fixed worker pool.
 
+use crate::metrics::{Ctr, ServeMetrics};
 use crate::protocol::{self, Opcode, STATUS_BUSY, STATUS_ERR, STATUS_OK, STATUS_TIMEOUT};
 use crate::ServeError;
 use deepn_codec::{
@@ -11,7 +12,7 @@ use deepn_store::{ByteReader, ByteWriter};
 use deepn_tensor::Tensor;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -40,6 +41,10 @@ pub struct ServerConfig {
     /// frame ([`ServeError::Timeout`] client-side). `None` disables the
     /// deadline.
     pub request_timeout: Option<Duration>,
+    /// Slow-request log threshold: a request whose whole-frame handling
+    /// takes at least this long is logged to stderr with its opcode and
+    /// wall time (`deepn serve --slow-ms`). `None` disables the log.
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -53,21 +58,9 @@ impl Default for ServerConfig {
             queue_depth: 256,
             max_connections: 64,
             request_timeout: Some(Duration::from_secs(30)),
+            slow_threshold: None,
         }
     }
-}
-
-/// Monotonic service counters, shared across threads.
-#[derive(Debug, Default)]
-struct Counters {
-    requests: AtomicU64,
-    images_encoded: AtomicU64,
-    images_decoded: AtomicU64,
-    images_classified: AtomicU64,
-    connections_rejected: AtomicU64,
-    requests_timed_out: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters and configuration,
@@ -124,6 +117,9 @@ struct Job {
     /// Set when the submitting request gave up (deadline); workers skip
     /// cancelled jobs instead of computing results nobody collects.
     cancelled: Arc<AtomicBool>,
+    /// Trace timestamp of the (last) submission attempt, for the
+    /// queue-wait histogram and span.
+    submitted_ns: u64,
 }
 
 /// The compression service. [`bind`](Server::bind) it, then either
@@ -134,7 +130,7 @@ pub struct Server {
     tables: Arc<QuantTablePair>,
     model: Option<Arc<Sequential>>,
     config: ServerConfig,
-    counters: Arc<Counters>,
+    counters: Arc<ServeMetrics>,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     rejecting: Arc<AtomicUsize>,
@@ -191,6 +187,10 @@ impl Server {
         config.workers = config.workers.max(1);
         config.queue_depth = config.queue_depth.max(1);
         config.max_connections = config.max_connections.max(1);
+        // Honor DEEPN_TRACE=1 for servers embedded in other binaries;
+        // never disables tracing a host process enabled explicitly.
+        deepn_trace::enable_from_env();
+        let counters = Arc::new(ServeMetrics::new(&config));
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
@@ -198,7 +198,7 @@ impl Server {
             tables: Arc::new(tables),
             model: model.map(Arc::new),
             config,
-            counters: Arc::new(Counters::default()),
+            counters,
             shutdown: Arc::new(AtomicBool::new(false)),
             active: Arc::new(AtomicUsize::new(0)),
             rejecting: Arc::new(AtomicUsize::new(0)),
@@ -228,7 +228,10 @@ impl Server {
             let rx = Arc::clone(&job_rx);
             let tables = Arc::clone(&self.tables);
             let model = self.model.clone();
-            workers.push(thread::spawn(move || worker_loop(&rx, &tables, model)));
+            let metrics = Arc::clone(&self.counters);
+            workers.push(thread::spawn(move || {
+                worker_loop(&rx, &tables, model, &metrics)
+            }));
         }
 
         loop {
@@ -312,7 +315,7 @@ impl Drop for ConnGuard {
 struct ConnCtx {
     job_tx: SyncSender<Job>,
     tables: Arc<QuantTablePair>,
-    counters: Arc<Counters>,
+    counters: Arc<ServeMetrics>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
     has_model: bool,
@@ -329,9 +332,7 @@ impl ConnCtx {
             // *served*, so free its slot immediately — a burst of
             // rejected peers must not crowd out admittable ones.
             drop(guard);
-            self.counters
-                .connections_rejected
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.inc(Ctr::ConnectionsRejected);
             // The polite reply itself is bounded: past the cap, close
             // immediately so a connect flood cannot pin unbounded threads
             // here.
@@ -388,10 +389,20 @@ impl ConnCtx {
             match protocol::read_frame(&mut stream) {
                 Ok(None) => return,
                 Ok(Some(body)) => {
-                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                    self.counters
-                        .bytes_in
-                        .fetch_add(4 + body.len() as u64, Ordering::Relaxed);
+                    self.counters.inc(Ctr::Requests);
+                    self.counters.add(Ctr::BytesIn, 4 + body.len() as u64);
+                    // One whole-request observation per frame, whichever of
+                    // the three handling paths it takes: the timer fires on
+                    // scope exit (including early returns), recording the
+                    // request histogram, the per-opcode span, and the
+                    // slow-request log.
+                    let op_name = opcode_span_name(body.first().copied());
+                    let _req = RequestTimer {
+                        metrics: &self.counters,
+                        slow: self.config.slow_threshold,
+                        name: op_name,
+                        start_ns: deepn_trace::tick(),
+                    };
                     if body.first() == Some(&(Opcode::CompressStream as u8)) {
                         // The streaming op owns the connection until its
                         // last strip frame: it cannot go through the
@@ -460,13 +471,18 @@ impl ConnCtx {
         }
     }
 
-    /// Writes a reply frame, counting its bytes; returns false when the
-    /// connection is gone.
+    /// Writes a reply frame, counting its bytes and timing the write;
+    /// returns false when the connection is gone.
     fn write_reply(&self, stream: &mut TcpStream, reply: &[u8]) -> bool {
+        self.counters.add(Ctr::BytesOut, 4 + reply.len() as u64);
+        let start = deepn_trace::tick();
+        let ok = protocol::write_frame(stream, reply).is_ok();
+        let end = deepn_trace::tick();
         self.counters
-            .bytes_out
-            .fetch_add(4 + reply.len() as u64, Ordering::Relaxed);
-        protocol::write_frame(stream, reply).is_ok()
+            .reply_write_seconds
+            .record_ns(end.saturating_sub(start));
+        deepn_trace::record_span("serve.reply_write", start, end);
+        ok
     }
 
     /// Handles one `CompressStream` request after its begin frame: reads
@@ -498,9 +514,7 @@ impl ConnCtx {
                 }
                 if let Some((budget, end)) = &deadline {
                     if Instant::now() >= *end {
-                        self.counters
-                            .requests_timed_out
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.counters.inc(Ctr::RequestsTimedOut);
                         return Err(ServeError::Timeout(format!(
                             "stream exceeded its {budget:?} budget"
                         )));
@@ -523,9 +537,7 @@ impl ConnCtx {
                     Err(e) => return Err(e),
                 }
             };
-            self.counters
-                .bytes_in
-                .fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+            self.counters.add(Ctr::BytesIn, 4 + frame.len() as u64);
             strip
                 .set_rows(width, session.strip_rows(s), &frame)
                 .map_err(|e| ServeError::Protocol(e.to_string()))?;
@@ -539,7 +551,7 @@ impl ConnCtx {
                 .finish()
                 .map_err(|e| ServeError::Remote(format!("encode failed: {e}")))?,
         );
-        self.counters.images_encoded.fetch_add(1, Ordering::Relaxed);
+        self.counters.inc(Ctr::ImagesEncoded);
         let mut w = ByteWriter::new();
         protocol::put_blob(&mut w, &jfif);
         Ok(w.into_bytes())
@@ -585,9 +597,7 @@ impl ConnCtx {
                 }
                 if let Some((budget, end)) = &deadline {
                     if Instant::now() >= *end {
-                        self.counters
-                            .requests_timed_out
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.counters.inc(Ctr::RequestsTimedOut);
                         return Err(ServeError::Timeout(format!(
                             "stream exceeded its {budget:?} budget"
                         )));
@@ -606,7 +616,7 @@ impl ConnCtx {
                     return Err(ServeError::Io(io::ErrorKind::BrokenPipe.into()));
                 }
             }
-            self.counters.images_decoded.fetch_add(1, Ordering::Relaxed);
+            self.counters.inc(Ctr::ImagesDecoded);
             Ok(())
         };
         match run() {
@@ -619,90 +629,6 @@ impl ConnCtx {
                 self.write_reply(stream, &error_reply(e))
             }
         }
-    }
-
-    /// Renders the service counters as Prometheus text-format metrics.
-    fn metrics_text(&self) -> String {
-        let mut out = String::new();
-        let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
-            ));
-        };
-        let c = &self.counters;
-        metric(
-            "deepn_serve_requests_total",
-            "counter",
-            "Requests handled, all opcodes.",
-            c.requests.load(Ordering::Relaxed),
-        );
-        metric(
-            "deepn_serve_images_encoded_total",
-            "counter",
-            "Images compressed (batch and streamed).",
-            c.images_encoded.load(Ordering::Relaxed),
-        );
-        metric(
-            "deepn_serve_images_decoded_total",
-            "counter",
-            "Compressed streams decoded.",
-            c.images_decoded.load(Ordering::Relaxed),
-        );
-        metric(
-            "deepn_serve_images_classified_total",
-            "counter",
-            "Images classified.",
-            c.images_classified.load(Ordering::Relaxed),
-        );
-        metric(
-            "deepn_serve_connections_rejected_total",
-            "counter",
-            "Connections rejected with a typed busy frame.",
-            c.connections_rejected.load(Ordering::Relaxed),
-        );
-        metric(
-            "deepn_serve_requests_timed_out_total",
-            "counter",
-            "Requests rejected with a typed timeout frame.",
-            c.requests_timed_out.load(Ordering::Relaxed),
-        );
-        metric(
-            "deepn_serve_bytes_in_total",
-            "counter",
-            "Request-frame bytes received.",
-            c.bytes_in.load(Ordering::Relaxed),
-        );
-        metric(
-            "deepn_serve_bytes_out_total",
-            "counter",
-            "Reply-frame bytes sent.",
-            c.bytes_out.load(Ordering::Relaxed),
-        );
-        metric(
-            "deepn_serve_active_connections",
-            "gauge",
-            "Connections currently being served.",
-            self.active.load(Ordering::SeqCst) as u64,
-        );
-        metric(
-            "deepn_serve_workers",
-            "gauge",
-            "Configured worker count.",
-            self.config.workers as u64,
-        );
-        metric(
-            "deepn_serve_queue_depth",
-            "gauge",
-            "Configured job-queue bound.",
-            self.config.queue_depth as u64,
-        );
-        metric(
-            "deepn_serve_max_connections",
-            "gauge",
-            "Configured connection limit.",
-            self.config.max_connections as u64,
-        );
-        out
     }
 
     /// Handles one request, returning `(reply_body, shutdown)`.
@@ -735,7 +661,8 @@ impl ConnCtx {
             )),
             Opcode::Metrics => {
                 let mut w = ByteWriter::new();
-                w.put_string(&self.metrics_text());
+                let active = self.active.load(Ordering::SeqCst) as u64;
+                w.put_string(&self.counters.render(active));
                 Ok((w.into_bytes(), false))
             }
             Opcode::EncodeBatch => {
@@ -745,9 +672,7 @@ impl ConnCtx {
                     reqs.push(JobRequest::Encode(protocol::get_image(&mut r)?));
                 }
                 let results = self.fan_out(reqs)?;
-                self.counters
-                    .images_encoded
-                    .fetch_add(count as u64, Ordering::Relaxed);
+                self.counters.add(Ctr::ImagesEncoded, count as u64);
                 let mut w = ByteWriter::new();
                 w.put_len(results.len());
                 for res in results {
@@ -769,9 +694,7 @@ impl ConnCtx {
                     reqs.push(JobRequest::Decode(protocol::get_blob(&mut r)?));
                 }
                 let results = self.fan_out(reqs)?;
-                self.counters
-                    .images_decoded
-                    .fetch_add(count as u64, Ordering::Relaxed);
+                self.counters.add(Ctr::ImagesDecoded, count as u64);
                 let mut w = ByteWriter::new();
                 w.put_len(results.len());
                 for res in results {
@@ -798,9 +721,7 @@ impl ConnCtx {
                     reqs.push(JobRequest::Classify(protocol::get_image(&mut r)?));
                 }
                 let results = self.fan_out(reqs)?;
-                self.counters
-                    .images_classified
-                    .fetch_add(count as u64, Ordering::Relaxed);
+                self.counters.add(Ctr::ImagesClassified, count as u64);
                 let mut w = ByteWriter::new();
                 w.put_len(results.len());
                 for res in results {
@@ -817,14 +738,11 @@ impl ConnCtx {
             }
             Opcode::Stats => {
                 let mut w = ByteWriter::new();
-                w.put_u64(self.counters.requests.load(Ordering::Relaxed));
-                w.put_u64(self.counters.images_encoded.load(Ordering::Relaxed));
-                w.put_u64(self.counters.images_decoded.load(Ordering::Relaxed));
-                w.put_u64(self.counters.images_classified.load(Ordering::Relaxed));
-                w.put_u64(self.counters.connections_rejected.load(Ordering::Relaxed));
-                w.put_u64(self.counters.requests_timed_out.load(Ordering::Relaxed));
-                w.put_u64(self.counters.bytes_in.load(Ordering::Relaxed));
-                w.put_u64(self.counters.bytes_out.load(Ordering::Relaxed));
+                // The counter array's declaration order IS the wire order
+                // (docs/PROTOCOL.md) — one source of truth for both.
+                for v in self.counters.wire_counters() {
+                    w.put_u64(v);
+                }
                 w.put_u32(self.active.load(Ordering::SeqCst) as u32);
                 w.put_u32(self.config.workers as u32);
                 w.put_u32(self.config.queue_depth as u32);
@@ -854,9 +772,7 @@ impl ConnCtx {
             // Giving up cancels the request's still-queued jobs, so a
             // retrying client does not pile dead work onto the queue.
             cancelled.store(true, Ordering::SeqCst);
-            self.counters
-                .requests_timed_out
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.inc(Ctr::RequestsTimedOut);
             ServeError::Timeout(format!("request exceeded its {budget:?} budget"))
         };
         if let Some(d) = &deadline {
@@ -872,6 +788,7 @@ impl ConnCtx {
                 req,
                 reply: tx.clone(),
                 cancelled: Arc::clone(&cancelled),
+                submitted_ns: deepn_trace::tick(),
             };
             // Submission must honor the deadline too: a full queue under
             // overload would otherwise block `send` past the budget —
@@ -893,6 +810,9 @@ impl ConnCtx {
                             }
                             job = back;
                             thread::sleep(Duration::from_millis(1));
+                            // Queue wait measures queued time, not the
+                            // submitter's backoff: restamp on each retry.
+                            job.submitted_ns = deepn_trace::tick();
                         }
                     }
                 },
@@ -933,6 +853,53 @@ impl ConnCtx {
     }
 }
 
+/// The span name for a request frame's opcode byte — static strings so
+/// recording a span never allocates.
+fn opcode_span_name(op: Option<u8>) -> &'static str {
+    match op.and_then(Opcode::from_u8) {
+        Some(Opcode::Ping) => "serve.request.ping",
+        Some(Opcode::EncodeBatch) => "serve.request.encode_batch",
+        Some(Opcode::DecodeBatch) => "serve.request.decode_batch",
+        Some(Opcode::Classify) => "serve.request.classify",
+        Some(Opcode::Stats) => "serve.request.stats",
+        Some(Opcode::Shutdown) => "serve.request.shutdown",
+        Some(Opcode::CompressStream) => "serve.request.compress_stream",
+        Some(Opcode::Metrics) => "serve.request.metrics",
+        Some(Opcode::DecompressStream) => "serve.request.decompress_stream",
+        None => "serve.request.unknown",
+    }
+}
+
+/// Observes one whole request on scope exit — read-to-reply wall time into
+/// the request histogram, a per-opcode span, and the slow-request log —
+/// so every exit path of the serve loop's three handling branches is
+/// covered by construction.
+struct RequestTimer<'a> {
+    metrics: &'a ServeMetrics,
+    slow: Option<Duration>,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for RequestTimer<'_> {
+    fn drop(&mut self) {
+        let end_ns = deepn_trace::tick();
+        let dur_ns = end_ns.saturating_sub(self.start_ns);
+        self.metrics.request_seconds.record_ns(dur_ns);
+        deepn_trace::record_span(self.name, self.start_ns, end_ns);
+        if let Some(t) = self.slow {
+            if dur_ns >= t.as_nanos() as u64 {
+                eprintln!(
+                    "slow request: {} took {:.3}ms (threshold {:.3}ms)",
+                    self.name,
+                    dur_ns as f64 / 1e6,
+                    t.as_nanos() as f64 / 1e6,
+                );
+            }
+        }
+    }
+}
+
 /// Renders an error as a typed reply body. Admission failures travel as
 /// their own status bytes so clients can distinguish "back off" from
 /// "request broken".
@@ -959,7 +926,12 @@ fn image_to_tensor(img: &RgbImage) -> Tensor {
     Tensor::from_vec(chw, &[1, 3, img.height(), img.width()])
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, tables: &QuantTablePair, model: Option<Arc<Sequential>>) {
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    tables: &QuantTablePair,
+    model: Option<Arc<Sequential>>,
+    metrics: &ServeMetrics,
+) {
     let encoder = Encoder::with_tables(tables.clone());
     let decoder = Decoder::new();
     // Per-worker codec workspaces, reused across every job this worker
@@ -974,6 +946,11 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, tables: &QuantTablePair, model: Option
             Err(_) => return,
         };
         let Ok(job) = job else { return };
+        let dequeued_ns = deepn_trace::tick();
+        metrics
+            .queue_wait_seconds
+            .record_ns(dequeued_ns.saturating_sub(job.submitted_ns));
+        deepn_trace::record_span("serve.queue_wait", job.submitted_ns, dequeued_ns);
         if job.cancelled.load(Ordering::SeqCst) {
             // The request already timed out; nobody collects this result.
             continue;
@@ -1006,6 +983,11 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, tables: &QuantTablePair, model: Option
                 .unwrap_or_else(|| "worker panicked".into());
             Err(format!("request rejected: {msg}"))
         });
+        let done_ns = deepn_trace::tick();
+        metrics
+            .execute_seconds
+            .record_ns(done_ns.saturating_sub(dequeued_ns));
+        deepn_trace::record_span("serve.execute", dequeued_ns, done_ns);
         // A dropped receiver means the connection died; nothing to do.
         let _ = job.reply.send((job.index, result));
     }

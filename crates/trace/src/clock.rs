@@ -1,0 +1,37 @@
+//! The clock seam: the **only** file in the workspace's byte-identity
+//! scope that reads the monotonic clock.
+//!
+//! Every instrumented crate times work through [`now_ns`] (usually via
+//! [`crate::tick`]), so the `deepn-lint` determinism rule can ban
+//! `Instant::now` everywhere else and allowlist exactly this file.
+//! Readings are nanoseconds since the first call in the process — a
+//! process-private epoch, so values are compact and order-comparable but
+//! carry no wall-clock meaning.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds elapsed since this function was first called in the
+/// process. Monotonic and thread-safe; the first caller pins the epoch.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    // A u64 of nanoseconds holds ~584 years of uptime; the cast is safe
+    // for any real process lifetime.
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_never_go_backwards() {
+        let mut prev = now_ns();
+        for _ in 0..1000 {
+            let now = now_ns();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Exporters: Chrome trace-event JSON for span snapshots, plus a small
+//! JSON well-formedness checker so smoke tests don't need a JSON crate.
+//!
+//! The trace format is the Chrome/Perfetto "JSON Array Format" with
+//! complete (`"ph":"X"`) events: `ts` and `dur` are microseconds as
+//! floats, `pid` is a constant 1 (one process), `tid` is the recording
+//! thread's ordinal. Load the file at `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+
+use crate::span::SpanEvent;
+
+/// Escapes a string for a JSON string literal (quotes, backslashes,
+/// control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds as microseconds with sub-µs precision preserved
+/// (`1234` ns → `1.234`).
+fn micros(ns: u64) -> String {
+    let mut s = format!("{}.{:03}", ns / 1_000, ns % 1_000);
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
+/// Renders span events as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"deepn\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            escape_json(ev.name),
+            micros(ev.start_ns),
+            micros(ev.dur_ns),
+            ev.tid
+        ));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+/// Checks that `src` is one well-formed JSON value (objects, arrays,
+/// strings, numbers, booleans, null) with nothing trailing. Returns a
+/// positioned message on the first error. Depth is capped to keep the
+/// recursive-descent parser safe on adversarial input.
+pub fn validate_json(src: &str) -> Result<(), String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true"),
+        Some(b'f') => parse_literal(bytes, pos, "false"),
+        Some(b'n') => parse_literal(bytes, pos, "null"),
+        Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(format!("unexpected byte '{}' at {}", c as char, *pos)),
+        None => Err(format!("unexpected end of input at byte {}", *pos)),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(c) if c.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", *pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control character in string at byte {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    let mut digits = 0;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("expected digits at byte {start}"));
+    }
+    if digits > 1 && bytes[int_start] == b'0' {
+        return Err(format!("leading zero in number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("expected fraction digits at byte {}", *pos));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("expected exponent digits at byte {}", *pos));
+        }
+    }
+    Ok(())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, start_ns: u64, dur_ns: u64, tid: u32) -> SpanEvent {
+        SpanEvent {
+            name,
+            start_ns,
+            dur_ns,
+            tid,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_fields() {
+        let events = [
+            ev("serve.request", 1_500, 2_250, 0),
+            ev("codec.dct", 2_000, 100, 3),
+        ];
+        let json = chrome_trace_json(&events);
+        validate_json(&json).expect("exporter output is well-formed JSON");
+        assert!(json.contains("\"name\":\"serve.request\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.5"), "ns converted to µs: {json}");
+        assert!(json.contains("\"dur\":2.25"));
+        assert!(json.contains("\"tid\":3"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_exports_a_valid_document() {
+        let json = chrome_trace_json(&[]);
+        validate_json(&json).expect("empty trace is valid");
+        assert!(json.contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn validator_accepts_json_shapes() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "\"a\\u00e9\\n\"",
+            "{\"a\":[1,2,{\"b\":false}]}",
+            " { \"x\" : [ ] } ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok:?} should parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{} extra",
+            "{'a':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn validator_caps_nesting_depth() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(validate_json(&deep).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+#![deny(missing_docs)]
+//! deepn-trace: the observability substrate, built from scratch (the
+//! offline build has no `tracing`/`metrics` crates, the same way
+//! `deepn-parallel` replaced rayon).
+//!
+//! Three pieces:
+//!
+//! * an instrument [`Registry`] of named monotonic [`Counter`]s,
+//!   [`Gauge`]s, and log-bucketed latency [`Histogram`]s (per-thread
+//!   shards merged on scrape), rendered in the Prometheus text format —
+//!   one [`global`] registry for process-wide instruments plus
+//!   instantiable registries for per-server ones;
+//! * lightweight **spans**: [`span()`] / [`span!`] RAII guards recording
+//!   `(name, start, duration)` events into bounded per-thread ring
+//!   buffers, exported as Chrome trace-event JSON by [`export`]
+//!   (loadable in `chrome://tracing` / Perfetto);
+//! * a small Prometheus text [`prom`] parser/validator/pretty-printer so
+//!   CI can check scrapes and the CLI can render histograms humanely.
+//!
+//! **Determinism contract.** The monotonic clock lives in exactly one
+//! file, [`clock`] — the byte-identity crates (`codec`, `parallel`, ...)
+//! call [`tick`] instead of `Instant::now`, and the `deepn-lint`
+//! determinism rule's allowlist covers only that seam. Timing feeds
+//! instruments, never results: output bytes are identical with tracing
+//! enabled or disabled, which `tests/proptest_trace.rs` enforces.
+//!
+//! **Disabled cost.** Span recording is gated on one relaxed atomic
+//! ([`enabled`]); a disabled [`SpanGuard`] never reads the clock and
+//! never allocates. Counters and histograms are always live (plain
+//! atomics — they are the service's metrics, not a debug mode).
+
+pub mod clock;
+pub mod export;
+pub mod prom;
+mod registry;
+mod span;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Reading, Registry, BUCKET_BOUNDS_NS,
+};
+pub use span::{
+    clear_spans, dropped_spans, record_span, set_enabled, snapshot_spans, span, SpanEvent,
+    SpanGuard,
+};
+
+use std::sync::OnceLock;
+
+/// Whether span recording is currently enabled (one relaxed atomic load).
+pub fn enabled() -> bool {
+    span::enabled()
+}
+
+/// Reads the current monotonic time in nanoseconds since the first call
+/// in this process. The single clock entry point every instrumented
+/// crate uses — see the module docs for the determinism contract.
+pub fn tick() -> u64 {
+    clock::now_ns()
+}
+
+/// Enables span recording when the `DEEPN_TRACE` environment variable is
+/// set to anything but `0` or the empty string. Never *disables*: an
+/// explicit [`set_enabled`]`(true)` survives an unset variable.
+pub fn enable_from_env() {
+    if let Ok(v) = std::env::var("DEEPN_TRACE") {
+        if !v.is_empty() && v != "0" {
+            set_enabled(true);
+        }
+    }
+}
+
+/// The process-global instrument registry, for instruments whose owner is
+/// the whole process (pool, codec stages). Components with per-instance
+/// scrape semantics (one server among several in a test process) own a
+/// [`Registry`] instead.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_monotonic() {
+        let a = tick();
+        let b = tick();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn global_registry_is_idempotent() {
+        let c1 = global().counter("deepn_test_lib_total", "test counter");
+        let c2 = global().counter("deepn_test_lib_total", "test counter");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3, "both handles hit the same instrument");
+    }
+}

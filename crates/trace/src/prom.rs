@@ -1,0 +1,391 @@
+//! A small Prometheus text-exposition parser, validator, and
+//! pretty-printer.
+//!
+//! Enough of the format to check our own scrapes in CI and to render
+//! `deepn metrics` humanely: `# HELP` / `# TYPE` metadata, bare and
+//! `{le="..."}`-labelled samples, and histogram families whose
+//! `_bucket` / `_sum` / `_count` series fold back into the base name.
+
+/// One sample line: full sample name, optional labels, numeric value.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The sample's full name, including any `_bucket`/`_sum`/`_count`
+    /// suffix.
+    pub name: String,
+    /// Label pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// One metric family: `# HELP`/`# TYPE` metadata plus its samples.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Base metric name.
+    pub name: String,
+    /// Help text from `# HELP`.
+    pub help: String,
+    /// Kind from `# TYPE` (`counter`, `gauge`, `histogram`, ...).
+    pub kind: String,
+    /// Samples belonging to this family, in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Family {
+    fn sample(&self, name: &str) -> Option<&Sample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// Histogram bucket samples (`le` bound in seconds, cumulative
+    /// count), in source order; `+Inf` maps to `f64::INFINITY`.
+    pub fn buckets(&self) -> Vec<(f64, f64)> {
+        let bucket_name = format!("{}_bucket", self.name);
+        self.samples
+            .iter()
+            .filter(|s| s.name == bucket_name)
+            .filter_map(|s| {
+                let le = s.labels.iter().find(|(k, _)| k == "le")?;
+                let bound = if le.1 == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.1.parse().ok()?
+                };
+                Some((bound, s.value))
+            })
+            .collect()
+    }
+}
+
+/// Parses a Prometheus text exposition into families. Strict about what
+/// we emit: every sample must belong to a family declared with `# HELP`
+/// and `# TYPE` above it, and a family may be declared only once.
+pub fn parse(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: malformed # HELP"))?;
+            if pending_help.is_some() {
+                return Err(format!("line {n}: # HELP without a following # TYPE"));
+            }
+            pending_help = Some((name.to_string(), help.to_string()));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: malformed # TYPE"))?;
+            let (help_name, help) = pending_help
+                .take()
+                .ok_or_else(|| format!("line {n}: # TYPE {name} without a # HELP"))?;
+            if help_name != name {
+                return Err(format!(
+                    "line {n}: # HELP names {help_name} but # TYPE names {name}"
+                ));
+            }
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("line {n}: family {name} declared twice"));
+            }
+            families.push(Family {
+                name: name.to_string(),
+                help,
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        let family = families
+            .iter_mut()
+            .rev()
+            .find(|f| owns_sample(&f.name, &f.kind, &sample.name))
+            .ok_or_else(|| format!("line {n}: sample {} has no declared family", sample.name))?;
+        family.samples.push(sample);
+    }
+    if pending_help.is_some() {
+        return Err("trailing # HELP without a # TYPE".to_string());
+    }
+    Ok(families)
+}
+
+fn owns_sample(family: &str, kind: &str, sample: &str) -> bool {
+    if sample == family {
+        return true;
+    }
+    if kind == "histogram" {
+        if let Some(base) = sample
+            .strip_suffix("_bucket")
+            .or_else(|| sample.strip_suffix("_sum"))
+            .or_else(|| sample.strip_suffix("_count"))
+        {
+            return base == family;
+        }
+    }
+    false
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, value_part) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            (
+                (&line[..open], &line[open + 1..close]),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| "missing value".to_string())?;
+            ((name, ""), value.trim())
+        }
+    };
+    let (name, labels_src) = name_part;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    if !labels_src.is_empty() {
+        for pair in labels_src.split(',') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad label pair {pair:?}"))?;
+            let v = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted label value in {pair:?}"))?;
+            labels.push((k.trim().to_string(), v.to_string()));
+        }
+    }
+    let value: f64 = value_part
+        .parse()
+        .map_err(|_| format!("bad sample value {value_part:?}"))?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parses and then cross-checks a scrape: every family has samples;
+/// histogram families have cumulative non-decreasing buckets, a `+Inf`
+/// bucket equal to `_count`, and a `_sum`. Returns the families on
+/// success so callers can assert on contents.
+pub fn validate(text: &str) -> Result<Vec<Family>, String> {
+    let families = parse(text)?;
+    for f in &families {
+        if f.samples.is_empty() {
+            return Err(format!("family {} has no samples", f.name));
+        }
+        if f.kind == "histogram" {
+            let buckets = f.buckets();
+            if buckets.is_empty() {
+                return Err(format!("histogram {} has no buckets", f.name));
+            }
+            for w in buckets.windows(2) {
+                if w[0].0 >= w[1].0 {
+                    return Err(format!("histogram {}: le bounds not increasing", f.name));
+                }
+                if w[0].1 > w[1].1 {
+                    return Err(format!(
+                        "histogram {}: cumulative bucket counts decrease",
+                        f.name
+                    ));
+                }
+            }
+            let inf = buckets
+                .last()
+                .filter(|(le, _)| le.is_infinite())
+                .ok_or_else(|| format!("histogram {}: missing +Inf bucket", f.name))?;
+            let count = f
+                .sample(&format!("{}_count", f.name))
+                .ok_or_else(|| format!("histogram {}: missing _count", f.name))?;
+            if inf.1 != count.value {
+                return Err(format!(
+                    "histogram {}: +Inf bucket {} != _count {}",
+                    f.name, inf.1, count.value
+                ));
+            }
+            f.sample(&format!("{}_sum", f.name))
+                .ok_or_else(|| format!("histogram {}: missing _sum", f.name))?;
+        }
+    }
+    Ok(families)
+}
+
+/// Interpolated `q`-quantile in seconds from cumulative `(le, count)`
+/// buckets (bucket resolution; the `+Inf` bucket reports its lower
+/// bound, the truth being unknowable from a scrape).
+pub fn bucket_quantile(buckets: &[(f64, f64)], q: f64) -> f64 {
+    let total = match buckets.last() {
+        Some(&(_, c)) if c > 0.0 => c,
+        _ => return 0.0,
+    };
+    let target = (q * total).ceil().max(1.0);
+    let mut prev_bound = 0.0;
+    let mut prev_cum = 0.0;
+    for &(bound, cum) in buckets {
+        if cum >= target {
+            if bound.is_infinite() {
+                return prev_bound;
+            }
+            let in_bucket = cum - prev_cum;
+            let frac = if in_bucket > 0.0 {
+                (target - prev_cum) / in_bucket
+            } else {
+                1.0
+            };
+            return prev_bound + frac * (bound - prev_bound);
+        }
+        prev_bound = bound;
+        prev_cum = cum;
+    }
+    prev_bound
+}
+
+/// Formats seconds as a human duration (`0.0000015` → `1.50µs`).
+pub fn human_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2}µs", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+/// Renders a scrape for humans: counters and gauges one per line,
+/// histograms as `count / mean / p50 / p90 / p99` summaries.
+pub fn pretty(text: &str) -> Result<String, String> {
+    let families = validate(text)?;
+    let mut out = String::new();
+    for f in &families {
+        match f.kind.as_str() {
+            "histogram" => {
+                let buckets = f.buckets();
+                let count = f
+                    .sample(&format!("{}_count", f.name))
+                    .map(|s| s.value)
+                    .unwrap_or(0.0);
+                let sum = f
+                    .sample(&format!("{}_sum", f.name))
+                    .map(|s| s.value)
+                    .unwrap_or(0.0);
+                let mean = if count > 0.0 { sum / count } else { 0.0 };
+                out.push_str(&format!(
+                    "{:<44} count={:<8} mean={:<10} p50={:<10} p90={:<10} p99={}\n",
+                    f.name,
+                    count,
+                    human_seconds(mean),
+                    human_seconds(bucket_quantile(&buckets, 0.5)),
+                    human_seconds(bucket_quantile(&buckets, 0.9)),
+                    human_seconds(bucket_quantile(&buckets, 0.99)),
+                ));
+            }
+            _ => {
+                for s in &f.samples {
+                    out.push_str(&format!("{:<44} {}\n", s.name, s.value));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn scrape() -> String {
+        let r = Registry::new();
+        let c = r.counter("deepn_test_requests_total", "requests");
+        c.add(7);
+        let g = r.gauge("deepn_test_depth", "queue depth");
+        g.set(3);
+        let h = r.histogram("deepn_test_latency_seconds", "latency");
+        for v in [500u64, 1_500, 80_000, 2_000_000, 3_000_000_000] {
+            h.record_ns(v);
+        }
+        r.render()
+    }
+
+    #[test]
+    fn our_renderer_round_trips_through_the_validator() {
+        let text = scrape();
+        let families = validate(&text).expect("own scrape validates");
+        assert_eq!(families.len(), 3);
+        let h = families
+            .iter()
+            .find(|f| f.kind == "histogram")
+            .expect("histogram family");
+        assert_eq!(h.name, "deepn_test_latency_seconds");
+        assert_eq!(h.buckets().len(), crate::BUCKET_BOUNDS_NS.len() + 1);
+    }
+
+    #[test]
+    fn validator_rejects_decreasing_buckets() {
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        let err = validate(bad).expect_err("decreasing buckets rejected");
+        assert!(err.contains("decrease"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_inf_count_mismatch() {
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n";
+        let err = validate(bad).expect_err("+Inf != _count rejected");
+        assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_undeclared_samples() {
+        let bad = "# HELP a x\n# TYPE a counter\na 1\nb 2\n";
+        assert!(validate(bad).is_err());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 10 observations all in (0.1, 0.2].
+        let buckets = vec![(0.1, 0.0), (0.2, 10.0), (f64::INFINITY, 10.0)];
+        let p50 = bucket_quantile(&buckets, 0.5);
+        assert!(p50 > 0.1 && p50 <= 0.2, "{p50}");
+        assert_eq!(bucket_quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn pretty_summarizes_histograms() {
+        let out = pretty(&scrape()).expect("pretty-print own scrape");
+        assert!(out.contains("deepn_test_requests_total"));
+        assert!(out.contains("count=5"));
+        assert!(out.contains("p99="), "{out}");
+    }
+
+    #[test]
+    fn human_seconds_picks_sane_units() {
+        assert_eq!(human_seconds(2.5), "2.50s");
+        assert_eq!(human_seconds(0.0025), "2.50ms");
+        assert_eq!(human_seconds(0.0000025), "2.50µs");
+        assert_eq!(human_seconds(0.000000005), "5ns");
+    }
+}

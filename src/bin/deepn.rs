@@ -53,6 +53,7 @@ COMMANDS:
     serve         Run the compression service on stored tables
                   --tables PATH --addr HOST:PORT [--workers N] [--queue N]
                   [--max-conns N] [--timeout-ms N (0 = no deadline)]
+                  [--slow-ms N (log requests at/over N ms; 0 = off)]
                   [--model PATH]
     bench-client  Drive a running service and verify byte-identical
                   round-trips against the local codec. --pipeline W adds a
@@ -62,15 +63,25 @@ COMMANDS:
                   --addr HOST:PORT --tables PATH [--scale fast|full]
                   [--batch N] [--iters N] [--model PATH] [--pipeline W]
                   [--shutdown]
-    metrics       Print a running service's Prometheus-style metrics
-                  --addr HOST:PORT
-    pipeline      Rerun the figure experiment through the decoded-set cache
-                  --cache-dir DIR [--scale fast|full]
+    metrics       Print a running service's Prometheus-style metrics.
+                  --pretty summarizes histograms (count/mean/p50/p90/p99);
+                  --check validates the exposition and exits nonzero on a
+                  malformed scrape
+                  --addr HOST:PORT [--pretty] [--check]
+    pipeline      Rerun the figure experiment through the decoded-set cache.
+                  --profile times each codec stage (output bytes are
+                  identical either way) and prints the stage table
+                  --cache-dir DIR [--scale fast|full] [--profile]
+    trace-export  Run a pipelined mixed workload against an in-process
+                  service with tracing and stage profiling on, and write
+                  the recorded spans as Chrome trace-event JSON
+                  (Perfetto-loadable)
+                  --out PATH [--requests N] [--window W]
     inspect       Print an artifact's header
                   PATH
     lint          Run the workspace invariant analyzer (safety-ledger,
-                  determinism, panic-policy, protocol-sync, docs-gate);
-                  exits nonzero on any finding
+                  determinism, panic-policy, protocol-sync, docs-gate,
+                  metrics-sync); exits nonzero on any finding
                   [--root DIR (default .)] [--json]
     help          Show this message
 ";
@@ -161,6 +172,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(args),
         "bench-client" => cmd_bench_client(args),
         "pipeline" => cmd_pipeline(args),
+        "trace-export" => cmd_trace_export(args),
         "inspect" => cmd_inspect(args),
         "lint" => cmd_lint(args),
         "help" | "--help" | "-h" => {
@@ -454,9 +466,22 @@ fn cmd_gen_ppm(mut args: Args) -> Result<(), Box<dyn Error>> {
 
 fn cmd_metrics(mut args: Args) -> Result<(), Box<dyn Error>> {
     let addr = args.required("--addr")?;
+    let pretty = args.flag("--pretty");
+    let check = args.flag("--check");
     args.finish()?;
     let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(10))?;
-    print!("{}", client.metrics()?);
+    let text = client.metrics()?;
+    if check {
+        let families =
+            deepn::trace::prom::validate(&text).map_err(|e| format!("bad scrape: {e}"))?;
+        println!("scrape OK: {} metric families validate", families.len());
+        return Ok(());
+    }
+    if pretty {
+        print!("{}", deepn::trace::prom::pretty(&text)?);
+    } else {
+        print!("{text}");
+    }
     Ok(())
 }
 
@@ -470,6 +495,8 @@ fn cmd_serve(mut args: Args) -> Result<(), Box<dyn Error>> {
     let default_timeout_ms = config.request_timeout.map_or(0, |t| t.as_millis() as u64);
     let timeout_ms = args.parsed("--timeout-ms", default_timeout_ms)?;
     config.request_timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+    let slow_ms = args.parsed("--slow-ms", 0u64)?;
+    config.slow_threshold = (slow_ms > 0).then(|| Duration::from_millis(slow_ms));
     let model_path = args.value("--model")?;
     args.finish()?;
 
@@ -672,7 +699,13 @@ fn cmd_pipeline(mut args: Args) -> Result<(), Box<dyn Error>> {
     let cache_dir = args.required("--cache-dir")?;
     let scale = args.scale()?;
     let seed = args.parsed("--seed", 0xDEE9u64)?;
+    let profile = args.flag("--profile");
     args.finish()?;
+    if profile {
+        // Must be on before the first codec session is created: sessions
+        // capture the profiling decision at creation.
+        deepn::codec::profile::enable();
+    }
 
     let t0 = Instant::now();
     let set = dataset_for(scale, seed);
@@ -737,6 +770,131 @@ fn cmd_pipeline(mut args: Args) -> Result<(), Box<dyn Error>> {
         t0.elapsed()
     );
     println!("rerun the same command to reuse the cached decoded sets and models");
+    if profile {
+        print_profile_report();
+    }
+    Ok(())
+}
+
+/// Prints the per-stage codec timing table and the pool instruments from
+/// the process-global registry — the sink every `--profile` run and
+/// traced pool feeds.
+fn print_profile_report() {
+    use deepn::trace::{prom::human_seconds, Reading};
+    let g = deepn::trace::global();
+    println!(
+        "\ncodec stage profile (per strip):\n{:<16} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "strips", "mean", "p50", "p90", "p99"
+    );
+    for stage in deepn::codec::profile::Stage::ALL {
+        let Some(Reading::Histogram(snap)) = g.reading(stage.metric()) else {
+            continue;
+        };
+        if snap.count == 0 {
+            continue;
+        }
+        let s = |ns: f64| human_seconds(ns / 1e9);
+        println!(
+            "{:<16} {:>9} {:>10} {:>10} {:>10} {:>10}",
+            stage.name(),
+            snap.count,
+            s(snap.mean_ns()),
+            s(snap.quantile_ns(0.5)),
+            s(snap.quantile_ns(0.9)),
+            s(snap.quantile_ns(0.99)),
+        );
+    }
+    let counter = |name: &str| match g.reading(name) {
+        Some(Reading::Counter(v)) | Some(Reading::Gauge(v)) => v,
+        _ => 0,
+    };
+    println!(
+        "pool: {} steals, queue high-water {}, workers busy {}",
+        counter("deepn_parallel_steals_total"),
+        counter("deepn_parallel_queue_high_water"),
+        human_seconds(counter("deepn_parallel_worker_busy_ns_total") as f64 / 1e9),
+    );
+}
+
+/// Span names `trace-export` asserts before writing: the workload below
+/// exercises each of these paths, so their absence means the
+/// instrumentation regressed, not that the run was quiet.
+const EXPECTED_SPANS: &[&str] = &[
+    "serve.request.ping",
+    "serve.request.encode_batch",
+    "serve.request.decode_batch",
+    "serve.request.stats",
+    "serve.request.metrics",
+    "serve.queue_wait",
+    "serve.execute",
+    "serve.reply_write",
+];
+
+fn cmd_trace_export(mut args: Args) -> Result<(), Box<dyn Error>> {
+    let out = args.required("--out")?;
+    let requests = args.parsed("--requests", 32usize)?.max(1);
+    let window = args.parsed("--window", 8usize)?.max(1);
+    args.finish()?;
+
+    deepn::trace::set_enabled(true);
+    deepn::codec::profile::enable();
+
+    // An in-process service on standard tables: the workload needs spans,
+    // not designed quantization.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        QuantTablePair::standard(75),
+        None,
+        ServerConfig::default(),
+    )?;
+    let addr = server.local_addr()?;
+    let handle = server.spawn();
+    let mut client = Client::connect_retry(addr, Duration::from_secs(10))?;
+
+    // Mixed workload: pipelined single-image encodes (the window keeps
+    // queue-wait spans non-trivial), then batch decodes and the metadata
+    // ops, so every expected span name fires at least once.
+    let images = [
+        deepn::codec::RgbImage::gradient(64, 64),
+        deepn::codec::RgbImage::gradient(96, 48),
+    ];
+    client.ping()?;
+    let mut streams = Vec::with_capacity(requests);
+    {
+        let mut pipe = client.pipeline(window);
+        for i in 0..requests {
+            pipe.submit_encode_batch(std::slice::from_ref(&images[i % images.len()]))?;
+            while let Some(reply) = pipe.try_ready() {
+                streams.push(expect_encoded(reply?)?);
+            }
+        }
+        while pipe.pending() > 0 {
+            streams.push(expect_encoded(pipe.recv()?)?);
+        }
+    }
+    client.decode_batch(&streams)?;
+    let stats = client.stats()?;
+    deepn::trace::prom::validate(&client.metrics()?).map_err(|e| format!("bad scrape: {e}"))?;
+    client.shutdown()?;
+    handle.join();
+
+    let events = deepn::trace::snapshot_spans();
+    for name in EXPECTED_SPANS {
+        if !events.iter().any(|e| e.name == *name) {
+            return Err(format!("workload produced no `{name}` span").into());
+        }
+    }
+    let json = deepn::trace::export::chrome_trace_json(&events);
+    deepn::trace::export::validate_json(&json).map_err(|e| format!("bad trace JSON: {e}"))?;
+    std::fs::write(&out, &json)?;
+    println!(
+        "{out}: {} span events from {} requests ({} dropped), {} bytes; \
+         load it at https://ui.perfetto.dev",
+        events.len(),
+        stats.requests,
+        deepn::trace::dropped_spans(),
+        json.len()
+    );
     Ok(())
 }
 

@@ -18,8 +18,12 @@
 //! - [`serve`] — the long-running TCP compression service (worker pool +
 //!   bounded job queue, both wire directions streamed strip-by-strip) and
 //!   its persistent, pipelining client (see `docs/PROTOCOL.md`)
+//! - [`trace`] — from-scratch observability substrate: instrument
+//!   registry (counters/gauges/latency histograms), spans, Chrome-trace
+//!   export, and a Prometheus text parser (see `docs/OBSERVABILITY.md`)
 //! - [`lint`] — the workspace invariant analyzer behind `deepn lint`
-//!   (safety-ledger, determinism, panic-policy, protocol-sync, docs-gate)
+//!   (safety-ledger, determinism, panic-policy, protocol-sync,
+//!   metrics-sync, docs-gate)
 //! - [`bench`](mod@bench) — shared helpers for the figure-regeneration benches (see
 //!   `EXPERIMENTS.md` for how to rerun each paper figure)
 //!
@@ -63,3 +67,4 @@ pub use deepn_power as power;
 pub use deepn_serve as serve;
 pub use deepn_store as store;
 pub use deepn_tensor as tensor;
+pub use deepn_trace as trace;

@@ -18,9 +18,13 @@
 //! and the rejected count is reported alongside. There are no plots or
 //! baselines.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Every finished benchmark of this process, for [`write_json_results`].
+static RESULTS: Mutex<Vec<(String, SampleStats)>> = Mutex::new(Vec::new());
 
 /// How `iter_batched` amortizes setup cost. The subset treats every variant
 /// identically (one setup per measured iteration).
@@ -215,6 +219,9 @@ fn report(id: &str, samples: &[Duration]) {
         println!("{id:<40} (no samples)");
         return;
     };
+    if let Ok(mut results) = RESULTS.lock() {
+        results.push((id.to_string(), s));
+    }
     println!(
         "{id:<40} time: [{} {} {}] mean: {} ± {} (95% CI [{}, {}], {} samples, \
          {} outlier{} rejected)",
@@ -240,6 +247,70 @@ fn fmt_ns(ns: f64) -> String {
         format!("{:.2} ms", ns / 1_000_000.0)
     } else {
         format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Renders one benchmark's stats as a single-line JSON object.
+fn stats_json(s: &SampleStats) -> String {
+    format!(
+        "{{\"mean_ns\": {:.1}, \"std_dev_ns\": {:.1}, \"ci95_ns\": {:.1}, \
+         \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+         \"samples\": {}, \"retained\": {}}}",
+        s.mean,
+        s.std_dev,
+        s.ci95,
+        s.median,
+        s.min,
+        s.max,
+        s.len,
+        s.len - s.outliers,
+    )
+}
+
+/// Writes (or merges) this process's benchmark results into the JSON file
+/// named by the `DEEPN_BENCH_JSON` environment variable; a no-op when the
+/// variable is unset. [`criterion_main!`] calls this after the groups run,
+/// so `DEEPN_BENCH_JSON=BENCH.json cargo bench` accumulates every bench
+/// binary's results into one file.
+///
+/// The format is deliberately line-oriented — `{`, one
+/// `  "id": {stats},` line per benchmark (sorted), `}` — so merging is a
+/// line-level read-modify-write and diffs stay reviewable; re-running a
+/// benchmark overwrites its row.
+pub fn write_json_results() {
+    let Ok(path) = std::env::var("DEEPN_BENCH_JSON") else {
+        return;
+    };
+    let mut rows: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let t = line.trim().trim_end_matches(',');
+            let Some(rest) = t.strip_prefix('"') else {
+                continue;
+            };
+            // Bench ids never contain quotes, so the first `": ` splits
+            // exactly at the id/stats boundary.
+            if let Some((id, stats)) = rest.split_once("\": ") {
+                rows.insert(id.to_string(), stats.to_string());
+            }
+        }
+    }
+    if let Ok(results) = RESULTS.lock() {
+        for (id, s) in results.iter() {
+            rows.insert(id.clone(), stats_json(s));
+        }
+    }
+    let mut out = String::from("{\n");
+    let last = rows.len().saturating_sub(1);
+    for (i, (id, stats)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{id}\": {stats}{}\n",
+            if i == last { "" } else { "," }
+        ));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
     }
 }
 
@@ -270,6 +341,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_results();
         }
     };
 }
@@ -310,6 +382,26 @@ mod tests {
         assert_eq!(s.outliers, 0);
 
         assert!(sample_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn stats_json_rows_round_trip_through_the_merge_parser() {
+        let samples: Vec<Duration> = [4u64, 2, 8, 6]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        let s = sample_stats(&samples).expect("non-empty");
+        let row = format!("  \"group/case\": {},", stats_json(&s));
+        // The same line-level parse write_json_results uses on an
+        // existing file must recover the id and the stats verbatim.
+        let t = row.trim().trim_end_matches(',');
+        let rest = t.strip_prefix('"').expect("row starts with a quoted id");
+        let (id, stats) = rest.split_once("\": ").expect("id/stats boundary");
+        assert_eq!(id, "group/case");
+        assert_eq!(stats, stats_json(&s));
+        assert!(stats.contains("\"mean_ns\": 5.0"));
+        assert!(stats.contains("\"samples\": 4"));
+        assert!(stats.contains("\"retained\": 4"));
     }
 
     #[test]
