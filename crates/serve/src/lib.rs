@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 
 mod client;
+pub mod loadgen;
 mod metrics;
 pub mod protocol;
 mod server;

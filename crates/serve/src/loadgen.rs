@@ -1,0 +1,896 @@
+//! The load/soak harness behind `deepn loadgen`: N concurrent clients
+//! driving a live server with mixed serial/pipelined traffic, a
+//! concurrent scraper thread polling the `Metrics` op into a
+//! [`MetricsSeries`], and a reconciliation pass that cross-checks
+//! client-side totals against server-side counter deltas.
+//!
+//! Library code (not CLI glue) so the scripted-server integration tests
+//! can drive a whole storm in-process. The report it produces is
+//! `BENCH_*.json`-compatible: client latency distributions land as
+//! bench-shaped entries (`mean_ns`/`median_ns`/... per entry), and the
+//! soak-specific accounting lands under `loadgen_summary` in the same
+//! document.
+//!
+//! Accounting contract (what "reconciles" means): busy rejections happen
+//! at connection admission and increment only
+//! `deepn_serve_connections_rejected_total`; every other client-visible
+//! outcome (ok, timeout, server-side error) corresponds to exactly one
+//! `deepn_serve_requests_total` increment. The scraper's own `Metrics`
+//! requests are counted by the server too, so the window's request delta
+//! must equal `ok + timeout + error + (scrapes − 1)` — the first scrape
+//! predates the window. Transport (`io`) errors make a request's fate
+//! unknowable client-side, so the reconciliation tolerance is exactly
+//! the transport-error count: anything beyond that is flagged.
+
+use crate::{Client, PipelineReply, ServeError};
+use deepn_codec::{EncodeWorkspace, Encoder, QuantTablePair, RgbImage};
+use deepn_trace::export::escape_json;
+use deepn_trace::log;
+use deepn_trace::prom::MetricsSeries;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How a loadgen run is shaped: how many clients, for how long, with
+/// which traffic mix and which anomaly thresholds.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target server address.
+    pub addr: SocketAddr,
+    /// Number of concurrent load clients.
+    pub clients: usize,
+    /// How long the load phase runs.
+    pub duration: Duration,
+    /// Pipelined-client window. `0` makes every client serial; otherwise
+    /// odd-indexed clients pipeline this many requests.
+    pub pipeline_window: usize,
+    /// When set, clients drop and re-establish their connection
+    /// periodically — the churn that exercises accept/admission paths.
+    pub churn: bool,
+    /// Side length of the synthetic square test images.
+    pub image_side: usize,
+    /// Images per batch request.
+    pub batch: usize,
+    /// Interval between metrics scrapes.
+    pub scrape_interval: Duration,
+    /// Anomaly threshold: flagged when hard errors (server-side failures
+    /// plus transport errors) exceed this fraction of attempts.
+    pub max_error_rate: f64,
+    /// Anomaly threshold: flagged when typed rejections (busy + timeout)
+    /// exceed this fraction of attempts. Storm tests raise it on
+    /// purpose; a clean soak should stay near zero.
+    pub max_reject_rate: f64,
+}
+
+impl LoadgenConfig {
+    /// A moderate default shape against `addr`: 4 clients, 10 s, window
+    /// of 4 on the pipelined half, no churn, 32×32 images in pairs, 1 s
+    /// scrapes, 1% error and 5% rejection budgets.
+    pub fn new(addr: SocketAddr) -> Self {
+        LoadgenConfig {
+            addr,
+            clients: 4,
+            duration: Duration::from_secs(10),
+            pipeline_window: 4,
+            churn: false,
+            image_side: 32,
+            batch: 2,
+            scrape_interval: Duration::from_secs(1),
+            max_error_rate: 0.01,
+            max_reject_rate: 0.05,
+        }
+    }
+}
+
+/// One client's (or the merged fleet's) outcome tally.
+#[derive(Debug, Default, Clone)]
+pub struct ClientTotals {
+    /// Requests that completed successfully.
+    pub ok: u64,
+    /// Typed busy rejections (connection admission).
+    pub busy: u64,
+    /// Typed deadline rejections.
+    pub timeout: u64,
+    /// Server-side failures delivered as typed error frames.
+    pub error: u64,
+    /// Transport/protocol failures — requests whose fate is unknowable.
+    pub io_error: u64,
+    /// Deliberate reconnects performed (churn).
+    pub reconnects: u64,
+    /// Serial clients' per-request wall latencies, nanoseconds.
+    pub latency_ns: Vec<u64>,
+}
+
+impl ClientTotals {
+    /// Requests attempted, however they ended.
+    pub fn attempts(&self) -> u64 {
+        self.ok + self.busy + self.timeout + self.error + self.io_error
+    }
+
+    fn absorb(&mut self, other: ClientTotals) {
+        self.ok += other.ok;
+        self.busy += other.busy;
+        self.timeout += other.timeout;
+        self.error += other.error;
+        self.io_error += other.io_error;
+        self.reconnects += other.reconnects;
+        self.latency_ns.extend(other.latency_ns);
+    }
+
+    fn tally(&mut self, outcome: Result<(), ServeError>, elapsed_ns: u64) {
+        match outcome {
+            Ok(()) => {
+                self.ok += 1;
+                self.latency_ns.push(elapsed_ns);
+            }
+            Err(e) => self.tally_err(&e),
+        }
+    }
+
+    fn tally_err(&mut self, e: &ServeError) {
+        match e {
+            ServeError::Busy(_) => self.busy += 1,
+            ServeError::Timeout(_) => self.timeout += 1,
+            ServeError::Remote(_) => self.error += 1,
+            _ => self.io_error += 1,
+        }
+    }
+}
+
+/// The server-side view of the run, distilled from the scrape series.
+#[derive(Debug, Default, Clone)]
+pub struct ServerWindow {
+    /// `deepn_serve_requests_total` growth across the window.
+    pub requests_delta: Option<f64>,
+    /// `deepn_serve_connections_rejected_total` growth.
+    pub rejected_delta: Option<f64>,
+    /// `deepn_serve_requests_timed_out_total` growth.
+    pub timed_out_delta: Option<f64>,
+    /// `deepn_serve_bytes_in_total` growth.
+    pub bytes_in_delta: Option<f64>,
+    /// `deepn_serve_bytes_out_total` growth.
+    pub bytes_out_delta: Option<f64>,
+    /// `(min, max)` of `deepn_serve_active_connections` across scrapes.
+    pub active_envelope: Option<(f64, f64)>,
+    /// Window mean of `deepn_serve_request_seconds`, seconds.
+    pub request_mean_s: Option<f64>,
+    /// Window p50 of `deepn_serve_request_seconds`, seconds.
+    pub request_p50_s: Option<f64>,
+    /// Window p90 of `deepn_serve_request_seconds`, seconds.
+    pub request_p90_s: Option<f64>,
+    /// Window p99 of `deepn_serve_request_seconds`, seconds.
+    pub request_p99_s: Option<f64>,
+    /// Per-interval request deltas — the stall detector's input.
+    pub interval_requests: Vec<f64>,
+}
+
+/// Everything a loadgen run produced: fleet totals, the server-side
+/// window summary, anomaly flags, and the JSON report writer.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The shape the run was configured with.
+    pub clients: usize,
+    /// Pipelined-client window (0 = all serial).
+    pub pipeline_window: usize,
+    /// Whether churn was enabled.
+    pub churn: bool,
+    /// Measured load-phase wall time, seconds.
+    pub duration_secs: f64,
+    /// Merged client-side outcome tally.
+    pub totals: ClientTotals,
+    /// Successful requests per second over the load phase.
+    pub rps: f64,
+    /// Load clients that died to a panic (always an anomaly).
+    pub worker_panics: u64,
+    /// Successful metrics scrapes (including the pre/post fences).
+    pub scrapes: usize,
+    /// Scrapes rejected busy.
+    pub scraper_busy: u64,
+    /// Scrapes that failed outright.
+    pub scrape_failures: u64,
+    /// Server-side counter deltas and window percentiles.
+    pub server: ServerWindow,
+    /// Human-readable anomaly flags; empty means the run was clean.
+    pub anomalies: Vec<String>,
+}
+
+impl LoadReport {
+    /// Whether the run violated any anomaly threshold — the CLI's exit
+    /// status.
+    pub fn is_clean(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+
+    /// Renders the report as a `BENCH_*.json`-compatible document: the
+    /// client latency distribution as a bench-shaped entry plus the
+    /// soak accounting under `loadgen_summary`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut sorted = self.totals.latency_ns.clone();
+        sorted.sort_unstable();
+        out.push_str("  \"loadgen/serial_request\": ");
+        out.push_str(&bench_entry(&sorted));
+        out.push_str(",\n  \"loadgen_summary\": {\n");
+        out.push_str(&format!("    \"clients\": {},\n", self.clients));
+        out.push_str(&format!(
+            "    \"pipeline_window\": {},\n",
+            self.pipeline_window
+        ));
+        out.push_str(&format!("    \"churn\": {},\n", self.churn));
+        out.push_str(&format!(
+            "    \"duration_secs\": {},\n",
+            json_f64(self.duration_secs)
+        ));
+        out.push_str(&format!("    \"requests_ok\": {},\n", self.totals.ok));
+        out.push_str(&format!("    \"requests_busy\": {},\n", self.totals.busy));
+        out.push_str(&format!(
+            "    \"requests_timeout\": {},\n",
+            self.totals.timeout
+        ));
+        out.push_str(&format!("    \"requests_error\": {},\n", self.totals.error));
+        out.push_str(&format!(
+            "    \"requests_io_error\": {},\n",
+            self.totals.io_error
+        ));
+        out.push_str(&format!(
+            "    \"reconnects\": {},\n",
+            self.totals.reconnects
+        ));
+        out.push_str(&format!("    \"worker_panics\": {},\n", self.worker_panics));
+        out.push_str(&format!("    \"rps\": {},\n", json_f64(self.rps)));
+        out.push_str(&format!("    \"scrapes\": {},\n", self.scrapes));
+        out.push_str(&format!("    \"scraper_busy\": {},\n", self.scraper_busy));
+        out.push_str(&format!(
+            "    \"scrape_failures\": {},\n",
+            self.scrape_failures
+        ));
+        out.push_str("    \"server\": {\n");
+        let s = &self.server;
+        out.push_str(&format!(
+            "      \"requests_delta\": {},\n",
+            json_opt(s.requests_delta)
+        ));
+        out.push_str(&format!(
+            "      \"rejected_delta\": {},\n",
+            json_opt(s.rejected_delta)
+        ));
+        out.push_str(&format!(
+            "      \"timed_out_delta\": {},\n",
+            json_opt(s.timed_out_delta)
+        ));
+        out.push_str(&format!(
+            "      \"bytes_in_delta\": {},\n",
+            json_opt(s.bytes_in_delta)
+        ));
+        out.push_str(&format!(
+            "      \"bytes_out_delta\": {},\n",
+            json_opt(s.bytes_out_delta)
+        ));
+        out.push_str(&format!(
+            "      \"active_connections_min\": {},\n",
+            json_opt(s.active_envelope.map(|(lo, _)| lo))
+        ));
+        out.push_str(&format!(
+            "      \"active_connections_max\": {},\n",
+            json_opt(s.active_envelope.map(|(_, hi)| hi))
+        ));
+        out.push_str(&format!(
+            "      \"request_mean_s\": {},\n",
+            json_opt(s.request_mean_s)
+        ));
+        out.push_str(&format!(
+            "      \"request_p50_s\": {},\n",
+            json_opt(s.request_p50_s)
+        ));
+        out.push_str(&format!(
+            "      \"request_p90_s\": {},\n",
+            json_opt(s.request_p90_s)
+        ));
+        out.push_str(&format!(
+            "      \"request_p99_s\": {},\n",
+            json_opt(s.request_p99_s)
+        ));
+        out.push_str("      \"interval_requests\": [");
+        for (i, d) in s.interval_requests.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_f64(*d));
+        }
+        out.push_str("]\n    },\n");
+        out.push_str("    \"anomalies\": [");
+        for (i, a) in self.anomalies.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(&escape_json(a));
+            out.push('"');
+        }
+        out.push_str("]\n  }\n}\n");
+        out
+    }
+}
+
+/// Renders one bench-shaped JSON entry from sorted latency samples.
+fn bench_entry(sorted_ns: &[u64]) -> String {
+    let n = sorted_ns.len();
+    if n == 0 {
+        return "{\"mean_ns\": 0.0, \"std_dev_ns\": 0.0, \"ci95_ns\": 0.0, \
+                \"median_ns\": 0.0, \"min_ns\": 0.0, \"max_ns\": 0.0, \
+                \"samples\": 0, \"retained\": 0}"
+            .to_string();
+    }
+    let mean = sorted_ns.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let var = sorted_ns
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    let std_dev = var.sqrt();
+    let ci95 = 1.96 * std_dev / (n as f64).sqrt();
+    let median = if n % 2 == 1 {
+        sorted_ns[n / 2] as f64
+    } else {
+        (sorted_ns[n / 2 - 1] as f64 + sorted_ns[n / 2] as f64) / 2.0
+    };
+    format!(
+        "{{\"mean_ns\": {}, \"std_dev_ns\": {}, \"ci95_ns\": {}, \
+         \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+         \"samples\": {n}, \"retained\": {n}}}",
+        json_f64(mean),
+        json_f64(std_dev),
+        json_f64(ci95),
+        json_f64(median),
+        json_f64(sorted_ns[0] as f64),
+        json_f64(sorted_ns[n - 1] as f64),
+    )
+}
+
+/// JSON number formatting: finite, with a decimal point so the value
+/// reads back as a float.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0.0".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+/// What the scraper thread brings home.
+struct ScrapeLog {
+    scrapes: Vec<(u64, String)>,
+    busy: u64,
+    failures: u64,
+}
+
+/// Runs a whole load/soak session against a live server: a fenced first
+/// scrape, `config.clients` concurrent load clients for
+/// `config.duration`, periodic scrapes throughout, a fenced final
+/// scrape, then reconciliation and anomaly analysis.
+///
+/// # Errors
+///
+/// Setup failures only — an unreachable server or an un-encodable test
+/// image. Load-phase failures are *data* (counted per category in the
+/// report), never errors.
+pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ServeError> {
+    let clients = config.clients.max(1);
+    let images: Vec<RgbImage> = (0..config.batch.max(1))
+        .map(|_| RgbImage::gradient(config.image_side.max(8), config.image_side.max(8)))
+        .collect();
+    // Encode the decode-op payloads locally so the warm-up never skews
+    // the server-side accounting window.
+    let encoder = Encoder::with_tables(QuantTablePair::standard(75));
+    let mut ws = EncodeWorkspace::new();
+    let mut blobs = Vec::with_capacity(images.len());
+    for img in &images {
+        blobs.push(
+            encoder
+                .encode_with(img, &mut ws)
+                .map_err(|e| ServeError::Remote(format!("test image encode failed: {e}")))?,
+        );
+    }
+
+    // The first scrape is a fence: it happens before any load request,
+    // so the series' first sample is the window's "before" state.
+    let mut scrape_client = Client::connect_retry(config.addr, Duration::from_secs(5))?;
+    let first_scrape = (deepn_trace::tick(), scrape_client.metrics()?);
+    log::info("loadgen_start")
+        .field("addr", config.addr)
+        .field("clients", clients)
+        .field("duration_secs", config.duration.as_secs_f64())
+        .field("pipeline_window", config.pipeline_window)
+        .field("churn", config.churn)
+        .emit();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let done = Arc::clone(&done);
+        let interval = config.scrape_interval.max(Duration::from_millis(50));
+        thread::spawn(move || scraper_loop(scrape_client, first_scrape, &done, interval))
+    };
+
+    let start_ns = deepn_trace::tick();
+    let deadline_ns = start_ns + config.duration.as_nanos() as u64;
+    let mut workers = Vec::with_capacity(clients);
+    for index in 0..clients {
+        let cfg = config.clone();
+        let images = images.clone();
+        let blobs = blobs.clone();
+        workers.push(thread::spawn(move || {
+            let pipelined = cfg.pipeline_window > 0 && index % 2 == 1;
+            if pipelined {
+                pipelined_worker(&cfg, &images, &blobs, deadline_ns)
+            } else {
+                serial_worker(&cfg, &images, &blobs, deadline_ns)
+            }
+        }));
+    }
+
+    let mut totals = ClientTotals::default();
+    let mut worker_panics = 0u64;
+    for w in workers {
+        match w.join() {
+            Ok(t) => totals.absorb(t),
+            Err(_) => worker_panics += 1,
+        }
+    }
+    let measured_secs = (deepn_trace::tick().saturating_sub(start_ns)) as f64 / 1e9;
+    // Workers are all done: the scraper takes its fenced final scrape
+    // and exits.
+    done.store(true, Ordering::SeqCst);
+    let scrape_log = match scraper.join() {
+        Ok(log) => log,
+        Err(_) => ScrapeLog {
+            scrapes: Vec::new(),
+            busy: 0,
+            failures: 1,
+        },
+    };
+
+    let mut series = MetricsSeries::new();
+    let mut scrape_failures = scrape_log.failures;
+    for (at, text) in &scrape_log.scrapes {
+        if series.push(*at, text).is_err() {
+            scrape_failures += 1;
+        }
+    }
+
+    let report = analyze(
+        config,
+        clients,
+        measured_secs,
+        totals,
+        worker_panics,
+        &series,
+        scrape_log.busy,
+        scrape_failures,
+    );
+    log::info("loadgen_done")
+        .field("ok", report.totals.ok)
+        .field("busy", report.totals.busy)
+        .field("timeout", report.totals.timeout)
+        .field("error", report.totals.error + report.totals.io_error)
+        .field("rps", format!("{:.1}", report.rps))
+        .field("anomalies", report.anomalies.len())
+        .emit();
+    Ok(report)
+}
+
+/// Builds the report: server window distillation, reconciliation, and
+/// anomaly flags.
+#[allow(clippy::too_many_arguments)]
+fn analyze(
+    config: &LoadgenConfig,
+    clients: usize,
+    duration_secs: f64,
+    totals: ClientTotals,
+    worker_panics: u64,
+    series: &MetricsSeries,
+    scraper_busy: u64,
+    scrape_failures: u64,
+) -> LoadReport {
+    let server = ServerWindow {
+        requests_delta: series.counter_delta("deepn_serve_requests_total"),
+        rejected_delta: series.counter_delta("deepn_serve_connections_rejected_total"),
+        timed_out_delta: series.counter_delta("deepn_serve_requests_timed_out_total"),
+        bytes_in_delta: series.counter_delta("deepn_serve_bytes_in_total"),
+        bytes_out_delta: series.counter_delta("deepn_serve_bytes_out_total"),
+        active_envelope: series.gauge_envelope("deepn_serve_active_connections"),
+        request_mean_s: series.histogram_delta_mean("deepn_serve_request_seconds"),
+        request_p50_s: series.histogram_delta_quantile("deepn_serve_request_seconds", 0.5),
+        request_p90_s: series.histogram_delta_quantile("deepn_serve_request_seconds", 0.9),
+        request_p99_s: series.histogram_delta_quantile("deepn_serve_request_seconds", 0.99),
+        interval_requests: series.counter_interval_deltas("deepn_serve_requests_total"),
+    };
+
+    let mut anomalies = Vec::new();
+    let attempts = totals.attempts();
+    if totals.ok == 0 {
+        anomalies.push("zero_throughput: no request completed successfully".to_string());
+    }
+    if worker_panics > 0 {
+        anomalies.push(format!(
+            "worker_panics: {worker_panics} load client(s) died"
+        ));
+    }
+    if attempts > 0 {
+        let hard = (totals.error + totals.io_error) as f64 / attempts as f64;
+        if hard > config.max_error_rate {
+            anomalies.push(format!(
+                "error_rate: {:.4} of {attempts} attempts failed hard (budget {:.4})",
+                hard, config.max_error_rate
+            ));
+        }
+        let rejected = (totals.busy + totals.timeout) as f64 / attempts as f64;
+        if rejected > config.max_reject_rate {
+            anomalies.push(format!(
+                "reject_rate: {:.4} of {attempts} attempts were rejected busy/timeout \
+                 (budget {:.4})",
+                rejected, config.max_reject_rate
+            ));
+        }
+    }
+    // Throughput stall: an interior scrape interval in which the server
+    // counted nothing at all while load clients were live.
+    let interior = server.interval_requests.len().saturating_sub(1);
+    if interior >= 2 {
+        let stalled = server.interval_requests[..interior]
+            .iter()
+            .filter(|&&d| d <= 0.0)
+            .count();
+        if stalled > 0 {
+            anomalies.push(format!(
+                "throughput_stall: {stalled} of {interior} scrape interval(s) saw zero requests"
+            ));
+        }
+    }
+    if series.len() >= 2 {
+        // Reconciliation: every non-busy client outcome and every
+        // mid-window scrape is one server-counted request; transport
+        // errors are the only honest slack.
+        if let Some(requests_delta) = server.requests_delta {
+            let expected =
+                (totals.ok + totals.timeout + totals.error) as f64 + (series.len() as f64 - 1.0);
+            if (requests_delta - expected).abs() > totals.io_error as f64 {
+                anomalies.push(format!(
+                    "reconcile_mismatch: server counted {requests_delta} requests in the \
+                     window but clients account for {expected} (± {} io)",
+                    totals.io_error
+                ));
+            }
+        }
+        if let Some(rejected_delta) = server.rejected_delta {
+            let client_busy = (totals.busy + scraper_busy) as f64;
+            if rejected_delta < client_busy {
+                anomalies.push(format!(
+                    "reconcile_mismatch: clients saw {client_busy} busy rejections but the \
+                     server counted only {rejected_delta}"
+                ));
+            }
+        }
+    } else {
+        anomalies.push(format!(
+            "scrape_starvation: only {} scrape(s) landed; no server-side window",
+            series.len()
+        ));
+    }
+    if scrape_failures > 0 {
+        anomalies.push(format!(
+            "scrape_failures: {scrape_failures} scrape(s) failed outright"
+        ));
+    }
+
+    let rps = if duration_secs > 0.0 {
+        totals.ok as f64 / duration_secs
+    } else {
+        0.0
+    };
+    LoadReport {
+        clients,
+        pipeline_window: config.pipeline_window,
+        churn: config.churn,
+        duration_secs,
+        totals,
+        rps,
+        worker_panics,
+        scrapes: series.len(),
+        scraper_busy,
+        scrape_failures,
+        server,
+        anomalies,
+    }
+}
+
+/// The scraper thread: periodic mid-window scrapes, then one fenced
+/// final scrape (retried through a storm) once the load phase is done.
+fn scraper_loop(
+    mut client: Client,
+    first: (u64, String),
+    done: &AtomicBool,
+    interval: Duration,
+) -> ScrapeLog {
+    let mut log = ScrapeLog {
+        scrapes: vec![first],
+        busy: 0,
+        failures: 0,
+    };
+    const SLICE: Duration = Duration::from_millis(20);
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < interval && !done.load(Ordering::SeqCst) {
+            thread::sleep(SLICE);
+            waited += SLICE;
+        }
+        if done.load(Ordering::SeqCst) {
+            // The final fence: workers have joined, so this scrape must
+            // see every load request. Retry through lingering busyness.
+            for attempt in 0..20 {
+                match client.metrics() {
+                    Ok(text) => {
+                        log.scrapes.push((deepn_trace::tick(), text));
+                        return log;
+                    }
+                    Err(ServeError::Busy(_)) => log.busy += 1,
+                    Err(_) if attempt + 1 < 20 => {}
+                    Err(_) => log.failures += 1,
+                }
+                thread::sleep(Duration::from_millis(50));
+            }
+            return log;
+        }
+        match client.metrics() {
+            Ok(text) => log.scrapes.push((deepn_trace::tick(), text)),
+            Err(ServeError::Busy(_)) => log.busy += 1,
+            Err(_) => log.failures += 1,
+        }
+    }
+}
+
+/// How often churning clients tear their connection down, in requests.
+const CHURN_EVERY: u64 = 32;
+
+/// A serial load client: one request at a time, mixed ops, per-request
+/// latency recorded on success.
+fn serial_worker(
+    cfg: &LoadgenConfig,
+    images: &[RgbImage],
+    blobs: &[Vec<u8>],
+    deadline_ns: u64,
+) -> ClientTotals {
+    let mut t = ClientTotals::default();
+    let mut client = match Client::connect_retry(cfg.addr, Duration::from_secs(2)) {
+        Ok(c) => c,
+        Err(e) => {
+            t.tally_err(&e);
+            return t;
+        }
+    };
+    let mut i = 0u64;
+    while deepn_trace::tick() < deadline_ns {
+        if cfg.churn && i > 0 && i.is_multiple_of(CHURN_EVERY) {
+            if let Ok(fresh) = Client::connect(cfg.addr) {
+                client = fresh;
+                t.reconnects += 1;
+            }
+        }
+        let t0 = deepn_trace::tick();
+        let outcome = match i % 4 {
+            0 => client.ping(),
+            1 => client.encode_batch(images).map(|_| ()),
+            2 => client.decode_batch(blobs).map(|_| ()),
+            _ => client.stats().map(|_| ()),
+        };
+        let rejected = matches!(outcome, Err(ServeError::Busy(_) | ServeError::Io(_)));
+        t.tally(outcome, deepn_trace::tick().saturating_sub(t0));
+        if rejected {
+            // Back off a beat so a storm rejects at a bounded rate
+            // instead of hammering the accept queue in a tight loop.
+            thread::sleep(Duration::from_millis(2));
+        }
+        i += 1;
+    }
+    t
+}
+
+/// A pipelined load client: submits a full window of mixed ops, then
+/// drains it, reconnecting when the pipeline dies.
+fn pipelined_worker(
+    cfg: &LoadgenConfig,
+    images: &[RgbImage],
+    blobs: &[Vec<u8>],
+    deadline_ns: u64,
+) -> ClientTotals {
+    let mut t = ClientTotals::default();
+    let mut client = match Client::connect_retry(cfg.addr, Duration::from_secs(2)) {
+        Ok(c) => c,
+        Err(e) => {
+            t.tally_err(&e);
+            return t;
+        }
+    };
+    let window = cfg.pipeline_window.max(1);
+    let mut round = 0u64;
+    while deepn_trace::tick() < deadline_ns {
+        if cfg.churn && round > 0 && (round * window as u64).is_multiple_of(CHURN_EVERY) {
+            if let Ok(fresh) = Client::connect(cfg.addr) {
+                client = fresh;
+                t.reconnects += 1;
+            }
+        }
+        let mut fatal = false;
+        {
+            let mut p = client.pipeline(window);
+            let mut submitted = 0usize;
+            for j in 0..window {
+                let sub = match j % 4 {
+                    0 => p.submit_ping(),
+                    1 => p.submit_encode_batch(images),
+                    2 => p.submit_decode_batch(blobs),
+                    _ => p.submit_stats(),
+                };
+                match sub {
+                    Ok(()) => submitted += 1,
+                    Err(e) => {
+                        t.tally_err(&e);
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+            // Drain every submitted request; a fatal transport error
+            // strands the rest of the window as unknowable io errors.
+            let mut drained = 0usize;
+            while drained < submitted && p.pending() > 0 {
+                match p.recv() {
+                    Ok(PipelineReply::Pong)
+                    | Ok(PipelineReply::Encoded(_))
+                    | Ok(PipelineReply::Decoded(_))
+                    | Ok(PipelineReply::Labels(_))
+                    | Ok(PipelineReply::Stats(_))
+                    | Ok(PipelineReply::Metrics(_)) => {
+                        t.ok += 1;
+                        drained += 1;
+                    }
+                    Err(e @ (ServeError::Io(_) | ServeError::Protocol(_))) => {
+                        t.tally_err(&e);
+                        t.io_error += (submitted - drained - 1) as u64;
+                        fatal = true;
+                        break;
+                    }
+                    Err(e) => {
+                        t.tally_err(&e);
+                        drained += 1;
+                    }
+                }
+            }
+        }
+        if fatal {
+            // The pipeline died; its connection is torn down. Start
+            // fresh, pacing the retry like the serial rejection path.
+            thread::sleep(Duration::from_millis(2));
+            if let Ok(fresh) = Client::connect(cfg.addr) {
+                client = fresh;
+            }
+        }
+        round += 1;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_merge_and_classify() {
+        let mut a = ClientTotals::default();
+        a.tally(Ok(()), 1_000);
+        a.tally(Err(ServeError::Busy("b".into())), 0);
+        a.tally(Err(ServeError::Timeout("t".into())), 0);
+        a.tally(Err(ServeError::Remote("r".into())), 0);
+        a.tally(
+            Err(ServeError::Io(std::io::ErrorKind::BrokenPipe.into())),
+            0,
+        );
+        assert_eq!(
+            (a.ok, a.busy, a.timeout, a.error, a.io_error),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!(a.attempts(), 5);
+        let mut b = ClientTotals::default();
+        b.tally(Ok(()), 2_000);
+        b.absorb(a);
+        assert_eq!(b.ok, 2);
+        assert_eq!(b.latency_ns, vec![2_000, 1_000]);
+    }
+
+    #[test]
+    fn bench_entry_matches_bench_shape() {
+        let entry = bench_entry(&[100, 200, 300, 400]);
+        deepn_trace::export::validate_json(&entry).expect("bench entry is JSON");
+        assert!(entry.contains("\"mean_ns\": 250.0"), "{entry}");
+        assert!(entry.contains("\"median_ns\": 250.0"), "{entry}");
+        assert!(entry.contains("\"min_ns\": 100.0"), "{entry}");
+        assert!(entry.contains("\"max_ns\": 400.0"), "{entry}");
+        assert!(entry.contains("\"samples\": 4"), "{entry}");
+        deepn_trace::export::validate_json(&bench_entry(&[])).expect("empty entry is JSON");
+    }
+
+    #[test]
+    fn error_rate_breach_is_flagged() {
+        let config = LoadgenConfig::new("127.0.0.1:1".parse().map_err(|_| ()).expect("addr"));
+        let report = analyze(
+            &config,
+            1,
+            1.0,
+            ClientTotals {
+                ok: 90,
+                error: 6,
+                io_error: 4,
+                latency_ns: vec![1_000; 90],
+                ..ClientTotals::default()
+            },
+            0,
+            &MetricsSeries::new(),
+            0,
+            0,
+        );
+        // 10 hard failures out of 100 attempts blows the 1% budget.
+        assert!(
+            report.anomalies.iter().any(|a| a.contains("error_rate")),
+            "{:?}",
+            report.anomalies
+        );
+    }
+
+    #[test]
+    fn report_json_validates_and_carries_anomalies() {
+        let config = LoadgenConfig::new("127.0.0.1:1".parse().map_err(|_| ()).expect("addr"));
+        let report = analyze(
+            &config,
+            2,
+            1.5,
+            ClientTotals {
+                ok: 10,
+                busy: 1,
+                latency_ns: vec![1_000, 2_000, 3_000],
+                ..ClientTotals::default()
+            },
+            0,
+            &MetricsSeries::new(),
+            0,
+            0,
+        );
+        // No scrapes landed: that is itself an anomaly, and busy at 1/11
+        // attempts breaches the 5% budget.
+        assert!(!report.is_clean());
+        let json = report.to_json();
+        deepn_trace::export::validate_json(&json).expect("report is well-formed JSON");
+        assert!(json.contains("\"loadgen/serial_request\""));
+        assert!(json.contains("scrape_starvation"), "{json}");
+        let parsed = deepn_trace::export::parse_json(&json).expect("parses");
+        let summary = parsed.get("loadgen_summary").expect("summary present");
+        assert_eq!(
+            summary.get("requests_ok").and_then(|v| v.as_f64()),
+            Some(10.0)
+        );
+    }
+}

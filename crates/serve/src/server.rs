@@ -10,9 +10,11 @@ use deepn_codec::{
 use deepn_nn::Sequential;
 use deepn_store::{ByteReader, ByteWriter};
 use deepn_tensor::Tensor;
+use deepn_trace::log;
+use std::cell::Cell;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -187,9 +189,11 @@ impl Server {
         config.workers = config.workers.max(1);
         config.queue_depth = config.queue_depth.max(1);
         config.max_connections = config.max_connections.max(1);
-        // Honor DEEPN_TRACE=1 for servers embedded in other binaries;
-        // never disables tracing a host process enabled explicitly.
+        // Honor DEEPN_TRACE=1 and DEEPN_LOG for servers embedded in other
+        // binaries; never disables tracing a host process enabled
+        // explicitly.
         deepn_trace::enable_from_env();
+        log::init_from_env();
         let counters = Arc::new(ServeMetrics::new(&config));
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -233,7 +237,21 @@ impl Server {
                 worker_loop(&rx, &tables, model, &metrics)
             }));
         }
+        let addr = self
+            .listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "?".to_string());
+        log::info("server_listening")
+            .field("addr", &addr)
+            .field("workers", self.config.workers)
+            .field("queue_depth", self.config.queue_depth)
+            .field("max_connections", self.config.max_connections)
+            .emit();
 
+        // Monotone connection ids, assigned at accept: the correlation
+        // key every per-connection and per-request event carries.
+        let conn_seq = AtomicU64::new(0);
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -255,6 +273,7 @@ impl Server {
                         active: Arc::clone(&self.active),
                         rejecting: Arc::clone(&self.rejecting),
                         limited,
+                        conn_id: conn_seq.fetch_add(1, Ordering::Relaxed) + 1,
                     };
                     thread::spawn(move || ctx.serve(stream, guard));
                 }
@@ -274,6 +293,10 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        log::info("server_stopped")
+            .field("addr", &addr)
+            .field("connections", conn_seq.load(Ordering::Relaxed))
+            .emit();
         Ok(())
     }
 
@@ -322,6 +345,25 @@ struct ConnCtx {
     active: Arc<AtomicUsize>,
     rejecting: Arc<AtomicUsize>,
     limited: bool,
+    /// Monotone per-server connection id — the correlation key on every
+    /// event this connection emits.
+    conn_id: u64,
+}
+
+/// Emits `conn_close` when the reader thread exits, however it exits, so
+/// every accepted connection's event stream is closed by construction.
+struct CloseLogger {
+    conn_id: u64,
+    requests: Cell<u64>,
+}
+
+impl Drop for CloseLogger {
+    fn drop(&mut self) {
+        log::debug("conn_close")
+            .field("conn_id", self.conn_id)
+            .field("requests", self.requests.get())
+            .emit();
+    }
 }
 
 impl ConnCtx {
@@ -336,7 +378,13 @@ impl ConnCtx {
             // The polite reply itself is bounded: past the cap, close
             // immediately so a connect flood cannot pin unbounded threads
             // here.
-            if self.rejecting.fetch_add(1, Ordering::SeqCst) >= REJECTION_THREAD_CAP {
+            let hard_drop = self.rejecting.fetch_add(1, Ordering::SeqCst) >= REJECTION_THREAD_CAP;
+            log::warn("conn_busy")
+                .field("conn_id", self.conn_id)
+                .field("limit", self.config.max_connections)
+                .field("replied", !hard_drop)
+                .emit();
+            if hard_drop {
                 self.rejecting.fetch_sub(1, Ordering::SeqCst);
                 return;
             }
@@ -370,6 +418,20 @@ impl ConnCtx {
         }
         // The guard holds this connection's slot until the reader exits.
         let _guard = guard;
+        log::debug("conn_accept")
+            .field("conn_id", self.conn_id)
+            .field(
+                "peer",
+                stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?".to_string()),
+            )
+            .emit();
+        let closer = CloseLogger {
+            conn_id: self.conn_id,
+            requests: Cell::new(0),
+        };
         // The timeout bounds how long a dead-idle connection pins this
         // thread after shutdown; it is not a per-request deadline.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
@@ -391,17 +453,22 @@ impl ConnCtx {
                 Ok(Some(body)) => {
                     self.counters.inc(Ctr::Requests);
                     self.counters.add(Ctr::BytesIn, 4 + body.len() as u64);
+                    let req_id = closer.requests.get() + 1;
+                    closer.requests.set(req_id);
                     // One whole-request observation per frame, whichever of
                     // the three handling paths it takes: the timer fires on
                     // scope exit (including early returns), recording the
                     // request histogram, the per-opcode span, and the
-                    // slow-request log.
+                    // structured request/slow-request events.
                     let op_name = opcode_span_name(body.first().copied());
-                    let _req = RequestTimer {
+                    let req_timer = RequestTimer {
                         metrics: &self.counters,
                         slow: self.config.slow_threshold,
                         name: op_name,
                         start_ns: deepn_trace::tick(),
+                        conn_id: self.conn_id,
+                        req_id,
+                        status: Cell::new("ok"),
                     };
                     if body.first() == Some(&(Opcode::CompressStream as u8)) {
                         // The streaming op owns the connection until its
@@ -424,6 +491,7 @@ impl ConnCtx {
                                 // After a mid-stream failure the frame
                                 // boundary with the peer is unknown:
                                 // answer with a typed frame, then close.
+                                req_timer.fail(&e);
                                 let reply = error_reply(e);
                                 self.write_reply(&mut stream, &reply);
                                 return;
@@ -446,12 +514,19 @@ impl ConnCtx {
                             &stream_decoder,
                             &mut stream_dec_ws,
                             &mut stream_strip,
+                            &req_timer,
                         ) {
                             return;
                         }
                         continue;
                     }
                     let (reply, stop) = self.handle(&body);
+                    match reply.first().copied() {
+                        Some(STATUS_ERR) => req_timer.set_status("error"),
+                        Some(STATUS_BUSY) => req_timer.set_status("busy"),
+                        Some(STATUS_TIMEOUT) => req_timer.set_status("timeout"),
+                        _ => {}
+                    }
                     if !self.write_reply(&mut stream, &reply) {
                         return;
                     }
@@ -575,6 +650,7 @@ impl ConnCtx {
         decoder: &Decoder,
         ws: &mut DecodeWorkspace,
         strip: &mut PixelStrip,
+        timer: &RequestTimer<'_>,
     ) -> bool {
         let deadline = self.config.request_timeout.map(|t| (t, Instant::now() + t));
         let mut run = || -> Result<(), ServeError> {
@@ -621,11 +697,15 @@ impl ConnCtx {
         };
         match run() {
             Ok(()) => true,
-            Err(ServeError::Io(_)) => false,
+            Err(ServeError::Io(e)) => {
+                timer.fail(&ServeError::Io(e));
+                false
+            }
             Err(e) => {
                 // Every reply frame of this exchange leads with a status
                 // byte, so a typed error frame in place of a strip frame
                 // is unambiguous: the client stops reading strips there.
+                timer.fail(&e);
                 self.write_reply(stream, &error_reply(e))
             }
         }
@@ -871,14 +951,42 @@ fn opcode_span_name(op: Option<u8>) -> &'static str {
 }
 
 /// Observes one whole request on scope exit — read-to-reply wall time into
-/// the request histogram, a per-opcode span, and the slow-request log —
-/// so every exit path of the serve loop's three handling branches is
-/// covered by construction.
+/// the request histogram, a per-opcode span, and the structured
+/// `request` / `slow_request` / `request_timeout` / `request_error`
+/// events — so every exit path of the serve loop's three handling
+/// branches is covered by construction.
 struct RequestTimer<'a> {
     metrics: &'a ServeMetrics,
     slow: Option<Duration>,
     name: &'static str,
     start_ns: u64,
+    conn_id: u64,
+    req_id: u64,
+    status: Cell<&'static str>,
+}
+
+impl RequestTimer<'_> {
+    /// The request's short opcode name (`ping`, `encode_batch`, ...).
+    fn op(&self) -> &'static str {
+        self.name
+            .strip_prefix("serve.request.")
+            .unwrap_or(self.name)
+    }
+
+    /// Records the request's outcome for the completion event.
+    fn set_status(&self, status: &'static str) {
+        self.status.set(status);
+    }
+
+    /// Records a typed failure as this request's outcome.
+    fn fail(&self, e: &ServeError) {
+        self.set_status(match e {
+            ServeError::Busy(_) => "busy",
+            ServeError::Timeout(_) => "timeout",
+            ServeError::Io(_) => "io",
+            _ => "error",
+        });
+    }
 }
 
 impl Drop for RequestTimer<'_> {
@@ -887,14 +995,37 @@ impl Drop for RequestTimer<'_> {
         let dur_ns = end_ns.saturating_sub(self.start_ns);
         self.metrics.request_seconds.record_ns(dur_ns);
         deepn_trace::record_span(self.name, self.start_ns, end_ns);
+        let status = self.status.get();
+        let ms = format!("{:.3}", dur_ns as f64 / 1e6);
+        log::trace("request")
+            .field("conn_id", self.conn_id)
+            .field("req_id", self.req_id)
+            .field("op", self.op())
+            .field("status", status)
+            .field("ms", &ms)
+            .emit();
+        if matches!(status, "timeout" | "error") {
+            let name = if status == "timeout" {
+                "request_timeout"
+            } else {
+                "request_error"
+            };
+            log::warn(name)
+                .field("conn_id", self.conn_id)
+                .field("req_id", self.req_id)
+                .field("op", self.op())
+                .field("ms", &ms)
+                .emit();
+        }
         if let Some(t) = self.slow {
             if dur_ns >= t.as_nanos() as u64 {
-                eprintln!(
-                    "slow request: {} took {:.3}ms (threshold {:.3}ms)",
-                    self.name,
-                    dur_ns as f64 / 1e6,
-                    t.as_nanos() as f64 / 1e6,
-                );
+                log::warn("slow_request")
+                    .field("conn_id", self.conn_id)
+                    .field("req_id", self.req_id)
+                    .field("op", self.op())
+                    .field("ms", &ms)
+                    .field("threshold_ms", format!("{:.3}", t.as_nanos() as f64 / 1e6))
+                    .emit();
             }
         }
     }

@@ -1,5 +1,6 @@
 //! Exporters: Chrome trace-event JSON for span snapshots, plus a small
-//! JSON well-formedness checker so smoke tests don't need a JSON crate.
+//! JSON parser/well-formedness checker so smoke tests and the perf gate
+//! don't need a JSON crate.
 //!
 //! The trace format is the Chrome/Perfetto "JSON Array Format" with
 //! complete (`"ph":"X"`) events: `ts` and `dur` are microseconds as
@@ -11,7 +12,7 @@ use crate::span::SpanEvent;
 
 /// Escapes a string for a JSON string literal (quotes, backslashes,
 /// control characters).
-fn escape_json(s: &str) -> String {
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -59,20 +60,95 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
     out
 }
 
-/// Checks that `src` is one well-formed JSON value (objects, arrays,
-/// strings, numbers, booleans, null) with nothing trailing. Returns a
-/// positioned message on the first error. Depth is capped to keep the
+/// A parsed JSON value. Objects keep their members in source order (a
+/// `Vec`, not a map — the determinism rule bans `HashMap` here and the
+/// documents we read are small).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `src` as one well-formed JSON value (objects, arrays, strings,
+/// numbers, booleans, null) with nothing trailing. Returns a positioned
+/// message on the first error. Depth is capped to keep the
 /// recursive-descent parser safe on adversarial input.
-pub fn validate_json(src: &str) -> Result<(), String> {
+pub fn parse_json(src: &str) -> Result<Json, String> {
     let bytes = src.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos, 0)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
     }
-    Ok(())
+    Ok(value)
+}
+
+/// Checks that `src` is one well-formed JSON value — [`parse_json`] with
+/// the value discarded.
+pub fn validate_json(src: &str) -> Result<(), String> {
+    parse_json(src).map(|_| ())
 }
 
 const MAX_DEPTH: usize = 64;
@@ -92,103 +168,176 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     if depth > MAX_DEPTH {
         return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
     }
     match bytes.get(*pos) {
         Some(b'{') => parse_object(bytes, pos, depth),
         Some(b'[') => parse_array(bytes, pos, depth),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, "true"),
-        Some(b'f') => parse_literal(bytes, pos, "false"),
-        Some(b'n') => parse_literal(bytes, pos, "null"),
-        Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null").map(|_| Json::Null),
+        Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos).map(Json::Num),
         Some(&c) => Err(format!("unexpected byte '{}' at {}", c as char, *pos)),
         None => Err(format!("unexpected end of input at byte {}", *pos)),
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
     skip_ws(bytes, pos);
+    let mut members = Vec::new();
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Obj(members));
     }
     loop {
         skip_ws(bytes, pos);
-        parse_string(bytes, pos)?;
+        let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
         skip_ws(bytes, pos);
-        parse_value(bytes, pos, depth + 1)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Obj(members));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     skip_ws(bytes, pos);
+    let mut items = Vec::new();
     if bytes.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Arr(items));
     }
     loop {
         skip_ws(bytes, pos);
-        parse_value(bytes, pos, depth + 1)?;
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Arr(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
         }
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(bytes, pos, b'"')?;
+    let mut out = Vec::new();
     while let Some(&b) = bytes.get(*pos) {
         match b {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string());
             }
             b'\\' => {
                 *pos += 1;
                 match bytes.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => {
+                        out.push(b'"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push(b'\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push(b'/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push(0x08);
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push(0x0c);
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push(b'\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push(b'\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push(b'\t');
+                        *pos += 1;
+                    }
                     Some(b'u') => {
                         *pos += 1;
-                        for _ in 0..4 {
-                            match bytes.get(*pos) {
-                                Some(c) if c.is_ascii_hexdigit() => *pos += 1,
-                                _ => return Err(format!("bad \\u escape at byte {}", *pos)),
+                        let hi = parse_hex4(bytes, pos)?;
+                        let cp = if (0xd800..0xdc00).contains(&hi) {
+                            // High surrogate: a \uXXXX low surrogate must
+                            // follow to form one supplementary codepoint.
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let lo = parse_hex4(bytes, pos)?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(format!("unpaired surrogate at byte {}", *pos));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                return Err(format!("unpaired surrogate at byte {}", *pos));
                             }
+                        } else if (0xdc00..0xe000).contains(&hi) {
+                            return Err(format!("unpaired surrogate at byte {}", *pos));
+                        } else {
+                            hi
+                        };
+                        match char::from_u32(cp) {
+                            Some(c) => {
+                                let mut buf = [0u8; 4];
+                                out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            }
+                            None => return Err(format!("bad codepoint at byte {}", *pos)),
                         }
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
             }
             0x00..=0x1f => return Err(format!("raw control character in string at byte {}", *pos)),
-            _ => *pos += 1,
+            _ => {
+                out.push(b);
+                *pos += 1;
+            }
         }
     }
     Err("unterminated string".to_string())
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut cp = 0u32;
+    for _ in 0..4 {
+        match bytes.get(*pos) {
+            Some(c) if c.is_ascii_hexdigit() => {
+                cp = cp * 16 + (*c as char).to_digit(16).unwrap_or(0);
+                *pos += 1;
+            }
+            _ => return Err(format!("bad \\u escape at byte {}", *pos)),
+        }
+    }
+    Ok(cp)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -230,7 +379,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("expected exponent digits at byte {}", *pos));
         }
     }
-    Ok(())
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unrepresentable number at byte {start}"))
 }
 
 fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
@@ -313,5 +465,29 @@ mod tests {
     fn validator_caps_nesting_depth() {
         let deep = "[".repeat(100) + &"]".repeat(100);
         assert!(validate_json(&deep).is_err());
+    }
+
+    #[test]
+    fn parser_builds_values_and_unescapes_strings() {
+        let v =
+            parse_json("{\"a\": [1, 2.5e1], \"s\": \"x\\n\\u00e9\\ud83d\\ude80\", \"b\": true}")
+                .expect("parses");
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_arr()).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("a")
+                .and_then(|a| a.as_arr())
+                .and_then(|a| a[1].as_f64()),
+            Some(25.0)
+        );
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x\né🚀"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert!(
+            parse_json("\"\\ud800\"").is_err(),
+            "unpaired surrogate rejected"
+        );
     }
 }

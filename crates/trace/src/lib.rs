@@ -15,7 +15,12 @@
 //!   buffers, exported as Chrome trace-event JSON by [`export`]
 //!   (loadable in `chrome://tracing` / Perfetto);
 //! * a small Prometheus text [`prom`] parser/validator/pretty-printer so
-//!   CI can check scrapes and the CLI can render histograms humanely.
+//!   CI can check scrapes and the CLI can render histograms humanely —
+//!   plus a [`prom::MetricsSeries`] layer turning repeated scrapes into
+//!   counter deltas/rates and histogram-delta percentiles;
+//! * structured, leveled logfmt [`log`]ging with a `DEEPN_LOG` filter, a
+//!   pluggable writer seam, and a per-thread flight-recorder ring dumped
+//!   by an installable panic hook.
 //!
 //! **Determinism contract.** The monotonic clock lives in exactly one
 //! file, [`clock`] — the byte-identity crates (`codec`, `parallel`, ...)
@@ -31,6 +36,7 @@
 
 pub mod clock;
 pub mod export;
+pub mod log;
 pub mod prom;
 mod registry;
 mod span;

@@ -310,6 +310,164 @@ pub fn pretty(text: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// A time-ordered series of validated scrapes of one metrics endpoint.
+///
+/// Point scrapes answer "what is the counter now"; a series answers the
+/// load-test questions: how fast did it grow ([`counter_rate`]), did it
+/// ever stall ([`counter_interval_deltas`]), what envelope did a gauge
+/// sweep ([`gauge_envelope`]), and what were the latency percentiles
+/// *during the window* ([`histogram_delta_quantile`] — the delta between
+/// first and last cumulative buckets, so pre-test history is excluded).
+///
+/// [`counter_rate`]: MetricsSeries::counter_rate
+/// [`counter_interval_deltas`]: MetricsSeries::counter_interval_deltas
+/// [`gauge_envelope`]: MetricsSeries::gauge_envelope
+/// [`histogram_delta_quantile`]: MetricsSeries::histogram_delta_quantile
+#[derive(Debug, Default)]
+pub struct MetricsSeries {
+    scrapes: Vec<(u64, Vec<Family>)>,
+}
+
+impl MetricsSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses, validates, and appends one scrape taken at `at_ns`
+    /// ([`crate::tick`] time). Scrapes must be pushed in time order.
+    pub fn push(&mut self, at_ns: u64, text: &str) -> Result<(), String> {
+        if let Some(&(last, _)) = self.scrapes.last() {
+            if at_ns < last {
+                return Err(format!("scrape at {at_ns}ns is older than {last}ns"));
+            }
+        }
+        let families = validate(text)?;
+        self.scrapes.push((at_ns, families));
+        Ok(())
+    }
+
+    /// Number of scrapes recorded.
+    pub fn len(&self) -> usize {
+        self.scrapes.len()
+    }
+
+    /// Whether no scrapes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.scrapes.is_empty()
+    }
+
+    /// Wall time covered, in seconds (first scrape to last).
+    pub fn span_seconds(&self) -> f64 {
+        match (self.scrapes.first(), self.scrapes.last()) {
+            (Some(&(first, _)), Some(&(last, _))) => (last - first) as f64 / 1e9,
+            _ => 0.0,
+        }
+    }
+
+    fn family_at(&self, idx: usize, name: &str) -> Option<&Family> {
+        self.scrapes.get(idx)?.1.iter().find(|f| f.name == name)
+    }
+
+    /// A plain sample's value (counter, gauge, or histogram `_count`/
+    /// `_sum` series) in scrape `idx`, searched across all families.
+    pub fn value_at(&self, idx: usize, name: &str) -> Option<f64> {
+        self.scrapes
+            .get(idx)?
+            .1
+            .iter()
+            .find_map(|f| f.sample(name).map(|s| s.value))
+    }
+
+    /// Counter growth across the whole series (`last − first`). `None`
+    /// until two scrapes exist or if the counter is missing from either.
+    pub fn counter_delta(&self, name: &str) -> Option<f64> {
+        if self.scrapes.len() < 2 {
+            return None;
+        }
+        let first = self.value_at(0, name)?;
+        let last = self.value_at(self.scrapes.len() - 1, name)?;
+        Some(last - first)
+    }
+
+    /// Mean counter rate over the series, per second.
+    pub fn counter_rate(&self, name: &str) -> Option<f64> {
+        let span = self.span_seconds();
+        if span <= 0.0 {
+            return None;
+        }
+        Some(self.counter_delta(name)? / span)
+    }
+
+    /// Counter growth in each inter-scrape interval — the stall
+    /// detector's view. Missing samples yield an empty list.
+    pub fn counter_interval_deltas(&self, name: &str) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 1..self.scrapes.len() {
+            match (self.value_at(i - 1, name), self.value_at(i, name)) {
+                (Some(a), Some(b)) => out.push(b - a),
+                _ => return Vec::new(),
+            }
+        }
+        out
+    }
+
+    /// The `(min, max)` a gauge swept across all scrapes.
+    pub fn gauge_envelope(&self, name: &str) -> Option<(f64, f64)> {
+        let mut envelope: Option<(f64, f64)> = None;
+        for i in 0..self.scrapes.len() {
+            let v = self.value_at(i, name)?;
+            envelope = Some(match envelope {
+                Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                None => (v, v),
+            });
+        }
+        envelope
+    }
+
+    /// Cumulative `(le, count)` buckets of the *window*: last scrape's
+    /// buckets minus the first's, bound by bound.
+    fn delta_buckets(&self, name: &str) -> Option<Vec<(f64, f64)>> {
+        if self.scrapes.len() < 2 {
+            return None;
+        }
+        let first = self.family_at(0, name)?.buckets();
+        let last = self.family_at(self.scrapes.len() - 1, name)?.buckets();
+        if first.len() != last.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(last.len());
+        for (&(lb, lc), &(fb, fc)) in last.iter().zip(first.iter()) {
+            if lb != fb && !(lb.is_infinite() && fb.is_infinite()) {
+                return None;
+            }
+            out.push((lb, (lc - fc).max(0.0)));
+        }
+        Some(out)
+    }
+
+    /// Observations recorded in the window (`_count` delta).
+    pub fn histogram_delta_count(&self, name: &str) -> Option<f64> {
+        self.counter_delta(&format!("{name}_count"))
+    }
+
+    /// Mean observation in the window, in seconds (`_sum`/`_count`
+    /// deltas). `None` when the window saw no observations.
+    pub fn histogram_delta_mean(&self, name: &str) -> Option<f64> {
+        let count = self.counter_delta(&format!("{name}_count"))?;
+        if count <= 0.0 {
+            return None;
+        }
+        Some(self.counter_delta(&format!("{name}_sum"))? / count)
+    }
+
+    /// Interpolated `q`-quantile in seconds of observations recorded in
+    /// the window (bucket resolution, like [`bucket_quantile`]).
+    pub fn histogram_delta_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        Some(bucket_quantile(&self.delta_buckets(name)?, q))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +537,78 @@ mod tests {
         assert!(out.contains("deepn_test_requests_total"));
         assert!(out.contains("count=5"));
         assert!(out.contains("p99="), "{out}");
+    }
+
+    #[test]
+    fn series_computes_deltas_rates_and_envelopes() {
+        let r = Registry::new();
+        let c = r.counter("deepn_series_total", "reqs");
+        let g = r.gauge("deepn_series_depth", "depth");
+        let h = r.histogram("deepn_series_latency_seconds", "lat");
+
+        let mut series = MetricsSeries::new();
+        c.add(10);
+        g.set(2);
+        h.record_ns(1_000_000); // 1ms, pre-window history
+        series.push(0, &r.render()).expect("scrape 0");
+
+        c.add(40);
+        g.set(9);
+        for _ in 0..10 {
+            h.record_ns(150_000_000); // 150ms, inside the window
+        }
+        series.push(2_000_000_000, &r.render()).expect("scrape 1");
+
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.span_seconds(), 2.0);
+        assert_eq!(series.counter_delta("deepn_series_total"), Some(40.0));
+        assert_eq!(series.counter_rate("deepn_series_total"), Some(20.0));
+        assert_eq!(
+            series.counter_interval_deltas("deepn_series_total"),
+            vec![40.0]
+        );
+        assert_eq!(
+            series.gauge_envelope("deepn_series_depth"),
+            Some((2.0, 9.0))
+        );
+
+        assert_eq!(
+            series.histogram_delta_count("deepn_series_latency_seconds"),
+            Some(10.0)
+        );
+        // The 1ms pre-window observation is excluded: the window's p50
+        // lands in the 150ms region, not dragged down toward 1ms.
+        let p50 = series
+            .histogram_delta_quantile("deepn_series_latency_seconds", 0.5)
+            .expect("p50");
+        assert!(p50 > 0.05, "window p50 {p50} should be ~150ms");
+        let mean = series
+            .histogram_delta_mean("deepn_series_latency_seconds")
+            .expect("mean");
+        assert!((mean - 0.15).abs() < 0.01, "window mean {mean}");
+    }
+
+    #[test]
+    fn series_rejects_time_travel_and_handles_missing_metrics() {
+        let r = Registry::new();
+        r.counter("deepn_series2_total", "reqs").inc();
+        let mut series = MetricsSeries::new();
+        series.push(100, &r.render()).expect("first");
+        assert!(
+            series.push(50, &r.render()).is_err(),
+            "older scrape rejected"
+        );
+        assert_eq!(
+            series.counter_delta("deepn_series2_total"),
+            None,
+            "one scrape"
+        );
+        series.push(200, &r.render()).expect("second");
+        assert_eq!(series.counter_delta("deepn_no_such_total"), None);
+        assert_eq!(series.gauge_envelope("deepn_no_such_depth"), None);
+        assert!(series
+            .counter_interval_deltas("deepn_no_such_total")
+            .is_empty());
     }
 
     #[test]

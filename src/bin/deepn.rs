@@ -55,6 +55,18 @@ COMMANDS:
                   [--max-conns N] [--timeout-ms N (0 = no deadline)]
                   [--slow-ms N (log requests at/over N ms; 0 = off)]
                   [--model PATH]
+    loadgen       Load/soak a running service: N concurrent clients with a
+                  mixed serial/pipelined op mix and optional connection
+                  churn, a scraper thread polling the Metrics op
+                  throughout, and a reconciling BENCH-shaped JSON report.
+                  Exits nonzero when any anomaly flag is raised (error or
+                  reject rate over budget, throughput stall, client/server
+                  accounting mismatch) or the --baseline perf gate fails
+                  --addr HOST:PORT [--clients N] [--duration-secs N]
+                  [--window W (0 = all serial)] [--churn] [--image-side N]
+                  [--batch N] [--scrape-ms N] [--max-error-rate F]
+                  [--max-reject-rate F] [--out PATH] [--baseline PATH]
+                  [--min-rps-frac F]
     bench-client  Drive a running service and verify byte-identical
                   round-trips against the local codec. --pipeline W adds a
                   serial-vs-pipelined phase: the same per-image requests
@@ -170,6 +182,7 @@ fn main() -> ExitCode {
         "gen-ppm" => cmd_gen_ppm(args),
         "metrics" => cmd_metrics(args),
         "serve" => cmd_serve(args),
+        "loadgen" => cmd_loadgen(args),
         "bench-client" => cmd_bench_client(args),
         "pipeline" => cmd_pipeline(args),
         "trace-export" => cmd_trace_export(args),
@@ -510,6 +523,9 @@ fn cmd_serve(mut args: Args) -> Result<(), Box<dyn Error>> {
         }
         None => None,
     };
+    // A worker panic would otherwise die silently with the thread; the
+    // flight recorder dumps the last structured events from every thread.
+    deepn::trace::log::install_panic_hook();
     let server = Server::bind(addr.as_str(), tables, model, config.clone())?;
     // Machine-parsable readiness line (the CI smoke job waits for it).
     println!(
@@ -525,6 +541,87 @@ fn cmd_serve(mut args: Args) -> Result<(), Box<dyn Error>> {
     );
     server.run()?;
     println!("deepn-serve stopped");
+    Ok(())
+}
+
+fn cmd_loadgen(mut args: Args) -> Result<(), Box<dyn Error>> {
+    use std::net::ToSocketAddrs;
+    let addr_arg = args.required("--addr")?;
+    let addr = addr_arg
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| format!("--addr {addr_arg} resolved to no address"))?;
+    let mut cfg = deepn::serve::loadgen::LoadgenConfig::new(addr);
+    cfg.clients = args.parsed("--clients", cfg.clients)?;
+    cfg.duration = Duration::from_secs(args.parsed("--duration-secs", 10u64)?);
+    cfg.pipeline_window = args.parsed("--window", cfg.pipeline_window)?;
+    cfg.churn = args.flag("--churn");
+    cfg.image_side = args.parsed("--image-side", cfg.image_side)?;
+    cfg.batch = args.parsed("--batch", cfg.batch)?;
+    cfg.scrape_interval = Duration::from_millis(args.parsed("--scrape-ms", 1000u64)?);
+    cfg.max_error_rate = args.parsed("--max-error-rate", cfg.max_error_rate)?;
+    cfg.max_reject_rate = args.parsed("--max-reject-rate", cfg.max_reject_rate)?;
+    let out = args.value("--out")?;
+    let baseline = args.value("--baseline")?;
+    let min_rps_frac = args.parsed("--min-rps-frac", 0.25f64)?;
+    args.finish()?;
+
+    deepn::trace::log::init_from_env();
+    deepn::trace::log::install_panic_hook();
+    let report = deepn::serve::loadgen::run(&cfg)?;
+    let json = report.to_json();
+    deepn::trace::export::validate_json(&json)
+        .map_err(|e| format!("internal error: loadgen report JSON malformed: {e}"))?;
+    if let Some(path) = &out {
+        std::fs::write(path, &json)?;
+        println!("loadgen report written to {path}");
+    } else {
+        print!("{json}");
+    }
+    println!(
+        "loadgen: {} ok, {} busy, {} timeout, {} error, {} io over {:.1}s \
+         ({:.1} req/s, {} scrapes)",
+        report.totals.ok,
+        report.totals.busy,
+        report.totals.timeout,
+        report.totals.error,
+        report.totals.io_error,
+        report.duration_secs,
+        report.rps,
+        report.scrapes,
+    );
+
+    // Perf gate: compare throughput against a committed baseline report,
+    // with a deliberately loose floor — a shared 1-core CI box is noisy.
+    if let Some(bp) = &baseline {
+        let text = std::fs::read_to_string(bp)?;
+        let doc = deepn::trace::export::parse_json(&text)
+            .map_err(|e| format!("bad baseline {bp}: {e}"))?;
+        let base_rps = doc
+            .get("loadgen_summary")
+            .and_then(|s| s.get("rps"))
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("baseline {bp} has no loadgen_summary.rps"))?;
+        let floor = base_rps * min_rps_frac;
+        println!(
+            "perf gate: {:.1} req/s vs baseline {base_rps:.1} (floor {floor:.1})",
+            report.rps
+        );
+        if report.rps < floor {
+            return Err(format!(
+                "perf gate failed: {:.1} req/s is below the floor of {floor:.1} \
+                 ({min_rps_frac} × baseline {base_rps:.1})",
+                report.rps
+            )
+            .into());
+        }
+    }
+    if !report.is_clean() {
+        for a in &report.anomalies {
+            eprintln!("loadgen anomaly: {a}");
+        }
+        return Err(format!("{} anomaly flag(s) raised", report.anomalies.len()).into());
+    }
     Ok(())
 }
 

@@ -212,6 +212,38 @@ impl Arbitrary for bool {
     }
 }
 
+/// Like upstream, `any::<char>()` is biased toward "interesting"
+/// characters rather than uniform over all scalar values: escape-relevant
+/// ASCII (quotes, backslash, whitespace controls, NUL, DEL) and plain
+/// printable ASCII each get a large share, with the remainder drawn from
+/// the full scalar-value space (surrogates re-rolled).
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        const INTERESTING: &[char] = &[
+            '"', '\\', '\n', '\r', '\t', ' ', '=', '\0', '\x01', '\x1b', '\x7f', 'é', '\u{2028}',
+            '🦀',
+        ];
+        match rng.gen_range(0u8..10) {
+            0..=2 => INTERESTING[rng.gen_range(0..INTERESTING.len())],
+            3..=6 => char::from(rng.gen_range(0x20u8..0x7f)),
+            _ => loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10_FFFF)) {
+                    break c;
+                }
+            },
+        }
+    }
+}
+
+/// Arbitrary strings: 0–24 [`Arbitrary`] chars, so the interesting-char
+/// bias above lands in every position.
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let len = rng.gen_range(0usize..=24);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
 /// Strategy returned by [`any`].
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T> {
