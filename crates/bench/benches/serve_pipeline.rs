@@ -1,15 +1,20 @@
-//! Serial request/response vs a pipelined window on one service
-//! connection.
+//! Serial request/response vs pipelined windows vs protocol-v2 tagged
+//! framing, swept across client counts, on one service.
 //!
-//! The service handles a connection's requests strictly in order, so a
-//! serial client pays a full round-trip gap (reply read + next-request
-//! write) between every two requests, during which the connection's
-//! worker idles. The pipelined client keeps a bounded window in flight,
-//! so the service computes request `k` while `k+1..k+W` are already on
-//! the wire. The `pipelined/window_*` rows should therefore beat
-//! `serial/roundtrip` and improve with the window — modestly on loopback
-//! (where a round trip is microseconds), and by the full gap on a real
-//! network.
+//! Under v1 framing the service handles a connection's requests strictly
+//! in order, so a serial client pays a full round-trip gap between every
+//! two requests and a deep window only hides the wire gap — the
+//! connection's compute still serializes. Under tagged framing
+//! (protocol v2) the in-flight window executes **concurrently** on the
+//! worker pool with tag-matched out-of-order replies, so one heavy
+//! connection can finally use more than one worker.
+//!
+//! The sweep holds total work constant (32 encode requests per timed
+//! iteration, split evenly across clients) and varies framing mode
+//! (`v1`/`tagged`), client count {1, 2, 4}, and per-client window
+//! {1, 4, 16}; `w1` rows are the serial mode. On a 1-core container the
+//! tagged rows win only the gap/dispatch overhead — see `EXPERIMENTS.md`
+//! for the honest caveats.
 //!
 //! ```sh
 //! cargo bench -p deepn-bench --bench serve_pipeline
@@ -20,9 +25,41 @@ use deepn_codec::{QuantTablePair, RgbImage};
 use deepn_serve::{Client, PipelineReply, Server, ServerConfig};
 use std::time::Duration;
 
-/// Requests per timed iteration — enough that the per-request gap, not
-/// connection setup, dominates.
+/// Total requests per timed iteration, split evenly across clients —
+/// enough that the per-request gap, not connection setup, dominates.
 const REQUESTS: usize = 32;
+
+/// Drives one client's share of an iteration: serial one-shots when the
+/// window is 1, a bounded pipelined window otherwise. The framing mode
+/// is whatever the connection negotiated at setup.
+fn run_client(client: &mut Client, images: &[RgbImage], window: usize) {
+    if window <= 1 {
+        for img in images {
+            client
+                .encode_batch(std::slice::from_ref(img))
+                .expect("encode");
+        }
+        return;
+    }
+    let mut pipe = client.pipeline(window);
+    let mut replies = 0usize;
+    for img in images {
+        pipe.submit_encode_batch(std::slice::from_ref(img))
+            .expect("submit");
+        while let Some(reply) = pipe.try_ready() {
+            assert!(matches!(reply.expect("reply"), PipelineReply::Encoded(_)));
+            replies += 1;
+        }
+    }
+    while pipe.pending() > 0 {
+        assert!(matches!(
+            pipe.recv().expect("reply"),
+            PipelineReply::Encoded(_)
+        ));
+        replies += 1;
+    }
+    assert_eq!(replies, images.len());
+}
 
 fn bench_pipeline(c: &mut Criterion) {
     let server = Server::bind(
@@ -48,29 +85,36 @@ fn bench_pipeline(c: &mut Criterion) {
         })
     });
 
-    for window in [2usize, 4, 8, 16] {
-        c.bench_function(&format!("serve_pipeline/pipelined_window_{window}"), |b| {
-            b.iter(|| {
-                let mut pipe = client.pipeline(window);
-                let mut replies = 0usize;
-                for img in &images {
-                    pipe.submit_encode_batch(std::slice::from_ref(img))
-                        .expect("submit");
-                    while let Some(reply) = pipe.try_ready() {
-                        assert!(matches!(reply.expect("reply"), PipelineReply::Encoded(_)));
-                        replies += 1;
-                    }
-                }
-                while pipe.pending() > 0 {
-                    assert!(matches!(
-                        pipe.recv().expect("reply"),
-                        PipelineReply::Encoded(_)
-                    ));
-                    replies += 1;
-                }
-                assert_eq!(replies, REQUESTS);
-            })
-        });
+    for tagged in [false, true] {
+        let mode = if tagged { "tagged" } else { "v1" };
+        for clients in [1usize, 2, 4] {
+            let per = REQUESTS / clients;
+            for window in [1usize, 4, 16] {
+                let mut conns: Vec<Client> = (0..clients)
+                    .map(|_| {
+                        let mut conn = Client::connect_retry(handle.addr(), Duration::from_secs(5))
+                            .expect("connect");
+                        if tagged {
+                            assert!(conn.upgrade_tagged().expect("negotiate"), "grant expected");
+                        }
+                        conn
+                    })
+                    .collect();
+                let share = &images[..per];
+                c.bench_function(
+                    &format!("serve_pipeline/{mode}_c{clients}_w{window}"),
+                    |b| {
+                        b.iter(|| {
+                            std::thread::scope(|s| {
+                                for conn in conns.iter_mut() {
+                                    s.spawn(move || run_client(conn, share, window));
+                                }
+                            });
+                        })
+                    },
+                );
+            }
+        }
     }
 
     client.shutdown().expect("shutdown");

@@ -35,6 +35,25 @@ use std::time::{Duration, Instant};
 pub struct Client {
     addr: SocketAddr,
     stream: Option<TcpStream>,
+    /// Whether the *current* connection negotiated tagged framing
+    /// (protocol v2). Reset on every fresh connection, before the
+    /// negotiation that may set it again.
+    tagged: bool,
+    /// Whether (re)connections should negotiate tagged framing. Sticky
+    /// across reconnects — set by [`Client::upgrade_tagged`], cleared
+    /// when the service denies the feature.
+    want_tagged: bool,
+    /// `Hello` negotiations performed, one per (re)connect in tagged
+    /// mode; load generators fold these into server-side request
+    /// reconciliation.
+    hellos_sent: u64,
+    /// Extra service-counted requests created by splitting batch
+    /// requests across tags in pipelines (`parts − 1` per split batch);
+    /// the reconciliation twin of [`Client::hellos_sent`].
+    split_requests: u64,
+    /// Next request tag. Monotone, so tags are unique among in-flight
+    /// requests by construction.
+    next_tag: u32,
 }
 
 impl Client {
@@ -51,6 +70,11 @@ impl Client {
         Ok(Client {
             addr,
             stream: Some(stream),
+            tagged: false,
+            want_tagged: false,
+            hellos_sent: 0,
+            split_requests: 0,
+            next_tag: 0,
         })
     }
 
@@ -75,12 +99,17 @@ impl Client {
     }
 
     /// The connection, re-established first if a previous request tore it
-    /// down.
+    /// down. A fresh connection re-runs the `Hello` negotiation when
+    /// tagged framing was requested, so the upgrade survives reconnects.
     fn ensure_connected(&mut self) -> Result<&mut TcpStream, ServeError> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(self.addr)?;
             stream.set_nodelay(true)?;
             self.stream = Some(stream);
+            self.tagged = false;
+            if self.want_tagged {
+                self.negotiate_tagged()?;
+            }
         }
         match self.stream.as_mut() {
             Some(stream) => Ok(stream),
@@ -88,6 +117,96 @@ impl Client {
                 "connection slot empty after connect".into(),
             )),
         }
+    }
+
+    /// Requests tagged framing (protocol v2) on this client: negotiates
+    /// on the current connection immediately and on every reconnect
+    /// after. Returns whether the service granted the feature — a denial
+    /// (an old service answers `Hello` with a typed error) degrades the
+    /// client to v1 cleanly and stops it from re-asking.
+    ///
+    /// # Errors
+    ///
+    /// Socket or protocol errors from the negotiation exchange itself.
+    pub fn upgrade_tagged(&mut self) -> Result<bool, ServeError> {
+        self.want_tagged = true;
+        if self.stream.is_none() {
+            self.ensure_connected().map(|_| ())?;
+        } else if !self.tagged {
+            self.negotiate_tagged()?;
+        }
+        if !self.tagged {
+            self.want_tagged = false;
+        }
+        Ok(self.tagged)
+    }
+
+    /// Whether the current connection operates in tagged framing.
+    pub fn is_tagged(&self) -> bool {
+        self.stream.is_some() && self.tagged
+    }
+
+    /// `Hello` negotiations this client has performed — one per
+    /// (re)connect while tagged framing is requested. Load generators
+    /// add these to the expected server-side request count.
+    pub fn hellos_sent(&self) -> u64 {
+        self.hellos_sent
+    }
+
+    /// Extra service-counted requests created by tag-splitting batch
+    /// requests in pipelines — `parts − 1` per split batch, since the
+    /// client tallies the whole batch as one outcome. Load generators
+    /// add these to the expected server-side request count, like
+    /// [`Client::hellos_sent`].
+    pub fn split_requests(&self) -> u64 {
+        self.split_requests
+    }
+
+    /// One `Hello` exchange on the live connection. Leaves `self.tagged`
+    /// reflecting the grant; a typed service-side error (an old service
+    /// that does not know the opcode) degrades to v1 instead of failing.
+    fn negotiate_tagged(&mut self) -> Result<(), ServeError> {
+        let result = (|| {
+            let Some(stream) = self.stream.as_mut() else {
+                return Err(ServeError::Protocol(
+                    "negotiation needs a live connection".into(),
+                ));
+            };
+            let mut w = ByteWriter::new();
+            w.put_u8(Opcode::Hello as u8);
+            w.put_u32(protocol::FEATURE_TAGGED);
+            protocol::write_frame(stream, w.as_bytes())?;
+            self.hellos_sent += 1;
+            let reply = protocol::read_frame(stream)?
+                .ok_or_else(|| ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))?;
+            match parse_reply(reply) {
+                Ok(payload) => {
+                    let granted = ByteReader::new(&payload).u32().unwrap_or(0);
+                    self.tagged = granted & protocol::FEATURE_TAGGED != 0;
+                    Ok(())
+                }
+                // An old service answers `Hello` with a typed error
+                // (unknown opcode): degrade to v1 on the same, still
+                // frame-aligned connection.
+                Err(ServeError::Remote(_)) => {
+                    self.tagged = false;
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        })();
+        if result.is_err() {
+            self.stream = None;
+            self.tagged = false;
+        }
+        result
+    }
+
+    /// Hands out the next request tag.
+    fn take_tag(&mut self) -> u32 {
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        tag
     }
 
     /// Whether an error means "the pooled connection was already dead" —
@@ -121,7 +240,30 @@ impl Client {
     }
 
     fn exchange_inner(&mut self, body: &[u8]) -> Result<Vec<u8>, ServeError> {
-        let stream = self.ensure_connected()?;
+        self.ensure_connected().map(|_| ())?;
+        if self.tagged {
+            // One-shot call on a tagged connection: wrap the request in a
+            // tag and verify the echo. (A lone request cannot come back
+            // out of order, but the framing must still match the mode.)
+            let tag = self.take_tag();
+            let Some(stream) = self.stream.as_mut() else {
+                return Err(ServeError::Protocol("connection slot empty".into()));
+            };
+            protocol::write_tagged_frame(stream, tag, body)?;
+            let mut reply = protocol::read_frame(stream)?
+                .ok_or_else(|| ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))?;
+            let (echoed, _) = protocol::split_tagged(&reply)?;
+            if echoed != tag {
+                return Err(ServeError::Protocol(format!(
+                    "reply tag {echoed} does not match request tag {tag}"
+                )));
+            }
+            reply.drain(..4);
+            return Ok(reply);
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(ServeError::Protocol("connection slot empty".into()));
+        };
         protocol::write_frame(stream, body)?;
         protocol::read_frame(stream)?
             .ok_or_else(|| ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))
@@ -217,6 +359,16 @@ impl Client {
         width: usize,
         height: usize,
     ) -> Result<StreamCompression<'_>, ServeError> {
+        // The streamed exchanges are defined only for v1 framing: the
+        // service rejects them inside a tagged window with the same typed
+        // error, so fail fast client-side rather than round-tripping.
+        if self.want_tagged {
+            return Err(ServeError::Protocol(
+                "streaming ops are not available on a tagged connection; \
+                 open an untagged (v1) connection"
+                    .into(),
+            ));
+        }
         // A dead pooled connection would not surface on the begin-frame
         // write (the first write to a closed socket usually lands in the
         // local buffer) but only once strips start failing — and a
@@ -251,6 +403,14 @@ impl Client {
         &mut self,
         jfif: &[u8],
     ) -> Result<StreamDecompression<'_>, ServeError> {
+        // Defined only for v1 framing — see `begin_compress_stream`.
+        if self.want_tagged {
+            return Err(ServeError::Protocol(
+                "streaming ops are not available on a tagged connection; \
+                 open an untagged (v1) connection"
+                    .into(),
+            ));
+        }
         // Same liveness probe as `begin_compress_stream`: a mid-stream
         // session is not replayable, so open it on a connection known to
         // be live.
@@ -285,6 +445,10 @@ impl Client {
     /// window blocks until the oldest reply is read back — backpressure,
     /// not unbounded buffering.
     pub fn pipeline(&mut self, window: usize) -> Pipeline<'_> {
+        // The pipeline's framing mode is fixed at open: tagged when the
+        // upgrade is requested (every part-send re-verifies the grant
+        // after a reconnect), v1 otherwise.
+        let tagged = self.want_tagged;
         Pipeline {
             client: self,
             window: window.max(1),
@@ -292,6 +456,9 @@ impl Client {
             prefetched: VecDeque::new(),
             ready: VecDeque::new(),
             replay_armed: true,
+            tagged,
+            entries: VecDeque::new(),
+            unacked: 0,
         }
     }
 
@@ -423,6 +590,10 @@ fn parse_stats(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, ServeError> {
         max_connections: r.u32()?,
         request_timeout_ms: r.u64()?,
         has_model: r.u8()? != 0,
+        // Trailing fields, absent (0) when the service predates them —
+        // how the `Stats` payload grows without breaking old parsers.
+        tagged_connections: if r.remaining() >= 8 { r.u64()? } else { 0 },
+        tagged_requests: if r.remaining() >= 8 { r.u64()? } else { 0 },
     })
 }
 
@@ -679,7 +850,7 @@ fn decode_pipeline_reply(op: Opcode, frame: Vec<u8>) -> Result<PipelineReply, Se
         Opcode::Classify => PipelineReply::Labels(parse_label_list(&mut r)?),
         Opcode::Stats => PipelineReply::Stats(parse_stats(&mut r)?),
         Opcode::Metrics => PipelineReply::Metrics(r.string()?),
-        Opcode::Shutdown | Opcode::CompressStream | Opcode::DecompressStream => {
+        Opcode::Shutdown | Opcode::CompressStream | Opcode::DecompressStream | Opcode::Hello => {
             return Err(ServeError::Protocol(format!(
                 "op {op:?} cannot be pipelined"
             )))
@@ -734,6 +905,51 @@ pub struct Pipeline<'c> {
     /// One reconnect+replay is allowed per stall; re-armed every time a
     /// reply lands (progress), so a dead service cannot loop forever.
     replay_armed: bool,
+    /// Tagged (protocol v2) mode: requests carry tags, the service may
+    /// answer out of order, and batches are split across tags. Fixed at
+    /// [`Client::pipeline`] time.
+    tagged: bool,
+    /// Tagged mode's submission-order queue. Each entry is one logical
+    /// request, possibly split into several tagged parts; completed
+    /// entries leave from the front into `ready`.
+    entries: VecDeque<TaggedEntry>,
+    /// Tagged parts sent whose reply has not arrived — the quantity the
+    /// window bounds.
+    unacked: usize,
+}
+
+/// A tagged pipeline splits a multi-item batch across tags only above
+/// this cost (pixels for encode, compressed bytes for decode). Giant
+/// batches stream item replies back as they complete instead of
+/// materializing the whole reply; small batches stay one frame, whose
+/// single round trip is cheaper than per-item framing.
+const SPLIT_BATCH_BUDGET: usize = 4096;
+
+/// One logical tagged request: a single part for most ops, one part per
+/// item for split batches (so replies stream out as items complete).
+#[derive(Debug)]
+struct TaggedEntry {
+    op: Opcode,
+    parts: Vec<TaggedPart>,
+    /// Parts this entry will have once fully submitted; an entry is
+    /// complete (and deliverable) only when `parts.len() == expected`
+    /// and every part holds its reply.
+    expected: usize,
+}
+
+impl TaggedEntry {
+    fn is_complete(&self) -> bool {
+        self.parts.len() == self.expected && self.parts.iter().all(|p| p.reply.is_some())
+    }
+}
+
+/// One tagged request frame: its tag, the v1-shaped body kept for
+/// replay-after-reconnect, and the v1-shaped reply once it arrived.
+#[derive(Debug)]
+struct TaggedPart {
+    tag: u32,
+    body: Vec<u8>,
+    reply: Option<Vec<u8>>,
 }
 
 impl Pipeline<'_> {
@@ -745,7 +961,7 @@ impl Pipeline<'_> {
     /// Requests whose reply has not been returned by
     /// [`recv`](Pipeline::recv) yet — drain with that many `recv` calls.
     pub fn pending(&self) -> usize {
-        self.inflight.len() + self.ready.len()
+        self.inflight.len() + self.entries.len() + self.ready.len()
     }
 
     /// Submits a liveness probe.
@@ -762,20 +978,59 @@ impl Pipeline<'_> {
     /// Submits a batch compression; answered by
     /// [`PipelineReply::Encoded`].
     ///
+    /// Under tagged framing a multi-image batch over the split budget
+    /// is split into one tagged request per image, so the service
+    /// streams compressed items back as they complete instead of
+    /// materializing the whole batch reply; smaller batches stay one
+    /// frame. The split is invisible here: the reply still arrives as
+    /// one [`PipelineReply::Encoded`] in submission order.
+    ///
     /// # Errors
     ///
     /// Fatal transport errors.
     pub fn submit_encode_batch(&mut self, images: &[RgbImage]) -> Result<(), ServeError> {
+        let cost: usize = images.iter().map(|i| i.width() * i.height()).sum();
+        if self.tagged && images.len() > 1 && cost > SPLIT_BATCH_BUDGET {
+            let bodies = images
+                .iter()
+                .map(|img| {
+                    let mut w = ByteWriter::new();
+                    w.put_u8(Opcode::EncodeBatch as u8);
+                    w.put_len(1);
+                    protocol::put_image(&mut w, img);
+                    w.into_bytes()
+                })
+                .collect();
+            return self.submit_tagged_parts(Opcode::EncodeBatch, bodies);
+        }
         self.submit(Opcode::EncodeBatch, &image_batch_payload(images))
     }
 
     /// Submits a batch decompression; answered by
     /// [`PipelineReply::Decoded`].
     ///
+    /// Under tagged framing a multi-stream batch over the split budget
+    /// is split into one tagged request per stream — see
+    /// [`submit_encode_batch`](Pipeline::submit_encode_batch).
+    ///
     /// # Errors
     ///
     /// Fatal transport errors.
     pub fn submit_decode_batch(&mut self, streams: &[Vec<u8>]) -> Result<(), ServeError> {
+        let cost: usize = streams.iter().map(Vec::len).sum();
+        if self.tagged && streams.len() > 1 && cost > SPLIT_BATCH_BUDGET {
+            let bodies = streams
+                .iter()
+                .map(|blob| {
+                    let mut w = ByteWriter::new();
+                    w.put_u8(Opcode::DecodeBatch as u8);
+                    w.put_len(1);
+                    protocol::put_blob(&mut w, blob);
+                    w.into_bytes()
+                })
+                .collect();
+            return self.submit_tagged_parts(Opcode::DecodeBatch, bodies);
+        }
         self.submit(Opcode::DecodeBatch, &blob_batch_payload(streams))
     }
 
@@ -827,6 +1082,21 @@ impl Pipeline<'_> {
         if let Some(reply) = self.ready.pop_front() {
             return reply;
         }
+        if self.tagged {
+            if self.entries.is_empty() {
+                return Err(ServeError::Protocol("no requests in flight".into()));
+            }
+            // Each pump consumes at least one reply frame; the front
+            // entry has finitely many outstanding parts, so this
+            // terminates (or surfaces a transport error).
+            while self.ready.is_empty() {
+                self.pump_tagged()?;
+            }
+            return match self.ready.pop_front() {
+                Some(reply) => reply,
+                None => Err(ServeError::Protocol("pipeline pumped no reply".into())),
+            };
+        }
         if self.inflight.is_empty() {
             return Err(ServeError::Protocol("no requests in flight".into()));
         }
@@ -840,12 +1110,15 @@ impl Pipeline<'_> {
     /// Submits one request, applying backpressure first when the window is
     /// full.
     fn submit(&mut self, op: Opcode, payload: &[u8]) -> Result<(), ServeError> {
-        while self.inflight.len() >= self.window {
-            self.pump()?;
-        }
         let mut body = Vec::with_capacity(1 + payload.len());
         body.push(op as u8);
         body.extend_from_slice(payload);
+        if self.tagged {
+            return self.submit_tagged_parts(op, vec![body]);
+        }
+        while self.inflight.len() >= self.window {
+            self.pump()?;
+        }
         if self.client.stream.is_none() && !self.inflight.is_empty() {
             // The connection died after earlier submissions: those must be
             // replayed onto the fresh connection *before* this one, or the
@@ -871,7 +1144,7 @@ impl Pipeline<'_> {
     fn send_request(&mut self, body: &[u8]) -> Result<(), ServeError> {
         let outstanding = self.inflight.len() - self.prefetched.len();
         let result =
-            Self::write_frame_draining(self.client, &mut self.prefetched, outstanding, body);
+            Self::write_frame_draining(self.client, &mut self.prefetched, outstanding, None, body);
         if result.is_err() {
             self.client.stream = None;
         }
@@ -890,17 +1163,24 @@ impl Pipeline<'_> {
         client: &mut Client,
         prefetched: &mut VecDeque<Vec<u8>>,
         outstanding: usize,
+        tag: Option<u32>,
         body: &[u8],
     ) -> Result<(), ServeError> {
-        if body.len() > protocol::MAX_FRAME {
+        // A `Some` tag is framed in place (`u32 tag` prepended to the
+        // body), sparing the caller an intermediate tagged-body copy.
+        let tag_len = if tag.is_some() { 4 } else { 0 };
+        let body_len = body.len() + tag_len;
+        if body_len > protocol::MAX_FRAME {
             return Err(ServeError::Protocol(format!(
-                "frame of {} bytes exceeds the {} byte limit",
-                body.len(),
+                "frame of {body_len} bytes exceeds the {} byte limit",
                 protocol::MAX_FRAME
             )));
         }
-        let mut frame = Vec::with_capacity(4 + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        let mut frame = Vec::with_capacity(4 + body_len);
+        frame.extend_from_slice(&(body_len as u32).to_le_bytes());
+        if let Some(tag) = tag {
+            frame.extend_from_slice(&tag.to_le_bytes());
+        }
         frame.extend_from_slice(body);
         // One connection for the whole frame: reconnecting mid-frame
         // would splice garbage into the new stream, so any failure below
@@ -1025,9 +1305,247 @@ impl Pipeline<'_> {
             // bodies are still being written; the draining writer absorbs
             // them.
             let outstanding = resent - (prefetched.len() - acknowledged);
-            Self::write_frame_draining(client, prefetched, outstanding, body)?;
+            Self::write_frame_draining(client, prefetched, outstanding, None, body)?;
         }
         Ok(())
+    }
+}
+
+impl Pipeline<'_> {
+    /// Submits one logical tagged request as `bodies.len()` tagged parts,
+    /// applying window backpressure per part. The entry is queued first
+    /// so replies to early parts can land while later parts are still
+    /// being written.
+    fn submit_tagged_parts(&mut self, op: Opcode, bodies: Vec<Vec<u8>>) -> Result<(), ServeError> {
+        self.entries.push_back(TaggedEntry {
+            op,
+            parts: Vec::with_capacity(bodies.len()),
+            expected: bodies.len(),
+        });
+        self.client.split_requests += bodies.len() as u64 - 1;
+        for body in bodies {
+            while self.unacked >= self.window {
+                self.pump_tagged()?;
+            }
+            if self.client.stream.is_none() && self.unacked > 0 {
+                // The connection died after earlier parts: replay them
+                // onto the fresh connection before sending this one.
+                self.recover_tagged(ServeError::Protocol(CLOSED_BEFORE_REPLY.into()))?;
+            }
+            // (Re)connect before framing, so the grant is known: a
+            // service that stopped granting tagged framing must fail the
+            // pipeline typed, not receive misframed bytes.
+            self.client.ensure_connected().map(|_| ())?;
+            if !self.client.tagged {
+                return Err(ServeError::Protocol(
+                    "service did not grant tagged framing; open an untagged pipeline".into(),
+                ));
+            }
+            let tag = self.client.take_tag();
+            let outstanding = self.unacked;
+            let sent = Self::write_frame_draining(
+                self.client,
+                &mut self.prefetched,
+                outstanding,
+                Some(tag),
+                &body,
+            );
+            match sent {
+                Ok(()) => {
+                    if let Some(entry) = self.entries.back_mut() {
+                        entry.parts.push(TaggedPart {
+                            tag,
+                            body,
+                            reply: None,
+                        });
+                    }
+                    self.unacked += 1;
+                }
+                Err(e) if Client::is_stale_connection(&e) => {
+                    self.client.stream = None;
+                    // Park the part unacknowledged, then replay the whole
+                    // unacked window (this part included) keyed by tag.
+                    if let Some(entry) = self.entries.back_mut() {
+                        entry.parts.push(TaggedPart {
+                            tag,
+                            body,
+                            reply: None,
+                        });
+                    }
+                    self.unacked += 1;
+                    self.recover_tagged(e)?;
+                }
+                Err(e) => {
+                    self.client.stream = None;
+                    return Err(e);
+                }
+            }
+            self.drain_prefetched()?;
+        }
+        self.finalize_ready();
+        Ok(())
+    }
+
+    /// Blocks for at least one tagged reply frame (unless some are
+    /// already prefetched), assigns every buffered frame to its part, and
+    /// moves completed front entries into the ready queue.
+    fn pump_tagged(&mut self) -> Result<(), ServeError> {
+        if self.prefetched.is_empty() {
+            match self.client.recv_reply() {
+                Ok(frame) => self.prefetched.push_back(frame),
+                Err(e) if Client::is_stale_connection(&e) => {
+                    self.recover_tagged(e)?;
+                    // The replay itself may have prefetched frames.
+                    if self.prefetched.is_empty() {
+                        let frame = self.client.recv_reply()?;
+                        self.prefetched.push_back(frame);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.drain_prefetched()?;
+        self.finalize_ready();
+        Ok(())
+    }
+
+    /// Assigns every prefetched reply frame to its tagged part.
+    fn drain_prefetched(&mut self) -> Result<(), ServeError> {
+        while let Some(frame) = self.prefetched.pop_front() {
+            self.accept_tagged_frame(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Matches one tagged reply frame to the in-flight part carrying its
+    /// tag. A reply with an unknown (or already-answered) tag means the
+    /// framing contract broke: fatal, and the connection is discarded so
+    /// the poison cannot spread to the next request.
+    fn accept_tagged_frame(&mut self, mut frame: Vec<u8>) -> Result<(), ServeError> {
+        let tag = match protocol::split_tagged(&frame) {
+            Ok((tag, _)) => tag,
+            Err(e) => {
+                self.client.stream = None;
+                return Err(e);
+            }
+        };
+        // Strip the tag prefix in place; the body keeps its allocation.
+        frame.drain(..4);
+        let rest = frame;
+        let slot = self
+            .entries
+            .iter_mut()
+            .flat_map(|e| e.parts.iter_mut())
+            .find(|p| p.tag == tag && p.reply.is_none());
+        match slot {
+            Some(part) => {
+                part.reply = Some(rest);
+                self.unacked -= 1;
+                // A reply landed: progress, so a future stall gets a
+                // fresh replay.
+                self.replay_armed = true;
+                Ok(())
+            }
+            None => {
+                self.client.stream = None;
+                Err(ServeError::Protocol(format!(
+                    "reply carries unknown tag {tag}"
+                )))
+            }
+        }
+    }
+
+    /// Delivers completed entries from the submission-order front into
+    /// the ready queue. Later entries may already be complete; they wait
+    /// so `recv` stays strictly in submission order.
+    fn finalize_ready(&mut self) {
+        while self.entries.front().is_some_and(TaggedEntry::is_complete) {
+            let Some(entry) = self.entries.pop_front() else {
+                return;
+            };
+            self.ready.push_back(assemble_entry(entry));
+        }
+    }
+
+    /// Tagged-mode reconnect+replay: re-establishes the connection
+    /// (which re-runs the `Hello` negotiation), then resends every part
+    /// whose reply had not arrived, in submission order, keyed by its
+    /// original tag. Parts already answered are not resent — a duplicate
+    /// would earn a duplicate-tag error reply. Same one-replay-per-stall
+    /// budget as the v1 path.
+    fn recover_tagged(&mut self, cause: ServeError) -> Result<(), ServeError> {
+        if !self.replay_armed {
+            return Err(cause);
+        }
+        self.replay_armed = false;
+        self.client.stream = None;
+        self.client.ensure_connected().map(|_| ())?;
+        if !self.client.tagged {
+            return Err(ServeError::Protocol(
+                "service stopped granting tagged framing; the window cannot be replayed".into(),
+            ));
+        }
+        let unacked: Vec<Vec<u8>> = self
+            .entries
+            .iter()
+            .flat_map(|e| e.parts.iter())
+            .filter(|p| p.reply.is_none())
+            .map(|p| protocol::tagged_body(p.tag, &p.body))
+            .collect();
+        let drained_at_start = self.prefetched.len();
+        for (resent, framed) in unacked.iter().enumerate() {
+            // Replies to already-resent parts may arrive while later
+            // parts are still being written; the draining writer absorbs
+            // them.
+            let outstanding = resent - (self.prefetched.len() - drained_at_start);
+            Self::write_frame_draining(
+                self.client,
+                &mut self.prefetched,
+                outstanding,
+                None,
+                framed,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Reassembles one completed tagged entry into its logical reply. An
+/// unsplit entry decodes exactly like a v1 reply; a split batch
+/// concatenates its per-item replies in item order, and the first failed
+/// item's typed error (in item order) fails the whole entry — delivered
+/// in the entry's position, like any per-request failure.
+fn assemble_entry(entry: TaggedEntry) -> Result<PipelineReply, ServeError> {
+    let missing = || ServeError::Protocol("completed entry missing a part reply".into());
+    if entry.expected == 1 {
+        let frame = entry
+            .parts
+            .into_iter()
+            .next()
+            .and_then(|p| p.reply)
+            .ok_or_else(missing)?;
+        return decode_pipeline_reply(entry.op, frame);
+    }
+    match entry.op {
+        Opcode::EncodeBatch => {
+            let mut all = Vec::with_capacity(entry.parts.len());
+            for part in entry.parts {
+                let payload = parse_reply(part.reply.ok_or_else(missing)?)?;
+                all.extend(parse_blob_list(&mut ByteReader::new(&payload))?);
+            }
+            Ok(PipelineReply::Encoded(all))
+        }
+        Opcode::DecodeBatch => {
+            let mut all = Vec::with_capacity(entry.parts.len());
+            for part in entry.parts {
+                let payload = parse_reply(part.reply.ok_or_else(missing)?)?;
+                all.extend(parse_image_list(&mut ByteReader::new(&payload))?);
+            }
+            Ok(PipelineReply::Decoded(all))
+        }
+        other => Err(ServeError::Protocol(format!(
+            "op {other:?} is never split across tags"
+        ))),
     }
 }
 
@@ -1035,7 +1553,7 @@ impl Drop for Pipeline<'_> {
     fn drop(&mut self) {
         // Unread replies of abandoned requests would be misread as the
         // next request's reply; a fresh connection cannot have any.
-        if !self.inflight.is_empty() {
+        if !self.inflight.is_empty() || !self.entries.is_empty() {
             self.client.stream = None;
         }
     }

@@ -18,9 +18,13 @@
 //! `deepn_serve_requests_total` increment. The scraper's own `Metrics`
 //! requests are counted by the server too, so the window's request delta
 //! must equal `ok + timeout + error + (scrapes − 1)` — the first scrape
-//! predates the window. Transport (`io`) errors make a request's fate
-//! unknowable client-side, so the reconciliation tolerance is exactly
-//! the transport-error count: anything beyond that is flagged.
+//! predates the window. Tagged (protocol v2) runs add two more
+//! server-counted-but-not-client-tallied categories: one `Hello` per
+//! (re)connect negotiation, and `parts − 1` per batch a tagged pipeline
+//! splits across tags; both fold into the expected delta. Transport
+//! (`io`) errors make a request's fate unknowable client-side, so the
+//! reconciliation tolerance is exactly the transport-error count:
+//! anything beyond that is flagged.
 
 use crate::{Client, PipelineReply, ServeError};
 use deepn_codec::{EncodeWorkspace, Encoder, QuantTablePair, RgbImage};
@@ -49,6 +53,12 @@ pub struct LoadgenConfig {
     /// When set, clients drop and re-establish their connection
     /// periodically — the churn that exercises accept/admission paths.
     pub churn: bool,
+    /// When set, every load client negotiates tagged framing (protocol
+    /// v2) after each connect and drives the v2 path. The scraper stays
+    /// v1 — it is the compatibility witness. Each negotiation is one
+    /// server-counted `Hello` request, folded into reconciliation via
+    /// [`ClientTotals::negotiations`].
+    pub tagged: bool,
     /// Side length of the synthetic square test images.
     pub image_side: usize,
     /// Images per batch request.
@@ -75,6 +85,7 @@ impl LoadgenConfig {
             duration: Duration::from_secs(10),
             pipeline_window: 4,
             churn: false,
+            tagged: false,
             image_side: 32,
             batch: 2,
             scrape_interval: Duration::from_secs(1),
@@ -99,6 +110,14 @@ pub struct ClientTotals {
     pub io_error: u64,
     /// Deliberate reconnects performed (churn).
     pub reconnects: u64,
+    /// `Hello` negotiations performed (tagged mode). Each one is a
+    /// server-counted request that is not a client-tallied outcome, so
+    /// reconciliation adds these to the expected request delta.
+    pub negotiations: u64,
+    /// Extra server-counted requests from batches split across tags in
+    /// tagged pipelines (`parts − 1` per split batch; the client tallies
+    /// the whole batch as one outcome). Reconciled like `negotiations`.
+    pub split_parts: u64,
     /// Serial clients' per-request wall latencies, nanoseconds.
     pub latency_ns: Vec<u64>,
 }
@@ -116,6 +135,8 @@ impl ClientTotals {
         self.error += other.error;
         self.io_error += other.io_error;
         self.reconnects += other.reconnects;
+        self.negotiations += other.negotiations;
+        self.split_parts += other.split_parts;
         self.latency_ns.extend(other.latency_ns);
     }
 
@@ -176,6 +197,8 @@ pub struct LoadReport {
     pub pipeline_window: usize,
     /// Whether churn was enabled.
     pub churn: bool,
+    /// Whether load clients drove tagged framing (protocol v2).
+    pub tagged: bool,
     /// Measured load-phase wall time, seconds.
     pub duration_secs: f64,
     /// Merged client-side outcome tally.
@@ -219,6 +242,7 @@ impl LoadReport {
             self.pipeline_window
         ));
         out.push_str(&format!("    \"churn\": {},\n", self.churn));
+        out.push_str(&format!("    \"tagged\": {},\n", self.tagged));
         out.push_str(&format!(
             "    \"duration_secs\": {},\n",
             json_f64(self.duration_secs)
@@ -237,6 +261,14 @@ impl LoadReport {
         out.push_str(&format!(
             "    \"reconnects\": {},\n",
             self.totals.reconnects
+        ));
+        out.push_str(&format!(
+            "    \"negotiations\": {},\n",
+            self.totals.negotiations
+        ));
+        out.push_str(&format!(
+            "    \"split_parts\": {},\n",
+            self.totals.split_parts
         ));
         out.push_str(&format!("    \"worker_panics\": {},\n", self.worker_panics));
         out.push_str(&format!("    \"rps\": {},\n", json_f64(self.rps)));
@@ -418,6 +450,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ServeError> {
         .field("duration_secs", config.duration.as_secs_f64())
         .field("pipeline_window", config.pipeline_window)
         .field("churn", config.churn)
+        .field("tagged", config.tagged)
         .emit();
 
     let done = Arc::new(AtomicBool::new(false));
@@ -567,8 +600,12 @@ fn analyze(
         // mid-window scrape is one server-counted request; transport
         // errors are the only honest slack.
         if let Some(requests_delta) = server.requests_delta {
-            let expected =
-                (totals.ok + totals.timeout + totals.error) as f64 + (series.len() as f64 - 1.0);
+            let expected = (totals.ok
+                + totals.timeout
+                + totals.error
+                + totals.negotiations
+                + totals.split_parts) as f64
+                + (series.len() as f64 - 1.0);
             if (requests_delta - expected).abs() > totals.io_error as f64 {
                 anomalies.push(format!(
                     "reconcile_mismatch: server counted {requests_delta} requests in the \
@@ -607,6 +644,7 @@ fn analyze(
         clients,
         pipeline_window: config.pipeline_window,
         churn: config.churn,
+        tagged: config.tagged,
         duration_secs,
         totals,
         rps,
@@ -667,6 +705,27 @@ fn scraper_loop(
 /// How often churning clients tear their connection down, in requests.
 const CHURN_EVERY: u64 = 32;
 
+/// Folds a retiring (or finished) client's cumulative reconciliation
+/// counters — `Hello` negotiations and tag-split extras — into the
+/// worker's totals. Must run exactly once per client, before it is
+/// replaced or dropped.
+fn harvest(client: &Client, t: &mut ClientTotals) {
+    t.negotiations += client.hellos_sent();
+    t.split_parts += client.split_requests();
+}
+
+/// Negotiates tagged framing on a freshly connected load client when the
+/// run asks for it. A negotiation failure is tallied (the transport-error
+/// slack covers the `Hello`'s unknowable fate); `want_tagged` stays
+/// sticky, so the client re-negotiates on its next reconnect.
+fn upgrade_if_tagged(cfg: &LoadgenConfig, client: &mut Client, t: &mut ClientTotals) {
+    if cfg.tagged {
+        if let Err(e) = client.upgrade_tagged() {
+            t.tally_err(&e);
+        }
+    }
+}
+
 /// A serial load client: one request at a time, mixed ops, per-request
 /// latency recorded on success.
 fn serial_worker(
@@ -683,12 +742,15 @@ fn serial_worker(
             return t;
         }
     };
+    upgrade_if_tagged(cfg, &mut client, &mut t);
     let mut i = 0u64;
     while deepn_trace::tick() < deadline_ns {
         if cfg.churn && i > 0 && i.is_multiple_of(CHURN_EVERY) {
             if let Ok(fresh) = Client::connect(cfg.addr) {
+                harvest(&client, &mut t);
                 client = fresh;
                 t.reconnects += 1;
+                upgrade_if_tagged(cfg, &mut client, &mut t);
             }
         }
         let t0 = deepn_trace::tick();
@@ -707,6 +769,7 @@ fn serial_worker(
         }
         i += 1;
     }
+    harvest(&client, &mut t);
     t
 }
 
@@ -726,13 +789,16 @@ fn pipelined_worker(
             return t;
         }
     };
+    upgrade_if_tagged(cfg, &mut client, &mut t);
     let window = cfg.pipeline_window.max(1);
     let mut round = 0u64;
     while deepn_trace::tick() < deadline_ns {
         if cfg.churn && round > 0 && (round * window as u64).is_multiple_of(CHURN_EVERY) {
             if let Ok(fresh) = Client::connect(cfg.addr) {
+                harvest(&client, &mut t);
                 client = fresh;
                 t.reconnects += 1;
+                upgrade_if_tagged(cfg, &mut client, &mut t);
             }
         }
         let mut fatal = false;
@@ -787,11 +853,14 @@ fn pipelined_worker(
             // fresh, pacing the retry like the serial rejection path.
             thread::sleep(Duration::from_millis(2));
             if let Ok(fresh) = Client::connect(cfg.addr) {
+                harvest(&client, &mut t);
                 client = fresh;
+                upgrade_if_tagged(cfg, &mut client, &mut t);
             }
         }
         round += 1;
     }
+    harvest(&client, &mut t);
     t
 }
 

@@ -35,10 +35,21 @@ pub(crate) enum Ctr {
     BytesIn,
     /// Reply-frame bytes sent.
     BytesOut,
+    /// Connections that negotiated tagged framing (protocol v2).
+    TaggedConnections,
+    /// Requests executed under tagged framing.
+    TaggedRequests,
 }
 
-/// Number of wire counters (the fixed `Stats` payload prefix).
+/// Number of wire counters in the fixed `Stats` payload *prefix* — the
+/// first eight `u64`s, frozen since the payload was specified. Counters
+/// added later ([`Ctr::TaggedConnections`] onward) travel as **trailing**
+/// `Stats` fields instead, because inserting them here would shift every
+/// field after the prefix and break old clients.
 pub(crate) const WIRE_COUNTERS: usize = 8;
+
+/// Total counters, prefix plus trailing.
+pub(crate) const COUNTERS: usize = 10;
 
 /// One server's instruments: wire counters, config gauges, and the
 /// request-phase latency histograms. Histograms are always live — they
@@ -46,8 +57,11 @@ pub(crate) const WIRE_COUNTERS: usize = 8;
 /// on tracing.
 pub(crate) struct ServeMetrics {
     registry: deepn_trace::Registry,
-    counters: [Arc<Counter>; WIRE_COUNTERS],
+    counters: [Arc<Counter>; COUNTERS],
     active_connections: Arc<Gauge>,
+    /// High-water mark of completed-but-unwritten tagged replies queued
+    /// for any one connection's writer (updated with `set_max`).
+    pub(crate) reply_buffer_high_water: Arc<Gauge>,
     /// Whole-request wall time, read-to-reply, per request.
     pub(crate) request_seconds: Arc<Histogram>,
     /// Time a fan-out job spent queued before a worker dequeued it.
@@ -56,6 +70,8 @@ pub(crate) struct ServeMetrics {
     pub(crate) execute_seconds: Arc<Histogram>,
     /// Time writing one reply frame to the socket.
     pub(crate) reply_write_seconds: Arc<Histogram>,
+    /// Time a completed tagged reply waited for its connection's writer.
+    pub(crate) reply_wait_seconds: Arc<Histogram>,
 }
 
 impl ServeMetrics {
@@ -90,6 +106,14 @@ impl ServeMetrics {
                 "Request-frame bytes received.",
             ),
             r.counter("deepn_serve_bytes_out_total", "Reply-frame bytes sent."),
+            r.counter(
+                "deepn_serve_tagged_connections_total",
+                "Connections that negotiated tagged framing (protocol v2).",
+            ),
+            r.counter(
+                "deepn_serve_tagged_requests_total",
+                "Requests executed under tagged framing.",
+            ),
         ];
         let active_connections = r.gauge(
             "deepn_serve_active_connections",
@@ -120,14 +144,24 @@ impl ServeMetrics {
             "deepn_serve_reply_write_seconds",
             "Time writing one reply frame to the socket.",
         );
+        let reply_buffer_high_water = r.gauge(
+            "deepn_serve_reply_buffer_high_water",
+            "High-water mark of completed tagged replies queued for one connection's writer.",
+        );
+        let reply_wait_seconds = r.histogram(
+            "deepn_serve_reply_wait_seconds",
+            "Time a completed tagged reply waited for its connection's writer.",
+        );
         ServeMetrics {
             registry: r,
             counters,
             active_connections,
+            reply_buffer_high_water,
             request_seconds,
             queue_wait_seconds,
             execute_seconds,
             reply_write_seconds,
+            reply_wait_seconds,
         }
     }
 
@@ -141,7 +175,14 @@ impl ServeMetrics {
         self.counters[c as usize].add(n);
     }
 
-    /// The wire counters in the frozen `Stats` payload order.
+    /// Reads one wire counter.
+    pub(crate) fn get(&self, c: Ctr) -> u64 {
+        self.counters[c as usize].get()
+    }
+
+    /// The first eight wire counters in the frozen `Stats` payload-prefix
+    /// order. Later counters are appended to `Stats` as trailing fields
+    /// by the dispatcher ([`Ctr::TaggedConnections`] onward).
     pub(crate) fn wire_counters(&self) -> [u64; WIRE_COUNTERS] {
         std::array::from_fn(|i| self.counters[i].get())
     }
@@ -170,6 +211,12 @@ mod tests {
         assert_eq!(wire[Ctr::Requests as usize], 1);
         assert_eq!(wire[Ctr::BytesOut as usize], 42);
         assert_eq!(wire[Ctr::ImagesEncoded as usize], 0);
+        // Tagged counters live past the frozen prefix: readable via
+        // `get`, never part of the eight-counter wire prefix.
+        m.inc(Ctr::TaggedRequests);
+        assert!(Ctr::TaggedRequests as usize >= WIRE_COUNTERS);
+        assert_eq!(m.get(Ctr::TaggedRequests), 1);
+        assert_eq!(m.get(Ctr::TaggedConnections), 0);
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub enum Opcode {
     /// The service never materializes the decoded image: peak reply-side
     /// memory is one strip.
     DecompressStream = 8,
+    /// Negotiate optional protocol features for this connection. The
+    /// request payload is a `u32` bitmask of requested features; the
+    /// ok-reply payload is the `u32` bitmask the service granted (always a
+    /// subset). Granting [`FEATURE_TAGGED`] switches **every subsequent
+    /// frame on the connection, both directions,** to tagged framing
+    /// (`u32 tag` prefixed to the request/reply byte). An old server
+    /// answers `Hello` with a typed error, so a new client degrades to v1
+    /// cleanly.
+    Hello = 9,
 }
 
 impl Opcode {
@@ -78,9 +87,76 @@ impl Opcode {
             6 => Some(Opcode::CompressStream),
             7 => Some(Opcode::Metrics),
             8 => Some(Opcode::DecompressStream),
+            9 => Some(Opcode::Hello),
             _ => None,
         }
     }
+}
+
+/// [`Opcode::Hello`] feature bit: tagged framing (protocol v2). Once
+/// granted, every subsequent frame on the connection carries a client-
+/// chosen `u32 tag` before the opcode/status byte; the service may
+/// execute a connection's in-flight requests **concurrently** and
+/// deliver replies out of order, tag-matched. See `docs/PROTOCOL.md`
+/// § Protocol v2.
+pub const FEATURE_TAGGED: u32 = 1;
+
+/// Prefixes a v1 request/reply body with its `u32 tag`, producing a
+/// tagged (protocol v2) frame body.
+pub fn tagged_body(tag: u32, inner: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(4 + inner.len());
+    body.extend_from_slice(&tag.to_le_bytes());
+    body.extend_from_slice(inner);
+    body
+}
+
+/// Writes one tagged (protocol v2) frame — `u32 len | u32 tag | inner` —
+/// without materializing the tagged body. Small frames coalesce header
+/// and body into a single stack-buffered write, so the per-frame cost of
+/// tagged framing stays below v1's two-write path instead of adding an
+/// allocation on top of it.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects oversized bodies.
+pub fn write_tagged_frame(w: &mut impl Write, tag: u32, inner: &[u8]) -> Result<(), ServeError> {
+    let body_len = inner.len() + 4;
+    if body_len > MAX_FRAME {
+        return Err(ServeError::Protocol(format!(
+            "frame of {body_len} bytes exceeds the {MAX_FRAME} byte limit"
+        )));
+    }
+    let mut hdr = [0u8; 8];
+    hdr[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    hdr[4..].copy_from_slice(&tag.to_le_bytes());
+    if inner.len() <= 120 {
+        let mut buf = [0u8; 128];
+        buf[..8].copy_from_slice(&hdr);
+        buf[8..8 + inner.len()].copy_from_slice(inner);
+        w.write_all(&buf[..8 + inner.len()])?;
+    } else {
+        w.write_all(&hdr)?;
+        w.write_all(inner)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Splits a tagged (protocol v2) frame body into its `u32 tag` and the
+/// v1-shaped rest (`opcode | payload` or `status | payload`).
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] when the body is too short to carry a tag.
+pub fn split_tagged(body: &[u8]) -> Result<(u32, &[u8]), ServeError> {
+    if body.len() < 4 {
+        return Err(ServeError::Protocol(format!(
+            "tagged frame of {} bytes cannot carry a u32 tag",
+            body.len()
+        )));
+    }
+    let tag = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+    Ok((tag, &body[4..]))
 }
 
 /// Reply status byte.
@@ -212,6 +288,21 @@ mod tests {
         let mut cursor = std::io::Cursor::new(wire);
         assert!(matches!(
             read_frame(&mut cursor),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn tagged_bodies_round_trip_and_reject_runts() {
+        let body = tagged_body(0xDEAD_BEEF, &[7, 8, 9]);
+        let (tag, rest) = split_tagged(&body).expect("split");
+        assert_eq!(tag, 0xDEAD_BEEF);
+        assert_eq!(rest, &[7, 8, 9]);
+        // An empty v1 rest is legal (Ping carries no payload) ...
+        assert!(split_tagged(&tagged_body(1, &[])).is_ok());
+        // ... but a body shorter than the tag itself is not.
+        assert!(matches!(
+            split_tagged(&[1, 2, 3]),
             Err(ServeError::Protocol(_))
         ));
     }

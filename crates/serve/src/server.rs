@@ -16,7 +16,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,12 @@ pub struct ServerConfig {
     /// takes at least this long is logged to stderr with its opcode and
     /// wall time (`deepn serve --slow-ms`). `None` disables the log.
     pub slow_threshold: Option<Duration>,
+    /// Per-connection in-flight window under tagged framing (protocol
+    /// v2): how many of one connection's requests may execute
+    /// concurrently before the reader stops admitting new frames. The
+    /// cap is what bounds the completed-reply buffer — workers never
+    /// block on a slow client's writer.
+    pub tagged_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +67,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             request_timeout: Some(Duration::from_secs(30)),
             slow_threshold: None,
+            tagged_window: 16,
         }
     }
 }
@@ -97,6 +104,12 @@ pub struct StatsSnapshot {
     pub request_timeout_ms: u64,
     /// Whether a model artifact was loaded for `Classify`.
     pub has_model: bool,
+    /// Connections that negotiated tagged framing (protocol v2). A
+    /// trailing `Stats` field: 0 when the service predates it.
+    pub tagged_connections: u64,
+    /// Requests executed under tagged framing. A trailing `Stats` field:
+    /// 0 when the service predates it.
+    pub tagged_requests: u64,
 }
 
 /// One unit of work: a single image (or stream) from a batch request.
@@ -112,7 +125,18 @@ enum JobResult {
     Label(usize),
 }
 
-struct Job {
+/// One queued unit of pool work: a v1 fan-out item, or a whole tagged
+/// (protocol v2) request executed inline by one worker — intra-image
+/// parallelism still fans out on the shared `deepn-parallel` pool, but
+/// the request occupies a single queue slot and a single worker, so a
+/// tagged connection's window can run *across* workers without nested
+/// fan-out ever deadlocking the bounded queue.
+enum Job {
+    Item(ItemJob),
+    Whole(WholeJob),
+}
+
+struct ItemJob {
     index: usize,
     req: JobRequest,
     reply: mpsc::Sender<(usize, Result<JobResult, String>)>,
@@ -122,6 +146,47 @@ struct Job {
     /// Trace timestamp of the (last) submission attempt, for the
     /// queue-wait histogram and span.
     submitted_ns: u64,
+}
+
+/// A whole tagged request: the worker loops the batch items inline,
+/// builds the complete reply body (status byte included), and hands it
+/// to the connection's writer thread.
+struct WholeJob {
+    work: WholeWork,
+    tag: u32,
+    reply: ReplySink,
+    deadline: Option<(Duration, Instant)>,
+    submitted_ns: u64,
+    /// Frame-read timestamp — the whole-request clock the writer closes.
+    start_ns: u64,
+    req_id: u64,
+    span: &'static str,
+}
+
+enum WholeWork {
+    Encode(Vec<RgbImage>),
+    Decode(Vec<Vec<u8>>),
+    Classify(Vec<RgbImage>),
+}
+
+/// Requests at or under this cost (pixels for encode, compressed bytes
+/// for decode) may run inline on a quiet tagged connection's reader
+/// instead of the pool: small enough that holding the reader off the
+/// socket costs less than two thread hand-offs, while anything larger
+/// keeps the window's out-of-order concurrency.
+const INLINE_WORK_BUDGET: usize = 4096;
+
+impl WholeWork {
+    /// A unit-less size proxy for the inline-execution decision.
+    /// `Classify` never inlines: model inference is the heaviest op and
+    /// the reader does not hold the model anyway.
+    fn inline_cost(&self) -> usize {
+        match self {
+            WholeWork::Encode(images) => images.iter().map(|i| i.width() * i.height()).sum(),
+            WholeWork::Decode(blobs) => blobs.iter().map(Vec::len).sum(),
+            WholeWork::Classify(_) => usize::MAX,
+        }
+    }
 }
 
 /// The compression service. [`bind`](Server::bind) it, then either
@@ -189,6 +254,8 @@ impl Server {
         config.workers = config.workers.max(1);
         config.queue_depth = config.queue_depth.max(1);
         config.max_connections = config.max_connections.max(1);
+        // A zero tagged window would admit nothing after negotiation.
+        config.tagged_window = config.tagged_window.max(1);
         // Honor DEEPN_TRACE=1 and DEEPN_LOG for servers embedded in other
         // binaries; never disables tracing a host process enabled
         // explicitly.
@@ -366,6 +433,274 @@ impl Drop for CloseLogger {
     }
 }
 
+/// One completed tagged reply on its way to the connection's writer
+/// thread: the v1-shaped reply body plus everything the writer needs to
+/// close out the request's observability (the tagged path's equivalent
+/// of [`RequestTimer`], which cannot be used because the request no
+/// longer completes within the reader's scope).
+struct TaggedReply {
+    tag: u32,
+    /// `status | payload` — the writer prefixes the tag on the wire.
+    body: Vec<u8>,
+    /// Whether writing this reply retires `tag` from the in-flight
+    /// window. `false` for duplicate-tag error replies, whose tag still
+    /// belongs to the original in-flight request.
+    release: bool,
+    req_id: u64,
+    span: &'static str,
+    /// Frame-read timestamp (whole-request clock).
+    start_ns: u64,
+    /// Execution-complete timestamp (start of the reply-buffer wait).
+    done_ns: u64,
+    status: &'static str,
+}
+
+/// The producer half of a tagged connection's reply queue. Unbounded so
+/// pool workers never block on one connection's slow writer; occupancy
+/// is bounded anyway because the reader admits at most `tagged_window`
+/// requests into flight.
+#[derive(Clone)]
+struct ReplySink {
+    tx: mpsc::Sender<TaggedReply>,
+    /// Completed-but-unwritten replies queued for the writer.
+    pending: Arc<AtomicUsize>,
+    /// Replies ever handed to the writer; paired with
+    /// [`ReplySink::written`] to detect a fully idle writer (see
+    /// `serve_tagged`'s quiet-connection fast path).
+    enqueued: Arc<AtomicUsize>,
+    /// Replies the writer has fully delivered (socket write, metrics,
+    /// and tag release all done).
+    written: Arc<AtomicUsize>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl ReplySink {
+    fn send(&self, reply: TaggedReply) {
+        let occupancy = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics
+            .reply_buffer_high_water
+            .set_max(occupancy as u64);
+        self.enqueued.fetch_add(1, Ordering::SeqCst);
+        // A dropped receiver means the connection died; nothing to do.
+        let _ = self.tx.send(reply);
+    }
+
+    /// True when every reply ever enqueued has been fully delivered —
+    /// the writer thread is parked in `recv` and owns no socket write.
+    /// Only the reader enqueues new cheap replies, and workers can only
+    /// enqueue while their tag is in the window, so the caller can
+    /// combine this with a window check to claim the socket briefly.
+    fn writer_idle(&self) -> bool {
+        let enqueued = self.enqueued.load(Ordering::SeqCst);
+        self.written.load(Ordering::SeqCst) >= enqueued
+    }
+}
+
+/// A tagged connection's in-flight window: the set of admitted tags,
+/// bounded by `tagged_window`. The reader blocks admission while the
+/// window is full; the writer releases a tag after its reply is written.
+struct TagWindow {
+    limit: usize,
+    tags: Mutex<std::collections::HashSet<u32>>,
+    freed: Condvar,
+}
+
+enum Admit {
+    /// Admitted; `sole` is true when the tag is the window's only
+    /// occupant, i.e. nothing else of this connection is in flight
+    /// anywhere (pool queue, worker, or reply queue, since all of those
+    /// hold their tag until written).
+    Admitted { sole: bool },
+    /// The tag is already in flight on this connection.
+    Duplicate,
+    /// The service shut down while waiting for window room.
+    Shutdown,
+}
+
+impl TagWindow {
+    fn new(limit: usize) -> Self {
+        TagWindow {
+            limit: limit.max(1),
+            tags: Mutex::new(std::collections::HashSet::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Admits `tag` into the window, waiting for room when it is full.
+    fn admit(&self, tag: u32, shutdown: &AtomicBool) -> Admit {
+        let Ok(mut tags) = self.tags.lock() else {
+            return Admit::Shutdown;
+        };
+        loop {
+            if tags.contains(&tag) {
+                return Admit::Duplicate;
+            }
+            if tags.len() < self.limit {
+                tags.insert(tag);
+                return Admit::Admitted {
+                    sole: tags.len() == 1,
+                };
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return Admit::Shutdown;
+            }
+            match self.freed.wait_timeout(tags, Duration::from_millis(100)) {
+                Ok((guard, _)) => tags = guard,
+                Err(_) => return Admit::Shutdown,
+            }
+        }
+    }
+
+    fn release(&self, tag: u32) {
+        if let Ok(mut tags) = self.tags.lock() {
+            tags.remove(&tag);
+            self.freed.notify_all();
+        }
+    }
+}
+
+/// Writes one tagged reply to the socket and closes out the request's
+/// metrics, spans, and structured events. Shared by the writer thread
+/// and the reader's quiet-connection fast path, so both deliver
+/// byte-identical frames with identical observability. Returns `true`
+/// if the socket write failed (the peer is gone).
+fn deliver_tagged_reply(
+    stream: &mut TcpStream,
+    reply: &TaggedReply,
+    metrics: &ServeMetrics,
+    conn_id: u64,
+    slow: Option<Duration>,
+) -> bool {
+    let write_start = deepn_trace::tick();
+    metrics.add(Ctr::BytesOut, 8 + reply.body.len() as u64);
+    let dead = protocol::write_tagged_frame(stream, reply.tag, &reply.body).is_err();
+    let end = deepn_trace::tick();
+    metrics
+        .reply_write_seconds
+        .record_ns(end.saturating_sub(write_start));
+    deepn_trace::record_span("serve.reply_write", write_start, end);
+    metrics
+        .request_seconds
+        .record_ns(end.saturating_sub(reply.start_ns));
+    deepn_trace::record_span(reply.span, reply.start_ns, end);
+    let op = reply
+        .span
+        .strip_prefix("serve.request.")
+        .unwrap_or(reply.span);
+    let ms = format!("{:.3}", end.saturating_sub(reply.start_ns) as f64 / 1e6);
+    log::trace("request")
+        .field("conn_id", conn_id)
+        .field("req_id", reply.req_id)
+        .field("tag", reply.tag)
+        .field("op", op)
+        .field("status", reply.status)
+        .field("ms", &ms)
+        .emit();
+    if matches!(reply.status, "timeout" | "error") {
+        let name = if reply.status == "timeout" {
+            "request_timeout"
+        } else {
+            "request_error"
+        };
+        log::warn(name)
+            .field("conn_id", conn_id)
+            .field("req_id", reply.req_id)
+            .field("tag", reply.tag)
+            .field("op", op)
+            .field("ms", &ms)
+            .emit();
+    }
+    if let Some(t) = slow {
+        if end.saturating_sub(reply.start_ns) >= t.as_nanos() as u64 {
+            log::warn("slow_request")
+                .field("conn_id", conn_id)
+                .field("req_id", reply.req_id)
+                .field("tag", reply.tag)
+                .field("op", op)
+                .field("ms", &ms)
+                .field("threshold_ms", format!("{:.3}", t.as_nanos() as f64 / 1e6))
+                .emit();
+        }
+    }
+    dead
+}
+
+/// The writer half of a tagged connection: drains the reply queue onto
+/// the socket in completion order, closing out each request's metrics,
+/// span, and structured events, and releasing its tag from the window.
+/// Exits once every [`ReplySink`] clone (reader + queued jobs) is gone.
+#[allow(clippy::too_many_arguments)]
+fn tagged_writer_loop(
+    mut stream: TcpStream,
+    rx: &Receiver<TaggedReply>,
+    window: &TagWindow,
+    pending: &AtomicUsize,
+    written: &AtomicUsize,
+    metrics: &ServeMetrics,
+    conn_id: u64,
+    slow: Option<Duration>,
+) {
+    // After a write failure the peer is gone; later replies are drained
+    // (tags released, accounting closed) without touching the socket.
+    let mut dead = false;
+    while let Ok(reply) = rx.recv() {
+        pending.fetch_sub(1, Ordering::SeqCst);
+        let write_start = deepn_trace::tick();
+        metrics
+            .reply_wait_seconds
+            .record_ns(write_start.saturating_sub(reply.done_ns));
+        deepn_trace::record_span("serve.reply_wait", reply.done_ns, write_start);
+        if !dead {
+            dead = deliver_tagged_reply(&mut stream, &reply, metrics, conn_id, slow);
+        }
+        if reply.release {
+            window.release(reply.tag);
+        }
+        // Advanced only after release: once `written` catches up with
+        // `enqueued`, this thread is provably back in `recv` with no
+        // socket write or window bookkeeping outstanding.
+        written.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// A tagged connection's writer thread, spawned on first use: a serial
+/// client whose every request takes the reader's quiet fast path never
+/// pays the thread spawn at all — which matters under connection churn,
+/// where the spawn would otherwise tax every reconnect. The reader must
+/// call [`ensure`](LazyWriter::ensure) before the first reply (its own
+/// or a pool job's) can reach the queue.
+struct LazyWriter {
+    parts: Option<(TcpStream, Receiver<TaggedReply>)>,
+    window: Arc<TagWindow>,
+    pending: Arc<AtomicUsize>,
+    written: Arc<AtomicUsize>,
+    metrics: Arc<ServeMetrics>,
+    conn_id: u64,
+    slow: Option<Duration>,
+}
+
+impl LazyWriter {
+    fn ensure(&mut self) {
+        let Some((stream, rx)) = self.parts.take() else {
+            return;
+        };
+        let window = Arc::clone(&self.window);
+        let pending = Arc::clone(&self.pending);
+        let written = Arc::clone(&self.written);
+        let metrics = Arc::clone(&self.metrics);
+        let conn_id = self.conn_id;
+        let slow = self.slow;
+        // Detached on purpose: queued jobs hold `ReplySink` clones, so
+        // the writer outlives the reader exactly until the last
+        // in-flight reply is delivered (or drained to a dead socket).
+        thread::spawn(move || {
+            tagged_writer_loop(
+                stream, &rx, &window, &pending, &written, &metrics, conn_id, slow,
+            )
+        });
+    }
+}
+
 impl ConnCtx {
     fn serve(self, mut stream: TcpStream, guard: ConnGuard) {
         let _ = stream.set_nodelay(true);
@@ -470,6 +805,33 @@ impl ConnCtx {
                         req_id,
                         status: Cell::new("ok"),
                     };
+                    if body.first() == Some(&(Opcode::Hello as u8)) {
+                        // Feature negotiation. Granting FEATURE_TAGGED
+                        // switches the rest of the connection — both
+                        // directions — to tagged framing, so it cannot go
+                        // through the one-frame `handle` path either.
+                        let requested = ByteReader::new(&body[1..]).u32().unwrap_or(0);
+                        let granted = requested & protocol::FEATURE_TAGGED;
+                        let mut w = ByteWriter::new();
+                        w.put_u8(STATUS_OK);
+                        w.put_u32(granted);
+                        if !self.write_reply(&mut stream, w.as_bytes()) {
+                            return;
+                        }
+                        if granted & protocol::FEATURE_TAGGED != 0 {
+                            self.counters.inc(Ctr::TaggedConnections);
+                            log::debug("conn_tagged")
+                                .field("conn_id", self.conn_id)
+                                .field("window", self.config.tagged_window)
+                                .emit();
+                            // Close the Hello's own observability before
+                            // the tagged loop takes over the connection.
+                            drop(req_timer);
+                            self.serve_tagged(&mut stream, &closer);
+                            return;
+                        }
+                        continue;
+                    }
                     if body.first() == Some(&(Opcode::CompressStream as u8)) {
                         // The streaming op owns the connection until its
                         // last strip frame: it cannot go through the
@@ -558,6 +920,473 @@ impl ConnCtx {
             .record_ns(end.saturating_sub(start));
         deepn_trace::record_span("serve.reply_write", start, end);
         ok
+    }
+
+    /// The tagged (protocol v2) serve loop, entered after a `Hello`
+    /// granted [`protocol::FEATURE_TAGGED`]. The reader admits up to
+    /// `tagged_window` of this connection's requests into flight at
+    /// once: work ops run **whole** on the shared worker pool (one
+    /// queue slot, one worker each), cheap ops are answered inline, and
+    /// a dedicated writer thread delivers replies tag-matched in
+    /// completion order — out of order relative to submission. The
+    /// window admission is the backpressure: the reply queue is
+    /// unbounded so workers never block on a slow client, but it can
+    /// never hold more than `tagged_window` replies.
+    fn serve_tagged(&self, stream: &mut TcpStream, closer: &CloseLogger) {
+        let write_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => {
+                log::warn("conn_tagged_split_failed")
+                    .field("conn_id", self.conn_id)
+                    .field("error", e.to_string())
+                    .emit();
+                return;
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let pending = Arc::new(AtomicUsize::new(0));
+        let written = Arc::new(AtomicUsize::new(0));
+        let window = Arc::new(TagWindow::new(self.config.tagged_window));
+        let replies = ReplySink {
+            tx: reply_tx,
+            pending: Arc::clone(&pending),
+            enqueued: Arc::new(AtomicUsize::new(0)),
+            written: Arc::clone(&written),
+            metrics: Arc::clone(&self.counters),
+        };
+        let mut writer = LazyWriter {
+            parts: Some((write_stream, reply_rx)),
+            window: Arc::clone(&window),
+            pending,
+            written,
+            metrics: Arc::clone(&self.counters),
+            conn_id: self.conn_id,
+            slow: self.config.slow_threshold,
+        };
+        // Codec state for the quiet-connection inline path, mirroring
+        // the pool workers' setup so inline replies are byte-identical.
+        let inline_encoder = Encoder::with_tables((*self.tables).clone());
+        let inline_decoder = Decoder::new();
+        let mut inline_enc_ws = EncodeWorkspace::new();
+        let mut inline_dec_ws = DecodeWorkspace::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let body = match protocol::read_frame(stream) {
+                Ok(Some(body)) => body,
+                Ok(None) => return,
+                Err(ServeError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            };
+            self.counters.inc(Ctr::Requests);
+            self.counters.inc(Ctr::TaggedRequests);
+            self.counters.add(Ctr::BytesIn, 4 + body.len() as u64);
+            let req_id = closer.requests.get() + 1;
+            closer.requests.set(req_id);
+            let start_ns = deepn_trace::tick();
+            let Ok((tag, rest)) = protocol::split_tagged(&body) else {
+                // A frame too short to carry a tag cannot be answered
+                // tag-matched: the framing contract is broken, so close
+                // on this (still intact) frame boundary.
+                log::warn("tagged_runt_frame")
+                    .field("conn_id", self.conn_id)
+                    .field("req_id", req_id)
+                    .field("bytes", body.len())
+                    .emit();
+                return;
+            };
+            let span = opcode_span_name(rest.first().copied());
+            let (op, payload) = match rest.split_first() {
+                Some((&b, payload)) => match Opcode::from_u8(b) {
+                    Some(op) => (op, payload),
+                    None => {
+                        writer.ensure();
+                        reject_tagged(
+                            &replies,
+                            tag,
+                            req_id,
+                            span,
+                            start_ns,
+                            ServeError::Protocol(format!("unknown opcode {b}")),
+                            false,
+                        );
+                        continue;
+                    }
+                },
+                None => {
+                    writer.ensure();
+                    reject_tagged(
+                        &replies,
+                        tag,
+                        req_id,
+                        span,
+                        start_ns,
+                        ServeError::Protocol("empty request frame".into()),
+                        false,
+                    );
+                    continue;
+                }
+            };
+            // Ops that cannot run inside a tagged window are rejected
+            // with a typed frame *before* admission — never silently
+            // corrupted, and the connection stays usable.
+            match op {
+                Opcode::Hello => {
+                    writer.ensure();
+                    reject_tagged(
+                        &replies,
+                        tag,
+                        req_id,
+                        span,
+                        start_ns,
+                        ServeError::Protocol(
+                            "tagged framing is already negotiated on this connection".into(),
+                        ),
+                        false,
+                    );
+                    continue;
+                }
+                Opcode::CompressStream | Opcode::DecompressStream => {
+                    writer.ensure();
+                    reject_tagged(
+                        &replies,
+                        tag,
+                        req_id,
+                        span,
+                        start_ns,
+                        ServeError::Protocol(
+                            "streaming ops are not available on a tagged connection; \
+                             open an untagged (v1) connection"
+                                .into(),
+                        ),
+                        false,
+                    );
+                    continue;
+                }
+                _ => {}
+            }
+            let sole = match window.admit(tag, &self.shutdown) {
+                Admit::Shutdown => return,
+                Admit::Duplicate => {
+                    // `release: false`: this tag still belongs to the
+                    // original in-flight request, whose reply must not
+                    // be forgotten because of the client's reuse.
+                    writer.ensure();
+                    reject_tagged(
+                        &replies,
+                        tag,
+                        req_id,
+                        span,
+                        start_ns,
+                        ServeError::Protocol(format!(
+                            "tag {tag} is already in flight on this connection"
+                        )),
+                        false,
+                    );
+                    continue;
+                }
+                Admit::Admitted { sole } => sole,
+            };
+            match op {
+                Opcode::Ping => {
+                    self.answer_cheap(
+                        stream,
+                        &replies,
+                        &window,
+                        &mut writer,
+                        sole,
+                        tag,
+                        vec![STATUS_OK],
+                        req_id,
+                        span,
+                        start_ns,
+                    );
+                }
+                Opcode::Stats => {
+                    let mut w = ByteWriter::new();
+                    w.put_u8(STATUS_OK);
+                    w.put_bytes(&self.stats_payload());
+                    self.answer_cheap(
+                        stream,
+                        &replies,
+                        &window,
+                        &mut writer,
+                        sole,
+                        tag,
+                        w.into_bytes(),
+                        req_id,
+                        span,
+                        start_ns,
+                    );
+                }
+                Opcode::Metrics => {
+                    let mut w = ByteWriter::new();
+                    w.put_u8(STATUS_OK);
+                    let active = self.active.load(Ordering::SeqCst) as u64;
+                    w.put_string(&self.counters.render(active));
+                    self.answer_cheap(
+                        stream,
+                        &replies,
+                        &window,
+                        &mut writer,
+                        sole,
+                        tag,
+                        w.into_bytes(),
+                        req_id,
+                        span,
+                        start_ns,
+                    );
+                }
+                Opcode::Shutdown => {
+                    writer.ensure();
+                    replies.send(TaggedReply {
+                        tag,
+                        body: vec![STATUS_OK],
+                        release: true,
+                        req_id,
+                        span,
+                        start_ns,
+                        done_ns: deepn_trace::tick(),
+                        status: "ok",
+                    });
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+                Opcode::EncodeBatch | Opcode::DecodeBatch | Opcode::Classify => {
+                    match self.parse_work(op, payload) {
+                        Err(e) => {
+                            writer.ensure();
+                            reject_tagged(&replies, tag, req_id, span, start_ns, e, true);
+                        }
+                        Ok(work)
+                            if work.inline_cost() <= INLINE_WORK_BUDGET
+                                && sole
+                                && replies.writer_idle() =>
+                        {
+                            // Quiet-connection inline execution: nothing
+                            // else is in flight, so blocking the reader
+                            // for this small request trades no window
+                            // concurrency away and skips both thread
+                            // hand-offs (pool submit, writer wake).
+                            let deadline =
+                                self.config.request_timeout.map(|t| (t, Instant::now() + t));
+                            let reply = run_whole(
+                                work,
+                                tag,
+                                deadline,
+                                deepn_trace::tick(),
+                                start_ns,
+                                req_id,
+                                span,
+                                &inline_encoder,
+                                &inline_decoder,
+                                None,
+                                &mut inline_enc_ws,
+                                &mut inline_dec_ws,
+                                &self.counters,
+                            );
+                            self.fast_deliver(stream, &window, reply);
+                        }
+                        Ok(work) => {
+                            writer.ensure();
+                            self.submit_whole(work, tag, &replies, req_id, span, start_ns);
+                        }
+                    }
+                }
+                // Rejected before admission; the match stays total
+                // without a panicking arm (panic-policy).
+                Opcode::Hello | Opcode::CompressStream | Opcode::DecompressStream => {}
+            }
+        }
+    }
+
+    /// Answers a cheap tagged op (Ping/Stats/Metrics), preferring the
+    /// quiet-connection fast path: when `tag` is the window's only
+    /// occupant and the writer has fully drained, no other reply can
+    /// exist or appear (workers need an admitted tag, and only this
+    /// reader admits), so the reader may claim the socket and write the
+    /// reply itself — byte-identical, but without the writer-thread
+    /// hand-off that costs two context switches per request on a busy
+    /// single-core host. Serial tagged clients hit this path on every
+    /// cheap request, matching v1's inline-answer cost.
+    #[allow(clippy::too_many_arguments)]
+    fn answer_cheap(
+        &self,
+        stream: &mut TcpStream,
+        replies: &ReplySink,
+        window: &TagWindow,
+        writer: &mut LazyWriter,
+        sole: bool,
+        tag: u32,
+        body: Vec<u8>,
+        req_id: u64,
+        span: &'static str,
+        start_ns: u64,
+    ) {
+        let reply = TaggedReply {
+            tag,
+            body,
+            release: true,
+            req_id,
+            span,
+            start_ns,
+            done_ns: deepn_trace::tick(),
+            status: "ok",
+        };
+        if sole && replies.writer_idle() {
+            self.fast_deliver(stream, window, reply);
+            return;
+        }
+        writer.ensure();
+        replies.send(reply);
+    }
+
+    /// Writes a reply on the reader thread, with the writer's exact
+    /// observability (one `reply_wait` sample per request either way),
+    /// then retires the tag. Only callable while the quiet-connection
+    /// invariant holds: the tag is the window's sole occupant and the
+    /// writer has fully drained, so nobody else can touch the socket.
+    fn fast_deliver(&self, stream: &mut TcpStream, window: &TagWindow, reply: TaggedReply) {
+        let write_start = deepn_trace::tick();
+        self.counters
+            .reply_wait_seconds
+            .record_ns(write_start.saturating_sub(reply.done_ns));
+        deepn_trace::record_span("serve.reply_wait", reply.done_ns, write_start);
+        // A failed write surfaces on the next read as EOF/error.
+        let _ = deliver_tagged_reply(
+            stream,
+            &reply,
+            &self.counters,
+            self.conn_id,
+            self.config.slow_threshold,
+        );
+        window.release(reply.tag);
+    }
+
+    /// Parses a tagged work op's payload into its whole-request job.
+    fn parse_work(&self, op: Opcode, payload: &[u8]) -> Result<WholeWork, ServeError> {
+        let mut r = ByteReader::new(payload);
+        match op {
+            Opcode::EncodeBatch => {
+                let count = r.len(8)?;
+                let mut images = Vec::with_capacity(count);
+                for _ in 0..count {
+                    images.push(protocol::get_image(&mut r)?);
+                }
+                Ok(WholeWork::Encode(images))
+            }
+            Opcode::DecodeBatch => {
+                let count = r.len(4)?;
+                let mut blobs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    blobs.push(protocol::get_blob(&mut r)?);
+                }
+                Ok(WholeWork::Decode(blobs))
+            }
+            Opcode::Classify => {
+                if !self.has_model {
+                    return Err(ServeError::Remote(
+                        "service started without a model artifact".into(),
+                    ));
+                }
+                let count = r.len(8)?;
+                let mut images = Vec::with_capacity(count);
+                for _ in 0..count {
+                    images.push(protocol::get_image(&mut r)?);
+                }
+                Ok(WholeWork::Classify(images))
+            }
+            _ => Err(ServeError::Protocol(format!("op {op:?} is not pool work"))),
+        }
+    }
+
+    /// Submits one whole tagged request to the bounded pool queue,
+    /// honoring the per-request deadline during submission exactly like
+    /// the v1 fan-out path. Submission failures become typed replies on
+    /// the writer; the tag is released once that reply is written.
+    fn submit_whole(
+        &self,
+        work: WholeWork,
+        tag: u32,
+        replies: &ReplySink,
+        req_id: u64,
+        span: &'static str,
+        start_ns: u64,
+    ) {
+        let deadline = self.config.request_timeout.map(|t| (t, Instant::now() + t));
+        let mut job = Job::Whole(WholeJob {
+            work,
+            tag,
+            reply: replies.clone(),
+            deadline,
+            submitted_ns: deepn_trace::tick(),
+            start_ns,
+            req_id,
+            span,
+        });
+        match &deadline {
+            None => {
+                if self.job_tx.send(job).is_err() {
+                    reject_tagged(
+                        replies,
+                        tag,
+                        req_id,
+                        span,
+                        start_ns,
+                        ServeError::Remote("service is shutting down".into()),
+                        true,
+                    );
+                }
+            }
+            Some(d) => loop {
+                match self.job_tx.try_send(job) {
+                    Ok(()) => break,
+                    Err(mpsc::TrySendError::Disconnected(_)) => {
+                        reject_tagged(
+                            replies,
+                            tag,
+                            req_id,
+                            span,
+                            start_ns,
+                            ServeError::Remote("service is shutting down".into()),
+                            true,
+                        );
+                        break;
+                    }
+                    Err(mpsc::TrySendError::Full(back)) => {
+                        if Instant::now() >= d.1 {
+                            self.counters.inc(Ctr::RequestsTimedOut);
+                            reject_tagged(
+                                replies,
+                                tag,
+                                req_id,
+                                span,
+                                start_ns,
+                                ServeError::Timeout(format!(
+                                    "request exceeded its {:?} budget",
+                                    d.0
+                                )),
+                                true,
+                            );
+                            break;
+                        }
+                        job = back;
+                        thread::sleep(Duration::from_millis(1));
+                        // Queue wait measures queued time, not the
+                        // submitter's backoff: restamp on each retry.
+                        if let Job::Whole(w) = &mut job {
+                            w.submitted_ns = deepn_trace::tick();
+                        }
+                    }
+                }
+            },
+        }
     }
 
     /// Handles one `CompressStream` request after its begin frame: reads
@@ -734,6 +1563,12 @@ impl ConnCtx {
         match op {
             Opcode::Ping => Ok((Vec::new(), false)),
             Opcode::Shutdown => Ok((Vec::new(), true)),
+            // Negotiation is intercepted in the serve loop (granting
+            // FEATURE_TAGGED re-frames the connection); reachable here
+            // only via the limited-rejection path, which never dispatches.
+            Opcode::Hello => Err(ServeError::Protocol(
+                "Hello is negotiated by the serve loop, not dispatched".into(),
+            )),
             // The streaming ops are intercepted before dispatch (they own
             // the connection for their strip frames).
             Opcode::CompressStream | Opcode::DecompressStream => Err(ServeError::Protocol(
@@ -816,29 +1651,38 @@ impl ConnCtx {
                 }
                 Ok((w.into_bytes(), false))
             }
-            Opcode::Stats => {
-                let mut w = ByteWriter::new();
-                // The counter array's declaration order IS the wire order
-                // (docs/PROTOCOL.md) — one source of truth for both.
-                for v in self.counters.wire_counters() {
-                    w.put_u64(v);
-                }
-                w.put_u32(self.active.load(Ordering::SeqCst) as u32);
-                w.put_u32(self.config.workers as u32);
-                w.put_u32(self.config.queue_depth as u32);
-                w.put_u32(self.config.max_connections as u32);
-                // 0 means "no deadline"; an enabled sub-millisecond budget
-                // (e.g. `Some(Duration::ZERO)` in tests) reports as 1 so it
-                // cannot masquerade as disabled.
-                w.put_u64(
-                    self.config
-                        .request_timeout
-                        .map_or(0, |t| (t.as_millis() as u64).max(1)),
-                );
-                w.put_u8(u8::from(self.has_model));
-                Ok((w.into_bytes(), false))
-            }
+            Opcode::Stats => Ok((self.stats_payload(), false)),
         }
+    }
+
+    /// The `Stats` ok-payload: the frozen eight-counter prefix, the
+    /// config echo, then every trailing field in append order
+    /// (docs/PROTOCOL.md — trailing fields are how `Stats` grows without
+    /// shifting what old clients read).
+    fn stats_payload(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        // The counter array's declaration order IS the wire order
+        // (docs/PROTOCOL.md) — one source of truth for both.
+        for v in self.counters.wire_counters() {
+            w.put_u64(v);
+        }
+        w.put_u32(self.active.load(Ordering::SeqCst) as u32);
+        w.put_u32(self.config.workers as u32);
+        w.put_u32(self.config.queue_depth as u32);
+        w.put_u32(self.config.max_connections as u32);
+        // 0 means "no deadline"; an enabled sub-millisecond budget
+        // (e.g. `Some(Duration::ZERO)` in tests) reports as 1 so it
+        // cannot masquerade as disabled.
+        w.put_u64(
+            self.config
+                .request_timeout
+                .map_or(0, |t| (t.as_millis() as u64).max(1)),
+        );
+        w.put_u8(u8::from(self.has_model));
+        // Trailing fields, append-only past this point.
+        w.put_u64(self.counters.get(Ctr::TaggedConnections));
+        w.put_u64(self.counters.get(Ctr::TaggedRequests));
+        w.into_bytes()
     }
 
     /// Submits one job per batch item to the bounded queue and collects
@@ -863,13 +1707,13 @@ impl ConnCtx {
         let n = reqs.len();
         let (tx, rx) = mpsc::channel();
         for (index, req) in reqs.into_iter().enumerate() {
-            let mut job = Job {
+            let mut job = Job::Item(ItemJob {
                 index,
                 req,
                 reply: tx.clone(),
                 cancelled: Arc::clone(&cancelled),
                 submitted_ns: deepn_trace::tick(),
-            };
+            });
             // Submission must honor the deadline too: a full queue under
             // overload would otherwise block `send` past the budget —
             // exactly the situation the timeout exists for.
@@ -892,7 +1736,9 @@ impl ConnCtx {
                             thread::sleep(Duration::from_millis(1));
                             // Queue wait measures queued time, not the
                             // submitter's backoff: restamp on each retry.
-                            job.submitted_ns = deepn_trace::tick();
+                            if let Job::Item(j) = &mut job {
+                                j.submitted_ns = deepn_trace::tick();
+                            }
                         }
                     }
                 },
@@ -946,6 +1792,7 @@ fn opcode_span_name(op: Option<u8>) -> &'static str {
         Some(Opcode::CompressStream) => "serve.request.compress_stream",
         Some(Opcode::Metrics) => "serve.request.metrics",
         Some(Opcode::DecompressStream) => "serve.request.decompress_stream",
+        Some(Opcode::Hello) => "serve.request.hello",
         None => "serve.request.unknown",
     }
 }
@@ -1076,50 +1923,292 @@ fn worker_loop(
             Ok(guard) => guard.recv(),
             Err(_) => return,
         };
-        let Ok(job) = job else { return };
-        let dequeued_ns = deepn_trace::tick();
-        metrics
-            .queue_wait_seconds
-            .record_ns(dequeued_ns.saturating_sub(job.submitted_ns));
-        deepn_trace::record_span("serve.queue_wait", job.submitted_ns, dequeued_ns);
-        if job.cancelled.load(Ordering::SeqCst) {
-            // The request already timed out; nobody collects this result.
-            continue;
+        match job {
+            Err(_) => return,
+            Ok(Job::Item(job)) => {
+                run_item_job(
+                    job,
+                    &encoder,
+                    &decoder,
+                    model.as_ref(),
+                    &mut enc_ws,
+                    &mut dec_ws,
+                    metrics,
+                );
+            }
+            Ok(Job::Whole(job)) => {
+                execute_whole(
+                    job,
+                    &encoder,
+                    &decoder,
+                    model.as_ref(),
+                    &mut enc_ws,
+                    &mut dec_ws,
+                    metrics,
+                );
+            }
         }
-        // A panic (e.g. an image whose geometry violates a model layer's
-        // invariants) must cost one request, not one pool thread: an
-        // unreplaced dead worker would eventually wedge the whole service.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.req {
-            JobRequest::Encode(img) => encoder
-                .encode_with(&img, &mut enc_ws)
-                .map(JobResult::Bytes)
-                .map_err(|e| format!("encode failed: {e}")),
-            JobRequest::Decode(bytes) => decoder
-                .decode_with(&bytes, &mut dec_ws)
-                .map(JobResult::Image)
-                .map_err(|e| format!("decode failed: {e}")),
-            JobRequest::Classify(img) => match &model {
-                Some(net) => {
-                    let labels = net.predict(&image_to_tensor(&img));
-                    Ok(JobResult::Label(labels[0]))
+    }
+}
+
+/// Runs one v1 fan-out item on a worker.
+fn run_item_job(
+    job: ItemJob,
+    encoder: &Encoder,
+    decoder: &Decoder,
+    model: Option<&Arc<Sequential>>,
+    enc_ws: &mut EncodeWorkspace,
+    dec_ws: &mut DecodeWorkspace,
+    metrics: &ServeMetrics,
+) {
+    let dequeued_ns = deepn_trace::tick();
+    metrics
+        .queue_wait_seconds
+        .record_ns(dequeued_ns.saturating_sub(job.submitted_ns));
+    deepn_trace::record_span("serve.queue_wait", job.submitted_ns, dequeued_ns);
+    if job.cancelled.load(Ordering::SeqCst) {
+        // The request already timed out; nobody collects this result.
+        return;
+    }
+    // A panic (e.g. an image whose geometry violates a model layer's
+    // invariants) must cost one request, not one pool thread: an
+    // unreplaced dead worker would eventually wedge the whole service.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.req {
+        JobRequest::Encode(img) => encoder
+            .encode_with(&img, enc_ws)
+            .map(JobResult::Bytes)
+            .map_err(|e| format!("encode failed: {e}")),
+        JobRequest::Decode(bytes) => decoder
+            .decode_with(&bytes, dec_ws)
+            .map(JobResult::Image)
+            .map_err(|e| format!("decode failed: {e}")),
+        JobRequest::Classify(img) => match model {
+            Some(net) => {
+                let labels = net.predict(&image_to_tensor(&img));
+                Ok(JobResult::Label(labels[0]))
+            }
+            None => Err("no model loaded".into()),
+        },
+    }))
+    .unwrap_or_else(|panic| Err(format!("request rejected: {}", panic_message(&panic))));
+    let done_ns = deepn_trace::tick();
+    metrics
+        .execute_seconds
+        .record_ns(done_ns.saturating_sub(dequeued_ns));
+    deepn_trace::record_span("serve.execute", dequeued_ns, done_ns);
+    // A dropped receiver means the connection died; nothing to do.
+    let _ = job.reply.send((job.index, result));
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked".into())
+}
+
+/// The status label for a typed failure — the tagged path's analogue of
+/// [`RequestTimer::fail`].
+fn error_status(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::Busy(_) => "busy",
+        ServeError::Timeout(_) => "timeout",
+        ServeError::Io(_) => "io",
+        _ => "error",
+    }
+}
+
+/// Enqueues a typed error reply for a tagged request on the connection's
+/// writer. `release` is false when the failure must not retire the tag
+/// (duplicate tags, pre-admission rejects).
+fn reject_tagged(
+    replies: &ReplySink,
+    tag: u32,
+    req_id: u64,
+    span: &'static str,
+    start_ns: u64,
+    e: ServeError,
+    release: bool,
+) {
+    let status = error_status(&e);
+    replies.send(TaggedReply {
+        tag,
+        body: error_reply(e),
+        release,
+        req_id,
+        span,
+        start_ns,
+        done_ns: deepn_trace::tick(),
+        status,
+    });
+}
+
+/// Executes one whole tagged request on a worker: deadline re-checked at
+/// dequeue and between batch items, panics isolated per request, and the
+/// complete v1-shaped reply body handed to the connection's writer.
+/// Per-request payload bytes and error messages are identical to the v1
+/// fan-out path's (`tests/tagged.rs` proves it property-wise).
+fn execute_whole(
+    job: WholeJob,
+    encoder: &Encoder,
+    decoder: &Decoder,
+    model: Option<&Arc<Sequential>>,
+    enc_ws: &mut EncodeWorkspace,
+    dec_ws: &mut DecodeWorkspace,
+    metrics: &ServeMetrics,
+) {
+    let WholeJob {
+        work,
+        tag,
+        reply,
+        deadline,
+        submitted_ns,
+        start_ns,
+        req_id,
+        span,
+    } = job;
+    let done = run_whole(
+        work,
+        tag,
+        deadline,
+        submitted_ns,
+        start_ns,
+        req_id,
+        span,
+        encoder,
+        decoder,
+        model,
+        enc_ws,
+        dec_ws,
+        metrics,
+    );
+    reply.send(done);
+}
+
+/// The execution core shared by pool workers ([`execute_whole`]) and the
+/// reader's quiet-connection inline path: runs one whole tagged request
+/// to a finished [`TaggedReply`], with identical bytes, deadline checks,
+/// panic isolation, and metrics either way.
+#[allow(clippy::too_many_arguments)]
+fn run_whole(
+    work: WholeWork,
+    tag: u32,
+    deadline: Option<(Duration, Instant)>,
+    submitted_ns: u64,
+    start_ns: u64,
+    req_id: u64,
+    span: &'static str,
+    encoder: &Encoder,
+    decoder: &Decoder,
+    model: Option<&Arc<Sequential>>,
+    enc_ws: &mut EncodeWorkspace,
+    dec_ws: &mut DecodeWorkspace,
+    metrics: &ServeMetrics,
+) -> TaggedReply {
+    let dequeued_ns = deepn_trace::tick();
+    metrics
+        .queue_wait_seconds
+        .record_ns(dequeued_ns.saturating_sub(submitted_ns));
+    deepn_trace::record_span("serve.queue_wait", submitted_ns, dequeued_ns);
+    let over_budget = || -> Option<ServeError> {
+        deadline.as_ref().and_then(|(budget, end)| {
+            (Instant::now() >= *end)
+                .then(|| ServeError::Timeout(format!("request exceeded its {budget:?} budget")))
+        })
+    };
+    let outcome = match over_budget() {
+        // Dead on arrival: the deadline passed while queued, so skip the
+        // work entirely instead of computing a reply past its budget.
+        Some(e) => Err(e),
+        None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<Vec<u8>, ServeError> {
+                match work {
+                    WholeWork::Encode(images) => {
+                        let mut w = ByteWriter::new();
+                        w.put_len(images.len());
+                        for img in &images {
+                            if let Some(e) = over_budget() {
+                                return Err(e);
+                            }
+                            let bytes = encoder
+                                .encode_with(img, enc_ws)
+                                .map_err(|e| ServeError::Remote(format!("encode failed: {e}")))?;
+                            protocol::put_blob(&mut w, &bytes);
+                        }
+                        metrics.add(Ctr::ImagesEncoded, images.len() as u64);
+                        Ok(w.into_bytes())
+                    }
+                    WholeWork::Decode(blobs) => {
+                        let mut w = ByteWriter::new();
+                        w.put_len(blobs.len());
+                        for blob in &blobs {
+                            if let Some(e) = over_budget() {
+                                return Err(e);
+                            }
+                            let img = decoder
+                                .decode_with(blob, dec_ws)
+                                .map_err(|e| ServeError::Remote(format!("decode failed: {e}")))?;
+                            protocol::put_image(&mut w, &img);
+                        }
+                        metrics.add(Ctr::ImagesDecoded, blobs.len() as u64);
+                        Ok(w.into_bytes())
+                    }
+                    WholeWork::Classify(images) => {
+                        let Some(net) = model else {
+                            return Err(ServeError::Remote("no model loaded".into()));
+                        };
+                        let mut w = ByteWriter::new();
+                        w.put_len(images.len());
+                        for img in &images {
+                            if let Some(e) = over_budget() {
+                                return Err(e);
+                            }
+                            let labels = net.predict(&image_to_tensor(img));
+                            w.put_u32(labels[0] as u32);
+                        }
+                        metrics.add(Ctr::ImagesClassified, images.len() as u64);
+                        Ok(w.into_bytes())
+                    }
                 }
-                None => Err("no model loaded".into()),
             },
-        }))
+        ))
         .unwrap_or_else(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "worker panicked".into());
-            Err(format!("request rejected: {msg}"))
-        });
-        let done_ns = deepn_trace::tick();
-        metrics
-            .execute_seconds
-            .record_ns(done_ns.saturating_sub(dequeued_ns));
-        deepn_trace::record_span("serve.execute", dequeued_ns, done_ns);
-        // A dropped receiver means the connection died; nothing to do.
-        let _ = job.reply.send((job.index, result));
+            Err(ServeError::Remote(format!(
+                "request rejected: {}",
+                panic_message(&panic)
+            )))
+        }),
+    };
+    let (body, status) = match outcome {
+        Ok(payload) => {
+            let mut body = Vec::with_capacity(1 + payload.len());
+            body.push(STATUS_OK);
+            body.extend_from_slice(&payload);
+            (body, "ok")
+        }
+        Err(e) => {
+            if matches!(e, ServeError::Timeout(_)) {
+                metrics.inc(Ctr::RequestsTimedOut);
+            }
+            let status = error_status(&e);
+            (error_reply(e), status)
+        }
+    };
+    let done_ns = deepn_trace::tick();
+    metrics
+        .execute_seconds
+        .record_ns(done_ns.saturating_sub(dequeued_ns));
+    deepn_trace::record_span("serve.execute", dequeued_ns, done_ns);
+    TaggedReply {
+        tag,
+        body,
+        release: true,
+        req_id,
+        span,
+        start_ns,
+        done_ns,
+        status,
     }
 }

@@ -63,7 +63,8 @@ COMMANDS:
                   reject rate over budget, throughput stall, client/server
                   accounting mismatch) or the --baseline perf gate fails
                   --addr HOST:PORT [--clients N] [--duration-secs N]
-                  [--window W (0 = all serial)] [--churn] [--image-side N]
+                  [--window W (0 = all serial)] [--churn] [--tagged
+                  (drive protocol-v2 tagged framing)] [--image-side N]
                   [--batch N] [--scrape-ms N] [--max-error-rate F]
                   [--max-reject-rate F] [--out PATH] [--baseline PATH]
                   [--min-rps-frac F]
@@ -556,6 +557,7 @@ fn cmd_loadgen(mut args: Args) -> Result<(), Box<dyn Error>> {
     cfg.duration = Duration::from_secs(args.parsed("--duration-secs", 10u64)?);
     cfg.pipeline_window = args.parsed("--window", cfg.pipeline_window)?;
     cfg.churn = args.flag("--churn");
+    cfg.tagged = args.flag("--tagged");
     cfg.image_side = args.parsed("--image-side", cfg.image_side)?;
     cfg.batch = args.parsed("--batch", cfg.batch)?;
     cfg.scrape_interval = Duration::from_millis(args.parsed("--scrape-ms", 1000u64)?);
