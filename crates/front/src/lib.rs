@@ -1,0 +1,402 @@
+//! # deepn-front
+//!
+//! A sharded, self-healing front end for the DeepN-JPEG compression
+//! service. One front process listens on a single address, spawns and
+//! supervises `N` backend `deepn serve` processes, and splices every
+//! client connection onto one backend chosen by **consistent hashing**:
+//! a client that advertises a table fingerprint in its `Hello` lands on
+//! the shard whose caches already hold that table, and stays there for
+//! the life of the connection (so the streaming ops never straddle
+//! shards).
+//!
+//! Failure handling leans on the protocol's existing client contract
+//! rather than front-side buffering: when a backend dies, its spliced
+//! connections are torn down, the client's reconnect+replay re-sends the
+//! unacknowledged window, and the ring routes the fresh connection to
+//! the next live shard while the supervisor restarts the dead one with
+//! exponential backoff. A request is thus at most *retried*, never
+//! silently dropped — `crates/front/tests/chaos.rs` kills a backend
+//! mid-storm and holds the load generator's reconciliation to that
+//! contract.
+//!
+//! The front answers `Metrics` itself with a fleet-wide exposition
+//! (per-shard samples labelled `shard="N"`, restart-proof counter
+//! floors, splice-level request counting) and `Shutdown` with a drain:
+//! stop accepting, let every in-flight request finish, then stop the
+//! fleet. `docs/SHARDING.md` is the full design document.
+//!
+//! ```no_run
+//! use deepn_front::{BackendCommand, Front, FrontConfig};
+//!
+//! # fn main() -> Result<(), deepn_serve::ServeError> {
+//! let cmd = BackendCommand::new(
+//!     "deepn",
+//!     vec!["serve".into(), "--tables".into(), "tables.deepn".into(),
+//!          "--addr".into(), "127.0.0.1:0".into()],
+//! );
+//! let front = Front::bind("127.0.0.1:7077", FrontConfig::new(3, cmd))?;
+//! front.run() // serves until SIGTERM or a Shutdown request, then drains
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ring;
+pub mod signal;
+
+mod metrics;
+mod proxy;
+mod supervisor;
+
+pub use ring::{fingerprint_bytes, splitmix64, Ring};
+pub use supervisor::{BackendCommand, FleetView, ShardView, SupervisorConfig, READY_PREFIX};
+
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+use deepn_serve::ServeError;
+use deepn_trace::log;
+use deepn_trace::{Counter, Gauge, Registry};
+
+use metrics::MetricsAggregator;
+use supervisor::Supervisor;
+
+/// Front-end configuration: fleet shape plus supervision and drain
+/// tuning.
+#[derive(Debug, Clone)]
+pub struct FrontConfig {
+    /// Number of backend shards to spawn and route across.
+    pub backends: usize,
+    /// How to launch one backend (each must bind an ephemeral port and
+    /// print the [`READY_PREFIX`] readiness line on stdout).
+    pub backend_cmd: BackendCommand,
+    /// Virtual nodes per shard on the routing ring.
+    pub vnodes: u32,
+    /// Supervision knobs: backoff, readiness, health pings.
+    pub supervisor: SupervisorConfig,
+    /// How long a drain waits for in-flight requests before giving up.
+    pub drain_timeout: Duration,
+}
+
+impl FrontConfig {
+    /// A standard fleet: `backends` shards from `backend_cmd`, 64 vnodes
+    /// per shard, default supervision, a 30 s drain budget.
+    pub fn new(backends: usize, backend_cmd: BackendCommand) -> Self {
+        FrontConfig {
+            backends: backends.max(1),
+            backend_cmd,
+            vnodes: 64,
+            supervisor: SupervisorConfig::default(),
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Shared front state: routing, fleet view, instruments, and the splice
+/// counters the fleet exposition is built from.
+pub(crate) struct FrontState {
+    pub(crate) view: Arc<FleetView>,
+    pub(crate) ring: Ring,
+    registry: Registry,
+    /// Fleet-wide in-flight requests (forwarded, reply not yet done).
+    pub(crate) outstanding: AtomicI64,
+    /// Per-shard completed-request counters — the authoritative
+    /// `deepn_serve_requests_total{shard="N"}` source, surviving backend
+    /// restarts (see `crates/front/src/metrics.rs`).
+    pub(crate) shard_requests: Vec<AtomicU64>,
+    /// Requests the front answered itself (`shard="front"`).
+    pub(crate) front_requests: AtomicU64,
+    /// Busy rejections the front issued itself ("no live backend") —
+    /// the `shard="front"` sample of the fleet rejection counter.
+    pub(crate) front_rejected: AtomicU64,
+    pub(crate) active_conns: AtomicI64,
+    pub(crate) connections_total: Arc<Counter>,
+    pub(crate) failovers_total: Arc<Counter>,
+    active_gauge: Arc<Gauge>,
+    aggregator: Mutex<MetricsAggregator>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl FrontState {
+    /// Whether the front is draining (no new accepts, no respawns).
+    pub(crate) fn draining(&self) -> bool {
+        self.view.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts the drain; idempotent.
+    pub(crate) fn begin_drain(&self) {
+        self.view.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Publishes the active-connection count to the gauge.
+    pub(crate) fn set_active(&self, n: i64) {
+        self.active_gauge.set(n.max(0) as u64);
+    }
+
+    /// One fleet-wide Prometheus exposition: scrape every live backend,
+    /// merge with restart floors, splice in the front's own counters.
+    pub(crate) fn render_metrics(&self) -> String {
+        let mut agg = lock(&self.aggregator);
+        agg.scrape(&self.view.snapshot());
+        let shard_requests: Vec<u64> = self
+            .shard_requests
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .collect();
+        agg.render(
+            &shard_requests,
+            self.front_requests.load(Ordering::SeqCst),
+            self.front_rejected.load(Ordering::SeqCst),
+            &self.registry.render(),
+        )
+    }
+}
+
+/// A bound front end, ready to [`Front::run`].
+pub struct Front {
+    listener: TcpListener,
+    state: Arc<FrontState>,
+    supervisor: thread::JoinHandle<()>,
+    drain_timeout: Duration,
+}
+
+impl Front {
+    /// Binds the client listener, spawns the backend fleet, and waits
+    /// until every shard is up.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the listener cannot bind;
+    /// [`ServeError::Remote`] if the fleet does not come up within the
+    /// readiness budget.
+    pub fn bind(addr: impl ToSocketAddrs, config: FrontConfig) -> Result<Front, ServeError> {
+        let n = config.backends;
+        let registry = Registry::new();
+        let connections_total = registry.counter(
+            "deepn_front_connections_total",
+            "Client connections accepted by the front end.",
+        );
+        let active_gauge = registry.gauge(
+            "deepn_front_active_connections",
+            "Client connections currently spliced.",
+        );
+        let restarts_total = registry.counter(
+            "deepn_front_backend_restarts_total",
+            "Backend processes respawned after a crash or kill.",
+        );
+        let failovers_total = registry.counter(
+            "deepn_front_failovers_total",
+            "Connections diverted off their home shard by a dead backend.",
+        );
+        let backends_gauge =
+            registry.gauge("deepn_front_backends", "Configured backend shard count.");
+        let healthy_gauge = registry.gauge(
+            "deepn_front_backends_healthy",
+            "Backend shards currently up and routable.",
+        );
+        backends_gauge.set(n as u64);
+
+        let view = Arc::new(FleetView::new(n));
+        let supervisor = Supervisor::new(
+            n,
+            config.backend_cmd.clone(),
+            config.supervisor.clone(),
+            Arc::clone(&view),
+            Some(restarts_total),
+            Some(healthy_gauge),
+        );
+        let sup_thread = thread::Builder::new()
+            .name("front-supervisor".to_string())
+            .spawn(move || supervisor.run())?;
+
+        // Initial readiness: every shard up before we accept traffic.
+        // Spawns are serialized by the supervisor, so the budget scales
+        // with the fleet.
+        let deadline =
+            deepn_trace::tick() + config.supervisor.readiness_timeout.as_nanos() as u64 * n as u64;
+        while view.live() < n {
+            if deepn_trace::tick() > deadline {
+                view.stop.store(true, Ordering::SeqCst);
+                let _ = sup_thread.join();
+                return Err(ServeError::Remote(format!(
+                    "only {} of {n} backends became ready",
+                    view.live()
+                )));
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(FrontState {
+            view,
+            ring: Ring::with_shards(config.vnodes, n as u32),
+            registry,
+            outstanding: AtomicI64::new(0),
+            shard_requests: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            front_requests: AtomicU64::new(0),
+            front_rejected: AtomicU64::new(0),
+            active_conns: AtomicI64::new(0),
+            connections_total,
+            failovers_total,
+            active_gauge,
+            aggregator: Mutex::new(MetricsAggregator::new(n)),
+        });
+        log::info("front_up")
+            .field("addr", listener.local_addr()?)
+            .field("backends", n)
+            .emit();
+        Ok(Front {
+            listener,
+            state,
+            supervisor: sup_thread,
+            drain_timeout: config.drain_timeout,
+        })
+    }
+
+    /// The address clients connect to.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket's local address is unavailable.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serves until a drain is requested — by SIGTERM (when
+    /// [`signal::install_term_handler`] was called), a client `Shutdown`
+    /// request, or [`FrontHandle::request_drain`] — then completes every
+    /// in-flight request, stops the fleet, and returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on listener failures.
+    pub fn run(self) -> Result<(), ServeError> {
+        let mut conn_id: u64 = 0;
+        loop {
+            if self.state.draining() || signal::term_requested() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    conn_id += 1;
+                    let state = Arc::clone(&self.state);
+                    thread::Builder::new()
+                        .name(format!("front-up-{conn_id}"))
+                        .spawn(move || proxy::handle_conn(state, stream, conn_id))?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+
+        // Drain: no new connections (loop exited), in-flight requests run
+        // to completion, then the fleet is stopped gracefully.
+        self.state.begin_drain();
+        let deadline = deepn_trace::tick() + self.drain_timeout.as_nanos() as u64;
+        loop {
+            let inflight = self.state.outstanding.load(Ordering::SeqCst);
+            if inflight <= 0 {
+                break;
+            }
+            if deepn_trace::tick() > deadline {
+                log::warn("front_drain_timeout")
+                    .field("outstanding", inflight)
+                    .emit();
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.state.view.stop.store(true, Ordering::SeqCst);
+        let _ = self.supervisor.join();
+        log::info("front_drained")
+            .field("outstanding", self.state.outstanding.load(Ordering::SeqCst))
+            .emit();
+        Ok(())
+    }
+
+    /// Current pid of each backend shard (`None` while down) — printed
+    /// by the CLI so external harnesses can inject faults with `kill`.
+    pub fn backend_pids(&self) -> Vec<Option<u32>> {
+        self.state.view.snapshot().iter().map(|s| s.pid).collect()
+    }
+
+    /// Runs the front on its own thread, returning a handle for drains
+    /// and fault injection.
+    pub fn spawn(self) -> FrontHandle {
+        let addr = self
+            .listener
+            .local_addr()
+            .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0)));
+        let state = Arc::clone(&self.state);
+        let thread = thread::spawn(move || self.run());
+        FrontHandle {
+            addr,
+            state,
+            thread,
+        }
+    }
+}
+
+/// Handle to a front end running on its own thread.
+pub struct FrontHandle {
+    addr: SocketAddr,
+    state: Arc<FrontState>,
+    thread: thread::JoinHandle<Result<(), ServeError>>,
+}
+
+impl FrontHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts the drain-and-stop sequence (idempotent, returns
+    /// immediately; [`FrontHandle::join`] observes completion).
+    pub fn request_drain(&self) {
+        self.state.begin_drain();
+    }
+
+    /// SIGKILLs backend shard `i` — the fault-injection hook the chaos
+    /// harness uses; the supervisor observes the death and restarts the
+    /// shard with backoff.
+    pub fn kill_backend(&self, i: u32) {
+        self.state.view.request_kill(i);
+    }
+
+    /// Cumulative backend respawns.
+    pub fn restarts(&self) -> u64 {
+        self.state.view.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Backend shards currently up.
+    pub fn live_backends(&self) -> usize {
+        self.state.view.live()
+    }
+
+    /// Current pid of each shard (`None` while down).
+    pub fn backend_pids(&self) -> Vec<Option<u32>> {
+        self.state.view.snapshot().iter().map(|s| s.pid).collect()
+    }
+
+    /// Waits for the front to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// The run loop's terminal error, if any; a panicked run thread
+    /// surfaces as [`ServeError::Remote`].
+    pub fn join(self) -> Result<(), ServeError> {
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(ServeError::Remote("front run thread panicked".into())),
+        }
+    }
+}

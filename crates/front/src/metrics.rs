@@ -1,0 +1,285 @@
+//! Fleet-wide metrics aggregation.
+//!
+//! The front end answers `Metrics` requests itself: it scrapes every live
+//! backend, relabels each passthrough sample with a `shard="N"` label, and
+//! merges the shards into one exposition alongside the front's own
+//! `deepn_front_*` instruments. Backend restarts must not make counters go
+//! backwards, so retired incarnations are **folded into a floor**: when a
+//! shard's incarnation bumps, its last-seen counter and histogram samples
+//! are added to a per-shard floor that every later emission includes.
+//! Gauges describe the current process only and are discarded with it.
+//!
+//! `deepn_serve_requests_total` is special-cased: a SIGKILLed backend takes
+//! its not-yet-scraped tail of that counter to the grave, which would break
+//! the load generator's exact reconciliation. The front therefore counts
+//! requests itself at the splice layer (the counters live in
+//! [`crate::Front`] and survive restarts) and the aggregator emits the
+//! family from those counters exclusively, dropping the backend copies.
+
+use std::net::SocketAddr;
+
+use deepn_serve::Client;
+use deepn_trace::prom::{self, Family, Sample};
+
+use crate::supervisor::ShardView;
+
+/// The passthrough family replaced by splice-layer counters.
+const REQUESTS_FAMILY: &str = "deepn_serve_requests_total";
+const REQUESTS_HELP: &str = "Requests handled, all opcodes.";
+
+/// The rejection family the front contributes its own sample to: a
+/// "no live backend" busy issued at the splice layer has no backend
+/// counterpart, and the load generator cross-checks client-side busy
+/// outcomes against this counter's fleet-wide delta.
+const REJECTED_FAMILY: &str = "deepn_serve_connections_rejected_total";
+const REJECTED_HELP: &str = "Connections rejected with a typed busy frame.";
+
+/// Per-shard scrape state: a cached connection to the current
+/// incarnation, its latest scrape, and the floor folded from dead
+/// incarnations.
+struct ShardMetrics {
+    incarnation: u64,
+    client: Option<Client>,
+    last: Vec<Family>,
+    floor: Vec<Family>,
+}
+
+impl ShardMetrics {
+    fn new() -> Self {
+        ShardMetrics {
+            incarnation: 0,
+            client: None,
+            last: Vec::new(),
+            floor: Vec::new(),
+        }
+    }
+}
+
+/// Scrapes the backend fleet and renders one merged exposition.
+pub(crate) struct MetricsAggregator {
+    shards: Vec<ShardMetrics>,
+}
+
+impl MetricsAggregator {
+    /// An aggregator over `n` shards.
+    pub(crate) fn new(n: usize) -> Self {
+        MetricsAggregator {
+            shards: (0..n).map(|_| ShardMetrics::new()).collect(),
+        }
+    }
+
+    /// Refreshes every shard's scrape from the given fleet snapshot. A
+    /// shard that cannot be scraped keeps its last-seen (stale but
+    /// monotone) samples; an incarnation bump folds the dead process's
+    /// totals into the shard's floor first.
+    pub(crate) fn scrape(&mut self, fleet: &[ShardView]) {
+        for (state, view) in self.shards.iter_mut().zip(fleet) {
+            if view.incarnation != state.incarnation {
+                let last = std::mem::take(&mut state.last);
+                fold_retired(&mut state.floor, &last);
+                state.client = None;
+                state.incarnation = view.incarnation;
+            }
+            let Some(addr) = view.addr else {
+                state.client = None;
+                continue;
+            };
+            if state.client.is_none() {
+                state.client = connect(addr);
+            }
+            let Some(client) = state.client.as_mut() else {
+                continue;
+            };
+            match client.metrics().ok().and_then(|t| prom::parse(&t).ok()) {
+                Some(families) => state.last = families,
+                None => state.client = None,
+            }
+        }
+    }
+
+    /// Renders the merged fleet exposition. `shard_requests` and
+    /// `front_requests` are the splice-layer request counters that
+    /// replace the passthrough `deepn_serve_requests_total` family;
+    /// `front_rejected` joins the backend rejection counters as a
+    /// `shard="front"` sample; `front_text` is the front's own registry
+    /// render, appended verbatim (its `deepn_front_*` names are
+    /// disjoint).
+    pub(crate) fn render(
+        &self,
+        shard_requests: &[u64],
+        front_requests: u64,
+        front_rejected: u64,
+        front_text: &str,
+    ) -> String {
+        let mut merged: Vec<Family> = Vec::new();
+        for (i, state) in self.shards.iter().enumerate() {
+            let mut combined = state.floor.clone();
+            fold_retired(&mut combined, &state.last);
+            // Gauges never enter the floor, so re-merge them from the
+            // live scrape only.
+            for f in &state.last {
+                if f.kind == "gauge" && !combined.iter().any(|c| c.name == f.name) {
+                    combined.push(f.clone());
+                }
+            }
+            for family in &combined {
+                if family.name == REQUESTS_FAMILY {
+                    continue;
+                }
+                let target = merged_entry(&mut merged, family);
+                for s in &family.samples {
+                    let mut s = s.clone();
+                    s.labels.push(("shard".to_string(), i.to_string()));
+                    target.samples.push(s);
+                }
+            }
+        }
+        let mut requests = Family {
+            name: REQUESTS_FAMILY.to_string(),
+            help: REQUESTS_HELP.to_string(),
+            kind: "counter".to_string(),
+            samples: Vec::new(),
+        };
+        for (i, &v) in shard_requests.iter().enumerate() {
+            requests.samples.push(Sample {
+                name: REQUESTS_FAMILY.to_string(),
+                labels: vec![("shard".to_string(), i.to_string())],
+                value: v as f64,
+            });
+        }
+        requests.samples.push(Sample {
+            name: REQUESTS_FAMILY.to_string(),
+            labels: vec![("shard".to_string(), "front".to_string())],
+            value: front_requests as f64,
+        });
+        merged.push(requests);
+        let rejected = merged_entry(
+            &mut merged,
+            &Family {
+                name: REJECTED_FAMILY.to_string(),
+                help: REJECTED_HELP.to_string(),
+                kind: "counter".to_string(),
+                samples: Vec::new(),
+            },
+        );
+        rejected.samples.push(Sample {
+            name: REJECTED_FAMILY.to_string(),
+            labels: vec![("shard".to_string(), "front".to_string())],
+            value: front_rejected as f64,
+        });
+        let mut out = prom::render(&merged);
+        out.push_str(front_text);
+        out
+    }
+}
+
+/// A cached metrics connection to one backend incarnation. A dead
+/// backend closes the socket, so a scrape against it errors out rather
+/// than hanging; a wedged-but-alive backend is the supervisor's problem
+/// (health pings kill it, bumping the incarnation and this client).
+fn connect(addr: SocketAddr) -> Option<Client> {
+    Client::connect(addr).ok()
+}
+
+/// Adds `fresh`'s counter and histogram samples into `acc`, matching
+/// families by name and samples by `(name, labels)`. Gauges are skipped:
+/// a dead process's gauge readings describe nothing that still exists.
+fn fold_retired(acc: &mut Vec<Family>, fresh: &[Family]) {
+    for f in fresh {
+        if f.kind != "counter" && f.kind != "histogram" {
+            continue;
+        }
+        let target = merged_entry(acc, f);
+        for s in &f.samples {
+            match target
+                .samples
+                .iter_mut()
+                .find(|t| t.name == s.name && t.labels == s.labels)
+            {
+                Some(t) => t.value += s.value,
+                None => target.samples.push(s.clone()),
+            }
+        }
+    }
+}
+
+/// The family named like `f` in `acc`, created (empty, with `f`'s
+/// help/kind) on first sight.
+fn merged_entry<'a>(acc: &'a mut Vec<Family>, f: &Family) -> &'a mut Family {
+    if let Some(pos) = acc.iter().position(|a| a.name == f.name) {
+        return &mut acc[pos];
+    }
+    acc.push(Family {
+        name: f.name.clone(),
+        help: f.help.clone(),
+        kind: f.kind.clone(),
+        samples: Vec::new(),
+    });
+    let idx = acc.len() - 1;
+    &mut acc[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fam(name: &str, kind: &str, samples: &[(&[(&str, &str)], f64)]) -> Family {
+        Family {
+            name: name.to_string(),
+            help: "h".to_string(),
+            kind: kind.to_string(),
+            samples: samples
+                .iter()
+                .map(|(labels, v)| Sample {
+                    name: name.to_string(),
+                    labels: labels
+                        .iter()
+                        .map(|(k, vv)| (k.to_string(), vv.to_string()))
+                        .collect(),
+                    value: *v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fold_sums_counters_and_drops_gauges() {
+        let mut acc = vec![fam("c", "counter", &[(&[], 5.0)])];
+        let fresh = vec![
+            fam("c", "counter", &[(&[], 3.0)]),
+            fam("g", "gauge", &[(&[], 7.0)]),
+        ];
+        fold_retired(&mut acc, &fresh);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[0].samples[0].value, 8.0);
+    }
+
+    #[test]
+    fn render_replaces_requests_family_and_relabels() {
+        let mut agg = MetricsAggregator::new(2);
+        agg.shards[0].last = vec![
+            fam(REQUESTS_FAMILY, "counter", &[(&[], 100.0)]),
+            fam("deepn_serve_active_connections", "gauge", &[(&[], 2.0)]),
+        ];
+        agg.shards[1].last = vec![fam(REQUESTS_FAMILY, "counter", &[(&[], 50.0)])];
+        let out = agg.render(&[7, 9], 3, 4, "");
+        prom::validate(&out).expect("merged exposition validates");
+        assert!(out.contains("deepn_serve_requests_total{shard=\"0\"} 7"));
+        assert!(out.contains("deepn_serve_requests_total{shard=\"1\"} 9"));
+        assert!(out.contains("deepn_serve_requests_total{shard=\"front\"} 3"));
+        assert!(out.contains("deepn_serve_connections_rejected_total{shard=\"front\"} 4"));
+        assert!(!out.contains(" 100"));
+        assert!(out.contains("deepn_serve_active_connections{shard=\"0\"} 2"));
+    }
+
+    #[test]
+    fn incarnation_totals_survive_in_the_floor() {
+        let mut agg = MetricsAggregator::new(1);
+        agg.shards[0].last = vec![fam("deepn_serve_bytes_in_total", "counter", &[(&[], 40.0)])];
+        let dead = std::mem::take(&mut agg.shards[0].last);
+        fold_retired(&mut agg.shards[0].floor, &dead);
+        agg.shards[0].last = vec![fam("deepn_serve_bytes_in_total", "counter", &[(&[], 2.0)])];
+        let out = agg.render(&[0], 0, 0, "");
+        assert!(out.contains("deepn_serve_bytes_in_total{shard=\"0\"} 42"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The consistent-hash ring behind shard routing.
+//!
+//! Pure and deterministic: shard placement depends only on the shard ids
+//! and the virtual-node count, never on insertion order, thread count, or
+//! any process state — `tests/proptest_front.rs` (workspace root) pins
+//! the stability, balance, and determinism contracts. Each shard owns
+//! `vnodes` points on a 64-bit ring; a key routes to the owner of the
+//! first point at or after it (wrapping). Adding or removing one shard
+//! therefore moves only the keys falling in the arcs that shard gains or
+//! loses — roughly `K/N` of them — while every other key keeps its home.
+
+/// SplitMix64 finalizer — the ring's point hash and the recommended
+/// spreader for synthetic routing keys (`deepn-serve`'s load generator
+/// uses the same mixer for its per-client keys).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice — the table-fingerprint hash. A client
+/// fingerprints the quantization-table artifact it works against (the
+/// raw artifact file bytes are the canonical input) and advertises the
+/// result in its `Hello`, so every connection using one table lands on
+/// the backend whose caches already hold it.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // 0 means "no fingerprint" on the wire; remap the (astronomically
+    // unlikely) zero digest so real fingerprints are always routable.
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// A consistent-hash ring mapping 64-bit keys to shard ids.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    vnodes: u32,
+    /// Ring points sorted by `(hash, shard)`: each shard contributes
+    /// `vnodes` entries.
+    points: Vec<(u64, u32)>,
+    /// Member shard ids, sorted.
+    shards: Vec<u32>,
+}
+
+impl Ring {
+    /// An empty ring whose shards will each own `vnodes` points
+    /// (clamped to at least 1).
+    pub fn new(vnodes: u32) -> Self {
+        Ring {
+            vnodes: vnodes.max(1),
+            points: Vec::new(),
+            shards: Vec::new(),
+        }
+    }
+
+    /// A ring populated with shard ids `0..shards`.
+    pub fn with_shards(vnodes: u32, shards: u32) -> Self {
+        let mut ring = Ring::new(vnodes);
+        for shard in 0..shards {
+            ring.insert(shard);
+        }
+        ring
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The member shard ids, sorted.
+    pub fn shards(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// The hash of shard `shard`'s virtual node `v` — where that vnode
+    /// sits on the ring. The salt domain-separates vnode points from
+    /// routing keys: without it, shard 0's points are `splitmix64(v)` for
+    /// small `v` — exactly the recommended `splitmix64(i)` key spreader —
+    /// so every small-seed key would land on its own shard-0 point and
+    /// the fleet would collapse onto one backend.
+    fn point(shard: u32, v: u32) -> u64 {
+        splitmix64(0x6a09_e667_f3bc_c909 ^ ((shard as u64) << 32) ^ v as u64)
+    }
+
+    /// Adds a shard (idempotent).
+    pub fn insert(&mut self, shard: u32) {
+        if self.shards.contains(&shard) {
+            return;
+        }
+        self.shards.push(shard);
+        self.shards.sort_unstable();
+        for v in 0..self.vnodes {
+            self.points.push((Self::point(shard, v), shard));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a shard (idempotent).
+    pub fn remove(&mut self, shard: u32) {
+        self.shards.retain(|&s| s != shard);
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// The shard owning `key`: the owner of the first ring point at or
+    /// after the key, wrapping past the top. `None` on an empty ring.
+    pub fn route(&self, key: u64) -> Option<u32> {
+        self.route_live(key, |_| true)
+    }
+
+    /// Like [`Ring::route`], but walks past points whose shard `alive`
+    /// rejects — the failover path: a key whose home shard is down lands
+    /// on the next live shard clockwise, and returns home as soon as the
+    /// shard does. `None` when no live shard exists.
+    pub fn route_live(&self, key: u64, alive: impl Fn(u32) -> bool) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(h, _)| h < key);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, shard) = self.points[(start + i) % n];
+            if alive(shard) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_every_key_and_respects_membership() {
+        let ring = Ring::with_shards(64, 3);
+        assert_eq!(ring.len(), 3);
+        for k in 0..1000u64 {
+            let shard = ring.route(splitmix64(k)).expect("non-empty ring routes");
+            assert!(shard < 3);
+        }
+        assert_eq!(Ring::new(8).route(42), None);
+    }
+
+    #[test]
+    fn failover_walks_to_next_live_shard_and_returns_home() {
+        let ring = Ring::with_shards(64, 4);
+        for k in 0..500u64 {
+            let key = splitmix64(k.wrapping_mul(0x9e37));
+            let home = ring.route(key).expect("home");
+            let diverted = ring
+                .route_live(key, |s| s != home)
+                .expect("three live shards remain");
+            assert_ne!(diverted, home);
+            // A key not homed on the dead shard is unaffected.
+            let other = ring
+                .route_live(key, |s| s == home || s != diverted)
+                .expect("route");
+            assert_eq!(other, home);
+        }
+    }
+
+    #[test]
+    fn fingerprints_never_collide_with_the_unset_sentinel() {
+        assert_ne!(fingerprint_bytes(b""), 0);
+        assert_ne!(fingerprint_bytes(b"tables.deepn"), 0);
+        assert_ne!(fingerprint_bytes(b"a"), fingerprint_bytes(b"b"));
+    }
+}

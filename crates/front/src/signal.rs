@@ -1,0 +1,53 @@
+//! SIGTERM wiring for the drain-on-shutdown contract.
+//!
+//! The workspace vendors no `libc` crate, so the one registration call
+//! goes straight to the C library's `signal(2)`, which is always linked
+//! on the platforms the service targets. The handler body is a single
+//! atomic store — the only thing that is async-signal-safe to do — and
+//! the front end's accept loop polls the flag and starts its drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler when SIGTERM arrives; polled by the accept loop.
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// `SIGTERM` on every platform this service targets (Linux, BSDs,
+/// macOS all agree on 15).
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" {
+    /// C library `signal(2)`. The handler is passed as a plain address
+    /// (`sighandler_t` is a function pointer; an `extern "C" fn(i32)`
+    /// address is ABI-compatible).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// The SIGTERM handler: one atomic store, nothing else — the only kind
+/// of work that is async-signal-safe.
+extern "C" fn on_term(_signum: i32) {
+    TERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM handler and returns the flag it sets. Idempotent;
+/// on non-Unix targets the flag is returned without installing anything
+/// (SIGTERM does not exist there).
+pub fn install_term_handler() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        // SAFETY: `signal` is the C library's own registration call with
+        // the documented `(c_int, sighandler_t)` ABI; `on_term` is an
+        // `extern "C" fn(i32)` whose address is a valid `sighandler_t`,
+        // it stays alive for the whole program (it is a static fn), and
+        // its body performs only an async-signal-safe atomic store.
+        unsafe {
+            let _ = signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+    &TERM_FLAG
+}
+
+/// Whether SIGTERM has arrived since the handler was installed.
+pub fn term_requested() -> bool {
+    TERM_FLAG.load(Ordering::SeqCst)
+}

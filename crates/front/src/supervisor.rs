@@ -1,0 +1,541 @@
+//! Backend fleet supervision: spawn, readiness, health, restart,
+//! graceful stop.
+//!
+//! One supervisor thread owns the backend `Child` processes outright and
+//! publishes a [`FleetView`] — per-shard address, incarnation, and pid —
+//! that the proxy side reads when routing. Children bind ephemeral ports
+//! (`--addr 127.0.0.1:0` or equivalent) and report where they actually
+//! landed on stdout via the `deepn-serve listening on ADDR …` readiness
+//! line, which the supervisor parses; nothing else about the child's
+//! output is interpreted (its structured logs go to stderr, inherited).
+//!
+//! A child that dies is restarted with exponential backoff (reset after a
+//! stable run); a child that stops answering health pings is killed and
+//! takes the same restart path. Fault injection for the chaos harness
+//! goes through [`FleetView::request_kill`] — a SIGKILL delivered by the
+//! owner thread, exactly like an external `kill -9`.
+
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+use deepn_serve::protocol::{self, Opcode, STATUS_OK};
+use deepn_trace::log;
+
+/// The stdout prefix a backend prints once it is accepting connections;
+/// the token after it is the bound address.
+pub const READY_PREFIX: &str = "deepn-serve listening on ";
+
+/// How to launch one backend process. The same template serves every
+/// shard: each child must bind an ephemeral port and print the
+/// [`READY_PREFIX`] readiness line on stdout.
+#[derive(Debug, Clone)]
+pub struct BackendCommand {
+    /// Executable to run.
+    pub program: PathBuf,
+    /// Arguments, passed verbatim.
+    pub args: Vec<String>,
+    /// Extra environment variables for the child.
+    pub envs: Vec<(String, String)>,
+}
+
+impl BackendCommand {
+    /// A command template running `program` with `args`.
+    pub fn new(program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        BackendCommand {
+            program: program.into(),
+            args,
+            envs: Vec::new(),
+        }
+    }
+
+    /// Adds an environment variable to the template.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+
+    fn build(&self, shard: u32) -> Command {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args)
+            .env("DEEPN_SHARD", shard.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in &self.envs {
+            cmd.env(k, v);
+        }
+        cmd
+    }
+}
+
+/// One shard as the proxy sees it.
+#[derive(Debug, Clone, Default)]
+pub struct ShardView {
+    /// Where the current incarnation listens; `None` while down.
+    pub addr: Option<SocketAddr>,
+    /// Bumped on every (re)spawn — metric-floor folding keys on it.
+    pub incarnation: u64,
+    /// The current child's pid, for external fault injection.
+    pub pid: Option<u32>,
+}
+
+/// Shared fleet state: the supervisor writes, the proxy and metrics
+/// aggregator read.
+#[derive(Debug)]
+pub struct FleetView {
+    shards: Mutex<Vec<ShardView>>,
+    /// Cumulative successful backend restarts (respawns after the first
+    /// spawn of each shard).
+    pub restarts: AtomicU64,
+    /// Set when the front end starts draining: the supervisor stops
+    /// respawning dead shards.
+    pub draining: AtomicBool,
+    /// Set to terminate the supervisor: it shuts the fleet down
+    /// gracefully and exits its loop.
+    pub stop: AtomicBool,
+    kills: Mutex<Vec<u32>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl FleetView {
+    /// A view over `n` shards, all initially down.
+    pub fn new(n: usize) -> Self {
+        FleetView {
+            shards: Mutex::new(vec![ShardView::default(); n]),
+            restarts: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            kills: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Snapshot of one shard.
+    pub fn shard(&self, i: u32) -> ShardView {
+        lock(&self.shards)
+            .get(i as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of every shard.
+    pub fn snapshot(&self) -> Vec<ShardView> {
+        lock(&self.shards).clone()
+    }
+
+    /// Number of shards currently up (address published).
+    pub fn live(&self) -> usize {
+        lock(&self.shards)
+            .iter()
+            .filter(|s| s.addr.is_some())
+            .count()
+    }
+
+    /// Asks the supervisor to SIGKILL shard `i`'s current child — the
+    /// chaos harness's fault-injection hook. The kill is delivered by
+    /// the owning thread on its next tick; the normal crash/restart path
+    /// then takes over.
+    pub fn request_kill(&self, i: u32) {
+        lock(&self.kills).push(i);
+    }
+
+    fn set(&self, i: usize, view: ShardView) {
+        let mut shards = lock(&self.shards);
+        if let Some(slot) = shards.get_mut(i) {
+            *slot = view;
+        }
+    }
+
+    fn mark_down(&self, i: usize) {
+        let mut shards = lock(&self.shards);
+        if let Some(slot) = shards.get_mut(i) {
+            slot.addr = None;
+            slot.pid = None;
+        }
+    }
+
+    fn take_kills(&self) -> Vec<u32> {
+        std::mem::take(&mut lock(&self.kills))
+    }
+}
+
+/// Supervisor tuning knobs (all durations in nanoseconds of
+/// [`deepn_trace::tick`] time).
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// First restart delay after a crash.
+    pub backoff_base: Duration,
+    /// Restart delay ceiling.
+    pub backoff_cap: Duration,
+    /// A child healthy at least this long resets its backoff.
+    pub backoff_reset_after: Duration,
+    /// How long a spawned child may take to print readiness.
+    pub readiness_timeout: Duration,
+    /// Health-check ping cadence (0 disables pings).
+    pub health_interval: Duration,
+    /// Consecutive failed pings before the child is killed and
+    /// restarted.
+    pub health_strikes: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(3200),
+            backoff_reset_after: Duration::from_secs(10),
+            readiness_timeout: Duration::from_secs(10),
+            health_interval: Duration::from_millis(500),
+            health_strikes: 3,
+        }
+    }
+}
+
+/// One shard's private supervision state (owned by the supervisor
+/// thread).
+struct Slot {
+    child: Option<Child>,
+    addr: Option<SocketAddr>,
+    backoff: Duration,
+    next_spawn_ns: u64,
+    up_since_ns: u64,
+    next_ping_ns: u64,
+    ping_fails: u32,
+    ever_up: bool,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            child: None,
+            addr: None,
+            backoff: Duration::ZERO,
+            next_spawn_ns: 0,
+            up_since_ns: 0,
+            next_ping_ns: 0,
+            ping_fails: 0,
+            ever_up: false,
+        }
+    }
+}
+
+/// The supervisor: owns the children, publishes the view.
+pub struct Supervisor {
+    cmd: BackendCommand,
+    cfg: SupervisorConfig,
+    view: Arc<FleetView>,
+    slots: Vec<Slot>,
+    restarts_counter: Option<Arc<deepn_trace::Counter>>,
+    healthy_gauge: Option<Arc<deepn_trace::Gauge>>,
+}
+
+impl Supervisor {
+    /// A supervisor for `n` shards launched from `cmd`, publishing into
+    /// `view`. Instruments are optional so the supervisor stays usable
+    /// without a registry.
+    pub fn new(
+        n: usize,
+        cmd: BackendCommand,
+        cfg: SupervisorConfig,
+        view: Arc<FleetView>,
+        restarts_counter: Option<Arc<deepn_trace::Counter>>,
+        healthy_gauge: Option<Arc<deepn_trace::Gauge>>,
+    ) -> Self {
+        Supervisor {
+            cmd,
+            cfg,
+            view,
+            slots: (0..n).map(|_| Slot::new()).collect(),
+            restarts_counter,
+            healthy_gauge,
+        }
+    }
+
+    /// Runs the supervision loop until [`FleetView::stop`] is set, then
+    /// shuts the fleet down gracefully and returns.
+    pub fn run(mut self) {
+        loop {
+            if self.view.stop.load(Ordering::SeqCst) {
+                self.stop_fleet();
+                return;
+            }
+            for shard in self.view.take_kills() {
+                self.kill(shard);
+            }
+            for i in 0..self.slots.len() {
+                self.poll(i);
+            }
+            if let Some(g) = &self.healthy_gauge {
+                g.set(self.view.live() as u64);
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Delivers a requested SIGKILL to shard `i`'s current child.
+    fn kill(&mut self, i: u32) {
+        if let Some(slot) = self.slots.get_mut(i as usize) {
+            if let Some(child) = slot.child.as_mut() {
+                log::warn("backend_killed")
+                    .field("shard", i)
+                    .field("pid", child.id())
+                    .emit();
+                let _ = child.kill();
+            }
+        }
+    }
+
+    /// One supervision tick for shard `i`: reap, backoff, respawn,
+    /// health-check.
+    fn poll(&mut self, i: usize) {
+        let now = deepn_trace::tick();
+        let draining = self.view.draining.load(Ordering::SeqCst);
+        let Some(slot) = self.slots.get_mut(i) else {
+            return;
+        };
+
+        // Reap a dead child and schedule its respawn.
+        if let Some(child) = slot.child.as_mut() {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    log::warn("backend_died")
+                        .field("shard", i)
+                        .field("status", status)
+                        .emit();
+                    slot.child = None;
+                    slot.addr = None;
+                    self.view.mark_down(i);
+                    let stable =
+                        now.saturating_sub(slot.up_since_ns) >= ns(self.cfg.backoff_reset_after);
+                    slot.backoff = if stable || slot.backoff.is_zero() {
+                        self.cfg.backoff_base
+                    } else {
+                        (slot.backoff * 2).min(self.cfg.backoff_cap)
+                    };
+                    slot.next_spawn_ns = now + ns(slot.backoff);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    log::error("backend_wait_failed")
+                        .field("shard", i)
+                        .field("error", e)
+                        .emit();
+                }
+            }
+        }
+
+        // Respawn once the backoff expires (never while draining).
+        if slot.child.is_none() && !draining && now >= slot.next_spawn_ns {
+            self.spawn(i);
+            return;
+        }
+
+        // Health-check ping; a silent child is killed and restarted.
+        if self.cfg.health_interval.is_zero() {
+            return;
+        }
+        let Some(slot) = self.slots.get_mut(i) else {
+            return;
+        };
+        if let (Some(addr), true) = (slot.addr, slot.child.is_some()) {
+            if now >= slot.next_ping_ns {
+                slot.next_ping_ns = now + ns(self.cfg.health_interval);
+                if ping(addr) {
+                    slot.ping_fails = 0;
+                } else {
+                    slot.ping_fails += 1;
+                    if slot.ping_fails >= self.cfg.health_strikes {
+                        log::error("backend_unresponsive")
+                            .field("shard", i)
+                            .field("strikes", slot.ping_fails)
+                            .emit();
+                        slot.ping_fails = 0;
+                        if let Some(child) = slot.child.as_mut() {
+                            let _ = child.kill();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns shard `i`, waits for its readiness line, and publishes the
+    /// new incarnation. Failure escalates the backoff.
+    fn spawn(&mut self, i: usize) {
+        let now = deepn_trace::tick();
+        let Some(slot) = self.slots.get_mut(i) else {
+            return;
+        };
+        let mut child = match self.cmd.build(i as u32).spawn() {
+            Ok(c) => c,
+            Err(e) => {
+                log::error("backend_spawn_failed")
+                    .field("shard", i)
+                    .field("error", e)
+                    .emit();
+                slot.backoff = if slot.backoff.is_zero() {
+                    self.cfg.backoff_base
+                } else {
+                    (slot.backoff * 2).min(self.cfg.backoff_cap)
+                };
+                slot.next_spawn_ns = now + ns(slot.backoff);
+                return;
+            }
+        };
+        match await_ready(&mut child, self.cfg.readiness_timeout) {
+            Some(addr) => {
+                let pid = child.id();
+                let was_respawn = slot.ever_up;
+                slot.child = Some(child);
+                slot.addr = Some(addr);
+                slot.up_since_ns = deepn_trace::tick();
+                slot.next_ping_ns = slot.up_since_ns + ns(self.cfg.health_interval);
+                slot.ping_fails = 0;
+                slot.ever_up = true;
+                let incarnation = self.view.shard(i as u32).incarnation + 1;
+                self.view.set(
+                    i,
+                    ShardView {
+                        addr: Some(addr),
+                        incarnation,
+                        pid: Some(pid),
+                    },
+                );
+                if was_respawn {
+                    self.view.restarts.fetch_add(1, Ordering::SeqCst);
+                    if let Some(c) = &self.restarts_counter {
+                        c.inc();
+                    }
+                }
+                log::info("backend_up")
+                    .field("shard", i)
+                    .field("addr", addr)
+                    .field("pid", pid)
+                    .field("incarnation", incarnation)
+                    .emit();
+            }
+            None => {
+                log::error("backend_not_ready")
+                    .field("shard", i)
+                    .field("timeout_ms", self.cfg.readiness_timeout.as_millis())
+                    .emit();
+                let _ = child.kill();
+                let _ = child.wait();
+                slot.backoff = if slot.backoff.is_zero() {
+                    self.cfg.backoff_base
+                } else {
+                    (slot.backoff * 2).min(self.cfg.backoff_cap)
+                };
+                slot.next_spawn_ns = deepn_trace::tick() + ns(slot.backoff);
+            }
+        }
+    }
+
+    /// Graceful fleet stop: a `Shutdown` request to every live backend,
+    /// a bounded wait, SIGKILL for stragglers, reap everything.
+    fn stop_fleet(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(mut child) = slot.child.take() else {
+                continue;
+            };
+            if let Some(addr) = slot.addr {
+                let _ = shutdown_backend(addr);
+            }
+            let deadline = deepn_trace::tick() + ns(Duration::from_secs(2));
+            let exited = loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break true,
+                    Ok(None) if deepn_trace::tick() < deadline => {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    _ => break false,
+                }
+            };
+            if !exited {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            self.view.mark_down(i);
+            log::info("backend_stopped").field("shard", i).emit();
+        }
+    }
+}
+
+fn ns(d: Duration) -> u64 {
+    d.as_nanos() as u64
+}
+
+/// Reads the child's stdout until the readiness line appears, then hands
+/// the rest of the stream to a drain thread (so the child can never
+/// block on a full stdout pipe). `None` on timeout or EOF-before-ready.
+fn await_ready(child: &mut Child, timeout: Duration) -> Option<SocketAddr> {
+    let stdout = child.stdout.take()?;
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let mut sent = false;
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {
+                    if !sent {
+                        // Accept the marker anywhere in the line, not
+                        // just at column 0: harnesses that wrap a
+                        // backend (libtest, for one) often print their
+                        // own unterminated preamble first.
+                        if let Some(at) = line.find(READY_PREFIX) {
+                            let rest = &line[at + READY_PREFIX.len()..];
+                            let token = rest.split_whitespace().next().unwrap_or("");
+                            if let Ok(addr) = token.parse::<SocketAddr>() {
+                                // The receiver may have timed out and
+                                // gone away; keep draining regardless.
+                                let _ = tx.send(addr);
+                                sent = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    rx.recv_timeout(timeout).ok()
+}
+
+/// One `Ping` round trip with tight timeouts — the health probe.
+fn ping(addr: SocketAddr) -> bool {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    if protocol::write_frame(&mut stream, &[Opcode::Ping as u8]).is_err() {
+        return false;
+    }
+    matches!(
+        protocol::read_frame(&mut stream),
+        Ok(Some(reply)) if reply.first() == Some(&STATUS_OK)
+    )
+}
+
+/// One `Shutdown` request, best-effort, with tight timeouts.
+fn shutdown_backend(addr: SocketAddr) -> Result<(), ()> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_millis(250)).map_err(|_| ())?;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    protocol::write_frame(&mut stream, &[Opcode::Shutdown as u8]).map_err(|_| ())?;
+    let _ = protocol::read_frame(&mut stream);
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! The fault-injection harness from `ISSUE` — SIGKILL a backend in the
+//! middle of a load-generator storm and hold the fleet to the contract
+//! `docs/SHARDING.md` promises: no client-visible lost request (exact
+//! reconciliation within the documented io/replay slack), the supervisor
+//! restarts the corpse, and the fleet returns to full strength.
+
+mod common;
+
+use std::thread;
+use std::time::Duration;
+
+use deepn_front::{splitmix64, Ring};
+use deepn_serve::loadgen::{self, LoadgenConfig};
+
+/// Backend alter ego — see `common::backend_entry_if_requested`.
+#[test]
+fn backend_entry() {
+    common::backend_entry_if_requested();
+}
+
+#[test]
+fn killing_a_backend_mid_storm_loses_no_requests() {
+    const BACKENDS: usize = 3;
+    const CLIENTS: usize = 6;
+
+    let handle = common::start_front(BACKENDS);
+
+    // Aim the kill where the traffic is: load clients advertise routing
+    // key `splitmix64(index + 1)`, and the ring is a pure function of
+    // (vnodes, membership), so the busiest shard is computable up front
+    // — the kill is guaranteed to break live splices, not an idle shard.
+    let ring = Ring::with_shards(64, BACKENDS as u32);
+    let mut per_shard = [0u32; BACKENDS];
+    for index in 0..CLIENTS as u64 {
+        per_shard[ring.route(splitmix64(index + 1)).expect("populated ring") as usize] += 1;
+    }
+    let victim = (0..BACKENDS)
+        .max_by_key(|&s| per_shard[s])
+        .expect("non-empty fleet") as u32;
+    assert!(
+        per_shard
+            .iter()
+            .enumerate()
+            .any(|(s, &n)| s != victim as usize && n > 0),
+        "storm must also hit a surviving shard or the stall check is vacuous"
+    );
+
+    let mut lg = LoadgenConfig::new(handle.addr());
+    lg.clients = CLIENTS;
+    lg.duration = Duration::from_secs(6);
+    lg.pipeline_window = 4;
+    lg.churn = true;
+    lg.tagged = true;
+    lg.image_side = 32;
+    lg.batch = 2;
+    lg.scrape_interval = Duration::from_millis(300);
+    // A SIGKILL mid-storm is *supposed* to surface a handful of
+    // transport errors before the replay path heals them; budget for
+    // that without loosening the exact reconciliation check.
+    lg.max_error_rate = 0.05;
+    let storm = thread::spawn(move || loadgen::run(&lg));
+
+    // Let the storm reach steady state, then murder the busiest backend.
+    thread::sleep(Duration::from_secs(2));
+    let restarts_before = handle.restarts();
+    handle.kill_backend(victim);
+
+    let report = storm
+        .join()
+        .expect("loadgen thread")
+        .expect("loadgen setup succeeds");
+
+    assert!(
+        report.is_clean(),
+        "reconciliation must absorb the kill: anomalies {:?}",
+        report.anomalies
+    );
+    assert!(
+        report.totals.ok > 0,
+        "storm produced no successful requests"
+    );
+    assert!(
+        handle.restarts() > restarts_before,
+        "supervisor never restarted the killed backend"
+    );
+    assert!(
+        common::wait_for(Duration::from_secs(10), || handle.live_backends()
+            == BACKENDS),
+        "fleet did not heal to {BACKENDS} live backends (now {})",
+        handle.live_backends()
+    );
+
+    handle.request_drain();
+    handle.join().expect("front drains cleanly after the storm");
+}

@@ -1,0 +1,95 @@
+//! Drain-on-shutdown: once a drain is requested, the front stops
+//! accepting but every already-in-flight request — serial pipelined,
+//! tagged window, and streaming — completes with a real reply before the
+//! fleet is stopped. `sigterm.rs` covers the same contract via a real
+//! SIGTERM (its sticky process-global flag needs its own binary).
+
+mod common;
+
+use std::time::Duration;
+
+use deepn_codec::RgbImage;
+use deepn_serve::{Client, PipelineReply};
+
+/// Backend alter ego — see `common::backend_entry_if_requested`.
+#[test]
+fn backend_entry() {
+    common::backend_entry_if_requested();
+}
+
+/// Submits `n` encode batches, lets them reach the backends, then drains
+/// — every reply must still arrive intact.
+fn drain_mid_window(tagged: bool, window: usize) {
+    let handle = common::start_front(2);
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    if tagged {
+        assert!(
+            client.upgrade_tagged().expect("hello round-trip"),
+            "backend must grant tagged framing"
+        );
+    }
+    let images: Vec<RgbImage> = (0..2).map(|_| RgbImage::gradient(64, 64)).collect();
+
+    let mut pipeline = client.pipeline(window);
+    for _ in 0..window {
+        pipeline
+            .submit_encode_batch(&images)
+            .expect("submission accepted");
+    }
+    // Let the upstream splice forward the whole window so the requests
+    // are genuinely in flight — not still buffered client-side — when
+    // the drain begins.
+    std::thread::sleep(Duration::from_millis(300));
+    handle.request_drain();
+
+    for _ in 0..window {
+        match pipeline.recv().expect("in-flight reply survives the drain") {
+            PipelineReply::Encoded(blobs) => {
+                assert_eq!(blobs.len(), images.len());
+                assert!(blobs.iter().all(|b| !b.is_empty()));
+            }
+            other => panic!("expected Encoded, got {other:?}"),
+        }
+    }
+    drop(pipeline);
+    handle.join().expect("front drains cleanly");
+}
+
+#[test]
+fn drain_completes_inflight_serial_window() {
+    drain_mid_window(false, 4);
+}
+
+#[test]
+fn drain_completes_inflight_tagged_window() {
+    drain_mid_window(true, 8);
+}
+
+/// A compression stream caught by a drain finishes on intact frame
+/// boundaries: the remaining strips upload and the single reply arrives.
+#[test]
+fn drain_lets_a_streaming_op_finish() {
+    let handle = common::start_front(2);
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    let img = RgbImage::gradient(64, 256); // 32 strips of 8 rows
+    let mut stream = client.begin_compress_stream(64, 256).expect("stream opens");
+    let row_bytes = 64 * 3;
+    let mut sent_rows = 0usize;
+    for strip in 0..stream.strip_count() {
+        if strip == 4 {
+            // Mid-stream, start the drain: the op is in flight, so the
+            // front must keep the splice alive until the reply.
+            handle.request_drain();
+        }
+        let rows = stream.strip_rows(strip);
+        let start = sent_rows * row_bytes;
+        stream
+            .send_strip(&img.as_bytes()[start..start + rows * row_bytes])
+            .expect("strip upload survives the drain");
+        sent_rows += rows;
+    }
+    let blob = stream.finish().expect("stream reply survives the drain");
+    assert!(!blob.is_empty());
+    handle.join().expect("front drains cleanly");
+}

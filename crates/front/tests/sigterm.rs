@@ -1,0 +1,63 @@
+//! The real-signal half of the drain contract: an actual SIGTERM (not a
+//! handle call) flips the front into its drain, in-flight work still
+//! completes, and the process-level run loop exits cleanly. This lives
+//! in its own test binary because the term flag is process-global and
+//! sticky — it must not leak into the other drain tests.
+
+mod common;
+
+use std::process::Command;
+use std::time::Duration;
+
+use deepn_codec::RgbImage;
+use deepn_front::signal;
+use deepn_serve::{Client, PipelineReply};
+
+/// Backend alter ego — see `common::backend_entry_if_requested`.
+#[test]
+fn backend_entry() {
+    common::backend_entry_if_requested();
+}
+
+#[test]
+fn sigterm_drains_inflight_work_then_exits() {
+    signal::install_term_handler();
+    let handle = common::start_front(2);
+
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    client.ping().expect("fleet serves before the signal");
+
+    let images: Vec<RgbImage> = (0..2).map(|_| RgbImage::gradient(64, 64)).collect();
+    let window = 4;
+    let mut pipeline = client.pipeline(window);
+    for _ in 0..window {
+        pipeline
+            .submit_encode_batch(&images)
+            .expect("submission accepted");
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Deliver a genuine SIGTERM to this process; the installed handler
+    // turns it into a drain request instead of death. glibc/musl
+    // `signal()` registers with BSD semantics (SA_RESTART), so the
+    // blocking reads below resume rather than failing with EINTR.
+    let status = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -TERM {}", std::process::id()))
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -TERM failed: {status}");
+    assert!(
+        common::wait_for(Duration::from_secs(5), signal::term_requested),
+        "SIGTERM never reached the handler"
+    );
+
+    for _ in 0..window {
+        match pipeline.recv().expect("in-flight reply survives SIGTERM") {
+            PipelineReply::Encoded(blobs) => assert_eq!(blobs.len(), images.len()),
+            other => panic!("expected Encoded, got {other:?}"),
+        }
+    }
+    drop(pipeline);
+    handle.join().expect("front drains cleanly after SIGTERM");
+}

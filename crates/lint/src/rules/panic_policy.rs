@@ -1,9 +1,10 @@
 //! **panic-policy**: no panics in the service path or pool internals.
 //!
 //! A panicking worker thread kills a shard; a panic while a pool mutex is
-//! held poisons it for every other worker. `deepn-serve` request handling
-//! and the `deepn-parallel` pool must therefore return typed errors
-//! instead of calling `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`.
+//! held poisons it for every other worker. `deepn-serve` request handling,
+//! the `deepn-front` proxy/supervisor, and the `deepn-parallel` pool must
+//! therefore return typed errors instead of calling
+//! `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`.
 //! Invariants that genuinely cannot fail are documented with a
 //! `// lint:allow(panic-policy): reason` waiver at the site.
 
@@ -55,8 +56,11 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
     findings
 }
 
-/// True in the no-panic zones: all of `deepn-serve` and the pool module
-/// of `deepn-parallel`.
+/// True in the no-panic zones: all of `deepn-serve`, all of
+/// `deepn-front` (a panicking splice thread strands a client), and the
+/// pool module of `deepn-parallel`.
 fn in_scope(rel: &str) -> bool {
-    rel.starts_with("crates/serve/src/") || rel == "crates/parallel/src/pool.rs"
+    rel.starts_with("crates/serve/src/")
+        || rel.starts_with("crates/front/src/")
+        || rel == "crates/parallel/src/pool.rs"
 }

@@ -51,6 +51,16 @@ pub struct Client {
     /// requests across tags in pipelines (`parts − 1` per split batch);
     /// the reconciliation twin of [`Client::hellos_sent`].
     split_requests: u64,
+    /// Request bodies re-sent by the reconnect+replay machinery (one per
+    /// replayed frame, across the one-shot, v1-pipeline, and tagged
+    /// paths). A front end counts the replayed copy as a fresh request,
+    /// so load generators fold these into reconciliation like
+    /// [`Client::hellos_sent`].
+    replays: u64,
+    /// Table fingerprint advertised in `Hello` (0 = none): a sharded
+    /// front end routes the connection by it so per-backend caches stay
+    /// hot. See `docs/SHARDING.md`.
+    table_fingerprint: u64,
     /// Next request tag. Monotone, so tags are unique among in-flight
     /// requests by construction.
     next_tag: u32,
@@ -74,6 +84,8 @@ impl Client {
             want_tagged: false,
             hellos_sent: 0,
             split_requests: 0,
+            replays: 0,
+            table_fingerprint: 0,
             next_tag: 0,
         })
     }
@@ -162,6 +174,24 @@ impl Client {
         self.split_requests
     }
 
+    /// Request bodies re-sent by reconnect+replay — one per replayed
+    /// frame across the one-shot, v1-pipeline, and tagged recovery
+    /// paths. A sharded front end counts each replayed copy as a fresh
+    /// forwarded request, so load generators add these to the expected
+    /// fleet-side request count (see `docs/SHARDING.md`).
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+
+    /// Sets the table fingerprint advertised in every subsequent `Hello`
+    /// negotiation (0 clears it). A sharded front end uses it as the
+    /// consistent-hashing key so connections working one table land on
+    /// the backend whose caches already hold it; a plain server ignores
+    /// the trailing field.
+    pub fn set_table_fingerprint(&mut self, fingerprint: u64) {
+        self.table_fingerprint = fingerprint;
+    }
+
     /// One `Hello` exchange on the live connection. Leaves `self.tagged`
     /// reflecting the grant; a typed service-side error (an old service
     /// that does not know the opcode) degrades to v1 instead of failing.
@@ -175,6 +205,11 @@ impl Client {
             let mut w = ByteWriter::new();
             w.put_u8(Opcode::Hello as u8);
             w.put_u32(protocol::FEATURE_TAGGED);
+            if self.table_fingerprint != 0 {
+                // Optional trailing routing hint (append-only field): a
+                // sharded front end reads it, a plain server ignores it.
+                w.put_u64(self.table_fingerprint);
+            }
             protocol::write_frame(stream, w.as_bytes())?;
             self.hellos_sent += 1;
             let reply = protocol::read_frame(stream)?
@@ -276,7 +311,10 @@ impl Client {
         body.push(op as u8);
         body.extend_from_slice(payload);
         let reply = match self.exchange(&body) {
-            Err(e) if Self::is_stale_connection(&e) => self.exchange(&body)?,
+            Err(e) if Self::is_stale_connection(&e) => {
+                self.replays += 1;
+                self.exchange(&body)?
+            }
             other => other?,
         };
         parse_reply(reply)
@@ -1129,6 +1167,9 @@ impl Pipeline<'_> {
             Ok(()) => {}
             Err(e) if Client::is_stale_connection(&e) => {
                 self.recover(e)?;
+                // The failed first write may or may not have delivered a
+                // complete frame; the resend is a replay either way.
+                self.client.replays += 1;
                 self.send_request(&body)?;
             }
             Err(e) => return Err(e),
@@ -1306,6 +1347,7 @@ impl Pipeline<'_> {
             // them.
             let outstanding = resent - (prefetched.len() - acknowledged);
             Self::write_frame_draining(client, prefetched, outstanding, None, body)?;
+            client.replays += 1;
         }
         Ok(())
     }
@@ -1505,6 +1547,7 @@ impl Pipeline<'_> {
                 None,
                 framed,
             )?;
+            self.client.replays += 1;
         }
         Ok(())
     }

@@ -118,6 +118,13 @@ pub struct ClientTotals {
     /// tagged pipelines (`parts − 1` per split batch; the client tallies
     /// the whole batch as one outcome). Reconciled like `negotiations`.
     pub split_parts: u64,
+    /// Request bodies re-sent by reconnect+replay. Against a sharded
+    /// front end each replayed copy is counted as a fresh forwarded
+    /// request, so reconciliation adds these to the expected delta —
+    /// and widens the slack band by the same amount, because the
+    /// *original* copy of a replayed frame may or may not have been
+    /// read before the connection died (see `docs/SHARDING.md`).
+    pub replays: u64,
     /// Serial clients' per-request wall latencies, nanoseconds.
     pub latency_ns: Vec<u64>,
 }
@@ -137,6 +144,7 @@ impl ClientTotals {
         self.reconnects += other.reconnects;
         self.negotiations += other.negotiations;
         self.split_parts += other.split_parts;
+        self.replays += other.replays;
         self.latency_ns.extend(other.latency_ns);
     }
 
@@ -270,6 +278,7 @@ impl LoadReport {
             "    \"split_parts\": {},\n",
             self.totals.split_parts
         ));
+        out.push_str(&format!("    \"replays\": {},\n", self.totals.replays));
         out.push_str(&format!("    \"worker_panics\": {},\n", self.worker_panics));
         out.push_str(&format!("    \"rps\": {},\n", json_f64(self.rps)));
         out.push_str(&format!("    \"scrapes\": {},\n", self.scrapes));
@@ -469,10 +478,14 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ServeError> {
         let blobs = blobs.clone();
         workers.push(thread::spawn(move || {
             let pipelined = cfg.pipeline_window > 0 && index % 2 == 1;
+            // Distinct per-client routing keys so a tagged storm against
+            // a sharded front end spreads across every backend instead
+            // of pinning the whole fleet's load to one table's shard.
+            let routing_key = splitmix64(index as u64 + 1);
             if pipelined {
-                pipelined_worker(&cfg, &images, &blobs, deadline_ns)
+                pipelined_worker(&cfg, &images, &blobs, deadline_ns, routing_key)
             } else {
-                serial_worker(&cfg, &images, &blobs, deadline_ns)
+                serial_worker(&cfg, &images, &blobs, deadline_ns, routing_key)
             }
         }));
     }
@@ -596,21 +609,29 @@ fn analyze(
         }
     }
     if series.len() >= 2 {
-        // Reconciliation: every non-busy client outcome and every
-        // mid-window scrape is one server-counted request; transport
-        // errors are the only honest slack.
+        // Reconciliation: every non-busy client outcome, every replayed
+        // frame, and every mid-window scrape is one server-counted
+        // request. `value_at` sums across label sets, so against a
+        // sharded front end `requests_delta` is already the fleet-wide
+        // total. Honest slack: transport errors (fate unknowable), plus
+        // one per replay — the *original* copy of a replayed frame may
+        // or may not have been read before its connection died (see
+        // `docs/SHARDING.md`; both terms are 0 in a clean run, keeping
+        // single-server reconciliation exact).
         if let Some(requests_delta) = server.requests_delta {
             let expected = (totals.ok
                 + totals.timeout
                 + totals.error
                 + totals.negotiations
-                + totals.split_parts) as f64
+                + totals.split_parts
+                + totals.replays) as f64
                 + (series.len() as f64 - 1.0);
-            if (requests_delta - expected).abs() > totals.io_error as f64 {
+            let slack = (totals.io_error + totals.replays) as f64;
+            if (requests_delta - expected).abs() > slack {
                 anomalies.push(format!(
                     "reconcile_mismatch: server counted {requests_delta} requests in the \
-                     window but clients account for {expected} (± {} io)",
-                    totals.io_error
+                     window but clients account for {expected} (± {} io, ± {} replay)",
+                    totals.io_error, totals.replays
                 ));
             }
         }
@@ -712,14 +733,27 @@ const CHURN_EVERY: u64 = 32;
 fn harvest(client: &Client, t: &mut ClientTotals) {
     t.negotiations += client.hellos_sent();
     t.split_parts += client.split_requests();
+    t.replays += client.replays();
+}
+
+/// SplitMix64 — the statelessly seedable mixer used for per-client
+/// routing keys (the hash-ring in `deepn-front` uses the same finalizer,
+/// so key spread is uniform on its point space).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Negotiates tagged framing on a freshly connected load client when the
-/// run asks for it. A negotiation failure is tallied (the transport-error
-/// slack covers the `Hello`'s unknowable fate); `want_tagged` stays
-/// sticky, so the client re-negotiates on its next reconnect.
-fn upgrade_if_tagged(cfg: &LoadgenConfig, client: &mut Client, t: &mut ClientTotals) {
+/// run asks for it, advertising the worker's routing key in the `Hello`.
+/// A negotiation failure is tallied (the transport-error slack covers the
+/// `Hello`'s unknowable fate); `want_tagged` stays sticky, so the client
+/// re-negotiates on its next reconnect.
+fn upgrade_if_tagged(cfg: &LoadgenConfig, client: &mut Client, t: &mut ClientTotals, key: u64) {
     if cfg.tagged {
+        client.set_table_fingerprint(key);
         if let Err(e) = client.upgrade_tagged() {
             t.tally_err(&e);
         }
@@ -733,6 +767,7 @@ fn serial_worker(
     images: &[RgbImage],
     blobs: &[Vec<u8>],
     deadline_ns: u64,
+    routing_key: u64,
 ) -> ClientTotals {
     let mut t = ClientTotals::default();
     let mut client = match Client::connect_retry(cfg.addr, Duration::from_secs(2)) {
@@ -742,7 +777,7 @@ fn serial_worker(
             return t;
         }
     };
-    upgrade_if_tagged(cfg, &mut client, &mut t);
+    upgrade_if_tagged(cfg, &mut client, &mut t, routing_key);
     let mut i = 0u64;
     while deepn_trace::tick() < deadline_ns {
         if cfg.churn && i > 0 && i.is_multiple_of(CHURN_EVERY) {
@@ -750,7 +785,7 @@ fn serial_worker(
                 harvest(&client, &mut t);
                 client = fresh;
                 t.reconnects += 1;
-                upgrade_if_tagged(cfg, &mut client, &mut t);
+                upgrade_if_tagged(cfg, &mut client, &mut t, routing_key);
             }
         }
         let t0 = deepn_trace::tick();
@@ -780,6 +815,7 @@ fn pipelined_worker(
     images: &[RgbImage],
     blobs: &[Vec<u8>],
     deadline_ns: u64,
+    routing_key: u64,
 ) -> ClientTotals {
     let mut t = ClientTotals::default();
     let mut client = match Client::connect_retry(cfg.addr, Duration::from_secs(2)) {
@@ -789,7 +825,7 @@ fn pipelined_worker(
             return t;
         }
     };
-    upgrade_if_tagged(cfg, &mut client, &mut t);
+    upgrade_if_tagged(cfg, &mut client, &mut t, routing_key);
     let window = cfg.pipeline_window.max(1);
     let mut round = 0u64;
     while deepn_trace::tick() < deadline_ns {
@@ -798,7 +834,7 @@ fn pipelined_worker(
                 harvest(&client, &mut t);
                 client = fresh;
                 t.reconnects += 1;
-                upgrade_if_tagged(cfg, &mut client, &mut t);
+                upgrade_if_tagged(cfg, &mut client, &mut t, routing_key);
             }
         }
         let mut fatal = false;
@@ -855,7 +891,7 @@ fn pipelined_worker(
             if let Ok(fresh) = Client::connect(cfg.addr) {
                 harvest(&client, &mut t);
                 client = fresh;
-                upgrade_if_tagged(cfg, &mut client, &mut t);
+                upgrade_if_tagged(cfg, &mut client, &mut t, routing_key);
             }
         }
         round += 1;

@@ -31,28 +31,65 @@ pub struct Family {
     pub samples: Vec<Sample>,
 }
 
+impl Sample {
+    /// The sample's labels minus `le`, sorted — the identity of the
+    /// series this sample belongs to. Histogram bucket/`_sum`/`_count`
+    /// samples of one labelled series (e.g. one `shard="N"`) share a
+    /// group key; samples from different shards do not.
+    fn group_key(&self) -> Vec<(String, String)> {
+        let mut key: Vec<(String, String)> = self
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect();
+        key.sort();
+        key
+    }
+}
+
 impl Family {
-    fn sample(&self, name: &str) -> Option<&Sample> {
-        self.samples.iter().find(|s| s.name == name)
+    /// Sum of every sample named `name` across all label sets — the
+    /// fleet-wide value when a front end re-exposes per-shard series
+    /// under one family. `None` when no sample carries the name.
+    fn value_sum(&self, name: &str) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut any = false;
+        for s in self.samples.iter().filter(|s| s.name == name) {
+            sum += s.value;
+            any = true;
+        }
+        any.then_some(sum)
     }
 
-    /// Histogram bucket samples (`le` bound in seconds, cumulative
-    /// count), in source order; `+Inf` maps to `f64::INFINITY`.
+    /// Histogram bucket samples folded across label groups: for each
+    /// `le` bound, the summed cumulative count over every labelled
+    /// series, sorted by bound; `+Inf` maps to `f64::INFINITY`. For an
+    /// unlabelled single-process scrape this is the plain bucket list.
     pub fn buckets(&self) -> Vec<(f64, f64)> {
         let bucket_name = format!("{}_bucket", self.name);
-        self.samples
-            .iter()
-            .filter(|s| s.name == bucket_name)
-            .filter_map(|s| {
-                let le = s.labels.iter().find(|(k, _)| k == "le")?;
-                let bound = if le.1 == "+Inf" {
-                    f64::INFINITY
-                } else {
-                    le.1.parse().ok()?
-                };
-                Some((bound, s.value))
-            })
-            .collect()
+        let mut folded: Vec<(f64, f64)> = Vec::new();
+        for s in self.samples.iter().filter(|s| s.name == bucket_name) {
+            let Some(bound) = bucket_bound(s) else {
+                continue;
+            };
+            match folded.iter_mut().find(|(b, _)| b == &bound) {
+                Some((_, count)) => *count += s.value,
+                None => folded.push((bound, s.value)),
+            }
+        }
+        folded.sort_by(|a, b| a.0.total_cmp(&b.0));
+        folded
+    }
+}
+
+/// The `le` bound of a bucket sample, if it has one.
+fn bucket_bound(s: &Sample) -> Option<f64> {
+    let le = s.labels.iter().find(|(k, _)| k == "le")?;
+    if le.1 == "+Inf" {
+        Some(f64::INFINITY)
+    } else {
+        le.1.parse().ok()
     }
 }
 
@@ -185,8 +222,10 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
 
 /// Parses and then cross-checks a scrape: every family has samples;
 /// histogram families have cumulative non-decreasing buckets, a `+Inf`
-/// bucket equal to `_count`, and a `_sum`. Returns the families on
-/// success so callers can assert on contents.
+/// bucket equal to `_count`, and a `_sum` — checked **per label group**
+/// (the labels minus `le`), so a fleet exposition carrying one series
+/// per `shard="N"` validates each shard's ladder independently. Returns
+/// the families on success so callers can assert on contents.
 pub fn validate(text: &str) -> Result<Vec<Family>, String> {
     let families = parse(text)?;
     for f in &families {
@@ -194,39 +233,119 @@ pub fn validate(text: &str) -> Result<Vec<Family>, String> {
             return Err(format!("family {} has no samples", f.name));
         }
         if f.kind == "histogram" {
-            let buckets = f.buckets();
-            if buckets.is_empty() {
-                return Err(format!("histogram {} has no buckets", f.name));
-            }
-            for w in buckets.windows(2) {
-                if w[0].0 >= w[1].0 {
-                    return Err(format!("histogram {}: le bounds not increasing", f.name));
-                }
-                if w[0].1 > w[1].1 {
-                    return Err(format!(
-                        "histogram {}: cumulative bucket counts decrease",
-                        f.name
-                    ));
-                }
-            }
-            let inf = buckets
-                .last()
-                .filter(|(le, _)| le.is_infinite())
-                .ok_or_else(|| format!("histogram {}: missing +Inf bucket", f.name))?;
-            let count = f
-                .sample(&format!("{}_count", f.name))
-                .ok_or_else(|| format!("histogram {}: missing _count", f.name))?;
-            if inf.1 != count.value {
-                return Err(format!(
-                    "histogram {}: +Inf bucket {} != _count {}",
-                    f.name, inf.1, count.value
-                ));
-            }
-            f.sample(&format!("{}_sum", f.name))
-                .ok_or_else(|| format!("histogram {}: missing _sum", f.name))?;
+            validate_histogram(f)?;
         }
     }
     Ok(families)
+}
+
+/// Per-label-group histogram checks for one family.
+fn validate_histogram(f: &Family) -> Result<(), String> {
+    let bucket_name = format!("{}_bucket", f.name);
+    let count_name = format!("{}_count", f.name);
+    let sum_name = format!("{}_sum", f.name);
+    let mut groups: Vec<Vec<(String, String)>> = Vec::new();
+    for s in &f.samples {
+        let key = s.group_key();
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    for key in &groups {
+        let in_group = |s: &&Sample| s.group_key() == *key;
+        let mut buckets: Vec<(f64, f64)> = f
+            .samples
+            .iter()
+            .filter(in_group)
+            .filter(|s| s.name == bucket_name)
+            .filter_map(|s| Some((bucket_bound(s)?, s.value)))
+            .collect();
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if buckets.is_empty() {
+            return Err(format!("histogram {} has no buckets", f.name));
+        }
+        for w in buckets.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(format!("histogram {}: le bounds not increasing", f.name));
+            }
+            if w[0].1 > w[1].1 {
+                return Err(format!(
+                    "histogram {}: cumulative bucket counts decrease",
+                    f.name
+                ));
+            }
+        }
+        let inf = buckets
+            .last()
+            .filter(|(le, _)| le.is_infinite())
+            .ok_or_else(|| format!("histogram {}: missing +Inf bucket", f.name))?;
+        let count = f
+            .samples
+            .iter()
+            .filter(in_group)
+            .find(|s| s.name == count_name)
+            .ok_or_else(|| format!("histogram {}: missing _count", f.name))?;
+        if inf.1 != count.value {
+            return Err(format!(
+                "histogram {}: +Inf bucket {} != _count {}",
+                f.name, inf.1, count.value
+            ));
+        }
+        f.samples
+            .iter()
+            .filter(in_group)
+            .find(|s| s.name == sum_name)
+            .ok_or_else(|| format!("histogram {}: missing _sum", f.name))?;
+    }
+    Ok(())
+}
+
+/// Renders families back to Prometheus text exposition — the inverse of
+/// [`parse`]. A front end uses this to re-expose per-shard scrapes it
+/// has parsed, relabelled, and merged; the output round-trips through
+/// [`validate`].
+pub fn render(families: &[Family]) -> String {
+    let mut out = String::new();
+    for f in families {
+        out.push_str("# HELP ");
+        out.push_str(&f.name);
+        out.push(' ');
+        out.push_str(&f.help);
+        out.push_str("\n# TYPE ");
+        out.push_str(&f.name);
+        out.push(' ');
+        out.push_str(&f.kind);
+        out.push('\n');
+        for s in &f.samples {
+            out.push_str(&s.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&v.replace('\\', "\\\\").replace('"', "\\\""));
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push(' ');
+            out.push_str(&format_value(s.value));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A sample value formatted so it parses back to the same `f64`.
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
 }
 
 /// Interpolated `q`-quantile in seconds from cumulative `(le, count)`
@@ -281,14 +400,8 @@ pub fn pretty(text: &str) -> Result<String, String> {
         match f.kind.as_str() {
             "histogram" => {
                 let buckets = f.buckets();
-                let count = f
-                    .sample(&format!("{}_count", f.name))
-                    .map(|s| s.value)
-                    .unwrap_or(0.0);
-                let sum = f
-                    .sample(&format!("{}_sum", f.name))
-                    .map(|s| s.value)
-                    .unwrap_or(0.0);
+                let count = f.value_sum(&format!("{}_count", f.name)).unwrap_or(0.0);
+                let sum = f.value_sum(&format!("{}_sum", f.name)).unwrap_or(0.0);
                 let mean = if count > 0.0 { sum / count } else { 0.0 };
                 out.push_str(&format!(
                     "{:<44} count={:<8} mean={:<10} p50={:<10} p90={:<10} p99={}\n",
@@ -302,7 +415,16 @@ pub fn pretty(text: &str) -> Result<String, String> {
             }
             _ => {
                 for s in &f.samples {
-                    out.push_str(&format!("{:<44} {}\n", s.name, s.value));
+                    let mut shown = s.name.clone();
+                    if !s.labels.is_empty() {
+                        let pairs: Vec<String> = s
+                            .labels
+                            .iter()
+                            .map(|(k, v)| format!("{k}=\"{v}\""))
+                            .collect();
+                        shown = format!("{}{{{}}}", shown, pairs.join(","));
+                    }
+                    out.push_str(&format!("{:<44} {}\n", shown, s.value));
                 }
             }
         }
@@ -369,14 +491,16 @@ impl MetricsSeries {
         self.scrapes.get(idx)?.1.iter().find(|f| f.name == name)
     }
 
-    /// A plain sample's value (counter, gauge, or histogram `_count`/
-    /// `_sum` series) in scrape `idx`, searched across all families.
+    /// A sample's value (counter, gauge, or histogram `_count`/`_sum`
+    /// series) in scrape `idx`, searched across all families and
+    /// **summed across label sets** — so a fleet exposition exposing
+    /// one series per `shard="N"` reads as its fleet-wide total.
     pub fn value_at(&self, idx: usize, name: &str) -> Option<f64> {
         self.scrapes
             .get(idx)?
             .1
             .iter()
-            .find_map(|f| f.sample(name).map(|s| s.value))
+            .find_map(|f| f.value_sum(name))
     }
 
     /// Counter growth across the whole series (`last − first`). `None`
@@ -609,6 +733,104 @@ mod tests {
         assert!(series
             .counter_interval_deltas("deepn_no_such_total")
             .is_empty());
+    }
+
+    /// A hand-built two-shard fleet exposition: one counter family with
+    /// per-shard samples, one histogram family with per-shard ladders.
+    fn fleet_scrape(c0: u64, c1: u64, h0: u64, h1: u64) -> String {
+        let mut text =
+            String::from("# HELP deepn_fleet_total reqs\n# TYPE deepn_fleet_total counter\n");
+        text.push_str(&format!("deepn_fleet_total{{shard=\"0\"}} {c0}\n"));
+        text.push_str(&format!("deepn_fleet_total{{shard=\"1\"}} {c1}\n"));
+        text.push_str("# HELP deepn_fleet_seconds lat\n# TYPE deepn_fleet_seconds histogram\n");
+        for (shard, n) in [(0, h0), (1, h1)] {
+            let lo = n / 2;
+            text.push_str(&format!(
+                "deepn_fleet_seconds_bucket{{le=\"0.1\",shard=\"{shard}\"}} {lo}\n"
+            ));
+            text.push_str(&format!(
+                "deepn_fleet_seconds_bucket{{le=\"+Inf\",shard=\"{shard}\"}} {n}\n"
+            ));
+            text.push_str(&format!(
+                "deepn_fleet_seconds_sum{{shard=\"{shard}\"}} {}\n",
+                n as f64 * 0.05
+            ));
+            text.push_str(&format!(
+                "deepn_fleet_seconds_count{{shard=\"{shard}\"}} {n}\n"
+            ));
+        }
+        text
+    }
+
+    #[test]
+    fn validate_checks_histograms_per_label_group() {
+        let families = validate(&fleet_scrape(3, 4, 10, 6)).expect("fleet scrape validates");
+        let h = families
+            .iter()
+            .find(|f| f.name == "deepn_fleet_seconds")
+            .expect("histogram family");
+        // Folded buckets: per-bound counts summed across shards.
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (0.1, 8.0));
+        assert_eq!(buckets[1].1, 16.0);
+
+        // A +Inf/_count mismatch inside ONE shard's group still fails,
+        // even though the cross-shard sums happen to agree.
+        let bad = fleet_scrape(1, 1, 4, 4).replace(
+            "deepn_fleet_seconds_count{shard=\"0\"} 4",
+            "deepn_fleet_seconds_count{shard=\"0\"} 5",
+        );
+        let err = validate(&bad).expect_err("per-group mismatch rejected");
+        assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn render_round_trips_labelled_families() {
+        let families = validate(&fleet_scrape(7, 9, 2, 2)).expect("validates");
+        let rendered = render(&families);
+        let reparsed = validate(&rendered).expect("re-rendered text validates");
+        assert_eq!(reparsed.len(), families.len());
+        let total: f64 = reparsed
+            .iter()
+            .find(|f| f.name == "deepn_fleet_total")
+            .expect("counter family")
+            .samples
+            .iter()
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(total, 16.0);
+        // Our own Registry output survives a parse→render→parse loop too.
+        let own = scrape();
+        let round = render(&validate(&own).expect("own scrape"));
+        let a = validate(&own).expect("a");
+        let b = validate(&round).expect("b");
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(b.iter()) {
+            assert_eq!(fa.name, fb.name);
+            assert_eq!(fa.samples.len(), fb.samples.len());
+            for (sa, sb) in fa.samples.iter().zip(fb.samples.iter()) {
+                assert_eq!(sa.value, sb.value, "{}", sa.name);
+            }
+        }
+    }
+
+    #[test]
+    fn series_sums_across_label_sets() {
+        let mut series = MetricsSeries::new();
+        series.push(0, &fleet_scrape(10, 20, 2, 2)).expect("first");
+        series
+            .push(1_000_000_000, &fleet_scrape(15, 40, 6, 4))
+            .expect("second");
+        assert_eq!(series.counter_delta("deepn_fleet_total"), Some(25.0));
+        assert_eq!(
+            series.histogram_delta_count("deepn_fleet_seconds"),
+            Some(6.0)
+        );
+        let p50 = series
+            .histogram_delta_quantile("deepn_fleet_seconds", 0.5)
+            .expect("p50");
+        assert!(p50 > 0.0);
     }
 
     #[test]

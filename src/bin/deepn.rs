@@ -55,6 +55,17 @@ COMMANDS:
                   [--max-conns N] [--timeout-ms N (0 = no deadline)]
                   [--slow-ms N (log requests at/over N ms; 0 = off)]
                   [--model PATH]
+    shard         Run a sharded fleet: one front end on --addr spawning
+                  and supervising N `deepn serve` backends on ephemeral
+                  ports, routing client connections by consistent hashing
+                  with failover, restarting crashed backends with backoff,
+                  and answering the Metrics op with a fleet-wide
+                  shard-labelled exposition. SIGTERM (or a client
+                  Shutdown) drains in-flight requests before exit
+                  --tables PATH --addr HOST:PORT [--backends N]
+                  [--vnodes N] [--drain-secs N] plus serve pass-throughs:
+                  [--workers N] [--queue N] [--max-conns N]
+                  [--timeout-ms N] [--slow-ms N] [--model PATH]
     loadgen       Load/soak a running service: N concurrent clients with a
                   mixed serial/pipelined op mix and optional connection
                   churn, a scraper thread polling the Metrics op
@@ -183,6 +194,7 @@ fn main() -> ExitCode {
         "gen-ppm" => cmd_gen_ppm(args),
         "metrics" => cmd_metrics(args),
         "serve" => cmd_serve(args),
+        "shard" => cmd_shard(args),
         "loadgen" => cmd_loadgen(args),
         "bench-client" => cmd_bench_client(args),
         "pipeline" => cmd_pipeline(args),
@@ -528,7 +540,8 @@ fn cmd_serve(mut args: Args) -> Result<(), Box<dyn Error>> {
     // flight recorder dumps the last structured events from every thread.
     deepn::trace::log::install_panic_hook();
     let server = Server::bind(addr.as_str(), tables, model, config.clone())?;
-    // Machine-parsable readiness line (the CI smoke job waits for it).
+    // Machine-parsable readiness line (the CI smoke job and the shard
+    // front end's supervisor wait for it).
     println!(
         "deepn-serve listening on {} ({} workers, queue {}, {} conns max, \
          timeout {})",
@@ -540,8 +553,75 @@ fn cmd_serve(mut args: Args) -> Result<(), Box<dyn Error>> {
             .request_timeout
             .map_or("off".to_owned(), |t| format!("{t:?}")),
     );
+    // A piped stdout is block-buffered: without this flush a supervising
+    // parent would never see the readiness line.
+    std::io::stdout().flush()?;
     server.run()?;
     println!("deepn-serve stopped");
+    Ok(())
+}
+
+fn cmd_shard(mut args: Args) -> Result<(), Box<dyn Error>> {
+    use deepn::front::{signal, BackendCommand, Front, FrontConfig};
+
+    let tables = args.required("--tables")?;
+    let addr = args.required("--addr")?;
+    let backends = args.parsed("--backends", 3usize)?;
+    let vnodes = args.parsed("--vnodes", 64u32)?;
+    let drain_secs = args.parsed("--drain-secs", 30u64)?;
+    // Pass-throughs handed verbatim to every backend `deepn serve`.
+    let passthrough = [
+        ("--workers", args.value("--workers")?),
+        ("--queue", args.value("--queue")?),
+        ("--max-conns", args.value("--max-conns")?),
+        ("--timeout-ms", args.value("--timeout-ms")?),
+        ("--slow-ms", args.value("--slow-ms")?),
+        ("--model", args.value("--model")?),
+    ];
+    args.finish()?;
+
+    deepn::trace::log::init_from_env();
+    deepn::trace::log::install_panic_hook();
+
+    let exe = std::env::current_exe()?;
+    let mut backend_args = vec![
+        "serve".to_string(),
+        "--tables".to_string(),
+        tables,
+        "--addr".to_string(),
+        // Ephemeral: each backend reports where it landed via its
+        // readiness line, which the supervisor parses.
+        "127.0.0.1:0".to_string(),
+    ];
+    for (flag, value) in passthrough {
+        if let Some(v) = value {
+            backend_args.push(flag.to_string());
+            backend_args.push(v);
+        }
+    }
+
+    let mut config = FrontConfig::new(backends, BackendCommand::new(exe, backend_args));
+    config.vnodes = vnodes;
+    config.drain_timeout = Duration::from_secs(drain_secs);
+    // SIGTERM starts the drain instead of killing the fleet mid-request.
+    signal::install_term_handler();
+    let front = Front::bind(addr.as_str(), config)?;
+    // Machine-parsable readiness + pid lines (the CI shard job waits for
+    // the first and injects faults with the second).
+    println!(
+        "deepn-front listening on {} ({backends} backends, {vnodes} vnodes, \
+         drain {drain_secs}s)",
+        front.local_addr()?
+    );
+    let pids: Vec<String> = front
+        .backend_pids()
+        .into_iter()
+        .map(|p| p.map_or("-".to_string(), |p| p.to_string()))
+        .collect();
+    println!("deepn-front backend pids: {}", pids.join(" "));
+    std::io::stdout().flush()?;
+    front.run()?;
+    println!("deepn-front drained");
     Ok(())
 }
 

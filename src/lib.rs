@@ -18,6 +18,9 @@
 //! - [`serve`] — the long-running TCP compression service (worker pool +
 //!   bounded job queue, both wire directions streamed strip-by-strip) and
 //!   its persistent, pipelining client (see `docs/PROTOCOL.md`)
+//! - [`front`] — sharded multi-process front end: supervises N `serve`
+//!   backends, routes connections by consistent hashing with failover,
+//!   aggregates fleet-wide metrics (see `docs/SHARDING.md`)
 //! - [`trace`] — from-scratch observability substrate: instrument
 //!   registry (counters/gauges/latency histograms), spans, Chrome-trace
 //!   export, and a Prometheus text parser (see `docs/OBSERVABILITY.md`)
@@ -60,6 +63,7 @@ pub use deepn_bench as bench;
 pub use deepn_codec as codec;
 pub use deepn_core as core;
 pub use deepn_dataset as dataset;
+pub use deepn_front as front;
 pub use deepn_lint as lint;
 pub use deepn_nn as nn;
 pub use deepn_parallel as parallel;

